@@ -1,0 +1,73 @@
+// Ablation study over EfficientIMM's four §IV optimizations: kernel
+// fusion, adaptive RRR representation, adaptive counter update, and
+// dynamic job balancing. Each row disables exactly one feature (leaving
+// the rest on) and reports the slowdown relative to the full engine —
+// the per-feature attribution the paper motivates qualitatively.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Ablation: disable one EfficientIMM feature at a time",
+               config);
+
+  struct Ablation {
+    std::string name;
+    void (*disable)(ImmOptions&);
+  };
+  const std::vector<Ablation> ablations = {
+      {"full EfficientIMM", [](ImmOptions&) {}},
+      {"- kernel fusion", [](ImmOptions& o) { o.kernel_fusion = false; }},
+      {"- adaptive representation",
+       [](ImmOptions& o) { o.adaptive_representation = false; }},
+      {"- adaptive counter update",
+       [](ImmOptions& o) { o.adaptive_update = false; }},
+      {"- dynamic balancing",
+       [](ImmOptions& o) { o.dynamic_balance = false; }},
+      {"- NUMA awareness", [](ImmOptions& o) { o.numa_aware = false; }},
+  };
+
+  for (const char* dataset : {"com-YouTube", "soc-Pokec"}) {
+    const DiffusionGraph graph = load_workload(
+        config, dataset, DiffusionModel::kIndependentCascade);
+    AsciiTable table({"Configuration", "Total (s)", "Sampling (s)",
+                      "Selection (s)", "Slowdown vs full"});
+    double full_total = 0.0;
+    for (const Ablation& ablation : ablations) {
+      ImmOptions opt = imm_options(
+          config, DiffusionModel::kIndependentCascade, config.max_threads);
+      ablation.disable(opt);
+      double sampling = 0.0, selection = 0.0;
+      const double total = best_seconds(config.reps, [&] {
+        const ImmResult r = run_efficient_imm(graph, opt);
+        sampling = r.breakdown.sampling_seconds;
+        selection = r.breakdown.selection_seconds;
+        return r.breakdown.total_seconds;
+      });
+      if (ablation.name == "full EfficientIMM") full_total = total;
+      table.new_row()
+          .add(ablation.name)
+          .add(total, 4)
+          .add(sampling, 4)
+          .add(selection, 4)
+          .add(format_speedup(total / full_total, 2));
+    }
+    table.set_title(std::string("Ablation — ") + dataset + " (IC, " +
+                    std::to_string(config.max_threads) + " threads)");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Note: every configuration returns identical seeds (determinism is\n"
+      "feature-flag invariant — enforced by the test suite); only the\n"
+      "execution cost changes.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared configuration and helpers for the paper-reproduction benches.
+//
+// Every binary honours the same environment knobs so the whole suite can
+// be scaled from "smoke test on a laptop" (defaults) toward paper-scale:
+//   EIMM_SCALE       workload scale factor (default 0.15)
+//   EIMM_THREADS     max threads for sweeps (default: all cores)
+//   EIMM_BENCH_REPS  repetitions; best (min) time is reported (default 1)
+//   EIMM_K           seed budget (default 50, as in the paper)
+//   EIMM_EPSILON     accuracy (default 0.5, as in the paper)
+//   EIMM_MAX_RRR     RRR-set cap per run (default 1M)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/imm.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm::bench {
+
+struct BenchConfig {
+  double scale = 0.3;
+  int max_threads = 0;  // resolved to hardware at load time
+  int reps = 1;
+  std::size_t k = 50;
+  double epsilon = 0.5;
+  std::uint64_t rng_seed = 0xBE9C;
+  std::uint64_t max_rrr_sets = 1u << 20;
+};
+
+/// Reads the EIMM_* environment into a config (resolving thread count).
+BenchConfig load_config();
+
+/// 1, 2, 4, ..., up to and including max (max appended if not a power
+/// of two) — the sweep the paper's strong-scaling figures use.
+std::vector<int> thread_sweep(int max);
+
+/// Minimum over `reps` runs of fn() (each returning seconds).
+double best_seconds(int reps, const std::function<double()>& fn);
+
+/// ImmOptions preset from the config for one model/engine run.
+ImmOptions imm_options(const BenchConfig& config, DiffusionModel model,
+                       int threads);
+
+/// Workload + weights at the configured scale.
+DiffusionGraph load_workload(const BenchConfig& config,
+                             const std::string& name, DiffusionModel model);
+
+/// Prints the standard bench banner (binary name, config, host info).
+void print_banner(const std::string& title, const BenchConfig& config);
+
+}  // namespace eimm::bench

@@ -1,0 +1,71 @@
+// Distributed-extension bench (paper §VI future work): communication
+// volume of the two MPI-style strategies over the simulated cluster.
+//
+//   counter-reduce  — EfficientIMM's partitioning: sketches stay where
+//                     they were sampled; only counters move.
+//   set-gather      — Ripples-MPI-style: all sketches move to rank 0.
+//
+// The paper argues EfficientIMM "doesn't introduce additional
+// communication compared to Ripples' MPI implementation"; this bench
+// shows the counter-reduce volume is independent of sketch size while
+// set-gather scales with it.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "dist/imm.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Distributed extension: communication volume by strategy",
+               config);
+
+  for (const char* dataset : {"com-Amazon", "web-Google"}) {
+    const DiffusionGraph graph = load_workload(
+        config, dataset, DiffusionModel::kIndependentCascade);
+
+    AsciiTable table({"Ranks", "counter-reduce bytes", "set-gather bytes",
+                      "gather/reduce", "Seeds identical"});
+    for (const int ranks : {2, 4, 8}) {
+      DistImmOptions opt;
+      opt.k = config.k;
+      opt.epsilon = config.epsilon;
+      opt.model = DiffusionModel::kIndependentCascade;
+      opt.rng_seed = config.rng_seed;
+      opt.ranks = ranks;
+      opt.max_rrr_sets = config.max_rrr_sets;
+
+      opt.strategy = DistStrategy::kCounterReduce;
+      const DistImmResult reduce = run_distributed_imm(graph, opt);
+      opt.strategy = DistStrategy::kSetGather;
+      const DistImmResult gather = run_distributed_imm(graph, opt);
+
+      table.new_row()
+          .add(ranks)
+          .add(format_bytes(reduce.comm.bytes_moved))
+          .add(format_bytes(gather.comm.bytes_moved))
+          .add(format_speedup(
+              static_cast<double>(gather.comm.bytes_moved) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(1, reduce.comm.bytes_moved)),
+              2))
+          .add(reduce.seeds == gather.seeds ? "yes" : "NO");
+    }
+    table.set_title(std::string("Communication volume — ") + dataset +
+                    " (IC)");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: on dense-sketch inputs (com-Amazon: ~58%% coverage)\n"
+      "gathering raw RRR sets moves several times more data than reducing\n"
+      "counters — the distributed analogue of Challenge 1. On sparse-\n"
+      "sketch inputs (web-Google: ~16%%) the flat per-round allreduce\n"
+      "eventually crosses over as ranks grow; a production MPI port would\n"
+      "ship sparse counter deltas to push that crossover out.\n");
+  return 0;
+}

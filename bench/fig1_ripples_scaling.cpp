@@ -1,0 +1,49 @@
+// Fig. 1 reproduction: "Ripples Strong Scaling Performance".
+//
+// Runs the Ripples-strategy engine on web-Google with 1..P threads for
+// both diffusion models and prints runtime + self-relative speedup. The
+// paper's observation: scalability saturates early (LT after ~4 threads,
+// IC after ~32 on their 128-core box) because Find_Most_Influential_Set
+// does redundant all-set traversals per thread.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Fig. 1: Ripples-strategy strong scaling (web-Google)",
+               config);
+
+  for (const DiffusionModel model : {DiffusionModel::kLinearThreshold,
+                                     DiffusionModel::kIndependentCascade}) {
+    const DiffusionGraph graph = load_workload(config, "web-Google", model);
+    AsciiTable table({"Threads", "Runtime (s)", "Speedup vs 1T",
+                      "Parallel efficiency %"});
+    double base = 0.0;
+    for (const int threads : thread_sweep(config.max_threads)) {
+      const ImmOptions opt = imm_options(config, model, threads);
+      const double seconds = best_seconds(config.reps, [&] {
+        return run_baseline_imm(graph, opt).breakdown.total_seconds;
+      });
+      if (threads == 1) base = seconds;
+      table.new_row()
+          .add(threads)
+          .add(seconds, 3)
+          .add(format_speedup(base / seconds, 2))
+          .add(100.0 * base / seconds / threads, 0);
+    }
+    table.set_title(std::string("Fig. 1 — Ripples strategy, ") +
+                    std::string(to_string(model)) + " model");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: speedup flattens well before the core count — the\n"
+      "selection kernel's per-thread all-set traversal is the limiter.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 6 reproduction: strong scaling under the LT diffusion model,
+// EfficientIMM vs the Ripples strategy, normalized to 1-thread Ripples
+// (k=50, ε=0.5), across all eight datasets.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Fig. 6: strong scaling, LT model, normalized to Ripples 1T",
+               config);
+
+  constexpr DiffusionModel kModel = DiffusionModel::kLinearThreshold;
+  for (const WorkloadSpec& spec : workload_specs()) {
+    const DiffusionGraph graph = load_workload(config, spec.name, kModel);
+    AsciiTable table({"Threads", "Ripples (s)", "EfficientIMM (s)",
+                      "Ripples speedup", "EIMM speedup", "EIMM vs Ripples"});
+    double ripples_base = 0.0;
+    for (const int threads : thread_sweep(config.max_threads)) {
+      const ImmOptions opt = imm_options(config, kModel, threads);
+      const double ripples = best_seconds(config.reps, [&] {
+        return run_baseline_imm(graph, opt).breakdown.total_seconds;
+      });
+      const double efficient = best_seconds(config.reps, [&] {
+        return run_efficient_imm(graph, opt).breakdown.total_seconds;
+      });
+      if (threads == 1) ripples_base = ripples;
+      table.new_row()
+          .add(threads)
+          .add(ripples, 3)
+          .add(efficient, 3)
+          .add(format_speedup(ripples_base / ripples, 2))
+          .add(format_speedup(ripples_base / efficient, 2))
+          .add(format_speedup(ripples / efficient, 2));
+    }
+    table.set_title("Fig. 6 — " + spec.name + " (LT)");
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: EfficientIMM's curve keeps rising with threads while\n"
+      "the Ripples strategy saturates early (paper: after ~4 threads).\n");
+  return 0;
+}

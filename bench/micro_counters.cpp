@@ -1,0 +1,90 @@
+// Microbenchmarks for the global-counter design space of Algorithm 2:
+//  - shared atomic counters (EfficientIMM's choice: one fetch_add per
+//    member, 64-bit granularity),
+//  - per-thread private counters + merge (the memory-hungry alternative),
+//  - a single padded atomic hammered by all threads (worst-case
+//    contention reference point).
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <vector>
+
+#include "runtime/atomic_counters.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace eimm;
+
+constexpr std::size_t kVertices = 1 << 16;
+constexpr std::size_t kUpdates = 1 << 20;
+
+std::vector<std::uint32_t> random_targets() {
+  std::vector<std::uint32_t> targets(kUpdates);
+  Xoshiro256 rng(42);
+  for (auto& t : targets) {
+    t = static_cast<std::uint32_t>(rng.next_bounded(kVertices));
+  }
+  return targets;
+}
+
+void BM_SharedAtomicCounters(benchmark::State& state) {
+  const auto targets = random_targets();
+  CounterArray counters(kVertices);
+  for (auto _ : state) {
+    counters.reset();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      counters.increment(targets[i]);
+    }
+    benchmark::DoNotOptimize(counters.get(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kUpdates));
+}
+BENCHMARK(BM_SharedAtomicCounters)->Unit(benchmark::kMillisecond);
+
+void BM_PerThreadCountersPlusMerge(benchmark::State& state) {
+  const auto targets = random_targets();
+  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
+  for (auto _ : state) {
+    std::vector<std::vector<std::uint64_t>> locals(
+        threads, std::vector<std::uint64_t>(kVertices, 0));
+    std::vector<std::uint64_t> merged(kVertices, 0);
+#pragma omp parallel
+    {
+      auto& local = locals[static_cast<std::size_t>(omp_get_thread_num())];
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        local[targets[i]]++;
+      }
+#pragma omp for schedule(static)
+      for (std::size_t v = 0; v < kVertices; ++v) {
+        std::uint64_t sum = 0;
+        for (std::size_t t = 0; t < threads; ++t) sum += locals[t][v];
+        merged[v] = sum;
+      }
+    }
+    benchmark::DoNotOptimize(merged[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kUpdates));
+}
+BENCHMARK(BM_PerThreadCountersPlusMerge)->Unit(benchmark::kMillisecond);
+
+void BM_SingleAtomicContention(benchmark::State& state) {
+  CounterArray counters(1);
+  for (auto _ : state) {
+    counters.reset();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < kUpdates; ++i) {
+      counters.increment(0);
+    }
+    benchmark::DoNotOptimize(counters.get(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kUpdates));
+}
+BENCHMARK(BM_SingleAtomicContention)->Unit(benchmark::kMillisecond);
+
+}  // namespace

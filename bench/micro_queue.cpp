@@ -1,0 +1,98 @@
+// Microbenchmark for dynamic job balancing (§IV-C): the stealing JobPool
+// vs a static partition, under the skewed per-job costs RRR sets exhibit
+// (a few giant sets, many tiny ones).
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "runtime/partition.hpp"
+#include "runtime/work_queue.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace eimm;
+
+constexpr std::size_t kJobs = 4096;
+
+// Skewed job costs: Zipf-ish — job j costs ~ N/(j+1) units of work.
+std::vector<std::uint32_t> skewed_costs() {
+  std::vector<std::uint32_t> costs(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    costs[j] = static_cast<std::uint32_t>(200000.0 / static_cast<double>(j + 1)) + 10;
+  }
+  // Shuffle so the giants aren't all in one static block.
+  Xoshiro256 rng(3);
+  for (std::size_t j = kJobs - 1; j > 0; --j) {
+    std::swap(costs[j], costs[rng.next_bounded(j + 1)]);
+  }
+  return costs;
+}
+
+// Simulated work: spin on a volatile accumulator proportional to cost.
+inline void burn(std::uint32_t cost, std::uint64_t& sink) {
+  for (std::uint32_t i = 0; i < cost; ++i) sink += i * 2654435761u;
+}
+
+void BM_StaticPartition(benchmark::State& state) {
+  const auto costs = skewed_costs();
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> total{0};
+#pragma omp parallel
+    {
+      std::uint64_t sink = 0;
+#pragma omp for schedule(static)
+      for (std::size_t j = 0; j < kJobs; ++j) {
+        burn(costs[j], sink);
+      }
+      total.fetch_add(sink, std::memory_order_relaxed);
+    }
+    benchmark::DoNotOptimize(total.load());
+  }
+}
+BENCHMARK(BM_StaticPartition)->Unit(benchmark::kMillisecond);
+
+void BM_StealingJobPool(benchmark::State& state) {
+  const auto costs = skewed_costs();
+  const auto workers = static_cast<std::size_t>(omp_get_max_threads());
+  for (auto _ : state) {
+    JobPool pool(kJobs, 16, workers);
+    std::atomic<std::uint64_t> total{0};
+#pragma omp parallel
+    {
+      std::uint64_t sink = 0;
+      const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+      for (JobBatch b = pool.next(wid); !b.empty(); b = pool.next(wid)) {
+        for (std::size_t j = b.begin; j < b.end; ++j) {
+          burn(costs[j], sink);
+        }
+      }
+      total.fetch_add(sink, std::memory_order_relaxed);
+    }
+    benchmark::DoNotOptimize(total.load());
+  }
+}
+BENCHMARK(BM_StealingJobPool)->Unit(benchmark::kMillisecond);
+
+void BM_OmpDynamicReference(benchmark::State& state) {
+  const auto costs = skewed_costs();
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> total{0};
+#pragma omp parallel
+    {
+      std::uint64_t sink = 0;
+#pragma omp for schedule(dynamic, 16)
+      for (std::size_t j = 0; j < kJobs; ++j) {
+        burn(costs[j], sink);
+      }
+      total.fetch_add(sink, std::memory_order_relaxed);
+    }
+    benchmark::DoNotOptimize(total.load());
+  }
+}
+BENCHMARK(BM_OmpDynamicReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace

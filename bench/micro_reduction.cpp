@@ -1,0 +1,39 @@
+// Microbenchmark for the two-step parallel arg-max reduction of
+// Algorithm 2 line 9, against the serial scan it replaces.
+#include <benchmark/benchmark.h>
+
+#include "runtime/reduction.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace eimm;
+
+CounterArray make_counters(std::size_t n) {
+  CounterArray counters(n);
+  Xoshiro256 rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    counters.set(i, rng.next_bounded(1 << 20));
+  }
+  return counters;
+}
+
+void BM_SerialArgMax(benchmark::State& state) {
+  const auto counters = make_counters(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial_argmax(counters));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerialArgMax)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_ParallelArgMax(benchmark::State& state) {
+  const auto counters = make_counters(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel_argmax(counters));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParallelArgMax)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Table II reproduction: fraction of Generate_RRRsets core time spent on
+// the visited bitmap, original vs NUMA-aware data placement (paper:
+// 38-63% improvement on 5 graphs).
+//
+// In the paper both configurations use the same visited structure; what
+// changes is WHERE its pages live (§IV-B): originally wherever the
+// master thread faulted them (interleaved => ~7/8 remote on the 8-node
+// testbed), NUMA-aware via mbind on the worker's node. This host has a
+// single NUMA node, so the placement effect — the dominant term — is
+// modeled, in the same spirit as Table IV's cache model:
+//
+//   1. run the real IC sampler at paper-like vertex counts (the visited
+//      array must exceed the L2 so accesses reach DRAM) and capture the
+//      visited-access stream through the per-thread L1/L2 cache model;
+//   2. time the same run untraced for the true compute baseline, and
+//      time the per-set O(|V|) clears both configurations pay;
+//   3. charge the DRAM-level misses once with the remote-mix latency
+//      (original placement) and once with local latency (NUMA-aware),
+//      and report each configuration's share of core time.
+//
+// Because both shares derive from the SAME measured stream, the
+// comparison has no run-to-run noise; only the latency model differs.
+#include <omp.h>
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "common.hpp"
+#include "rrr/generate.hpp"
+#include "support/env.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace eimm;
+
+// Latency model (ns), EPYC-class: local DRAM ~90ns; the original
+// placement is an interleaved mix, ~7/8 remote on an 8-node box. The
+// BFS issues many independent visited probes per window, so DRAM-level
+// misses overlap; effective cost = latency / MLP (out-of-order cores
+// sustain ~8 outstanding misses).
+constexpr double kL1HitNs = 1.0;
+constexpr double kL2HitNs = 4.0;
+constexpr double kMemoryLevelParallelism = 8.0;
+constexpr double kLocalDramNs = 90.0 / kMemoryLevelParallelism;
+constexpr double kRemoteMixDramNs =
+    (0.875 * 140.0 + 0.125 * 90.0) / kMemoryLevelParallelism;
+
+/// Probe feeding visited accesses (1 byte per vertex) into a per-thread
+/// cache model.
+struct CacheProbe {
+  static thread_local CacheHierarchy* hierarchy;
+  static void on_visited_access(VertexId v) noexcept {
+    if (hierarchy != nullptr) {
+      hierarchy->access(reinterpret_cast<const void*>(
+                            static_cast<std::uintptr_t>(0x10000000u + v)),
+                        1);
+    }
+  }
+};
+thread_local CacheHierarchy* CacheProbe::hierarchy = nullptr;
+
+struct StreamProfile {
+  CacheStats cache;             // visited-access cache behaviour
+  double baseline_core_seconds; // untraced sampler core time
+  double clear_core_seconds;    // per-set O(|V|) clears, measured
+};
+
+StreamProfile profile(const DiffusionGraph& g, std::size_t sets,
+                      std::uint64_t seed) {
+  const VertexId n = g.num_vertices();
+  StreamProfile p{};
+
+  {  // Untraced pass: the honest compute baseline.
+    const Timer wall;
+#pragma omp parallel
+    {
+      SamplerScratch scratch(n);
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < sets; ++i) {
+        Xoshiro256 rng = Xoshiro256::for_stream(seed, i);
+        const auto root = static_cast<VertexId>(rng.next_bounded(n));
+        sample_rrr_ic(g.reverse, root, rng, scratch);
+      }
+    }
+    p.baseline_core_seconds = wall.seconds() * omp_get_max_threads();
+  }
+
+  {  // Traced pass: identical stream through the cache model.
+#pragma omp parallel
+    {
+      CacheHierarchy hierarchy;
+      CacheProbe::hierarchy = &hierarchy;
+      SamplerScratch scratch(n);
+#pragma omp for schedule(static)
+      for (std::size_t i = 0; i < sets; ++i) {
+        Xoshiro256 rng = Xoshiro256::for_stream(seed, i);
+        const auto root = static_cast<VertexId>(rng.next_bounded(n));
+        sample_rrr_ic<CacheProbe>(g.reverse, root, rng, scratch);
+      }
+      CacheProbe::hierarchy = nullptr;
+#pragma omp critical
+      p.cache += hierarchy.stats();
+    }
+  }
+
+  {  // Clears: both configurations wipe n bytes before every set.
+    std::vector<std::uint8_t> buffer(n, 0);
+    const Timer t;
+    for (std::size_t i = 0; i < sets; ++i) {
+      std::fill(buffer.begin(), buffer.end(),
+                static_cast<std::uint8_t>(i & 1));
+    }
+    volatile std::uint8_t sink = buffer[0];
+    (void)sink;
+    // The clears are spread across the workers in a real run.
+    p.clear_core_seconds = t.seconds();
+  }
+  return p;
+}
+
+double structure_share(const StreamProfile& p, double dram_ns) {
+  const std::uint64_t l1_hits = p.cache.accesses - p.cache.l1_misses;
+  const std::uint64_t l2_hits = p.cache.l1_misses - p.cache.l2_misses;
+  const double structure_seconds =
+      (static_cast<double>(l1_hits) * kL1HitNs +
+       static_cast<double>(l2_hits) * kL2HitNs +
+       static_cast<double>(p.cache.l2_misses) * dram_ns) *
+          1e-9 +
+      p.clear_core_seconds;
+  // The untraced baseline already contains the structure's local-latency
+  // cost; remove it before composing the modeled share.
+  const double in_situ_seconds =
+      (static_cast<double>(l1_hits) * kL1HitNs +
+       static_cast<double>(l2_hits) * kL2HitNs +
+       static_cast<double>(p.cache.l2_misses) * kLocalDramNs) *
+          1e-9 +
+      p.clear_core_seconds;
+  const double rest = std::max(p.baseline_core_seconds - in_situ_seconds,
+                               0.05 * p.baseline_core_seconds);
+  return structure_seconds / (rest + structure_seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner(
+      "Table II: visited-bitmap core-time share, original vs NUMA-aware",
+      config);
+
+  // The visited array must clearly exceed the (512 KiB) L2 for placement
+  // to matter, as it does on the paper's 0.3M-4M-vertex graphs. 1.2M
+  // keeps the R-MAT families (which round to powers of two) above 1M.
+  const auto target_nodes = static_cast<double>(
+      env_int("EIMM_T2_NODES", 1'200'000));
+  constexpr std::size_t kSets = 48;
+
+  const char* datasets[] = {"com-Amazon", "com-YouTube", "soc-Pokec",
+                            "com-LJ", "web-Google"};
+  const double paper_improvement[] = {38, 38, 63, 60, 53};
+
+  eimm::AsciiTable table({"Graph", "Nodes", "Original %", "NUMA-aware %",
+                          "Improvement %", "Paper improv. %"});
+  int row = 0;
+  for (const char* name : datasets) {
+    const auto spec = eimm::find_workload(name);
+    const double scale = target_nodes / spec->base_nodes;
+    const eimm::DiffusionGraph g = eimm::make_workload_with_weights(
+        name, eimm::DiffusionModel::kIndependentCascade, scale,
+        config.rng_seed);
+    const StreamProfile p = profile(g, kSets, config.rng_seed);
+    const double original = structure_share(p, kRemoteMixDramNs);
+    const double aware = structure_share(p, kLocalDramNs);
+    const double improvement = 100.0 * (1.0 - aware / original);
+    table.new_row()
+        .add(name)
+        .add(static_cast<std::uint64_t>(g.num_vertices()))
+        .add(100.0 * original, 1)
+        .add(100.0 * aware, 1)
+        .add(improvement, 0)
+        .add(paper_improvement[row++], 0);
+    std::printf("  profiled %-12s: %llu visited accesses, %.1f%% DRAM\n",
+                name, static_cast<unsigned long long>(p.cache.accesses),
+                100.0 * static_cast<double>(p.cache.l2_misses) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, p.cache.accesses)));
+  }
+  std::printf("\n");
+  table.set_title(
+      "Table II (measured sampler stream + modeled placement latency)");
+  table.print(std::cout);
+  std::printf(
+      "\nShape check: local placement cuts the bitmap's share of core\n"
+      "time on every dataset (direction matches the paper everywhere).\n"
+      "The latency-only model understates the paper's 38-63%% because it\n"
+      "omits coherence and bandwidth-contention effects of remote pages;\n"
+      "what is measured vs modeled is documented in the header and\n"
+      "EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table III reproduction: best runtime of EfficientIMM vs the Ripples
+// strategy across all 8 datasets and both diffusion models (k=50,
+// ε=0.5). "Best" = minimum over the thread sweep, exactly how the paper
+// reports it (each framework at its own best thread count).
+//
+// Also emits the artifact-style speedup_{ic,lt}.csv files.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "common.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct BestRun {
+  double seconds = 0.0;
+  int threads = 0;
+};
+
+BestRun best_over_threads(const eimm::DiffusionGraph& graph,
+                          const eimm::bench::BenchConfig& config,
+                          eimm::DiffusionModel model, eimm::Engine engine) {
+  using namespace eimm;
+  using namespace eimm::bench;
+  BestRun best{1e300, 0};
+  for (const int threads : thread_sweep(config.max_threads)) {
+    const ImmOptions opt = imm_options(config, model, threads);
+    const double seconds = best_seconds(config.reps, [&] {
+      return run_imm(graph, opt, engine).breakdown.total_seconds;
+    });
+    if (seconds < best.seconds) best = {seconds, threads};
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Table III: best runtime, EfficientIMM vs Ripples strategy",
+               config);
+
+  std::filesystem::create_directories("results");
+
+  for (const DiffusionModel model : {DiffusionModel::kIndependentCascade,
+                                     DiffusionModel::kLinearThreshold}) {
+    AsciiTable table({"Graph", "Ripples (s)", "EfficientIMM (s)", "Speedup",
+                      "Ripples best #T", "EIMM best #T"});
+    const std::string model_name(to_string(model));
+    const std::string csv_path =
+        "results/speedup_" + (model_name == "IC" ? std::string("ic")
+                                                 : std::string("lt")) +
+        ".csv";
+    std::ofstream csv_file(csv_path);
+    CsvWriter csv(csv_file);
+    csv.row({"Dataset", "Speedup", "EfficientIMM Time (s)",
+             "Ripples Time (s)", "Ripples Best #Threads",
+             "EfficientIMM Best #Threads"});
+
+    for (const WorkloadSpec& spec : workload_specs()) {
+      const DiffusionGraph graph = load_workload(config, spec.name, model);
+      const BestRun ripples =
+          best_over_threads(graph, config, model, Engine::kRipples);
+      const BestRun efficient =
+          best_over_threads(graph, config, model, Engine::kEfficient);
+      const double speedup = ripples.seconds / efficient.seconds;
+      table.new_row()
+          .add(spec.name)
+          .add(ripples.seconds, 3)
+          .add(efficient.seconds, 3)
+          .add(format_speedup(speedup))
+          .add(ripples.threads)
+          .add(efficient.threads);
+      csv.cell(spec.name)
+          .cell(format_double(speedup, 2))
+          .cell(format_double(efficient.seconds, 4))
+          .cell(format_double(ripples.seconds, 4))
+          .cell(ripples.threads)
+          .cell(efficient.threads);
+      csv.end_row();
+      std::printf("  done: %-12s %s  speedup %.2fx\n", spec.name.c_str(),
+                  model_name.c_str(), speedup);
+    }
+    table.set_title("Table III — " + model_name + " diffusion model");
+    std::printf("\n");
+    table.print(std::cout);
+    std::printf("CSV written to %s\n\n", csv_path.c_str());
+  }
+  std::printf(
+      "Shape check vs paper: EfficientIMM wins on the dense social\n"
+      "analogues (paper: 1.6x-12.1x best-vs-best), smallest gains on\n"
+      "low-coverage as-Skitter.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table IV reproduction: L1+L2 cache misses of the
+// Find_Most_Influential_Set kernel, Ripples strategy vs EfficientIMM
+// (paper: 22.4x - 357.4x reduction on 5 datasets).
+//
+// Hardware PMUs are replaced by the trace-driven cache model
+// (src/cachesim): the two kernels are templated on a memory-access
+// policy, so the *identical* kernel code is replayed through per-thread
+// simulated L1/L2 hierarchies (32 KiB / 512 KiB, 8-way, 64 B lines —
+// the paper's EPYC 7763). See DESIGN.md §2 for what the model does and
+// does not capture.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "cachesim/harness.hpp"
+#include "common.hpp"
+#include "rrr/generate.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace eimm;
+  using namespace eimm::bench;
+
+  const BenchConfig config = load_config();
+  print_banner("Table IV: simulated L1+L2 misses in the selection kernel",
+               config);
+
+  // Paper's Table IV datasets and reduction factors, for the side-by-side.
+  const struct {
+    const char* name;
+    double paper_reduction;
+  } rows[] = {{"com-Amazon", 25.94},
+              {"web-Google", 22.40},
+              {"soc-Pokec", 93.14},
+              {"com-YouTube", 357.39},
+              {"com-LJ", 100.82}};
+
+  const int threads = std::min(8, config.max_threads);
+  constexpr std::size_t kSets = 300;
+
+  AsciiTable table({"Graph", "Ripples (L1+L2)", "EfficientIMM (L1+L2)",
+                    "Reduction", "Paper reduction"});
+  for (const auto& row : rows) {
+    const DiffusionGraph g = load_workload(
+        config, row.name, DiffusionModel::kIndependentCascade);
+    // Fixed-size IC pool so both kernels replay the same sketch data.
+    RRRPool pool(g.num_vertices());
+    pool.resize(kSets);
+    SamplerScratch scratch(g.num_vertices());
+    for (std::size_t i = 0; i < kSets; ++i) {
+      pool[i] = RRRSet::make_vector(
+          sample_rrr(g.reverse, DiffusionModel::kIndependentCascade,
+                     config.rng_seed, i, scratch));
+    }
+
+    const auto ripples =
+        run_traced_selection(Engine::kRipples, pool, config.k, threads);
+    const auto efficient =
+        run_traced_selection(Engine::kEfficient, pool, config.k, threads);
+    const double reduction =
+        static_cast<double>(ripples.cache.l1_plus_l2_misses()) /
+        static_cast<double>(
+            std::max<std::uint64_t>(1, efficient.cache.l1_plus_l2_misses()));
+    table.new_row()
+        .add(row.name)
+        .add(ripples.cache.l1_plus_l2_misses())
+        .add(efficient.cache.l1_plus_l2_misses())
+        .add(format_speedup(reduction, 2))
+        .add(format_speedup(row.paper_reduction, 2));
+    std::printf("  traced %-12s ripples=%llu efficient=%llu (%d threads)\n",
+                row.name,
+                static_cast<unsigned long long>(
+                    ripples.cache.l1_plus_l2_misses()),
+                static_cast<unsigned long long>(
+                    efficient.cache.l1_plus_l2_misses()),
+                threads);
+  }
+  std::printf("\n");
+  table.set_title("Table IV (trace-driven cache model, " +
+                  std::to_string(threads) + " threads)");
+  table.print(std::cout);
+  std::printf(
+      "\nShape check: EfficientIMM's RRR-partitioned kernel takes an order\n"
+      "of magnitude fewer combined misses; the exact factor depends on\n"
+      "pool size, skew, and thread count, as in the paper (22x-357x).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Outbreak detection / public-health scenario (the LT use case).
+//
+// A health agency can vaccinate (or monitor) k individuals in a contact
+// network and wants to choose the set whose influence — under the Linear
+// Threshold model, where a person adopts a behaviour once enough of
+// their contacts did — covers the largest expected share of the
+// population. The same seeds that maximize influence are the best
+// sentinels for early detection (Leskovec et al., KDD'07).
+//
+// Run: ./outbreak_detection [k] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/imm.hpp"
+#include "diffusion/weights.hpp"
+#include "graph/stats.hpp"
+#include "io/json_log.hpp"
+#include "simulate/heuristics.hpp"
+#include "simulate/spread.hpp"
+#include "support/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eimm;
+
+  const std::size_t k = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30;
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 1.0;
+
+  std::printf("== Outbreak detection on a community contact network ==\n");
+  // DBLP-like community structure is the right shape for face-to-face
+  // contact networks: dense households/workplaces, sparse bridges.
+  DiffusionGraph graph = make_workload("com-DBLP", scale, /*seed=*/7);
+  // Heterogeneous contact strengths: random per-edge LT weights
+  // (normalized so in-weights + "no activation" sum to 1). With uneven
+  // weights, raw contact counts stop being a reliable proxy for
+  // influence — exactly when principled selection pays off.
+  assign_lt_weights_random(graph.reverse, /*seed=*/21);
+  mirror_weights_to_forward(graph.reverse, graph.forward);
+  const GraphStats stats = compute_graph_stats(graph.forward, false);
+  std::printf("Contact network: %s\n", describe(stats).c_str());
+  std::printf("Sensor budget: %zu individuals\n\n", k);
+
+  ImmOptions options;
+  options.k = k;
+  options.epsilon = 0.3;
+  options.model = DiffusionModel::kLinearThreshold;
+  const ImmResult imm = run_efficient_imm(graph, options);
+
+  std::printf("EfficientIMM: %.3fs, %llu RRR sets (LT sets are tiny but "
+              "numerous — see paper §III-A)\n",
+              imm.breakdown.total_seconds,
+              static_cast<unsigned long long>(imm.num_rrr_sets));
+
+  SpreadOptions spread_options;
+  spread_options.num_samples = 500;
+  const double spread_imm =
+      estimate_spread_lt(graph.forward, imm.seeds, spread_options);
+  const auto degree = top_degree_seeds(graph.forward, k);
+  const double spread_degree =
+      estimate_spread_lt(graph.forward, degree, spread_options);
+
+  AsciiTable table({"Placement", "Expected coverage", "% of population"});
+  table.new_row()
+      .add("EfficientIMM sentinels")
+      .add(spread_imm, 0)
+      .add(100.0 * spread_imm / stats.num_vertices, 2);
+  table.new_row()
+      .add("Highest-contact individuals")
+      .add(spread_degree, 0)
+      .add(100.0 * spread_degree / stats.num_vertices, 2);
+  table.set_title("Sentinel placement quality (LT model)");
+  table.print(std::cout);
+
+  // Persist the run the way the SC'24 artifact does.
+  ExperimentRecord record;
+  record.dataset = "com-DBLP-analogue";
+  record.algorithm = "EfficientIMM";
+  record.diffusion = "LT";
+  record.threads = imm.threads_used;
+  record.k = static_cast<int>(k);
+  record.epsilon = options.epsilon;
+  record.rng_seed = options.rng_seed;
+  record.total_seconds = imm.breakdown.total_seconds;
+  record.sampling_seconds = imm.breakdown.sampling_seconds;
+  record.selection_seconds = imm.breakdown.selection_seconds;
+  record.num_rrr_sets = imm.num_rrr_sets;
+  record.rrr_memory_bytes = imm.rrr_memory_bytes;
+  record.seeds = imm.seeds;
+  const std::string path =
+      write_experiment_json_file("outbreak-logs", record);
+  std::printf("\nRun log written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scaling demo: why EfficientIMM exists.
+//
+// Runs the same influence-maximization problem with the EfficientIMM
+// engine and the Ripples-strategy baseline while doubling the thread
+// count, printing the speedup curves side by side — a miniature of the
+// paper's Fig. 6/7. On any multicore machine the baseline's
+// Find_Most_Influential_Set stops scaling while EfficientIMM keeps
+// going; that gap is the paper's contribution.
+//
+// Run: ./scaling_demo [workload] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/imm.hpp"
+#include "runtime/thread_info.hpp"
+#include "support/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eimm;
+
+  const std::string workload = argc > 1 ? argv[1] : "web-Google";
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
+
+  std::printf("== Strong scaling: EfficientIMM vs Ripples strategy ==\n");
+  std::printf("Workload: %s analogue (scale %.2f), IC model, k=25\n\n",
+              workload.c_str(), scale);
+  const DiffusionGraph graph = make_workload_with_weights(
+      workload, DiffusionModel::kIndependentCascade, scale, 11);
+
+  ImmOptions options;
+  options.k = 25;
+  options.epsilon = 0.5;
+  options.model = DiffusionModel::kIndependentCascade;
+
+  AsciiTable table({"Threads", "EfficientIMM (s)", "Ripples (s)",
+                    "EIMM speedup vs 1T", "Ripples speedup vs 1T"});
+  double efficient_base = 0.0;
+  double baseline_base = 0.0;
+  for (int threads = 1; threads <= max_threads(); threads *= 2) {
+    options.threads = threads;
+    const double efficient =
+        run_efficient_imm(graph, options).breakdown.total_seconds;
+    const double baseline =
+        run_baseline_imm(graph, options).breakdown.total_seconds;
+    if (threads == 1) {
+      efficient_base = efficient;
+      baseline_base = baseline;
+    }
+    table.new_row()
+        .add(threads)
+        .add(efficient, 3)
+        .add(baseline, 3)
+        .add(format_speedup(efficient_base / efficient))
+        .add(format_speedup(baseline_base / baseline));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nBoth engines return identical seed sets (same RNG streams); the\n"
+      "difference is purely the parallelization strategy (paper §IV).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Viral marketing scenario (the IC use case from the paper's intro).
+//
+// A brand can gift its product to k accounts on a Twitter-like network
+// and wants to maximize word-of-mouth reach. This example compares three
+// ways of choosing the k accounts —
+//     EfficientIMM seeds  vs  top-degree "influencers"  vs  random picks
+// — and scores each with an independent forward Monte-Carlo simulation
+// of the Independent Cascade process.
+//
+// Run: ./viral_marketing [k] [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/imm.hpp"
+#include "diffusion/weights.hpp"
+#include "graph/stats.hpp"
+#include "simulate/heuristics.hpp"
+#include "simulate/spread.hpp"
+#include "support/table.hpp"
+#include "workloads/registry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eimm;
+
+  const std::size_t k = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+  const double scale = argc > 2 ? std::strtod(argv[2], nullptr) : 0.25;
+
+  std::printf("== Viral marketing on a twitter7-like network ==\n");
+  DiffusionGraph graph =
+      make_workload("twitter7", scale, /*seed=*/2024);
+  // Weighted-cascade IC (p = 1/indeg, Kempe et al.): the standard viral-
+  // marketing setting where targeting matters. (The paper's uniform
+  // [0,1] weights make this dense analogue supercritical — every seed
+  // reaches the giant component and all strategies tie.)
+  assign_ic_weights_weighted_cascade(graph.reverse);
+  mirror_weights_to_forward(graph.reverse, graph.forward);
+  const GraphStats stats = compute_graph_stats(graph.forward, false);
+  std::printf("Network: %s\n", describe(stats).c_str());
+  std::printf("Budget: %zu gifted accounts\n\n", k);
+
+  // Strategy 1: EfficientIMM.
+  ImmOptions options;
+  options.k = k;
+  options.epsilon = 0.3;
+  options.model = DiffusionModel::kIndependentCascade;
+  const ImmResult imm = run_efficient_imm(graph, options);
+  std::printf("EfficientIMM finished in %.3fs (%llu RRR sets)\n",
+              imm.breakdown.total_seconds,
+              static_cast<unsigned long long>(imm.num_rrr_sets));
+
+  // Strategy 2 & 3: the folk heuristics.
+  const auto degree = top_degree_seeds(graph.forward, k);
+  const auto random = random_seeds(graph.num_vertices(), k, /*seed=*/99);
+
+  // Score every strategy with the same independent simulation.
+  SpreadOptions spread_options;
+  spread_options.num_samples = 500;
+  const double spread_imm = estimate_spread_ic(graph.forward, imm.seeds,
+                                               spread_options);
+  const double spread_degree =
+      estimate_spread_ic(graph.forward, degree, spread_options);
+  const double spread_random =
+      estimate_spread_ic(graph.forward, random, spread_options);
+
+  AsciiTable table({"Strategy", "Expected reach", "% of network",
+                    "vs random"});
+  const auto add_row = [&](const char* name, double spread) {
+    table.new_row()
+        .add(name)
+        .add(spread, 0)
+        .add(100.0 * spread / stats.num_vertices, 1)
+        .add(format_speedup(spread / spread_random, 2));
+  };
+  add_row("EfficientIMM", spread_imm);
+  add_row("Top-degree", spread_degree);
+  add_row("Random", spread_random);
+  table.set_title("Campaign reach by seeding strategy");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "cachesim/cache.hpp"
+
+#include "support/bits.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config)
+    : ways_(config.associativity) {
+  EIMM_CHECK(config.line_bytes > 0 && is_pow2(config.line_bytes),
+             "line size must be a power of two");
+  EIMM_CHECK(config.associativity > 0, "associativity must be positive");
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  EIMM_CHECK(lines >= config.associativity, "cache too small for one set");
+  num_sets_ = lines / config.associativity;
+  EIMM_CHECK(is_pow2(num_sets_), "number of sets must be a power of two");
+  set_mask_ = num_sets_ - 1;
+  tags_.assign(num_sets_ * ways_, kInvalid);
+  stamps_.assign(num_sets_ * ways_, 0);
+}
+
+bool CacheLevel::access_line(std::uint64_t line_id) noexcept {
+  const std::uint64_t set = line_id & set_mask_;
+  const std::uint64_t tag = line_id >> log2_pow2(num_sets_);
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  ++tick_;
+
+  std::size_t victim = base;
+  std::uint64_t victim_stamp = ~std::uint64_t{0};
+  for (std::size_t w = base; w < base + ways_; ++w) {
+    if (tags_[w] == tag) {
+      stamps_[w] = tick_;
+      return true;
+    }
+    if (stamps_[w] < victim_stamp) {
+      victim_stamp = stamps_[w];
+      victim = w;
+    }
+  }
+  tags_[victim] = tag;
+  stamps_[victim] = tick_;
+  return false;
+}
+
+void CacheLevel::reset() noexcept {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+  std::fill(stamps_.begin(), stamps_.end(), 0);
+  tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& config)
+    : line_bytes_(config.l1.line_bytes), l1_(config.l1), l2_(config.l2) {
+  EIMM_CHECK(config.l1.line_bytes == config.l2.line_bytes,
+             "levels must share a line size");
+}
+
+void CacheHierarchy::access(const void* addr, std::size_t bytes) noexcept {
+  if (bytes == 0) bytes = 1;
+  const auto start = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uint64_t first_line = start / line_bytes_;
+  const std::uint64_t last_line = (start + bytes - 1) / line_bytes_;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    ++stats_.accesses;
+    if (!l1_.access_line(line)) {
+      ++stats_.l1_misses;
+      if (!l2_.access_line(line)) {
+        ++stats_.l2_misses;
+      }
+    }
+  }
+}
+
+void CacheHierarchy::reset() noexcept {
+  l1_.reset();
+  l2_.reset();
+  stats_ = {};
+}
+
+}  // namespace eimm

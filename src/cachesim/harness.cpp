@@ -1,0 +1,31 @@
+#include "cachesim/harness.hpp"
+
+#include "runtime/thread_info.hpp"
+
+namespace eimm {
+
+TracedSelectionReport run_traced_selection(Engine engine, const RRRPool& pool,
+                                           std::size_t k, int threads,
+                                           const CacheConfig& config) {
+  ThreadCountScope scope(threads);
+  TracedSelectionReport report;
+
+  SelectionOptions options;
+  options.k = k;
+  options.adaptive_update = engine == Engine::kEfficient;
+  options.dynamic_balance = false;  // keep the trace schedule-stable
+  options.counters_prebuilt = false;
+
+  TraceSession session(config);
+  if (engine == Engine::kEfficient) {
+    CounterArray counters(pool.num_vertices(), MemPolicy::kDefault);
+    report.selection = efficient_select_t<TraceMem>(pool, counters, options);
+  } else {
+    report.selection = ripples_select_t<TraceMem>(pool, options);
+  }
+  report.cache = session.aggregate();
+  report.traced_threads = session.thread_count();
+  return report;
+}
+
+}  // namespace eimm

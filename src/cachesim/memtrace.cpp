@@ -1,0 +1,58 @@
+#include "cachesim/memtrace.hpp"
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+TraceSession* TraceSession::active_ = nullptr;
+
+namespace {
+// Thread-local cache pointer, reset when a session begins/ends via the
+// session generation counter (a stale pointer from a previous session
+// must not be reused).
+thread_local CacheHierarchy* tls_hierarchy = nullptr;
+thread_local std::uint64_t tls_generation = 0;
+std::uint64_t session_generation = 0;
+}  // namespace
+
+TraceSession::TraceSession(const CacheConfig& config) : config_(config) {
+  EIMM_CHECK(active_ == nullptr, "nested TraceSessions are not supported");
+  ++session_generation;
+  active_ = this;
+}
+
+TraceSession::~TraceSession() { active_ = nullptr; }
+
+CacheHierarchy* TraceSession::hierarchy_for_current_thread() {
+  if (tls_hierarchy == nullptr || tls_generation != session_generation) {
+    auto owned = std::make_unique<CacheHierarchy>(config_);
+    CacheHierarchy* raw = owned.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      hierarchies_.push_back(std::move(owned));
+    }
+    tls_hierarchy = raw;
+    tls_generation = session_generation;
+  }
+  return tls_hierarchy;
+}
+
+CacheStats TraceSession::aggregate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats total;
+  for (const auto& h : hierarchies_) total += h->stats();
+  return total;
+}
+
+std::size_t TraceSession::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hierarchies_.size();
+}
+
+void TraceMem::touch(const void* addr, std::size_t bytes) noexcept {
+  TraceSession* session = TraceSession::active_;
+  if (session == nullptr) return;
+  session->hierarchy_for_current_thread()->access(addr, bytes);
+}
+
+}  // namespace eimm

@@ -1,0 +1,50 @@
+// Memory-access tracing glue between the selection kernels and the cache
+// model. Each OpenMP thread owns a private CacheHierarchy (threads on the
+// paper's testbed have private L1/L2); a TraceSession aggregates all
+// per-thread stats at teardown.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+
+namespace eimm {
+
+/// Mem policy for seedselect kernels: forwards every touch to the calling
+/// thread's cache hierarchy. Valid only inside a live TraceSession.
+struct TraceMem {
+  static constexpr bool kTracing = true;
+  static void touch(const void* addr, std::size_t bytes) noexcept;
+};
+
+/// RAII tracing scope. Construct before running a kernel templated on
+/// TraceMem; per-thread hierarchies are created lazily on first touch and
+/// their stats combined in aggregate(). Only one session may live at a
+/// time (enforced).
+class TraceSession {
+ public:
+  explicit TraceSession(const CacheConfig& config = {});
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  ~TraceSession();
+
+  /// Sum of all per-thread stats observed so far.
+  [[nodiscard]] CacheStats aggregate() const;
+
+  /// Number of threads that recorded at least one access.
+  [[nodiscard]] std::size_t thread_count() const;
+
+ private:
+  friend struct TraceMem;
+  static TraceSession* active_;
+
+  CacheHierarchy* hierarchy_for_current_thread();
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<CacheHierarchy>> hierarchies_;
+};
+
+}  // namespace eimm

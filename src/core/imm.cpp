@@ -1,0 +1,192 @@
+#include "core/imm.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "core/martingale.hpp"
+#include "runtime/thread_info.hpp"
+#include "runtime/work_queue.hpp"
+#include "rrr/generate.hpp"
+#include "rrr/pool.hpp"
+#include "seedselect/select.hpp"
+#include "support/log.hpp"
+#include "support/macros.hpp"
+#include "support/timer.hpp"
+
+namespace eimm {
+namespace {
+
+/// Builds pool slots [begin, end). Under kernel fusion (fused != nullptr)
+/// each freshly sampled set also increments the base counter in place —
+/// Algorithm 3 lines 14-16 — while its vertices are still cache-hot.
+void generate_rrr_range(RRRPool& pool, const CSRGraph& reverse,
+                        const ImmOptions& opt, Engine engine,
+                        std::uint64_t begin, std::uint64_t end,
+                        CounterArray* fused) {
+  const VertexId n = reverse.num_vertices();
+  const bool adaptive =
+      engine == Engine::kEfficient && opt.adaptive_representation;
+
+  auto build_one = [&](std::uint64_t index, SamplerScratch& scratch) {
+    std::vector<VertexId> verts =
+        sample_rrr(reverse, opt.model, opt.rng_seed, index, scratch);
+    if (fused != nullptr) {
+      for (const VertexId v : verts) fused->increment(v);
+    }
+    pool[index] = adaptive
+                      ? RRRSet::make_adaptive(std::move(verts), n,
+                                              opt.bitmap_threshold)
+                      : RRRSet::make_vector(std::move(verts));
+  };
+
+  if (engine == Engine::kEfficient && opt.dynamic_balance) {
+    const auto workers = static_cast<std::size_t>(omp_get_max_threads());
+    JobPool jobs(end - begin, opt.batch_size, workers);
+#pragma omp parallel
+    {
+      SamplerScratch scratch(n);
+      const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+      for (JobBatch batch = jobs.next(wid); !batch.empty();
+           batch = jobs.next(wid)) {
+        for (std::size_t j = batch.begin; j < batch.end; ++j) {
+          build_one(begin + j, scratch);
+        }
+      }
+    }
+  } else {
+    // Baseline: static θ/p split, the parallelization §II-B describes.
+#pragma omp parallel
+    {
+      SamplerScratch scratch(n);
+#pragma omp for schedule(static)
+      for (std::uint64_t i = begin; i < end; ++i) {
+        build_one(i, scratch);
+      }
+    }
+  }
+}
+
+/// Copies the fused base counters into the working counters (the final
+/// selection mutates its counter; the base stays valid for reuse in the
+/// next martingale round).
+void copy_counters(const CounterArray& base, CounterArray& working) {
+  const std::size_t n = base.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    working.set(i, base.get(i));
+  }
+}
+
+}  // namespace
+
+ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
+                  Engine engine) {
+  EIMM_CHECK(graph.reverse.has_weights(),
+             "assign diffusion weights to graph.reverse before run_imm");
+  const VertexId n = graph.num_vertices();
+  EIMM_CHECK(n >= 2, "graph too small");
+
+  ThreadCountScope thread_scope(options.threads);
+  Timer total_timer;
+  PhaseBreakdown breakdown;
+
+  const MartingaleParams params =
+      compute_martingale_params(n, options.k, options.epsilon, options.ell);
+
+  const bool use_fusion =
+      engine == Engine::kEfficient && options.kernel_fusion;
+  const MemPolicy policy = (engine == Engine::kEfficient && options.numa_aware)
+                               ? MemPolicy::kInterleave
+                               : MemPolicy::kDefault;
+
+  RRRPool pool(n);
+  CounterArray base_counters;  // populated incrementally under fusion
+  if (use_fusion) base_counters = CounterArray(n, policy);
+
+  std::uint64_t generated = 0;
+  bool capped = false;
+
+  auto generate_to = [&](std::uint64_t target) {
+    if (target > options.max_rrr_sets) {
+      capped = true;
+      target = options.max_rrr_sets;
+      EIMM_LOG_WARN << "theta " << target << " capped at max_rrr_sets="
+                    << options.max_rrr_sets
+                    << "; approximation guarantee weakened";
+    }
+    if (target <= generated) return;
+    ScopedAccumulator acc(breakdown.sampling_seconds);
+    pool.resize(target);
+    generate_rrr_range(pool, graph.reverse, options, engine, generated,
+                       target, use_fusion ? &base_counters : nullptr);
+    generated = target;
+  };
+
+  auto select = [&]() -> SelectionResult {
+    ScopedAccumulator acc(breakdown.selection_seconds);
+    SelectionOptions sopt;
+    sopt.k = options.k;
+    sopt.adaptive_update =
+        engine == Engine::kEfficient && options.adaptive_update;
+    sopt.dynamic_balance =
+        engine == Engine::kEfficient && options.dynamic_balance;
+    sopt.batch_size = options.batch_size;
+    if (engine == Engine::kEfficient) {
+      CounterArray working(n, policy);
+      if (use_fusion) {
+        copy_counters(base_counters, working);
+        sopt.counters_prebuilt = true;
+      }
+      return efficient_select_t<NullMem>(pool, working, sopt);
+    }
+    return ripples_select_t<NullMem>(pool, sopt);
+  };
+
+  // --- Sampling phase: probe OPT guesses x_i = n / 2^i ---
+  ImmResult result;
+  double lower_bound = 1.0;
+  for (unsigned i = 1; i <= params.max_iterations(); ++i) {
+    const std::uint64_t theta_i = params.theta_for_iteration(i);
+    generate_to(theta_i);
+    const SelectionResult probe = select();
+    MartingaleIteration record;
+    record.iteration = i;
+    record.theta = theta_i;
+    record.coverage = probe.coverage_fraction();
+    record.lower_bound = params.lower_bound(probe.coverage_fraction());
+    record.accepted = params.accepts(probe.coverage_fraction(), i);
+    result.iterations.push_back(record);
+    if (record.accepted) {
+      lower_bound = record.lower_bound;
+      break;
+    }
+    // Keep the best certified-free estimate as a fallback LB so that a
+    // probe loop that never triggers still produces a sane θ.
+    lower_bound = std::max(lower_bound, record.lower_bound / 2.0);
+  }
+
+  // --- Set Theta + top-up generation ---
+  const std::uint64_t theta = params.theta_final(lower_bound);
+  if (generated < theta) generate_to(theta);
+
+  // --- Selection phase ---
+  const SelectionResult final_selection = select();
+
+  result.seeds = final_selection.seeds;
+  result.coverage_fraction = final_selection.coverage_fraction();
+  result.estimated_spread =
+      static_cast<double>(n) * result.coverage_fraction;
+  result.theta = theta;
+  result.num_rrr_sets = pool.size();
+  result.theta_capped = capped;
+  result.rrr_memory_bytes = pool.memory_bytes();
+  result.bitmap_sets = pool.bitmap_count();
+  result.rebuild_rounds = final_selection.rebuild_rounds;
+  result.threads_used = omp_get_max_threads();
+  breakdown.total_seconds = total_timer.seconds();
+  result.breakdown = breakdown;
+  return result;
+}
+
+}  // namespace eimm

@@ -1,0 +1,131 @@
+// Public entry points: the full IMM workflow (Algorithm 1) with two
+// interchangeable execution engines.
+//
+//   Engine::kEfficient — EfficientIMM (the paper's contribution): RRR-set
+//     partitioning with a shared atomic counter, kernel fusion, adaptive
+//     RRR representation, adaptive counter updates, dynamic job
+//     balancing, NUMA-interleaved shared state. Every feature is an
+//     independent flag so the ablation benches can toggle them.
+//
+//   Engine::kRipples — the baseline strategy the paper measures against:
+//     sorted-vector RRR sets, separate generation/selection kernels,
+//     vertex-partitioned selection with thread-local counters and
+//     binary search over all sets, static scheduling.
+//
+// Both engines run the identical martingale workflow and — given the same
+// seed — identical RRR-set contents, so runtime differences are purely
+// the parallelization strategy, exactly as the paper frames them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+#include "rrr/set.hpp"
+
+namespace eimm {
+
+enum class Engine { kEfficient, kRipples };
+
+constexpr std::string_view to_string(Engine e) noexcept {
+  return e == Engine::kEfficient ? "EfficientIMM" : "Ripples";
+}
+
+struct ImmOptions {
+  /// Seed-set budget (paper evaluation: k = 50).
+  std::size_t k = 50;
+  /// Approximation accuracy ε (paper evaluation: ε = 0.5).
+  double epsilon = 0.5;
+  /// Failure-probability exponent: success w.p. ≥ 1 - 1/n^ℓ.
+  double ell = 1.0;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  /// OpenMP threads; 0 = library default.
+  int threads = 0;
+  /// Base seed; all RRR-set streams derive from (seed, index), so results
+  /// are reproducible across thread counts and schedules.
+  std::uint64_t rng_seed = 0x5EEDBA5Eu;
+
+  // --- EfficientIMM feature flags (ablations in bench/) ---
+  /// Fuse Generate_RRRsets with the initial counter build (Algorithm 3).
+  bool kernel_fusion = true;
+  /// Adaptive vector/bitmap RRR representation (§IV-C).
+  bool adaptive_representation = true;
+  /// Adaptive decrement-vs-rebuild counter update (§IV-C / Fig. 5).
+  bool adaptive_update = true;
+  /// Stealing job pool instead of static partitions (§IV-C).
+  bool dynamic_balance = true;
+  /// Interleave shared arrays across NUMA nodes (§IV-B); silently a
+  /// no-op on single-node hosts.
+  bool numa_aware = true;
+  /// Bitmap-representation crossover, as a fraction of |V|.
+  double bitmap_threshold = kDefaultBitmapThreshold;
+  /// RRR sets per dynamic-balancing batch.
+  std::size_t batch_size = 64;
+
+  /// Safety cap on total RRR sets — keeps bench-scale LT runs (θ up to
+  /// 1e8-1e9 in the paper) tractable. Capped runs are flagged in the
+  /// result; the quality guarantee then degrades gracefully.
+  std::uint64_t max_rrr_sets = 1u << 22;
+};
+
+/// Wall-clock attribution matching the paper's Fig. 2 breakdown.
+struct PhaseBreakdown {
+  double sampling_seconds = 0.0;    // Generate_RRRsets (all rounds)
+  double selection_seconds = 0.0;   // Find_Most_Influential_Set (all calls)
+  double total_seconds = 0.0;
+  [[nodiscard]] double other_seconds() const noexcept {
+    const double other = total_seconds - sampling_seconds - selection_seconds;
+    return other > 0.0 ? other : 0.0;
+  }
+};
+
+/// One probing iteration of the sampling phase (Algorithm 1 lines 1-6).
+struct MartingaleIteration {
+  unsigned iteration = 0;       // i (1-based)
+  std::uint64_t theta = 0;      // θ_i requested for this probe
+  double coverage = 0.0;        // F(S_tmp) over the pool at this point
+  double lower_bound = 0.0;     // LB implied by this probe
+  bool accepted = false;        // did n·F(S) certify OPT >= x_i?
+};
+
+struct ImmResult {
+  std::vector<VertexId> seeds;
+  /// F(S) over the final pool.
+  double coverage_fraction = 0.0;
+  /// n · F(S): the unbiased influence-spread estimate.
+  double estimated_spread = 0.0;
+  /// θ the martingale bound requested (may exceed num_rrr_sets when the
+  /// max_rrr_sets cap kicked in).
+  std::uint64_t theta = 0;
+  std::uint64_t num_rrr_sets = 0;
+  bool theta_capped = false;
+  std::uint64_t rrr_memory_bytes = 0;
+  std::uint64_t bitmap_sets = 0;
+  std::uint32_t rebuild_rounds = 0;
+  int threads_used = 0;
+  PhaseBreakdown breakdown;
+  /// Sampling-phase probe history (diagnostics; one entry per executed
+  /// iteration of the Algorithm 1 loop).
+  std::vector<MartingaleIteration> iterations;
+};
+
+/// Runs the full IMM workflow with the chosen engine. The reverse graph
+/// must already carry diffusion weights (see diffusion/weights.hpp).
+ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
+                  Engine engine);
+
+/// EfficientIMM with all optimizations as configured in `options`.
+inline ImmResult run_efficient_imm(const DiffusionGraph& graph,
+                                   const ImmOptions& options) {
+  return run_imm(graph, options, Engine::kEfficient);
+}
+
+/// The Ripples-strategy baseline (feature flags ignored).
+inline ImmResult run_baseline_imm(const DiffusionGraph& graph,
+                                  const ImmOptions& options) {
+  return run_imm(graph, options, Engine::kRipples);
+}
+
+}  // namespace eimm

@@ -1,0 +1,58 @@
+// Martingale sample-size machinery of IMM (Tang, Shi, Xiao — SIGMOD'15),
+// the "Theta Estimation", "OPT Lower Bound" and "Set Theta" steps of
+// Algorithm 1 in the paper.
+//
+// The sampling phase probes guesses x = n/2^i for OPT: for each guess it
+// needs θ_i = λ'/x RRR sets; if the greedy seed set covers enough of them
+// (n·F(S) ≥ (1+ε')·x), then LB = n·F(S)/(1+ε') lower-bounds OPT with
+// high probability and the final sample size θ = λ*/LB delivers a
+// (1 − 1/e − ε)-approximation with probability ≥ 1 − 1/n^ℓ.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace eimm {
+
+/// All derived constants for one (n, k, ε, ℓ) configuration.
+struct MartingaleParams {
+  std::uint64_t n = 0;
+  std::size_t k = 0;
+  double epsilon = 0.5;
+  /// ε' = √2·ε, the looser accuracy used while probing for LB.
+  double epsilon_prime = 0.0;
+  /// ℓ boosted by (1 + ln2/ln n) so the union bound over the probing
+  /// iterations still yields overall success probability 1 - 1/n^ℓ.
+  double ell = 1.0;
+  /// ln C(n, k).
+  double log_choose_nk = 0.0;
+  /// λ' — the sampling-phase constant (Tang et al., Eq. 9 region).
+  double lambda_prime = 0.0;
+  /// λ* — the final-phase constant (Tang et al., Theorem 1 region).
+  double lambda_star = 0.0;
+
+  /// Number of probing iterations: ⌈log2(n)⌉ - 1, at least 1.
+  [[nodiscard]] unsigned max_iterations() const noexcept;
+
+  /// θ_i = λ' / (n / 2^i) for probing iteration i (1-based).
+  [[nodiscard]] std::uint64_t theta_for_iteration(unsigned i) const noexcept;
+
+  /// θ = λ* / LB for the final sampling round.
+  [[nodiscard]] std::uint64_t theta_final(double lower_bound) const noexcept;
+
+  /// The probe-acceptance test: does coverage F(S) certify OPT ≥ x_i?
+  [[nodiscard]] bool accepts(double coverage_fraction, unsigned i) const noexcept;
+
+  /// LB implied by an accepted probe.
+  [[nodiscard]] double lower_bound(double coverage_fraction) const noexcept;
+};
+
+/// ln C(n, k) via lgamma — stable for n in the billions.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Derives every constant above. ell is the caller's ℓ before boosting.
+MartingaleParams compute_martingale_params(VertexId n, std::size_t k,
+                                           double epsilon, double ell = 1.0);
+
+}  // namespace eimm

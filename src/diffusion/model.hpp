@@ -1,0 +1,28 @@
+// Diffusion model tags shared across the library.
+//
+// IC (Independent Cascade): each newly activated u gets one chance to
+// activate each inactive out-neighbor v with probability p(u,v).
+// LT (Linear Threshold): v activates when the weight sum of its activated
+// in-neighbors crosses a uniform-random threshold; the reverse-sampling
+// equivalent picks at most one live in-edge per vertex.
+#pragma once
+
+#include <string_view>
+
+namespace eimm {
+
+enum class DiffusionModel { kIndependentCascade, kLinearThreshold };
+
+constexpr std::string_view to_string(DiffusionModel m) noexcept {
+  switch (m) {
+    case DiffusionModel::kIndependentCascade: return "IC";
+    case DiffusionModel::kLinearThreshold: return "LT";
+  }
+  return "?";
+}
+
+/// Parses "IC"/"ic"/"LT"/"lt"; anything else returns fallback.
+DiffusionModel parse_model(std::string_view s,
+                           DiffusionModel fallback = DiffusionModel::kIndependentCascade);
+
+}  // namespace eimm

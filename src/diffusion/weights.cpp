@@ -1,0 +1,110 @@
+#include "diffusion/weights.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+
+DiffusionModel parse_model(std::string_view s, DiffusionModel fallback) {
+  if (s == "IC" || s == "ic") return DiffusionModel::kIndependentCascade;
+  if (s == "LT" || s == "lt") return DiffusionModel::kLinearThreshold;
+  return fallback;
+}
+
+void assign_ic_weights_uniform(CSRGraph& reverse, std::uint64_t seed) {
+  reverse.ensure_weights();
+  const VertexId n = reverse.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    // Per-vertex stream keeps the assignment independent of traversal
+    // order and allows parallel assignment without coordination.
+    Xoshiro256 rng = Xoshiro256::for_stream(seed, v);
+    for (float& w : reverse.mutable_weights(v)) {
+      w = static_cast<float>(rng.next_double());
+    }
+  }
+}
+
+void assign_ic_weights_weighted_cascade(CSRGraph& reverse) {
+  reverse.ensure_weights();
+  const VertexId n = reverse.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    auto ws = reverse.mutable_weights(v);
+    if (ws.empty()) continue;
+    const float p = 1.0f / static_cast<float>(ws.size());
+    std::fill(ws.begin(), ws.end(), p);
+  }
+}
+
+void assign_lt_weights_normalized(CSRGraph& reverse) {
+  reverse.ensure_weights();
+  const VertexId n = reverse.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    auto ws = reverse.mutable_weights(v);
+    if (ws.empty()) continue;
+    // indeg weights of 1/(indeg+1) each leave 1/(indeg+1) probability for
+    // "no in-neighbor activates v" — the paper's sum-to-one convention.
+    const float w = 1.0f / static_cast<float>(ws.size() + 1);
+    std::fill(ws.begin(), ws.end(), w);
+  }
+}
+
+void assign_lt_weights_random(CSRGraph& reverse, std::uint64_t seed) {
+  reverse.ensure_weights();
+  const VertexId n = reverse.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    auto ws = reverse.mutable_weights(v);
+    if (ws.empty()) continue;
+    Xoshiro256 rng = Xoshiro256::for_stream(seed, v);
+    double sum = 0.0;
+    for (float& w : ws) {
+      w = static_cast<float>(rng.next_double()) + 1e-6f;
+      sum += w;
+    }
+    const double target = static_cast<double>(ws.size()) /
+                          static_cast<double>(ws.size() + 1);
+    const auto scale = static_cast<float>(target / sum);
+    for (float& w : ws) w *= scale;
+  }
+}
+
+void assign_paper_weights(CSRGraph& reverse, DiffusionModel model,
+                          std::uint64_t seed) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      assign_ic_weights_uniform(reverse, seed);
+      return;
+    case DiffusionModel::kLinearThreshold:
+      assign_lt_weights_normalized(reverse);
+      return;
+  }
+}
+
+void mirror_weights_to_forward(const CSRGraph& reverse, CSRGraph& forward) {
+  EIMM_CHECK(reverse.num_vertices() == forward.num_vertices(),
+             "orientation mismatch");
+  EIMM_CHECK(reverse.has_weights(), "reverse graph has no weights to mirror");
+  forward.ensure_weights();
+  const VertexId n = reverse.num_vertices();
+  // reverse edge (v -> u) corresponds to forward edge (u -> v). Build a
+  // per-source cursor walk: for each v, for each in-neighbor u, find the
+  // forward slot of (u, v). Forward adjacencies are sorted by target (the
+  // builder sorts), so binary search per edge keeps this O(m log d).
+  for (VertexId v = 0; v < n; ++v) {
+    const auto in_neighbors = reverse.neighbors(v);
+    const auto in_weights = reverse.weights(v);
+    for (std::size_t i = 0; i < in_neighbors.size(); ++i) {
+      const VertexId u = in_neighbors[i];
+      const auto targets = forward.neighbors(u);
+      const auto it = std::lower_bound(targets.begin(), targets.end(), v);
+      EIMM_CHECK(it != targets.end() && *it == v,
+                 "forward orientation missing mirrored edge");
+      const auto slot = static_cast<std::size_t>(it - targets.begin());
+      forward.mutable_weights(u)[slot] = in_weights[i];
+    }
+  }
+}
+
+}  // namespace eimm

@@ -1,0 +1,45 @@
+// Diffusion-weight assignment, matching §V-A of the paper:
+//
+//   "we simulate the IC diffusion model by assigning uniformly random
+//    [0, 1] edge probabilities. In the linear threshold (LT) diffusion
+//    model, weights are adjusted so that the probabilities of either
+//    activating a neighbor or activating none sum to one."
+//
+// Weights live on the *reverse* graph (grouped by destination vertex),
+// because both reverse sampling and LT normalization are per-in-edge.
+// After assigning on the reverse graph, mirror_weights_to_forward copies
+// them to the forward orientation for the Monte-Carlo validator.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+
+namespace eimm {
+
+/// IC per paper §V-A: independent uniform [0,1) probability per edge.
+void assign_ic_weights_uniform(CSRGraph& reverse, std::uint64_t seed);
+
+/// IC "weighted cascade" variant (Kempe et al.): p(u,v) = 1/indeg(v).
+/// Provided because it is the conventional IMM benchmark setting; the
+/// paper's uniform scheme produces much denser RRR sets.
+void assign_ic_weights_weighted_cascade(CSRGraph& reverse);
+
+/// LT per paper §V-A: for each v, every in-edge gets weight
+/// 1/(indeg(v)+1), so Σ_u w(u,v) + P(activate none) = 1.
+void assign_lt_weights_normalized(CSRGraph& reverse);
+
+/// LT with random weights, renormalized so in-weights of v sum to
+/// indeg/(indeg+1) (same "+1 slot for activating none" convention).
+void assign_lt_weights_random(CSRGraph& reverse, std::uint64_t seed);
+
+/// Dispatch on model using the paper's §V-A schemes.
+void assign_paper_weights(CSRGraph& reverse, DiffusionModel model,
+                          std::uint64_t seed);
+
+/// Copies weights assigned on `reverse` back onto `forward` so that edge
+/// (u,v) carries the same weight in both orientations.
+void mirror_weights_to_forward(const CSRGraph& reverse, CSRGraph& forward);
+
+}  // namespace eimm

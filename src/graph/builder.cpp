@@ -1,0 +1,91 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+void compact_vertex_ids(std::vector<WeightedEdge>& edges, VertexId& n_out) {
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(edges.size() * 2);
+  VertexId next = 0;
+  auto map_id = [&](VertexId v) {
+    auto [it, inserted] = remap.emplace(v, next);
+    if (inserted) ++next;
+    return it->second;
+  };
+  for (auto& e : edges) {
+    e.src = map_id(e.src);
+    e.dst = map_id(e.dst);
+  }
+  n_out = next;
+}
+
+}  // namespace
+
+CSRGraph build_csr(std::vector<WeightedEdge> edges, VertexId num_vertices,
+                   const BuildOptions& options) {
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      const WeightedEdge& e = edges[i];
+      edges.push_back({e.dst, e.src, e.weight});
+    }
+  }
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const WeightedEdge& e) { return e.src == e.dst; });
+  }
+
+  VertexId n = num_vertices;
+  if (options.compact_ids) {
+    compact_vertex_ids(edges, n);
+  } else if (n == 0) {
+    for (const auto& e : edges) {
+      n = std::max({n, static_cast<VertexId>(e.src + 1),
+                    static_cast<VertexId>(e.dst + 1)});
+    }
+  } else {
+    for (const auto& e : edges) {
+      EIMM_CHECK(e.src < n && e.dst < n,
+                 "edge endpoint exceeds declared vertex count");
+    }
+  }
+
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  if (options.dedup) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const WeightedEdge& a, const WeightedEdge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges) offsets[e.src + 1]++;
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> targets(edges.size());
+  std::vector<float> weights(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    targets[i] = edges[i].dst;
+    weights[i] = edges[i].weight;
+  }
+  return CSRGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+DiffusionGraph build_diffusion_graph(std::vector<WeightedEdge> edges,
+                                     VertexId num_vertices,
+                                     const BuildOptions& options) {
+  return DiffusionGraph::from_forward(
+      build_csr(std::move(edges), num_vertices, options));
+}
+
+}  // namespace eimm

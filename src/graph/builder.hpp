@@ -1,0 +1,34 @@
+// Edge-list → CSR construction with the clean-up passes real SNAP inputs
+// need: self-loop removal, duplicate-edge removal, optional
+// symmetrization (SNAP "undirected" files list each edge once), and
+// optional compaction of sparse vertex id spaces.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace eimm {
+
+struct BuildOptions {
+  bool remove_self_loops = true;
+  bool dedup = true;
+  /// Add the reverse of every edge (treat input as undirected).
+  bool symmetrize = false;
+  /// Renumber vertices to a dense [0, n) id space (drops isolated ids
+  /// that never appear in any edge).
+  bool compact_ids = false;
+};
+
+/// Builds a CSR graph from an edge list. `num_vertices` of 0 means "infer
+/// from max id + 1" (ignored when compact_ids is set).
+CSRGraph build_csr(std::vector<WeightedEdge> edges, VertexId num_vertices = 0,
+                   const BuildOptions& options = {});
+
+/// Convenience: build both orientations at once.
+DiffusionGraph build_diffusion_graph(std::vector<WeightedEdge> edges,
+                                     VertexId num_vertices = 0,
+                                     const BuildOptions& options = {});
+
+}  // namespace eimm

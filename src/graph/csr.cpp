@@ -1,0 +1,57 @@
+#include "graph/csr.hpp"
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+CSRGraph::CSRGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+                   std::vector<float> weights)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  EIMM_CHECK(!offsets_.empty(), "CSR offsets must have at least one entry");
+  EIMM_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");
+  EIMM_CHECK(offsets_.back() == targets_.size(),
+             "CSR offsets.back() must equal targets.size()");
+  EIMM_CHECK(weights_.empty() || weights_.size() == targets_.size(),
+             "weights must be empty or one per edge");
+  for (std::size_t i = 1; i < offsets_.size(); ++i) {
+    EIMM_CHECK(offsets_[i - 1] <= offsets_[i], "CSR offsets must be monotone");
+  }
+}
+
+void CSRGraph::ensure_weights(float fill) {
+  if (weights_.empty()) weights_.assign(targets_.size(), fill);
+}
+
+CSRGraph CSRGraph::transpose() const {
+  const VertexId n = num_vertices();
+  const EdgeId m = num_edges();
+  std::vector<EdgeId> t_offsets(static_cast<std::size_t>(n) + 1, 0);
+  // Count in-degrees.
+  for (const VertexId dst : targets_) t_offsets[dst + 1]++;
+  for (std::size_t i = 1; i < t_offsets.size(); ++i) t_offsets[i] += t_offsets[i - 1];
+
+  std::vector<VertexId> t_targets(m);
+  std::vector<float> t_weights(has_weights() ? m : 0);
+  std::vector<EdgeId> cursor(t_offsets.begin(), t_offsets.end() - 1);
+  for (VertexId u = 0; u < n; ++u) {
+    const EdgeId begin = offsets_[u];
+    const EdgeId end = offsets_[u + 1];
+    for (EdgeId e = begin; e < end; ++e) {
+      const VertexId v = targets_[e];
+      const EdgeId slot = cursor[v]++;
+      t_targets[slot] = u;
+      if (has_weights()) t_weights[slot] = weights_[e];
+    }
+  }
+  return CSRGraph(std::move(t_offsets), std::move(t_targets),
+                  std::move(t_weights));
+}
+
+std::uint64_t CSRGraph::memory_bytes() const noexcept {
+  return offsets_.size() * sizeof(EdgeId) +
+         targets_.size() * sizeof(VertexId) + weights_.size() * sizeof(float);
+}
+
+}  // namespace eimm

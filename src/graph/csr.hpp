@@ -1,0 +1,98 @@
+// Compressed Sparse Row graph — the project's only graph container.
+//
+// The same structure stores either orientation: the diffusion engines work
+// on the *transpose* (in-edges, for reverse-reachability sampling) while
+// the Monte-Carlo validator works on the forward graph. transpose() maps
+// between them and preserves edge weights.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace eimm {
+
+class CSRGraph {
+ public:
+  CSRGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. offsets.size() == n+1,
+  /// targets.size() == offsets.back(), weights empty or same size as
+  /// targets. Validated with EIMM_CHECK.
+  CSRGraph(std::vector<EdgeId> offsets, std::vector<VertexId> targets,
+           std::vector<float> weights = {});
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+  [[nodiscard]] bool has_weights() const noexcept { return !weights_.empty(); }
+
+  [[nodiscard]] EdgeId degree(VertexId v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v (out-neighbors in the stored orientation).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Edge weights of v's adjacency, parallel to neighbors(v).
+  [[nodiscard]] std::span<const float> weights(VertexId v) const noexcept {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Mutable weights, used by the diffusion-model weight assigners.
+  [[nodiscard]] std::span<float> mutable_weights(VertexId v) noexcept {
+    return {weights_.data() + offsets_[v], weights_.data() + offsets_[v + 1]};
+  }
+
+  /// Raw arrays, used by the NUMA placement layer and serialization.
+  [[nodiscard]] const std::vector<EdgeId>& offsets() const noexcept { return offsets_; }
+  [[nodiscard]] const std::vector<VertexId>& targets() const noexcept { return targets_; }
+  [[nodiscard]] const std::vector<float>& raw_weights() const noexcept { return weights_; }
+
+  /// Allocates a weight per edge (initialized to `fill`) if absent.
+  void ensure_weights(float fill = 1.0f);
+
+  /// Returns the transposed graph (u->v becomes v->u), weights preserved.
+  [[nodiscard]] CSRGraph transpose() const;
+
+  /// Approximate heap footprint in bytes (for memory reporting).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<float> weights_;
+};
+
+/// A forward/transpose pair sharing one logical graph; the unit every
+/// engine consumes. `forward` is the influence direction (u -> v means u
+/// can influence v), `reverse` its transpose.
+struct DiffusionGraph {
+  CSRGraph forward;
+  CSRGraph reverse;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return forward.num_vertices();
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return forward.num_edges();
+  }
+
+  /// Builds the pair from a forward graph.
+  static DiffusionGraph from_forward(CSRGraph g) {
+    DiffusionGraph dg;
+    dg.reverse = g.transpose();
+    dg.forward = std::move(g);
+    return dg;
+  }
+};
+
+}  // namespace eimm

@@ -1,0 +1,218 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+
+std::vector<WeightedEdge> gen_erdos_renyi(VertexId n, EdgeId m,
+                                          std::uint64_t seed) {
+  EIMM_CHECK(n >= 2, "ER graph needs at least 2 vertices");
+  Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  for (EdgeId i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_bounded(n));
+    const auto v = static_cast<VertexId>(rng.next_bounded(n));
+    edges.push_back({u, v, 1.0f});
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_barabasi_albert(VertexId n,
+                                              VertexId edges_per_vertex,
+                                              std::uint64_t seed) {
+  EIMM_CHECK(edges_per_vertex >= 1, "BA needs >= 1 edge per vertex");
+  EIMM_CHECK(n > edges_per_vertex, "BA needs n > edges_per_vertex");
+  Xoshiro256 rng(seed);
+
+  // Repeated-vertex list: picking a uniform element of `endpoints` is
+  // equivalent to degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) * edges_per_vertex * 2);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * edges_per_vertex * 2);
+
+  // Seed clique over the first edges_per_vertex+1 vertices.
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      edges.push_back({u, v, 1.0f});
+      edges.push_back({v, u, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  for (VertexId u = seed_size; u < n; ++u) {
+    for (VertexId j = 0; j < edges_per_vertex; ++j) {
+      const VertexId v = endpoints[rng.next_bounded(endpoints.size())];
+      edges.push_back({u, v, 1.0f});
+      edges.push_back({v, u, 1.0f});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_watts_strogatz(VertexId n, VertexId k,
+                                             double beta,
+                                             std::uint64_t seed) {
+  EIMM_CHECK(k >= 1 && n > 2 * k, "WS needs n > 2k, k >= 1");
+  Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k * 2);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire the far endpoint uniformly (avoid self loop).
+        do {
+          v = static_cast<VertexId>(rng.next_bounded(n));
+        } while (v == u);
+      }
+      edges.push_back({u, v, 1.0f});
+      edges.push_back({v, u, 1.0f});
+    }
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_rmat(const RmatParams& params,
+                                   std::uint64_t seed) {
+  const double d = 1.0 - params.a - params.b - params.c;
+  EIMM_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0 && d >= 0,
+             "RMAT quadrant probabilities must be a valid distribution");
+  const VertexId n = static_cast<VertexId>(1) << params.scale;
+  const EdgeId m = params.edge_factor * static_cast<EdgeId>(n);
+  Xoshiro256 rng(seed);
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(m);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    for (unsigned bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.next_double();
+      // Pick a quadrant; add a little per-level noise the way Graph500
+      // implementations do to avoid exact self-similarity artifacts.
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        v |= (VertexId{1} << bit);
+      } else if (r < abc) {
+        u |= (VertexId{1} << bit);
+      } else {
+        u |= (VertexId{1} << bit);
+        v |= (VertexId{1} << bit);
+      }
+    }
+    edges.push_back({u, v, 1.0f});
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_grid2d(VertexId rows, VertexId cols,
+                                     EdgeId shortcuts, std::uint64_t seed) {
+  EIMM_CHECK(rows >= 2 && cols >= 2, "grid needs at least 2x2");
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 4 + shortcuts * 2);
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.push_back({id(r, c), id(r, c + 1), 1.0f});
+        edges.push_back({id(r, c + 1), id(r, c), 1.0f});
+      }
+      if (r + 1 < rows) {
+        edges.push_back({id(r, c), id(r + 1, c), 1.0f});
+        edges.push_back({id(r + 1, c), id(r, c), 1.0f});
+      }
+    }
+  }
+  Xoshiro256 rng(seed);
+  const VertexId n = rows * cols;
+  for (EdgeId i = 0; i < shortcuts; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_bounded(n));
+    const auto v = static_cast<VertexId>(rng.next_bounded(n));
+    edges.push_back({u, v, 1.0f});
+    edges.push_back({v, u, 1.0f});
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_planted_partition(VertexId n,
+                                                VertexId communities,
+                                                double avg_in_degree,
+                                                double avg_out_degree,
+                                                std::uint64_t seed) {
+  EIMM_CHECK(communities >= 1 && n >= communities,
+             "need at least one vertex per community");
+  Xoshiro256 rng(seed);
+  const VertexId comm_size = n / communities;
+  std::vector<WeightedEdge> edges;
+  const auto intra_edges =
+      static_cast<EdgeId>(avg_in_degree * static_cast<double>(n) / 2.0);
+  const auto inter_edges =
+      static_cast<EdgeId>(avg_out_degree * static_cast<double>(n) / 2.0);
+  edges.reserve((intra_edges + inter_edges) * 2);
+
+  for (EdgeId i = 0; i < intra_edges; ++i) {
+    const auto c = static_cast<VertexId>(rng.next_bounded(communities));
+    const VertexId base = c * comm_size;
+    const VertexId size =
+        (c == communities - 1) ? (n - base) : comm_size;  // last takes slack
+    const auto u = static_cast<VertexId>(base + rng.next_bounded(size));
+    const auto v = static_cast<VertexId>(base + rng.next_bounded(size));
+    edges.push_back({u, v, 1.0f});
+    edges.push_back({v, u, 1.0f});
+  }
+  for (EdgeId i = 0; i < inter_edges; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_bounded(n));
+    const auto v = static_cast<VertexId>(rng.next_bounded(n));
+    edges.push_back({u, v, 1.0f});
+    edges.push_back({v, u, 1.0f});
+  }
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_star(VertexId n) {
+  EIMM_CHECK(n >= 2, "star needs >= 2 vertices");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 1; v < n; ++v) edges.push_back({0, v, 1.0f});
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_path(VertexId n) {
+  EIMM_CHECK(n >= 2, "path needs >= 2 vertices");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(n - 1);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, 1.0f});
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_cycle(VertexId n) {
+  auto edges = gen_path(n);
+  edges.push_back({n - 1, 0, 1.0f});
+  return edges;
+}
+
+std::vector<WeightedEdge> gen_complete(VertexId n) {
+  EIMM_CHECK(n >= 2 && n <= 4096, "complete graph limited to test sizes");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v, 1.0f});
+    }
+  }
+  return edges;
+}
+
+}  // namespace eimm

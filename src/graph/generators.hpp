@@ -1,0 +1,75 @@
+// Deterministic synthetic graph generators.
+//
+// The paper evaluates on eight SNAP datasets that cannot be shipped with
+// the repository; src/workloads maps each of them onto one of these
+// families with parameters chosen to land in the same RRR-coverage regime
+// (see DESIGN.md §2). Every generator is deterministic in (params, seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace eimm {
+
+/// G(n, m): n vertices, m directed edges sampled uniformly (self loops
+/// and duplicates removed afterwards, so the final count can be slightly
+/// lower than m).
+std::vector<WeightedEdge> gen_erdos_renyi(VertexId n, EdgeId m,
+                                          std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` undirected edges to existing vertices with
+/// probability proportional to degree. Produces the heavy-tailed degree
+/// distribution typical of social graphs (YouTube/DBLP analogues).
+std::vector<WeightedEdge> gen_barabasi_albert(VertexId n,
+                                              VertexId edges_per_vertex,
+                                              std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side and
+/// rewiring probability beta. High clustering, moderate SCC (Amazon-like
+/// co-purchase analogue).
+std::vector<WeightedEdge> gen_watts_strogatz(VertexId n, VertexId k,
+                                             double beta, std::uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.): 2^scale vertices, edge_factor*2^scale
+/// directed edges, recursive quadrant probabilities (a, b, c, d).
+/// Kronecker-style skew; a=0.57,b=0.19,c=0.19,d=0.05 matches Graph500 and
+/// approximates LiveJournal/Pokec/Twitter-like structure.
+struct RmatParams {
+  unsigned scale = 16;
+  EdgeId edge_factor = 16;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+};
+std::vector<WeightedEdge> gen_rmat(const RmatParams& params,
+                                   std::uint64_t seed);
+
+/// 2-D grid (rows x cols) with 4-neighborhood, bidirectional edges, plus
+/// `shortcuts` random long-range edges. Low connectivity and tiny reverse
+/// reachability — the as-Skitter (road-network-like) analogue.
+std::vector<WeightedEdge> gen_grid2d(VertexId rows, VertexId cols,
+                                     EdgeId shortcuts, std::uint64_t seed);
+
+/// Planted partition: `communities` equal-size groups; intra-community
+/// edge probability derived from avg_in_degree, sparse random
+/// inter-community edges. Community-structured analogue (DBLP-like).
+std::vector<WeightedEdge> gen_planted_partition(VertexId n,
+                                                VertexId communities,
+                                                double avg_in_degree,
+                                                double avg_out_degree,
+                                                std::uint64_t seed);
+
+// --- tiny deterministic shapes for unit tests ---
+
+/// Directed star: hub 0 -> {1..n-1}.
+std::vector<WeightedEdge> gen_star(VertexId n);
+/// Directed path: 0 -> 1 -> ... -> n-1.
+std::vector<WeightedEdge> gen_path(VertexId n);
+/// Directed cycle: path plus n-1 -> 0.
+std::vector<WeightedEdge> gen_cycle(VertexId n);
+/// Complete directed graph (no self loops). Quadratic: test sizes only.
+std::vector<WeightedEdge> gen_complete(VertexId n);
+
+}  // namespace eimm

@@ -1,0 +1,84 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+namespace eimm {
+
+std::vector<VertexId> SccResult::component_sizes() const {
+  std::vector<VertexId> sizes(num_components, 0);
+  for (const VertexId c : component) sizes[c]++;
+  return sizes;
+}
+
+VertexId SccResult::largest_component_size() const {
+  const auto sizes = component_sizes();
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+SccResult strongly_connected_components(const CSRGraph& g) {
+  const VertexId n = g.num_vertices();
+  constexpr VertexId kUnvisited = kInvalidVertex;
+
+  std::vector<VertexId> index(n, kUnvisited);
+  std::vector<VertexId> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> stack;          // Tarjan's vertex stack
+  std::vector<VertexId> component(n, 0);
+  VertexId next_index = 0;
+  VertexId num_components = 0;
+
+  // Explicit DFS frame: vertex + position within its adjacency list.
+  struct Frame {
+    VertexId v;
+    EdgeId edge;
+  };
+  std::vector<Frame> dfs;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, g.offsets()[root]});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const VertexId v = frame.v;
+      if (frame.edge < g.offsets()[v + 1]) {
+        const VertexId w = g.targets()[frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, g.offsets()[w]});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          lowlink[dfs.back().v] = std::min(lowlink[dfs.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          // v is the root of an SCC; pop it off the vertex stack.
+          VertexId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = num_components;
+          } while (w != v);
+          ++num_components;
+        }
+      }
+    }
+  }
+
+  SccResult result;
+  result.component = std::move(component);
+  result.num_components = num_components;
+  return result;
+}
+
+}  // namespace eimm

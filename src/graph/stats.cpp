@@ -1,0 +1,51 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/scc.hpp"
+
+namespace eimm {
+
+GraphStats compute_graph_stats(const CSRGraph& g, bool with_scc) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  std::vector<EdgeId> degrees(s.num_vertices);
+  for (VertexId v = 0; v < s.num_vertices; ++v) degrees[v] = g.degree(v);
+  s.max_out_degree = *std::max_element(degrees.begin(), degrees.end());
+  s.avg_out_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, degrees.size() / 100);
+  EdgeId top_sum = 0;
+  for (std::size_t i = 0; i < top; ++i) top_sum += degrees[i];
+  s.top1pct_degree_share =
+      s.num_edges ? static_cast<double>(top_sum) / static_cast<double>(s.num_edges)
+                  : 0.0;
+
+  if (with_scc) {
+    const auto scc = strongly_connected_components(g);
+    s.largest_scc_fraction = static_cast<double>(scc.largest_component_size()) /
+                             static_cast<double>(s.num_vertices);
+  }
+  return s;
+}
+
+std::string describe(const GraphStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "|V|=%u |E|=%llu avg_deg=%.2f max_deg=%llu top1%%share=%.2f "
+                "scc=%.1f%%",
+                s.num_vertices, static_cast<unsigned long long>(s.num_edges),
+                s.avg_out_degree,
+                static_cast<unsigned long long>(s.max_out_degree),
+                s.top1pct_degree_share, s.largest_scc_fraction * 100.0);
+  return buf;
+}
+
+}  // namespace eimm

@@ -1,0 +1,30 @@
+// Descriptive graph statistics used by Table 1, the workload registry
+// self-checks, and the dataset documentation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace eimm {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  EdgeId max_out_degree = 0;
+  double avg_out_degree = 0.0;
+  /// Fraction of edges incident (outgoing) to the top 1% highest-degree
+  /// vertices — the skew proxy the adaptive optimizations react to.
+  double top1pct_degree_share = 0.0;
+  /// Size of the largest SCC as a fraction of |V| (drives RRR coverage).
+  double largest_scc_fraction = 0.0;
+};
+
+/// Computes stats; `with_scc` toggles the (more expensive) SCC pass.
+GraphStats compute_graph_stats(const CSRGraph& g, bool with_scc = true);
+
+/// One-line human-readable summary for logs and examples.
+std::string describe(const GraphStats& s);
+
+}  // namespace eimm

@@ -1,0 +1,85 @@
+#include "io/binary.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'I', 'M', 'M', 'C', 'S', 'R', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  EIMM_CHECK(is.good(), "truncated binary graph file");
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  std::uint64_t size = 0;
+  read_pod(is, size);
+  std::vector<T> v(size);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  EIMM_CHECK(is.good(), "truncated binary graph payload");
+  return v;
+}
+
+}  // namespace
+
+void write_binary_csr(std::ostream& os, const CSRGraph& g) {
+  os.write(kMagic, sizeof kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint8_t>(g.has_weights() ? 1 : 0));
+  write_vec(os, g.offsets());
+  write_vec(os, g.targets());
+  if (g.has_weights()) write_vec(os, g.raw_weights());
+}
+
+void write_binary_csr_file(const std::string& path, const CSRGraph& g) {
+  std::ofstream os(path, std::ios::binary);
+  EIMM_CHECK(os.good(), "cannot open file for writing");
+  write_binary_csr(os, g);
+  EIMM_CHECK(os.good(), "write failed");
+}
+
+CSRGraph read_binary_csr(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  EIMM_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+             "not an EfficientIMM binary graph file");
+  std::uint32_t version = 0;
+  read_pod(is, version);
+  EIMM_CHECK(version == kVersion, "unsupported binary graph version");
+  std::uint8_t weighted = 0;
+  read_pod(is, weighted);
+  auto offsets = read_vec<EdgeId>(is);
+  auto targets = read_vec<VertexId>(is);
+  std::vector<float> weights;
+  if (weighted != 0) weights = read_vec<float>(is);
+  return CSRGraph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+CSRGraph read_binary_csr_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EIMM_CHECK(is.good(), "cannot open binary graph file");
+  return read_binary_csr(is);
+}
+
+}  // namespace eimm

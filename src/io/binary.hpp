@@ -1,0 +1,21 @@
+// Binary CSR serialization — load big graphs without re-parsing text.
+// Little-endian, versioned header; weights are optional.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace eimm {
+
+/// Writes the CSR arrays with a magic/version header.
+void write_binary_csr(std::ostream& os, const CSRGraph& g);
+void write_binary_csr_file(const std::string& path, const CSRGraph& g);
+
+/// Reads a graph previously written by write_binary_csr. Throws
+/// CheckError on bad magic, version, or truncated payload.
+CSRGraph read_binary_csr(std::istream& is);
+CSRGraph read_binary_csr_file(const std::string& path);
+
+}  // namespace eimm

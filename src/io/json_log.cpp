@@ -1,0 +1,45 @@
+#include "io/json_log.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/json.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+void write_experiment_json(std::ostream& os, const ExperimentRecord& r) {
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("Input", r.dataset)
+      .kv("Algorithm", r.algorithm)
+      .kv("DiffusionModel", r.diffusion)
+      .kv("NumThreads", static_cast<std::int64_t>(r.threads))
+      .kv("K", static_cast<std::int64_t>(r.k))
+      .kv("Epsilon", r.epsilon)
+      .kv("RngSeed", r.rng_seed)
+      .kv("Total", r.total_seconds)
+      .kv("GenerateRRRSets", r.sampling_seconds)
+      .kv("FindMostInfluentialSet", r.selection_seconds)
+      .kv("NumRRRSets", r.num_rrr_sets)
+      .kv("RRRSetMemoryBytes", r.rrr_memory_bytes);
+  w.key("Seeds").begin_array();
+  for (const VertexId s : r.seeds) w.value(static_cast<std::uint64_t>(s));
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+std::string write_experiment_json_file(const std::string& dir,
+                                       const ExperimentRecord& record) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + record.dataset + "_" +
+                           record.algorithm + "_" +
+                           std::to_string(record.threads) + ".json";
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open experiment log for writing");
+  write_experiment_json(os, record);
+  return path;
+}
+
+}  // namespace eimm

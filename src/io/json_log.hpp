@@ -1,0 +1,41 @@
+// Experiment logs mirroring the SC'24 artifact output: each run emits one
+// JSON document with the configuration, per-phase timings, and the seed
+// set (the artifact's strong-scaling-logs-* directories hold the same
+// fields). extract-style CSV summaries are produced by the benches.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace eimm {
+
+struct ExperimentRecord {
+  std::string dataset;
+  std::string algorithm;      // "EfficientIMM" | "Ripples"
+  std::string diffusion;      // "IC" | "LT"
+  int threads = 1;
+  int k = 0;
+  double epsilon = 0.0;
+  std::uint64_t rng_seed = 0;
+  double total_seconds = 0.0;
+  double sampling_seconds = 0.0;
+  double selection_seconds = 0.0;
+  std::uint64_t num_rrr_sets = 0;
+  std::uint64_t rrr_memory_bytes = 0;
+  std::vector<VertexId> seeds;
+};
+
+/// Serializes one record as a JSON object (artifact-compatible field
+/// names: "Total", "GenerateRRRSets", "FindMostInfluentialSet", ...).
+void write_experiment_json(std::ostream& os, const ExperimentRecord& record);
+
+/// Writes to `<dir>/<dataset>_<algorithm>_<threads>.json`, creating the
+/// directory if needed. Returns the file path.
+std::string write_experiment_json_file(const std::string& dir,
+                                       const ExperimentRecord& record);
+
+}  // namespace eimm

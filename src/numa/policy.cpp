@@ -1,0 +1,76 @@
+#include "numa/policy.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "numa/topology.hpp"
+
+namespace eimm {
+namespace {
+
+// Policy modes from <linux/mempolicy.h>; spelled out to avoid requiring
+// kernel headers at build time.
+constexpr int kMpolDefault = 0;
+constexpr int kMpolInterleave = 3;
+constexpr int kMpolLocal = 4;
+
+bool call_mbind(void* addr, std::size_t len, int mode,
+                const unsigned long* nodemask, unsigned long maxnode) {
+#if defined(__NR_mbind)
+  const long rc = ::syscall(__NR_mbind, addr, len, mode, nodemask, maxnode,
+                            /*flags=*/0u);
+  return rc == 0;
+#else
+  (void)addr;
+  (void)len;
+  (void)mode;
+  (void)nodemask;
+  (void)maxnode;
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool apply_mempolicy(void* addr, std::size_t len, MemPolicy policy) {
+  if (addr == nullptr || len == 0) return false;
+  const NumaTopology& topo = numa_topology();
+  if (!topo.is_numa()) return false;  // nothing to place
+
+  switch (policy) {
+    case MemPolicy::kDefault:
+      return call_mbind(addr, len, kMpolDefault, nullptr, 0);
+    case MemPolicy::kLocal:
+      return call_mbind(addr, len, kMpolLocal, nullptr, 0);
+    case MemPolicy::kInterleave: {
+      // Build a nodemask covering all online nodes.
+      unsigned long mask[16] = {};
+      unsigned long max_node = 0;
+      for (const int node : topo.nodes) {
+        const auto n = static_cast<unsigned long>(node);
+        if (n / (8 * sizeof(unsigned long)) < std::size(mask)) {
+          mask[n / (8 * sizeof(unsigned long))] |=
+              1UL << (n % (8 * sizeof(unsigned long)));
+          max_node = n > max_node ? n : max_node;
+        }
+      }
+      return call_mbind(addr, len, kMpolInterleave, mask, max_node + 2);
+    }
+  }
+  return false;
+}
+
+bool numa_available() {
+  static const bool available = [] {
+    if (!numa_topology().is_numa()) return false;
+    // Probe with a throwaway page.
+    alignas(4096) static char probe[4096];
+    return apply_mempolicy(probe, sizeof probe, MemPolicy::kDefault);
+  }();
+  return available;
+}
+
+}  // namespace eimm

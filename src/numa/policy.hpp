@@ -1,0 +1,29 @@
+// Raw memory-policy syscalls (mbind), no libnuma dependency.
+//
+// The paper (§IV-B) interleaves the graph CSR arrays across NUMA nodes
+// with numactl/mbind and keeps per-thread structures node-local. This
+// wrapper issues the same mbind(2) calls directly; on single-node hosts
+// or sandboxed kernels the calls are skipped or fail softly and the
+// caller proceeds with default placement (first-touch).
+#pragma once
+
+#include <cstddef>
+
+namespace eimm {
+
+enum class MemPolicy {
+  kDefault,     // first-touch (kernel default)
+  kInterleave,  // round-robin pages across all online nodes
+  kLocal,       // allocate on the faulting thread's node
+};
+
+/// Applies `policy` to [addr, addr+len). Returns true when the kernel
+/// accepted the request; false when NUMA is absent, the syscall is
+/// unavailable, or the kernel rejected it (caller falls back silently —
+/// placement is a performance hint, never a correctness requirement).
+bool apply_mempolicy(void* addr, std::size_t len, MemPolicy policy);
+
+/// True when the running system exposes >1 NUMA node and mbind works.
+bool numa_available();
+
+}  // namespace eimm

@@ -1,0 +1,77 @@
+#include "numa/topology.hpp"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace eimm {
+
+std::vector<int> parse_cpu_list(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    const auto dash = token.find('-');
+    try {
+      if (dash == std::string::npos) {
+        out.push_back(std::stoi(token));
+      } else {
+        const int lo = std::stoi(token.substr(0, dash));
+        const int hi = std::stoi(token.substr(dash + 1));
+        for (int i = lo; i <= hi; ++i) out.push_back(i);
+      }
+    } catch (const std::exception&) {
+      // Ignore malformed fragments; sysfs content is trusted but this
+      // parser is also exercised with arbitrary strings in tests.
+    }
+  }
+  return out;
+}
+
+namespace {
+
+NumaTopology discover() {
+  NumaTopology topo;
+  std::ifstream online("/sys/devices/system/node/online");
+  if (online.good()) {
+    std::string line;
+    std::getline(online, line);
+    topo.nodes = parse_cpu_list(line);
+  }
+  if (topo.nodes.empty()) topo.nodes = {0};
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  topo.cpu_to_node.assign(hw, 0);
+  for (const int node : topo.nodes) {
+    std::ifstream cpus("/sys/devices/system/node/node" +
+                       std::to_string(node) + "/cpulist");
+    if (!cpus.good()) continue;
+    std::string line;
+    std::getline(cpus, line);
+    for (const int cpu : parse_cpu_list(line)) {
+      if (cpu >= 0 && static_cast<unsigned>(cpu) < topo.cpu_to_node.size()) {
+        topo.cpu_to_node[static_cast<unsigned>(cpu)] = node;
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace
+
+int NumaTopology::current_node() const noexcept {
+  const int cpu = sched_getcpu();
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= cpu_to_node.size()) return nodes.empty() ? 0 : nodes.front();
+  return cpu_to_node[static_cast<std::size_t>(cpu)];
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = discover();
+  return topo;
+}
+
+}  // namespace eimm

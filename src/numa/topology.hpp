@@ -1,0 +1,38 @@
+// NUMA topology discovery.
+//
+// The paper's testbed has 8 NUMA nodes (2 sockets x 4 NUMA domains); the
+// NUMA-aware engine needs to know (a) how many nodes exist and (b) which
+// node the calling thread runs on. Discovery reads
+// /sys/devices/system/node (no libnuma dependency); on machines without
+// that hierarchy it reports a single node, and every policy becomes a
+// no-op — the code path stays identical.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eimm {
+
+struct NumaTopology {
+  /// Online node ids (usually dense 0..N-1, but sysfs allows gaps).
+  std::vector<int> nodes;
+  /// cpu_to_node[cpu] = node id (or 0 when unknown).
+  std::vector<int> cpu_to_node;
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes.size());
+  }
+  [[nodiscard]] bool is_numa() const noexcept { return nodes.size() > 1; }
+
+  /// Node of the CPU the calling thread is currently on (sched_getcpu).
+  [[nodiscard]] int current_node() const noexcept;
+};
+
+/// Reads the live topology once; cached for the process lifetime.
+const NumaTopology& numa_topology();
+
+/// Parses a sysfs cpulist string such as "0-3,8,10-11" into ids.
+/// Exposed for unit testing the parser against crafted inputs.
+std::vector<int> parse_cpu_list(const std::string& s);
+
+}  // namespace eimm

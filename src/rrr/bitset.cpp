@@ -1,0 +1,4 @@
+#include "rrr/bitset.hpp"
+
+// Header-only in practice; this TU anchors the library target and keeps a
+// place for future out-of-line additions.

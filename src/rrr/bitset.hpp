@@ -1,0 +1,62 @@
+// Fixed-capacity dynamic bitset — the dense RRR-set representation.
+// O(1) membership; iteration is word-at-a-time with popcount/ctz.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bits.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_(words_for_bits(bits), 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  void clear(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += static_cast<std::size_t>(popcount64(w));
+    return c;
+  }
+
+  /// Zeroes all bits, keeping capacity.
+  void reset() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Invokes fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      for_each_set_bit(words_[w], w * 64, fn);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace eimm

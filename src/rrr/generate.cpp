@@ -1,0 +1,24 @@
+#include "rrr/generate.hpp"
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+std::vector<VertexId> sample_rrr(const CSRGraph& reverse, DiffusionModel model,
+                                 std::uint64_t base_seed, std::uint64_t index,
+                                 SamplerScratch& scratch) {
+  EIMM_CHECK(reverse.has_weights(), "reverse graph needs diffusion weights");
+  EIMM_CHECK(reverse.num_vertices() > 0, "empty graph");
+  Xoshiro256 rng = Xoshiro256::for_stream(base_seed, index);
+  const auto root =
+      static_cast<VertexId>(rng.next_bounded(reverse.num_vertices()));
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      return sample_rrr_ic(reverse, root, rng, scratch);
+    case DiffusionModel::kLinearThreshold:
+      return sample_rrr_lt(reverse, root, rng, scratch);
+  }
+  return {root};
+}
+
+}  // namespace eimm

@@ -1,0 +1,275 @@
+#include "rrr/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "rrr/compressed.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+/// Computes Huffman code lengths from symbol frequencies via the
+/// classic two-queue/heap construction; lengths are capped naturally
+/// (256 symbols -> max depth 255 fits uint8).
+std::array<std::uint8_t, 256> compute_code_lengths(
+    const std::array<std::uint64_t, 256>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int index;          // tie-break for determinism
+    int left = -1;
+    int right = -1;
+    int symbol = -1;    // >= 0 for leaves
+  };
+  std::vector<Node> nodes;
+  auto cmp = [&nodes](int a, int b) {
+    if (nodes[static_cast<std::size_t>(a)].weight !=
+        nodes[static_cast<std::size_t>(b)].weight) {
+      return nodes[static_cast<std::size_t>(a)].weight >
+             nodes[static_cast<std::size_t>(b)].weight;
+    }
+    return nodes[static_cast<std::size_t>(a)].index >
+           nodes[static_cast<std::size_t>(b)].index;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  for (int s = 0; s < 256; ++s) {
+    if (freq[static_cast<std::size_t>(s)] == 0) continue;
+    nodes.push_back({freq[static_cast<std::size_t>(s)],
+                     static_cast<int>(nodes.size()), -1, -1, s});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+
+  std::array<std::uint8_t, 256> lengths{};
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    // Single-symbol alphabet: give it a 1-bit code.
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back({nodes[static_cast<std::size_t>(a)].weight +
+                         nodes[static_cast<std::size_t>(b)].weight,
+                     static_cast<int>(nodes.size()), a, b, -1});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+
+  // Depth-first walk assigning depths as code lengths (iterative).
+  std::vector<std::pair<int, std::uint8_t>> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.symbol >= 0) {
+      lengths[static_cast<std::size_t>(node.symbol)] =
+          depth == 0 ? 1 : depth;  // degenerate guard
+      continue;
+    }
+    stack.push_back({node.left, static_cast<std::uint8_t>(depth + 1)});
+    stack.push_back({node.right, static_cast<std::uint8_t>(depth + 1)});
+  }
+  return lengths;
+}
+
+/// Canonical code assignment: symbols sorted by (length, value) get
+/// consecutive codes; decode only needs the lengths array.
+struct CanonicalBook {
+  std::array<std::uint32_t, 256> codes{};
+  std::array<std::uint8_t, 256> lengths{};
+};
+
+CanonicalBook build_canonical(const std::array<std::uint8_t, 256>& lengths) {
+  CanonicalBook book;
+  book.lengths = lengths;
+  std::vector<int> symbols;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  std::uint8_t previous_length = 0;
+  for (const int s : symbols) {
+    const std::uint8_t length = lengths[static_cast<std::size_t>(s)];
+    code <<= (length - previous_length);
+    book.codes[static_cast<std::size_t>(s)] = code;
+    ++code;
+    previous_length = length;
+  }
+  return book;
+}
+
+class BitWriter {
+ public:
+  void write(std::uint32_t code, std::uint8_t length) {
+    for (int b = length - 1; b >= 0; --b) {
+      if (bit_ == 0) bytes_.push_back(0);
+      if ((code >> b) & 1u) {
+        bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_));
+      }
+      bit_ = (bit_ + 1) % 8;
+    }
+    total_bits_ += length;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return total_bits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace
+
+HuffmanCodec::Encoded HuffmanCodec::encode(
+    const std::vector<std::uint8_t>& data) {
+  Encoded out;
+  if (data.empty()) return out;
+
+  std::array<std::uint64_t, 256> freq{};
+  for (const std::uint8_t byte : data) ++freq[byte];
+  out.code_lengths = compute_code_lengths(freq);
+  const CanonicalBook book = build_canonical(out.code_lengths);
+
+  BitWriter writer;
+  for (const std::uint8_t byte : data) {
+    writer.write(book.codes[byte], book.lengths[byte]);
+  }
+  out.payload_bits = writer.bits();
+  out.bits = writer.take();
+  out.bits.shrink_to_fit();
+  return out;
+}
+
+std::vector<std::uint8_t> HuffmanCodec::decode(const Encoded& encoded) {
+  std::vector<std::uint8_t> out;
+  if (encoded.payload_bits == 0) return out;
+
+  const CanonicalBook book = build_canonical(encoded.code_lengths);
+  // Canonical decode tables: first code and symbol offset per length.
+  std::array<std::uint32_t, 33> first_code{};
+  std::array<std::uint32_t, 33> first_index{};
+  std::vector<std::uint8_t> ordered_symbols;
+  {
+    std::vector<int> symbols;
+    for (int s = 0; s < 256; ++s) {
+      if (book.lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
+    }
+    std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+      const auto la = book.lengths[static_cast<std::size_t>(a)];
+      const auto lb = book.lengths[static_cast<std::size_t>(b)];
+      if (la != lb) return la < lb;
+      return a < b;
+    });
+    for (const int s : symbols) {
+      ordered_symbols.push_back(static_cast<std::uint8_t>(s));
+    }
+    std::uint32_t code = 0;
+    std::size_t index = 0;
+    for (std::uint8_t length = 1; length <= 32; ++length) {
+      code <<= 1;
+      first_code[length] = code;
+      first_index[length] = static_cast<std::uint32_t>(index);
+      while (index < ordered_symbols.size() &&
+             book.lengths[ordered_symbols[index]] == length) {
+        ++index;
+        ++code;
+      }
+    }
+  }
+
+  std::uint32_t code = 0;
+  std::uint8_t length = 0;
+  for (std::uint64_t bit = 0; bit < encoded.payload_bits; ++bit) {
+    const std::size_t byte_index = static_cast<std::size_t>(bit / 8);
+    EIMM_CHECK(byte_index < encoded.bits.size(),
+               "truncated Huffman payload");
+    const int bit_in_byte = static_cast<int>(7 - (bit % 8));
+    code = (code << 1) |
+           ((encoded.bits[byte_index] >> bit_in_byte) & 1u);
+    ++length;
+    EIMM_CHECK(length <= 32, "invalid Huffman stream (no code matched)");
+    // A code of this length is valid when it falls inside the canonical
+    // range [first_code[len], first_code[len] + count[len]).
+    const std::uint32_t offset = code - first_code[length];
+    const std::uint32_t symbol_index = first_index[length] + offset;
+    if (code >= first_code[length] &&
+        symbol_index < ordered_symbols.size() &&
+        book.lengths[ordered_symbols[symbol_index]] == length) {
+      out.push_back(ordered_symbols[symbol_index]);
+      code = 0;
+      length = 0;
+    }
+  }
+  EIMM_CHECK(length == 0, "dangling bits at end of Huffman stream");
+  return out;
+}
+
+HuffmanSet HuffmanSet::encode(std::vector<VertexId> vertices) {
+  // Reuse the varint gap encoding as the byte stream to compress.
+  const CompressedSet varint = CompressedSet::encode(std::move(vertices));
+  // Re-expand to bytes: CompressedSet stores exactly the stream we want.
+  // (decode+re-encode keeps the coupling loose at negligible cost.)
+  std::vector<std::uint8_t> gap_bytes;
+  {
+    const std::vector<VertexId> sorted = varint.decode();
+    VertexId previous = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      std::uint64_t value = (i == 0)
+                                ? static_cast<std::uint64_t>(sorted[i]) + 1
+                                : static_cast<std::uint64_t>(sorted[i] -
+                                                             previous);
+      previous = sorted[i];
+      while (value >= 0x80) {
+        gap_bytes.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+      }
+      gap_bytes.push_back(static_cast<std::uint8_t>(value));
+    }
+  }
+  HuffmanSet set;
+  set.count_ = varint.size();
+  set.encoded_ = HuffmanCodec::encode(gap_bytes);
+  return set;
+}
+
+std::vector<VertexId> HuffmanSet::decode() const {
+  std::vector<VertexId> out;
+  out.reserve(count_);
+  const std::vector<std::uint8_t> gap_bytes = HuffmanCodec::decode(encoded_);
+  std::size_t pos = 0;
+  VertexId previous = 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+      EIMM_CHECK(pos < gap_bytes.size(), "truncated gap stream");
+      const std::uint8_t byte = gap_bytes[pos++];
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    previous = (i == 0) ? static_cast<VertexId>(value - 1)
+                        : static_cast<VertexId>(previous + value);
+    out.push_back(previous);
+  }
+  return out;
+}
+
+bool HuffmanSet::contains(VertexId v) const {
+  // Full decode per lookup: deliberately exposes the codec overhead.
+  const std::vector<VertexId> members = decode();
+  return std::binary_search(members.begin(), members.end(), v);
+}
+
+}  // namespace eimm

@@ -1,0 +1,46 @@
+#include "rrr/pool.hpp"
+
+#include <algorithm>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+void RRRPool::resize(std::size_t count) {
+  EIMM_CHECK(count >= sets_.size(), "RRRPool never shrinks");
+  sets_.resize(count);
+}
+
+std::uint64_t RRRPool::memory_bytes() const noexcept {
+  std::uint64_t bytes = sets_.capacity() * sizeof(RRRSet);
+  for (const auto& s : sets_) bytes += s.memory_bytes();
+  return bytes;
+}
+
+std::uint64_t RRRPool::total_vertices() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : sets_) total += s.size();
+  return total;
+}
+
+double RRRPool::average_coverage() const noexcept {
+  if (sets_.empty() || num_vertices_ == 0) return 0.0;
+  return static_cast<double>(total_vertices()) /
+         (static_cast<double>(sets_.size()) *
+          static_cast<double>(num_vertices_));
+}
+
+double RRRPool::max_coverage() const noexcept {
+  if (num_vertices_ == 0) return 0.0;
+  std::size_t max_size = 0;
+  for (const auto& s : sets_) max_size = std::max(max_size, s.size());
+  return static_cast<double>(max_size) / static_cast<double>(num_vertices_);
+}
+
+std::size_t RRRPool::bitmap_count() const noexcept {
+  std::size_t c = 0;
+  for (const auto& s : sets_) c += (s.repr() == RRRRepr::kBitmap) ? 1 : 0;
+  return c;
+}
+
+}  // namespace eimm

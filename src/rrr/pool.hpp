@@ -1,0 +1,52 @@
+// Storage for the sampled RRR sets.
+//
+// The pool is index-addressed: the IMM driver decides how many sets exist
+// (θ'), resize()s, and workers fill disjoint slots — no synchronization
+// on the container itself. Slots correspond 1:1 to RNG streams, so pool
+// content is deterministic under any schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "rrr/set.hpp"
+
+namespace eimm {
+
+class RRRPool {
+ public:
+  explicit RRRPool(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  [[nodiscard]] VertexId num_vertices() const noexcept { return num_vertices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return sets_.size(); }
+
+  /// Grows the pool to `count` slots (never shrinks). Single-threaded;
+  /// called by the driver between sampling rounds.
+  void resize(std::size_t count);
+
+  RRRSet& operator[](std::size_t i) noexcept { return sets_[i]; }
+  const RRRSet& operator[](std::size_t i) const noexcept { return sets_[i]; }
+
+  [[nodiscard]] const std::vector<RRRSet>& sets() const noexcept { return sets_; }
+
+  /// Total heap footprint of all sets (OOM diagnostics; Table III notes
+  /// Ripples OOMs on twitter7 without the adaptive representation).
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+  /// Sum of set sizes (== total counter increments during the build).
+  [[nodiscard]] std::uint64_t total_vertices() const noexcept;
+
+  /// Average / maximum coverage as a fraction of |V| (Table I columns).
+  [[nodiscard]] double average_coverage() const noexcept;
+  [[nodiscard]] double max_coverage() const noexcept;
+
+  /// Count of sets currently in bitmap representation.
+  [[nodiscard]] std::size_t bitmap_count() const noexcept;
+
+ private:
+  VertexId num_vertices_;
+  std::vector<RRRSet> sets_;
+};
+
+}  // namespace eimm

@@ -1,0 +1,34 @@
+#include "runtime/atomic_counters.hpp"
+
+#include <omp.h>
+
+namespace eimm {
+
+CounterArray::CounterArray(std::size_t n, MemPolicy policy)
+    : array_(n, policy) {
+  // mmap zero-fills; nothing further needed. std::atomic<u64> is
+  // trivially constructible from zero bytes on all supported ABIs.
+  static_assert(sizeof(std::atomic<std::uint64_t>) == sizeof(std::uint64_t));
+}
+
+void CounterArray::reset() noexcept {
+  const std::size_t n = array_.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    array_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> CounterArray::snapshot() const {
+  std::vector<std::uint64_t> out(array_.size());
+  for (std::size_t i = 0; i < array_.size(); ++i) out[i] = get(i);
+  return out;
+}
+
+std::uint64_t CounterArray::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < array_.size(); ++i) sum += get(i);
+  return sum;
+}
+
+}  // namespace eimm

@@ -1,0 +1,59 @@
+// The global vertex-occurrence counter of Algorithm 2.
+//
+// One 64-bit atomic per vertex; increments/decrements are relaxed —
+// the counter is a statistic, and the selection loop reads it only after
+// an OpenMP barrier, which supplies the necessary ordering. 64-bit width
+// matches the paper's observation that `lock incq` confines the locked
+// region to one quadword, so concurrent updates to different vertices
+// never contend on the same memory word (they may still share a cache
+// line; that is the fine-grained-vs-padded trade-off benchmarked in
+// bench/micro_counters).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "numa/alloc.hpp"
+
+namespace eimm {
+
+class CounterArray {
+ public:
+  CounterArray() = default;
+
+  /// `n` counters, zero-initialized, placed with `policy` (the
+  /// NUMA-aware engine interleaves; kDefault for unit tests).
+  explicit CounterArray(std::size_t n,
+                        MemPolicy policy = MemPolicy::kDefault);
+
+  [[nodiscard]] std::size_t size() const noexcept { return array_.size(); }
+
+  void increment(std::size_t i) noexcept {
+    array_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+  void decrement(std::size_t i) noexcept {
+    array_[i].fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Non-atomic read; callers synchronize via parallel-region barriers.
+  [[nodiscard]] std::uint64_t get(std::size_t i) const noexcept {
+    return array_[i].load(std::memory_order_relaxed);
+  }
+  void set(std::size_t i, std::uint64_t v) noexcept {
+    array_[i].store(v, std::memory_order_relaxed);
+  }
+
+  /// Zeroes all counters (parallel).
+  void reset() noexcept;
+
+  /// Copies the counters into a plain vector (for tests/inspection).
+  [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
+
+  /// Sum of all counters (serial; test helper).
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+ private:
+  NumaArray<std::atomic<std::uint64_t>> array_;
+};
+
+}  // namespace eimm

@@ -1,0 +1,38 @@
+// Range-partition helpers: the building block of both parallelization
+// strategies (vertex partitioning in the Ripples baseline, RRR-set
+// partitioning in EfficientIMM).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+/// Half-open block [begin, end) owned by `part` out of `parts` when
+/// `total` items are split as evenly as possible (first `total % parts`
+/// blocks get one extra item).
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t total,
+                                                       std::size_t parts,
+                                                       std::size_t part) {
+  EIMM_CHECK(parts > 0 && part < parts, "invalid partition");
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t begin = part * base + (part < extra ? part : extra);
+  const std::size_t size = base + (part < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// Owner of item `index` under block_range partitioning.
+inline std::size_t block_owner(std::size_t total, std::size_t parts,
+                               std::size_t index) {
+  EIMM_CHECK(index < total, "index out of range");
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t big_items = (base + 1) * extra;  // items in the big blocks
+  if (index < big_items) return index / (base + 1);
+  return extra + (index - big_items) / (base == 0 ? 1 : base);
+}
+
+}  // namespace eimm

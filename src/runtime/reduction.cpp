@@ -1,0 +1,60 @@
+#include "runtime/reduction.hpp"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "runtime/partition.hpp"
+#include "support/aligned.hpp"
+
+namespace eimm {
+
+ArgMaxResult serial_argmax(const CounterArray& counters) {
+  if (counters.size() == 0) return {};
+  ArgMaxResult best{0, counters.get(0)};
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    const std::uint64_t v = counters.get(i);
+    if (v > best.value) {  // strict '>' keeps the lowest index on ties
+      best.value = v;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+ArgMaxResult parallel_argmax(const CounterArray& counters) {
+  const std::size_t n = counters.size();
+  if (n == 0) return {};
+
+  const int max_threads = omp_get_max_threads();
+  std::vector<CachePadded<ArgMaxResult>> regional(
+      static_cast<std::size_t>(max_threads));
+
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto nthreads = static_cast<std::size_t>(omp_get_num_threads());
+    const auto [begin, end] = block_range(n, nthreads, tid);
+    // Step 1: regional maximum over the thread's contiguous block.
+    ArgMaxResult local{begin < end ? begin : 0, 0};
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t v = counters.get(i);
+      if (v > local.value) {  // strict '>' keeps the lowest index on ties
+        local.value = v;
+        local.index = i;
+      }
+    }
+    regional[tid].value = local;
+  }
+
+  // Step 2: reduce the regional maxima. Blocks are in index order, so
+  // strict '>' again keeps the lowest winning index.
+  ArgMaxResult best = regional[0].value;
+  for (int t = 1; t < max_threads; ++t) {
+    const ArgMaxResult& r = regional[static_cast<std::size_t>(t)].value;
+    if (r.value > best.value) best = r;
+  }
+  return best;
+}
+
+}  // namespace eimm

@@ -1,0 +1,29 @@
+// The two-step parallel arg-max reduction of Algorithm 2, line 9:
+// each thread scans a contiguous vertex block for its regional maximum,
+// then the regional maxima are reduced to the global maximum.
+// Ties break toward the lowest vertex id in BOTH steps, which makes the
+// result deterministic regardless of thread count — a property the test
+// suite leans on heavily.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "runtime/atomic_counters.hpp"
+
+namespace eimm {
+
+struct ArgMaxResult {
+  std::size_t index = 0;
+  std::uint64_t value = 0;
+};
+
+/// Parallel arg-max over `counters` (must be called OUTSIDE any OpenMP
+/// parallel region; spawns its own). Deterministic lowest-index
+/// tie-break.
+ArgMaxResult parallel_argmax(const CounterArray& counters);
+
+/// Serial reference implementation (tests compare against this).
+ArgMaxResult serial_argmax(const CounterArray& counters);
+
+}  // namespace eimm

@@ -1,0 +1,24 @@
+#include "runtime/thread_info.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace eimm {
+
+int max_threads() noexcept { return omp_get_max_threads(); }
+
+int resolve_threads(int requested) noexcept {
+  const int hw = omp_get_num_procs();
+  if (requested <= 0) return omp_get_max_threads();
+  return std::min(requested, hw);
+}
+
+ThreadCountScope::ThreadCountScope(int threads)
+    : previous_(omp_get_max_threads()) {
+  omp_set_num_threads(resolve_threads(threads));
+}
+
+ThreadCountScope::~ThreadCountScope() { omp_set_num_threads(previous_); }
+
+}  // namespace eimm

@@ -1,0 +1,26 @@
+// OpenMP thread-environment helpers shared by engines and benches.
+#pragma once
+
+namespace eimm {
+
+/// Hardware threads OpenMP will use by default.
+int max_threads() noexcept;
+
+/// Clamps `requested` to [1, max available]; 0 means "use all".
+int resolve_threads(int requested) noexcept;
+
+/// RAII scope that sets the OpenMP thread count and restores the previous
+/// value on exit; the engines use it so a requested thread count applies
+/// only to their own parallel regions.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int threads);
+  ThreadCountScope(const ThreadCountScope&) = delete;
+  ThreadCountScope& operator=(const ThreadCountScope&) = delete;
+  ~ThreadCountScope();
+
+ private:
+  int previous_;
+};
+
+}  // namespace eimm

@@ -1,0 +1,82 @@
+#include "runtime/work_queue.hpp"
+
+#include "runtime/partition.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+JobPool::JobPool(std::size_t total_jobs, std::size_t batch_size,
+                 std::size_t num_workers) {
+  EIMM_CHECK(batch_size > 0, "batch size must be positive");
+  EIMM_CHECK(num_workers > 0, "need at least one worker");
+  queues_ = std::vector<CachePadded<Queue>>(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    const auto [begin, end] = block_range(total_jobs, num_workers, w);
+    auto& q = queues_[w].value;
+    // Enqueue in reverse so the owner pops batches in ascending index
+    // order from the back (LIFO for the owner = FIFO over the region).
+    std::size_t b = end;
+    while (b > begin) {
+      const std::size_t lo = b > begin + batch_size ? b - batch_size : begin;
+      q.batches.push_back({lo, b});
+      b = lo;
+      ++total_batches_;
+    }
+  }
+}
+
+JobBatch JobPool::pop_own(std::size_t worker) {
+  auto& q = queues_[worker].value;
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.batches.empty()) return {};
+  const JobBatch batch = q.batches.back();
+  q.batches.pop_back();
+  return batch;
+}
+
+JobBatch JobPool::steal(std::size_t thief) {
+  // Pick the victim with the most remaining batches (sampled without
+  // locks; the subsequent locked pop re-validates).
+  const std::size_t n = queues_.size();
+  std::size_t victim = n;
+  std::size_t best_size = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    if (w == thief) continue;
+    const std::size_t size = queues_[w].value.batches.size();
+    if (size > best_size) {
+      best_size = size;
+      victim = w;
+    }
+  }
+  if (victim == n) return {};
+  auto& q = queues_[victim].value;
+  std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.batches.empty()) return {};
+  // Steal from the FRONT (the victim's coldest region) to minimize
+  // interference with the owner's locality.
+  const JobBatch batch = q.batches.front();
+  q.batches.erase(q.batches.begin());
+  steals_.fetch_add(1, std::memory_order_relaxed);
+  return batch;
+}
+
+JobBatch JobPool::next(std::size_t worker) {
+  EIMM_CHECK(worker < queues_.size(), "worker id out of range");
+  JobBatch batch = pop_own(worker);
+  if (!batch.empty()) return batch;
+  // Keep trying victims until every queue observed empty.
+  for (;;) {
+    batch = steal(worker);
+    if (!batch.empty()) return batch;
+    bool all_empty = true;
+    for (const auto& q : queues_) {
+      if (!q.value.batches.empty()) {
+        all_empty = false;
+        break;
+      }
+    }
+    if (all_empty) return {};
+  }
+}
+
+}  // namespace eimm

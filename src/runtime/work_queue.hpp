@@ -1,0 +1,67 @@
+// Dynamic job balancing (§IV-C "Dynamic Job Balancing").
+//
+// The paper uses a producer–consumer model: RRR-set jobs are batched into
+// per-thread queues; a thread drains its own queue first (preserving the
+// locality benefits of the partitioning), then steals batches from the
+// busiest victim. RRR-set sizes vary by orders of magnitude (SCC effect),
+// so static partitioning strands entire threads behind one giant set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "support/aligned.hpp"
+
+namespace eimm {
+
+/// A contiguous batch of job indices [begin, end).
+struct JobBatch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+};
+
+/// Chunked per-thread job queues with stealing.
+///
+/// Construction splits [0, total_jobs) into `num_workers` contiguous
+/// regions (locality: worker w's batches cover the same index range a
+/// static partition would give it), each chopped into batches of
+/// `batch_size`. Workers call next(worker) until it returns an empty
+/// batch; exhausted workers steal the tail batch of the fullest victim.
+///
+/// Thread-safe for up to `num_workers` concurrent callers.
+class JobPool {
+ public:
+  JobPool(std::size_t total_jobs, std::size_t batch_size,
+          std::size_t num_workers);
+
+  /// Next batch for `worker`; empty batch when the pool is drained.
+  JobBatch next(std::size_t worker);
+
+  /// Total batches initially enqueued (test/diagnostic).
+  [[nodiscard]] std::size_t total_batches() const noexcept {
+    return total_batches_;
+  }
+  /// Number of successful steals so far (diagnostic; relaxed read).
+  [[nodiscard]] std::uint64_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::vector<JobBatch> batches;  // LIFO from the back for the owner
+  };
+
+  JobBatch pop_own(std::size_t worker);
+  JobBatch steal(std::size_t thief);
+
+  std::vector<CachePadded<Queue>> queues_;
+  std::atomic<std::uint64_t> steals_{0};
+  std::size_t total_batches_ = 0;
+};
+
+}  // namespace eimm

@@ -1,0 +1,88 @@
+#include "simulate/greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+GreedyResult celf_greedy(const CSRGraph& forward, DiffusionModel model,
+                         std::size_t k, const SpreadOptions& options) {
+  const VertexId n = forward.num_vertices();
+  EIMM_CHECK(k >= 1 && k <= n, "k out of range");
+
+  struct Entry {
+    VertexId v;
+    double gain;
+    std::size_t round;  // round in which `gain` was computed
+  };
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.v > b.v;  // lowest id on ties, matching the IMM kernels
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> queue(cmp);
+
+  std::vector<VertexId> seeds;
+  // Initial marginal gains = singleton spreads.
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId single[1] = {v};
+    queue.push({v, estimate_spread(forward, model, single, options), 0});
+  }
+
+  double current_spread = 0.0;
+  while (seeds.size() < k && !queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (top.round == seeds.size()) {
+      // Gain is up to date for the current seed set: take it (lazy
+      // evaluation exploits submodularity — stale gains only shrink).
+      seeds.push_back(top.v);
+      current_spread += top.gain;
+    } else {
+      std::vector<VertexId> trial(seeds);
+      trial.push_back(top.v);
+      const double spread = estimate_spread(forward, model, trial, options);
+      top.gain = spread - current_spread;
+      top.round = seeds.size();
+      queue.push(top);
+    }
+  }
+
+  GreedyResult result;
+  result.seeds = std::move(seeds);
+  result.spread = estimate_spread(forward, model, result.seeds, options);
+  return result;
+}
+
+GreedyResult exhaustive_optimal(const CSRGraph& forward, DiffusionModel model,
+                                std::size_t k, const SpreadOptions& options) {
+  const VertexId n = forward.num_vertices();
+  EIMM_CHECK(n <= 20 && k <= 3, "exhaustive search limited to tiny instances");
+  EIMM_CHECK(k >= 1 && k <= n, "k out of range");
+
+  GreedyResult best;
+  std::vector<VertexId> combo(k);
+  // Enumerate k-combinations in lexicographic order.
+  std::vector<VertexId> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = static_cast<VertexId>(i);
+  for (;;) {
+    const double spread = estimate_spread(forward, model, idx, options);
+    if (spread > best.spread) {
+      best.spread = spread;
+      best.seeds = idx;
+    }
+    // Advance combination.
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != n - k + pos) break;
+      if (pos == 0) return best;
+    }
+    if (idx[pos] == n - k + pos) return best;
+    ++idx[pos];
+    for (std::size_t j = pos + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+}  // namespace eimm

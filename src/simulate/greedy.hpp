@@ -1,0 +1,35 @@
+// Reference seed-selection baselines for quality validation.
+//
+// celf_greedy: the classic lazy-greedy (Leskovec et al. CELF) with a
+// Monte-Carlo spread oracle — the (1-1/e)-approximate gold standard IMM
+// is proven to match. Exponentially cheaper than naive greedy but still
+// only feasible on small graphs; used by tests and examples.
+//
+// exhaustive_optimal: brute-force enumeration of all C(n,k) seed sets for
+// tiny instances — the exact OPT the end-to-end tests compare against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+#include "simulate/spread.hpp"
+
+namespace eimm {
+
+struct GreedyResult {
+  std::vector<VertexId> seeds;
+  double spread = 0.0;
+};
+
+/// Lazy greedy maximization of σ(S) with |S| = k.
+GreedyResult celf_greedy(const CSRGraph& forward, DiffusionModel model,
+                         std::size_t k, const SpreadOptions& options = {});
+
+/// Exact optimum by enumeration; requires C(n,k) small (n ≤ 20, k ≤ 3).
+GreedyResult exhaustive_optimal(const CSRGraph& forward, DiffusionModel model,
+                                std::size_t k,
+                                const SpreadOptions& options = {});
+
+}  // namespace eimm

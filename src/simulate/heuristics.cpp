@@ -1,0 +1,43 @@
+#include "simulate/heuristics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+
+std::vector<VertexId> top_degree_seeds(const CSRGraph& forward,
+                                       std::size_t k) {
+  const VertexId n = forward.num_vertices();
+  EIMM_CHECK(k >= 1 && k <= n, "k out of range");
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](VertexId a, VertexId b) {
+                      const EdgeId da = forward.degree(a);
+                      const EdgeId db = forward.degree(b);
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<VertexId> random_seeds(VertexId num_vertices, std::size_t k,
+                                   std::uint64_t seed) {
+  EIMM_CHECK(k >= 1 && k <= num_vertices, "k out of range");
+  Xoshiro256 rng(seed);
+  std::unordered_set<VertexId> chosen;
+  std::vector<VertexId> seeds;
+  seeds.reserve(k);
+  while (seeds.size() < k) {
+    const auto v = static_cast<VertexId>(rng.next_bounded(num_vertices));
+    if (chosen.insert(v).second) seeds.push_back(v);
+  }
+  return seeds;
+}
+
+}  // namespace eimm

@@ -1,0 +1,19 @@
+// Cheap seed heuristics — the comparison points the example applications
+// use to show what principled influence maximization buys.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace eimm {
+
+/// Top-k vertices by out-degree (the folk heuristic for "influencers").
+std::vector<VertexId> top_degree_seeds(const CSRGraph& forward, std::size_t k);
+
+/// k distinct uniform-random vertices (deterministic in seed).
+std::vector<VertexId> random_seeds(VertexId num_vertices, std::size_t k,
+                                   std::uint64_t seed);
+
+}  // namespace eimm

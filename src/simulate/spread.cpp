@@ -1,0 +1,158 @@
+#include "simulate/spread.hpp"
+
+#include <omp.h>
+
+#include <vector>
+
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+namespace {
+
+/// One IC cascade; returns the number of activated vertices.
+std::uint64_t simulate_ic_once(const CSRGraph& forward,
+                               std::span<const VertexId> seeds,
+                               Xoshiro256& rng,
+                               std::vector<std::uint32_t>& stamp,
+                               std::uint32_t epoch,
+                               std::vector<VertexId>& frontier) {
+  frontier.clear();
+  for (const VertexId s : seeds) {
+    if (stamp[s] != epoch) {
+      stamp[s] = epoch;
+      frontier.push_back(s);
+    }
+  }
+  std::uint64_t activated = frontier.size();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const VertexId u = frontier[head];
+    const auto neighbors = forward.neighbors(u);
+    const auto probs = forward.weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      if (stamp[v] != epoch && rng.next_bool(probs[i])) {
+        stamp[v] = epoch;
+        frontier.push_back(v);
+        ++activated;
+      }
+    }
+  }
+  return activated;
+}
+
+/// One LT cascade. Every vertex v draws threshold T_v ~ U[0,1); it
+/// activates when the accumulated weight of its active in-neighbors
+/// reaches T_v. We push weight forward along out-edges, which needs the
+/// same weight on the forward orientation (mirror_weights_to_forward).
+std::uint64_t simulate_lt_once(const CSRGraph& forward,
+                               std::span<const VertexId> seeds,
+                               Xoshiro256& rng,
+                               std::vector<std::uint32_t>& stamp,
+                               std::uint32_t epoch,
+                               std::vector<float>& accumulated,
+                               std::vector<float>& threshold,
+                               std::vector<VertexId>& frontier,
+                               std::vector<VertexId>& touched) {
+  frontier.clear();
+  touched.clear();
+  for (const VertexId s : seeds) {
+    if (stamp[s] != epoch) {
+      stamp[s] = epoch;
+      frontier.push_back(s);
+    }
+  }
+  std::uint64_t activated = frontier.size();
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const VertexId u = frontier[head];
+    const auto neighbors = forward.neighbors(u);
+    const auto weights = forward.weights(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId v = neighbors[i];
+      if (stamp[v] == epoch) continue;  // already active
+      if (accumulated[v] == 0.0f) {
+        // First contact this cascade: draw v's threshold lazily.
+        threshold[v] = static_cast<float>(rng.next_double());
+        touched.push_back(v);
+      }
+      accumulated[v] += weights[i];
+      if (accumulated[v] >= threshold[v]) {
+        stamp[v] = epoch;
+        frontier.push_back(v);
+        ++activated;
+      }
+    }
+  }
+  // Clear accumulation for the vertices touched in this cascade only.
+  for (const VertexId v : touched) accumulated[v] = 0.0f;
+  return activated;
+}
+
+}  // namespace
+
+double estimate_spread_ic(const CSRGraph& forward,
+                          std::span<const VertexId> seeds,
+                          const SpreadOptions& options) {
+  EIMM_CHECK(forward.has_weights(), "forward graph needs IC probabilities");
+  if (seeds.empty()) return 0.0;
+  const VertexId n = forward.num_vertices();
+  std::uint64_t total = 0;
+
+#pragma omp parallel reduction(+ : total)
+  {
+    std::vector<std::uint32_t> stamp(n, 0);
+    std::vector<VertexId> frontier;
+    frontier.reserve(1024);
+#pragma omp for schedule(static)
+    for (int s = 0; s < options.num_samples; ++s) {
+      Xoshiro256 rng = Xoshiro256::for_stream(options.rng_seed,
+                                              static_cast<std::uint64_t>(s));
+      total += simulate_ic_once(forward, seeds, rng, stamp,
+                                static_cast<std::uint32_t>(s) + 1, frontier);
+    }
+  }
+  return static_cast<double>(total) / options.num_samples;
+}
+
+double estimate_spread_lt(const CSRGraph& forward,
+                          std::span<const VertexId> seeds,
+                          const SpreadOptions& options) {
+  EIMM_CHECK(forward.has_weights(), "forward graph needs LT weights");
+  if (seeds.empty()) return 0.0;
+  const VertexId n = forward.num_vertices();
+  std::uint64_t total = 0;
+
+#pragma omp parallel reduction(+ : total)
+  {
+    std::vector<std::uint32_t> stamp(n, 0);
+    std::vector<float> accumulated(n, 0.0f);
+    std::vector<float> threshold(n, 0.0f);
+    std::vector<VertexId> frontier;
+    std::vector<VertexId> touched;
+    frontier.reserve(1024);
+    touched.reserve(1024);
+#pragma omp for schedule(static)
+    for (int s = 0; s < options.num_samples; ++s) {
+      Xoshiro256 rng = Xoshiro256::for_stream(options.rng_seed,
+                                              static_cast<std::uint64_t>(s));
+      total += simulate_lt_once(forward, seeds, rng, stamp,
+                                static_cast<std::uint32_t>(s) + 1, accumulated,
+                                threshold, frontier, touched);
+    }
+  }
+  return static_cast<double>(total) / options.num_samples;
+}
+
+double estimate_spread(const CSRGraph& forward, DiffusionModel model,
+                       std::span<const VertexId> seeds,
+                       const SpreadOptions& options) {
+  switch (model) {
+    case DiffusionModel::kIndependentCascade:
+      return estimate_spread_ic(forward, seeds, options);
+    case DiffusionModel::kLinearThreshold:
+      return estimate_spread_lt(forward, seeds, options);
+  }
+  return 0.0;
+}
+
+}  // namespace eimm

@@ -1,0 +1,16 @@
+#include "support/aligned.hpp"
+
+#include <cstdlib>
+
+namespace eimm {
+
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) bytes = alignment;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded);
+}
+
+void aligned_free(void* p) noexcept { std::free(p); }
+
+}  // namespace eimm

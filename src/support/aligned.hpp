@@ -1,0 +1,50 @@
+// Cache-line constants, padded wrappers, and aligned heap allocation.
+//
+// The paper's Algorithm 2 relies on fine-grained 64-bit atomic increments;
+// the *supporting* per-thread metadata (regional maxima, work-queue heads)
+// must not false-share, hence CachePadded<T>.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace eimm {
+
+/// Size of a destructive-interference region. 64 bytes on x86-64.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps T so that distinct array elements live on distinct cache lines.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+  CachePadded() = default;
+  explicit CachePadded(const T& v) : value(v) {}
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+/// Allocates `bytes` bytes aligned to `alignment` (a power of two).
+/// Returns nullptr on failure. Free with aligned_free.
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment);
+
+/// Frees memory obtained from aligned_alloc_bytes.
+void aligned_free(void* p) noexcept;
+
+/// Deleter for unique_ptr over aligned allocations.
+struct AlignedDeleter {
+  void operator()(void* p) const noexcept { aligned_free(p); }
+};
+
+/// Allocates a cache-line-aligned, default-initialized array of T.
+template <typename T>
+std::unique_ptr<T[], AlignedDeleter> make_aligned_array(std::size_t n) {
+  void* p = aligned_alloc_bytes(n * sizeof(T), kCacheLineSize);
+  if (p == nullptr) throw std::bad_alloc{};
+  return std::unique_ptr<T[], AlignedDeleter>(new (p) T[n]{});
+}
+
+}  // namespace eimm

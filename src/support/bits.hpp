@@ -1,0 +1,47 @@
+// Bit-manipulation helpers for the bitmap RRR-set representation and the
+// cache simulator's address arithmetic.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace eimm {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// Population count of a 64-bit word.
+constexpr int popcount64(std::uint64_t x) noexcept { return std::popcount(x); }
+
+/// Index of lowest set bit (undefined for x == 0).
+constexpr int ctz64(std::uint64_t x) noexcept { return std::countr_zero(x); }
+
+/// True if x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x must be >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return std::bit_ceil(x);
+}
+
+/// log2 of a power of two.
+constexpr unsigned log2_pow2(std::uint64_t x) noexcept {
+  return static_cast<unsigned>(std::countr_zero(x));
+}
+
+/// Invokes `fn(bit_index)` for every set bit in `word`, where bit indices
+/// are offset by `base`. Used to iterate bitmap RRR sets word-at-a-time.
+template <typename Fn>
+inline void for_each_set_bit(std::uint64_t word, std::size_t base, Fn&& fn) {
+  while (word != 0) {
+    const int b = ctz64(word);
+    fn(base + static_cast<std::size_t>(b));
+    word &= word - 1;  // clear lowest set bit
+  }
+}
+
+}  // namespace eimm

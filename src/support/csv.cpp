@@ -1,0 +1,43 @@
+#include "support/csv.hpp"
+
+namespace eimm {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    if (!first) os_ << ',';
+    os_ << escape(f);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (const auto f : fields) {
+    if (!first) os_ << ',';
+    os_ << escape(f);
+    first = false;
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::end_row() {
+  row(pending_);
+  pending_.clear();
+}
+
+}  // namespace eimm

@@ -1,0 +1,41 @@
+// CSV writer for the speedup_{ic,lt}.csv-style summaries the SC'24
+// artifact produces from its JSON logs.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eimm {
+
+/// Row-oriented CSV writer. Fields containing commas, quotes, or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes a full row from string fields.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Incremental interface: cell() appends one field, end_row() terminates.
+  template <typename T>
+  CsvWriter& cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    pending_.push_back(os.str());
+    return *this;
+  }
+  void end_row();
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> pending_;
+};
+
+}  // namespace eimm

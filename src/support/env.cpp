@@ -1,0 +1,44 @@
+#include "support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace eimm {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  return v;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  auto s = env_string(name);
+  if (!s) return fallback;
+  std::string lower = *s;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  return fallback;
+}
+
+}  // namespace eimm

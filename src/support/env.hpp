@@ -1,0 +1,24 @@
+// Typed environment-variable lookup used by the bench harnesses
+// (EIMM_SCALE, EIMM_THREADS, ...) so every binary honours the same knobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace eimm {
+
+/// Raw lookup; nullopt when unset.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer lookup; returns fallback when unset or unparseable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Double lookup; returns fallback when unset or unparseable.
+double env_double(const char* name, double fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" are true (case-insensitive);
+/// "0", "false", "no", "off" are false; anything else -> fallback.
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace eimm

@@ -1,0 +1,61 @@
+// Minimal JSON writer. The SC'24 artifact emits per-run JSON logs
+// (strong-scaling-logs-*); src/io/json_log mirrors that format using this
+// writer. Only writing is supported — the project never parses JSON.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eimm {
+
+/// Streaming JSON writer with explicit begin/end nesting.
+/// Keys and values are escaped per RFC 8259. The writer validates nesting
+/// depth but (deliberately) not key uniqueness.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true)
+      : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by a value or a
+  /// begin_object/begin_array call.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Escapes a string per JSON rules (quotes, backslash, control chars).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Ctx { kTop, kObject, kArray };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+  std::vector<Ctx> stack_{Ctx::kTop};
+};
+
+}  // namespace eimm

@@ -1,0 +1,225 @@
+#include "support/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+bool JsonValue::as_bool() const {
+  EIMM_CHECK(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(storage_);
+}
+
+double JsonValue::as_number() const {
+  EIMM_CHECK(is_number(), "JSON value is not a number");
+  return std::get<double>(storage_);
+}
+
+const std::string& JsonValue::as_string() const {
+  EIMM_CHECK(is_string(), "JSON value is not a string");
+  return std::get<std::string>(storage_);
+}
+
+const JsonArray& JsonValue::as_array() const {
+  EIMM_CHECK(is_array(), "JSON value is not an array");
+  return std::get<JsonArray>(storage_);
+}
+
+const JsonObject& JsonValue::as_object() const {
+  EIMM_CHECK(is_object(), "JSON value is not an object");
+  return std::get<JsonObject>(storage_);
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonObject& object = as_object();
+  const auto it = object.find(key);
+  EIMM_CHECK(it != object.end(), "JSON object missing key");
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  if (!is_object()) return false;
+  const JsonObject& object = std::get<JsonObject>(storage_);
+  return object.find(key) != object.end();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    EIMM_CHECK(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    EIMM_CHECK(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    EIMM_CHECK(pos_ < text_.size() && text_[pos_] == c,
+               "unexpected character in JSON");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        EIMM_CHECK(consume_literal("true"), "malformed literal");
+        return JsonValue(true);
+      case 'f':
+        EIMM_CHECK(consume_literal("false"), "malformed literal");
+        return JsonValue(false);
+      case 'n':
+        EIMM_CHECK(consume_literal("null"), "malformed literal");
+        return JsonValue(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(object));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      EIMM_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      EIMM_CHECK(pos_ < text_.size(), "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          EIMM_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else EIMM_CHECK(false, "invalid \\u escape digit");
+          }
+          // Latin-1 subset is enough for the logs we write.
+          EIMM_CHECK(code <= 0xFF, "\\u escape beyond Latin-1 unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: EIMM_CHECK(false, "unknown escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    EIMM_CHECK(ec == std::errc{} && ptr == text_.data() + pos_,
+               "malformed JSON number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace eimm

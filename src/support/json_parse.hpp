@@ -1,0 +1,64 @@
+// Minimal JSON parser — just enough to read back the experiment logs the
+// library itself writes (io/json_log), so the results-extraction tool
+// can mirror the SC'24 artifact's extract_results.py without a third-
+// party dependency. Supports the full JSON grammar except \uXXXX escapes
+// beyond Latin-1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace eimm {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// A parsed JSON value. Numbers are stored as double (the logs never
+/// need 64-bit-exact integers above 2^53).
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               JsonArray, JsonObject>;
+
+  JsonValue() : storage_(nullptr) {}
+  JsonValue(std::nullptr_t) : storage_(nullptr) {}
+  JsonValue(bool b) : storage_(b) {}
+  JsonValue(double d) : storage_(d) {}
+  JsonValue(std::string s) : storage_(std::move(s)) {}
+  JsonValue(JsonArray a) : storage_(std::move(a)) {}
+  JsonValue(JsonObject o) : storage_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return storage_.index() == 0; }
+  [[nodiscard]] bool is_bool() const { return storage_.index() == 1; }
+  [[nodiscard]] bool is_number() const { return storage_.index() == 2; }
+  [[nodiscard]] bool is_string() const { return storage_.index() == 3; }
+  [[nodiscard]] bool is_array() const { return storage_.index() == 4; }
+  [[nodiscard]] bool is_object() const { return storage_.index() == 5; }
+
+  /// Typed accessors; throw CheckError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Object field lookup; throws CheckError when absent or not an object.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  Storage storage_;
+};
+
+/// Parses a complete JSON document; throws CheckError (with offset
+/// context) on malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace eimm

@@ -1,0 +1,52 @@
+// Minimal leveled logger. Intentionally tiny: a single mutex-protected
+// stream with compile-away-able levels, enough for the engines to report
+// phase progress and for benches to annotate their configuration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace eimm {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn
+/// (library code stays quiet unless something is wrong), overridable via
+/// the EIMM_LOG env var ("debug", "info", "warn", "error", "off").
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+/// Emits one line to stderr with a level prefix; thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace eimm
+
+#define EIMM_LOG(level)                                   \
+  if (static_cast<int>(level) <                           \
+      static_cast<int>(::eimm::log_threshold())) {        \
+  } else                                                  \
+    ::eimm::detail::LogMessage(level)
+
+#define EIMM_LOG_DEBUG EIMM_LOG(::eimm::LogLevel::kDebug)
+#define EIMM_LOG_INFO EIMM_LOG(::eimm::LogLevel::kInfo)
+#define EIMM_LOG_WARN EIMM_LOG(::eimm::LogLevel::kWarn)
+#define EIMM_LOG_ERROR EIMM_LOG(::eimm::LogLevel::kError)

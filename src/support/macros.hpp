@@ -1,0 +1,50 @@
+// Error-checking macros and small attribute helpers shared by every module.
+//
+// EIMM_CHECK is an always-on invariant check (survives NDEBUG); it throws
+// eimm::CheckError so library misuse surfaces as a catchable exception rather
+// than a process abort, which keeps the test suite able to assert on it.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace eimm {
+
+/// Thrown by EIMM_CHECK on a failed invariant; carries file/line context.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "EIMM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace eimm
+
+/// Always-on invariant check. Usage: EIMM_CHECK(x > 0, "x must be positive").
+#define EIMM_CHECK(expr, ...)                                            \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::eimm::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                   ::std::string{"" __VA_ARGS__});       \
+    }                                                                    \
+  } while (0)
+
+/// Marks intentionally unused variables (e.g. parameters kept for symmetry).
+#define EIMM_UNUSED(x) (void)(x)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EIMM_LIKELY(x) __builtin_expect(!!(x), 1)
+#define EIMM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define EIMM_LIKELY(x) (x)
+#define EIMM_UNLIKELY(x) (x)
+#endif

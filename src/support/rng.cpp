@@ -1,0 +1,23 @@
+#include "support/rng.hpp"
+
+namespace eimm {
+
+std::uint64_t Xoshiro256::next_bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and avoids divisions
+  // on the fast path.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace eimm

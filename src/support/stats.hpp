@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers for bench reporting (best/median
+// runtimes, coverage percentiles in Table I).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eimm {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0..100) by linear interpolation; sorts a copy.
+double percentile(std::vector<double> values, double p);
+
+/// Median convenience wrapper.
+inline double median(std::vector<double> values) {
+  return percentile(std::move(values), 50.0);
+}
+
+}  // namespace eimm

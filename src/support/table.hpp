@@ -1,0 +1,57 @@
+// ASCII table printer. Every bench binary prints its paper table/figure
+// through this so the output format is uniform and diffable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace eimm {
+
+/// Column-aligned ASCII table with a header row and optional title.
+/// Cells are strings; numeric convenience overloads format in place.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  AsciiTable& new_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  AsciiTable& add(std::string cell) {
+    rows_.back().push_back(std::move(cell));
+    return *this;
+  }
+  AsciiTable& add(const char* cell) { return add(std::string(cell)); }
+  AsciiTable& add(double v, int precision = 3);
+  AsciiTable& add(std::uint64_t v);
+  AsciiTable& add(std::int64_t v);
+  AsciiTable& add(int v) { return add(static_cast<std::int64_t>(v)); }
+
+  /// Renders with column alignment, `|` separators and a rule under the
+  /// header (GitHub-Markdown compatible).
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v with fixed precision, e.g. format_double(1.23456, 2) == "1.23".
+std::string format_double(double v, int precision);
+
+/// Human-readable byte count ("1.5 GiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a speedup like the paper's tables: "5.9x".
+std::string format_speedup(double ratio, int precision = 1);
+
+}  // namespace eimm

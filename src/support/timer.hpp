@@ -1,0 +1,53 @@
+// Monotonic wall-clock timing used by the phase-breakdown instrumentation
+// (Fig. 2) and every bench harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace eimm {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction/reset.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/reset.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+  /// Elapsed nanoseconds since construction/reset.
+  [[nodiscard]] std::uint64_t nanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double on scope exit; used to attribute
+/// time to named phases without littering call sites with Timer plumbing.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) noexcept : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace eimm

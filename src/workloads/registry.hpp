@@ -1,0 +1,52 @@
+// The eight SNAP datasets of the paper, mapped to synthetic analogues.
+//
+// The real datasets cannot be redistributed with this repository, so each
+// one is stood in for by a random-graph family whose structure lands in
+// the same qualitative regime the paper's Table I documents: dense-SCC
+// social graphs with 30-90 % RRR coverage, and one low-coverage outlier
+// (as-Skitter behaves like a road network: 1.6 % average coverage).
+// The node counts are scaled down ~10-300x so the full benchmark suite
+// runs on a laptop; `scale` (EIMM_SCALE env var in the benches) grows
+// them back toward paper size. See DESIGN.md §2 for the substitution
+// rationale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+
+namespace eimm {
+
+struct WorkloadSpec {
+  std::string name;          // paper dataset name, e.g. "com-Amazon"
+  std::string family;        // generator family used as the analogue
+  std::uint64_t paper_nodes; // Table I figures, for side-by-side reporting
+  std::uint64_t paper_edges;
+  double paper_avg_coverage;  // Table I avg RRRset coverage (IC, eps=0.5)
+  double paper_max_coverage;  // Table I max RRRset coverage
+  std::uint32_t base_nodes;   // analogue size at scale = 1.0
+};
+
+/// All eight paper datasets in Table I order.
+const std::vector<WorkloadSpec>& workload_specs();
+
+/// Spec lookup by paper name (case-sensitive); nullopt when unknown.
+std::optional<WorkloadSpec> find_workload(const std::string& name);
+
+/// Builds the analogue graph for `name` at the given scale.
+/// Deterministic in (name, scale, seed). Weights are NOT assigned —
+/// callers pick a diffusion model via assign_paper_weights.
+DiffusionGraph make_workload(const std::string& name, double scale = 1.0,
+                             std::uint64_t seed = 42);
+
+/// Convenience: graph + paper-§V-A weights for `model` in one call.
+DiffusionGraph make_workload_with_weights(const std::string& name,
+                                          DiffusionModel model,
+                                          double scale = 1.0,
+                                          std::uint64_t seed = 42);
+
+}  // namespace eimm

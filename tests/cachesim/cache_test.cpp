@@ -1,0 +1,144 @@
+#include "cachesim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+// Tiny deterministic hierarchy: L1 = 4 sets x 2 ways x 64B = 512B,
+// L2 = 16 sets x 2 ways x 64B = 2KiB.
+CacheConfig tiny_config() {
+  CacheConfig c;
+  c.l1 = {512, 2, 64};
+  c.l2 = {2048, 2, 64};
+  return c;
+}
+
+TEST(CacheLevel, HitAfterMiss) {
+  CacheLevel level({512, 2, 64});
+  EXPECT_FALSE(level.access_line(5));  // cold miss
+  EXPECT_TRUE(level.access_line(5));   // now resident
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  CacheLevel level({512, 2, 64});  // 4 sets, 2 ways
+  // Lines 0, 4, 8 all map to set 0 (line % 4 == 0). Two fit; three thrash.
+  EXPECT_FALSE(level.access_line(0));
+  EXPECT_FALSE(level.access_line(4));
+  EXPECT_TRUE(level.access_line(0));   // still resident, refreshes LRU
+  EXPECT_FALSE(level.access_line(8));  // evicts 4 (LRU)
+  EXPECT_TRUE(level.access_line(0));
+  EXPECT_FALSE(level.access_line(4));  // was evicted
+}
+
+TEST(CacheLevel, DifferentSetsDoNotConflict) {
+  CacheLevel level({512, 2, 64});
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    EXPECT_FALSE(level.access_line(line));  // 4 sets x 2 ways: all fit
+  }
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    EXPECT_TRUE(level.access_line(line));
+  }
+}
+
+TEST(CacheLevel, ResetForgetsEverything) {
+  CacheLevel level({512, 2, 64});
+  level.access_line(3);
+  level.reset();
+  EXPECT_FALSE(level.access_line(3));
+}
+
+TEST(CacheLevel, ConfigValidation) {
+  EXPECT_THROW(CacheLevel({512, 2, 48}), CheckError);   // non-pow2 line
+  EXPECT_THROW(CacheLevel({512, 0, 64}), CheckError);   // zero ways
+  EXPECT_THROW(CacheLevel({64, 2, 64}), CheckError);    // < one set
+}
+
+TEST(CacheHierarchy, RepeatedAccessHitsL1) {
+  CacheHierarchy h(tiny_config());
+  int x = 0;
+  h.access(&x, sizeof x);
+  h.access(&x, sizeof x);
+  h.access(&x, sizeof x);
+  EXPECT_EQ(h.stats().accesses, 3u);
+  EXPECT_EQ(h.stats().l1_misses, 1u);
+  EXPECT_EQ(h.stats().l2_misses, 1u);
+}
+
+TEST(CacheHierarchy, StreamingLargerThanCacheMissesEverywhere) {
+  CacheHierarchy h(tiny_config());
+  std::vector<char> buffer(64 * 1024);
+  // One pass: all cold misses.
+  for (std::size_t i = 0; i < buffer.size(); i += 64) {
+    h.access(buffer.data() + i, 1);
+  }
+  const auto first_pass = h.stats();
+  EXPECT_EQ(first_pass.l1_misses, first_pass.accesses);
+  EXPECT_EQ(first_pass.l2_misses, first_pass.accesses);
+  // Second pass: working set (64 KiB) exceeds both levels: still misses.
+  for (std::size_t i = 0; i < buffer.size(); i += 64) {
+    h.access(buffer.data() + i, 1);
+  }
+  EXPECT_EQ(h.stats().l1_misses, h.stats().accesses);
+}
+
+TEST(CacheHierarchy, L2CatchesL1CapacityMisses) {
+  CacheHierarchy h(tiny_config());
+  std::vector<char> buffer(1024);  // fits L2 (2KiB), exceeds L1 (512B)
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < buffer.size(); i += 64) {
+      h.access(buffer.data() + i, 1);
+    }
+  }
+  const auto s = h.stats();
+  // Second pass misses L1 (capacity) but hits L2.
+  EXPECT_GT(s.l1_misses, s.l2_misses);
+  EXPECT_EQ(s.l2_misses, 16u);  // only the 16 cold misses
+}
+
+TEST(CacheHierarchy, MultiLineAccessTouchesEachLine) {
+  CacheHierarchy h(tiny_config());
+  alignas(64) char big[256];
+  h.access(big, sizeof big);  // spans 4 lines
+  EXPECT_EQ(h.stats().accesses, 4u);
+}
+
+TEST(CacheHierarchy, ZeroByteAccessCountsOnce) {
+  CacheHierarchy h(tiny_config());
+  int x;
+  h.access(&x, 0);
+  EXPECT_EQ(h.stats().accesses, 1u);
+}
+
+TEST(CacheHierarchy, ResetClearsStats) {
+  CacheHierarchy h(tiny_config());
+  int x = 0;
+  h.access(&x, sizeof x);
+  h.reset();
+  EXPECT_EQ(h.stats().accesses, 0u);
+  EXPECT_EQ(h.stats().l1_plus_l2_misses(), 0u);
+}
+
+TEST(CacheStats, Accumulation) {
+  CacheStats a{10, 5, 2};
+  const CacheStats b{1, 1, 1};
+  a += b;
+  EXPECT_EQ(a.accesses, 11u);
+  EXPECT_EQ(a.l1_misses, 6u);
+  EXPECT_EQ(a.l2_misses, 3u);
+  EXPECT_EQ(a.l1_plus_l2_misses(), 9u);
+}
+
+TEST(CacheHierarchy, MismatchedLineSizesRejected) {
+  CacheConfig c;
+  c.l1 = {512, 2, 64};
+  c.l2 = {2048, 2, 128};
+  EXPECT_THROW(CacheHierarchy h(c), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

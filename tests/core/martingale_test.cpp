@@ -1,0 +1,113 @@
+#include "core/martingale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(LogBinomial, KnownValues) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(log_binomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 7), 0.0);
+}
+
+TEST(LogBinomial, Symmetry) {
+  EXPECT_NEAR(log_binomial(100, 30), log_binomial(100, 70), 1e-9);
+}
+
+TEST(LogBinomial, KGreaterThanNIsMinusInfinity) {
+  EXPECT_TRUE(std::isinf(log_binomial(3, 5)));
+  EXPECT_LT(log_binomial(3, 5), 0.0);
+}
+
+TEST(LogBinomial, LargeArgumentsStable) {
+  // C(4e7, 50) overflows any float; the log form must stay finite.
+  const double v = log_binomial(41'652'230, 50);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(MartingaleParams, DerivedConstants) {
+  const auto p = compute_martingale_params(100'000, 50, 0.5);
+  EXPECT_NEAR(p.epsilon_prime, std::sqrt(2.0) * 0.5, 1e-12);
+  EXPECT_GT(p.ell, 1.0);  // boosted above the requested 1.0
+  EXPECT_GT(p.lambda_prime, 0.0);
+  EXPECT_GT(p.lambda_star, 0.0);
+}
+
+TEST(MartingaleParams, ValidationGuards) {
+  EXPECT_THROW(compute_martingale_params(1, 1, 0.5), CheckError);
+  EXPECT_THROW(compute_martingale_params(100, 0, 0.5), CheckError);
+  EXPECT_THROW(compute_martingale_params(100, 101, 0.5), CheckError);
+  EXPECT_THROW(compute_martingale_params(100, 10, 0.0), CheckError);
+  EXPECT_THROW(compute_martingale_params(100, 10, 1.0), CheckError);
+}
+
+TEST(MartingaleParams, ThetaDoublesPerIteration) {
+  const auto p = compute_martingale_params(1 << 16, 50, 0.5);
+  for (unsigned i = 1; i + 1 <= p.max_iterations(); ++i) {
+    const double ratio = static_cast<double>(p.theta_for_iteration(i + 1)) /
+                         static_cast<double>(p.theta_for_iteration(i));
+    EXPECT_NEAR(ratio, 2.0, 0.01) << "iteration " << i;
+  }
+}
+
+TEST(MartingaleParams, MaxIterationsMatchesLog2) {
+  EXPECT_EQ(compute_martingale_params(1 << 10, 5, 0.5).max_iterations(), 9u);
+  EXPECT_EQ(compute_martingale_params(1 << 16, 5, 0.5).max_iterations(), 15u);
+  // Tiny graphs still get at least one probing iteration.
+  EXPECT_GE(compute_martingale_params(2, 1, 0.5).max_iterations(), 1u);
+}
+
+TEST(MartingaleParams, ThetaFinalInverseInLowerBound) {
+  const auto p = compute_martingale_params(10'000, 20, 0.5);
+  const auto theta_small_lb = p.theta_final(10.0);
+  const auto theta_large_lb = p.theta_final(1000.0);
+  EXPECT_GT(theta_small_lb, theta_large_lb);
+  EXPECT_NEAR(static_cast<double>(theta_small_lb) /
+                  static_cast<double>(theta_large_lb),
+              100.0, 1.0);
+}
+
+TEST(MartingaleParams, ThetaFinalClampsLowerBound) {
+  const auto p = compute_martingale_params(10'000, 20, 0.5);
+  EXPECT_EQ(p.theta_final(0.0), p.theta_final(1.0));
+  EXPECT_EQ(p.theta_final(-5.0), p.theta_final(1.0));
+}
+
+TEST(MartingaleParams, AcceptanceThreshold) {
+  const auto p = compute_martingale_params(1024, 10, 0.5);
+  // Iteration 1 probes x = n/2 = 512. Acceptance needs
+  // n * F >= (1 + eps') * 512.
+  const double boundary =
+      (1.0 + p.epsilon_prime) * 512.0 / 1024.0;
+  EXPECT_TRUE(p.accepts(boundary + 1e-9, 1));
+  EXPECT_FALSE(p.accepts(boundary - 1e-3, 1));
+}
+
+TEST(MartingaleParams, LowerBoundFormula) {
+  const auto p = compute_martingale_params(1000, 10, 0.5);
+  EXPECT_NEAR(p.lower_bound(0.34), 1000.0 * 0.34 / (1.0 + p.epsilon_prime),
+              1e-9);
+}
+
+TEST(MartingaleParams, SmallerEpsilonNeedsMoreSamples) {
+  const auto loose = compute_martingale_params(10'000, 20, 0.5);
+  const auto tight = compute_martingale_params(10'000, 20, 0.1);
+  EXPECT_GT(tight.lambda_star, loose.lambda_star);
+  EXPECT_GT(tight.lambda_prime, loose.lambda_prime);
+}
+
+TEST(MartingaleParams, LargerKNeedsMoreSamples) {
+  const auto small_k = compute_martingale_params(10'000, 5, 0.5);
+  const auto large_k = compute_martingale_params(10'000, 100, 0.5);
+  EXPECT_GT(large_k.lambda_star, small_k.lambda_star);
+}
+
+}  // namespace
+}  // namespace eimm

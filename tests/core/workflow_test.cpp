@@ -1,0 +1,152 @@
+// Edge cases of the full IMM workflow: extreme k, tight/loose epsilon,
+// degenerate graphs, and option validation — the inputs a downstream
+// user will eventually throw at the library.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/imm.hpp"
+#include "diffusion/weights.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+ImmOptions options_with(std::size_t k, double epsilon,
+                        DiffusionModel model) {
+  ImmOptions opt;
+  opt.k = k;
+  opt.epsilon = epsilon;
+  opt.model = model;
+  opt.rng_seed = 4242;
+  opt.max_rrr_sets = 500'000;
+  return opt;
+}
+
+TEST(Workflow, KEqualsOne) {
+  const auto g = testing::make_weighted_graph(
+      gen_barabasi_albert(200, 2, 3), DiffusionModel::kIndependentCascade);
+  const auto result = run_efficient_imm(
+      g, options_with(1, 0.5, DiffusionModel::kIndependentCascade));
+  EXPECT_EQ(result.seeds.size(), 1u);
+  EXPECT_GT(result.coverage_fraction, 0.0);
+}
+
+TEST(Workflow, KNearlyN) {
+  // k close to |V|: the workflow must not loop or overrun; coverage
+  // approaches 1 because nearly every vertex gets selected.
+  const auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(64, 300, 5), DiffusionModel::kIndependentCascade);
+  const auto result = run_efficient_imm(
+      g, options_with(60, 0.5, DiffusionModel::kIndependentCascade));
+  EXPECT_LE(result.seeds.size(), 60u);
+  EXPECT_GT(result.coverage_fraction, 0.95);
+  const std::set<VertexId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), result.seeds.size());
+}
+
+TEST(Workflow, SelectionStopsEarlyWhenPoolExhausted) {
+  // A graph of isolated pairs: each RRR set has <= 2 vertices, and a few
+  // seeds cover everything reachable; the engine must return fewer than
+  // k seeds rather than pad with zero-gain vertices.
+  std::vector<WeightedEdge> edges;
+  for (VertexId v = 0; v + 1 < 40; v += 2) edges.push_back({v, v + 1, 1.0f});
+  auto g = testing::make_graph(edges, 40);
+  testing::set_uniform_probability(g, 1.0f);
+  const auto result = run_efficient_imm(
+      g, options_with(39, 0.5, DiffusionModel::kIndependentCascade));
+  // 20 pair-heads cover all sets; no more than ~20+ seeds have gain.
+  EXPECT_LT(result.seeds.size(), 39u);
+  EXPECT_DOUBLE_EQ(result.coverage_fraction, 1.0);
+}
+
+TEST(Workflow, TightEpsilonSamplesMore) {
+  const auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(300, 1800, 7), DiffusionModel::kIndependentCascade);
+  const auto loose = run_efficient_imm(
+      g, options_with(5, 0.5, DiffusionModel::kIndependentCascade));
+  const auto tight = run_efficient_imm(
+      g, options_with(5, 0.15, DiffusionModel::kIndependentCascade));
+  EXPECT_GT(tight.num_rrr_sets, loose.num_rrr_sets);
+}
+
+TEST(Workflow, LargerEllSamplesMore) {
+  const auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(300, 1800, 7), DiffusionModel::kIndependentCascade);
+  auto opt_low = options_with(5, 0.5, DiffusionModel::kIndependentCascade);
+  opt_low.ell = 1.0;
+  auto opt_high = opt_low;
+  opt_high.ell = 3.0;
+  const auto low = run_efficient_imm(g, opt_low);
+  const auto high = run_efficient_imm(g, opt_high);
+  EXPECT_GE(high.num_rrr_sets, low.num_rrr_sets);
+}
+
+TEST(Workflow, DisconnectedGraphStillWorks) {
+  // Two disjoint communities; seeds should land in both.
+  std::vector<WeightedEdge> edges = gen_complete(10);
+  for (const auto& e : gen_complete(10)) {
+    edges.push_back({static_cast<VertexId>(e.src + 10),
+                     static_cast<VertexId>(e.dst + 10), 1.0f});
+  }
+  auto g = testing::make_graph(edges, 20);
+  testing::set_uniform_probability(g, 0.8f);
+  const auto result = run_efficient_imm(
+      g, options_with(2, 0.4, DiffusionModel::kIndependentCascade));
+  ASSERT_EQ(result.seeds.size(), 2u);
+  const bool one_per_side = (result.seeds[0] < 10) != (result.seeds[1] < 10);
+  EXPECT_TRUE(one_per_side) << result.seeds[0] << "," << result.seeds[1];
+}
+
+TEST(Workflow, VerticesWithNoInEdgesAreStillSampledAsRoots) {
+  // A pure source vertex appears in RRR sets only as its own root; the
+  // engine must handle those singleton sets.
+  const auto g = testing::make_weighted_graph(
+      gen_star(50), DiffusionModel::kIndependentCascade);
+  const auto result = run_efficient_imm(
+      g, options_with(3, 0.5, DiffusionModel::kIndependentCascade));
+  EXPECT_EQ(result.seeds.size(), 3u);
+}
+
+TEST(Workflow, InvalidOptionsThrow) {
+  const auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(50, 200, 3), DiffusionModel::kIndependentCascade);
+  EXPECT_THROW(run_efficient_imm(
+                   g, options_with(0, 0.5, DiffusionModel::kIndependentCascade)),
+               CheckError);
+  EXPECT_THROW(run_efficient_imm(
+                   g, options_with(5, 0.0, DiffusionModel::kIndependentCascade)),
+               CheckError);
+  EXPECT_THROW(run_efficient_imm(
+                   g, options_with(5, 1.5, DiffusionModel::kIndependentCascade)),
+               CheckError);
+  EXPECT_THROW(run_efficient_imm(
+                   g, options_with(51, 0.5, DiffusionModel::kIndependentCascade)),
+               CheckError);
+}
+
+TEST(Workflow, BreakdownAccountsForMostOfTotal) {
+  const auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(500, 3000, 11), DiffusionModel::kIndependentCascade);
+  const auto result = run_efficient_imm(
+      g, options_with(10, 0.5, DiffusionModel::kIndependentCascade));
+  const PhaseBreakdown& b = result.breakdown;
+  EXPECT_LE(b.sampling_seconds + b.selection_seconds,
+            b.total_seconds + 1e-6);
+  // Untracked "other" time (martingale bookkeeping, allocation) should
+  // be a small share of the run.
+  EXPECT_LT(b.other_seconds(), 0.5 * b.total_seconds + 0.01);
+}
+
+TEST(Workflow, EstimatedSpreadBoundedByN) {
+  const auto g = testing::make_weighted_graph(
+      gen_watts_strogatz(300, 3, 0.1, 3), DiffusionModel::kLinearThreshold);
+  const auto result = run_efficient_imm(
+      g, options_with(5, 0.5, DiffusionModel::kLinearThreshold));
+  EXPECT_GE(result.estimated_spread, static_cast<double>(0));
+  EXPECT_LE(result.estimated_spread, 300.0);
+}
+
+}  // namespace
+}  // namespace eimm

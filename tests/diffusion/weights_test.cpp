@@ -1,0 +1,156 @@
+#include "diffusion/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+DiffusionGraph random_graph() {
+  return build_diffusion_graph(gen_erdos_renyi(100, 600, 5), 100);
+}
+
+TEST(ParseModel, RecognizedStrings) {
+  EXPECT_EQ(parse_model("IC"), DiffusionModel::kIndependentCascade);
+  EXPECT_EQ(parse_model("ic"), DiffusionModel::kIndependentCascade);
+  EXPECT_EQ(parse_model("LT"), DiffusionModel::kLinearThreshold);
+  EXPECT_EQ(parse_model("lt"), DiffusionModel::kLinearThreshold);
+  EXPECT_EQ(parse_model("bogus", DiffusionModel::kLinearThreshold),
+            DiffusionModel::kLinearThreshold);
+}
+
+TEST(ToString, ModelNames) {
+  EXPECT_EQ(to_string(DiffusionModel::kIndependentCascade), "IC");
+  EXPECT_EQ(to_string(DiffusionModel::kLinearThreshold), "LT");
+}
+
+TEST(IcWeights, UniformInUnitInterval) {
+  auto g = random_graph();
+  assign_ic_weights_uniform(g.reverse, 3);
+  for (VertexId v = 0; v < g.reverse.num_vertices(); ++v) {
+    for (const float w : g.reverse.weights(v)) {
+      EXPECT_GE(w, 0.0f);
+      EXPECT_LT(w, 1.0f);
+    }
+  }
+}
+
+TEST(IcWeights, UniformDeterministicInSeed) {
+  auto a = random_graph();
+  auto b = random_graph();
+  assign_ic_weights_uniform(a.reverse, 3);
+  assign_ic_weights_uniform(b.reverse, 3);
+  EXPECT_EQ(a.reverse.raw_weights(), b.reverse.raw_weights());
+  auto c = random_graph();
+  assign_ic_weights_uniform(c.reverse, 4);
+  EXPECT_NE(a.reverse.raw_weights(), c.reverse.raw_weights());
+}
+
+TEST(IcWeights, UniformMeanNearHalf) {
+  auto g = build_diffusion_graph(gen_erdos_renyi(500, 20000, 5), 500);
+  assign_ic_weights_uniform(g.reverse, 3);
+  const auto& ws = g.reverse.raw_weights();
+  const double mean =
+      std::accumulate(ws.begin(), ws.end(), 0.0) / static_cast<double>(ws.size());
+  EXPECT_NEAR(mean, 0.5, 0.02);
+}
+
+TEST(IcWeights, WeightedCascadeIsInverseIndegree) {
+  auto g = random_graph();
+  assign_ic_weights_weighted_cascade(g.reverse);
+  for (VertexId v = 0; v < g.reverse.num_vertices(); ++v) {
+    const auto ws = g.reverse.weights(v);
+    for (const float w : ws) {
+      EXPECT_FLOAT_EQ(w, 1.0f / static_cast<float>(ws.size()));
+    }
+  }
+}
+
+TEST(LtWeights, NormalizedSumsToIndegFraction) {
+  auto g = random_graph();
+  assign_lt_weights_normalized(g.reverse);
+  for (VertexId v = 0; v < g.reverse.num_vertices(); ++v) {
+    const auto ws = g.reverse.weights(v);
+    if (ws.empty()) continue;
+    const double sum = std::accumulate(ws.begin(), ws.end(), 0.0);
+    // Σw = indeg/(indeg+1) < 1, leaving the "activate none" slot.
+    EXPECT_NEAR(sum, static_cast<double>(ws.size()) /
+                         static_cast<double>(ws.size() + 1),
+                1e-5);
+  }
+}
+
+TEST(LtWeights, RandomRespectsSumConstraint) {
+  auto g = random_graph();
+  assign_lt_weights_random(g.reverse, 9);
+  for (VertexId v = 0; v < g.reverse.num_vertices(); ++v) {
+    const auto ws = g.reverse.weights(v);
+    if (ws.empty()) continue;
+    const double sum = std::accumulate(ws.begin(), ws.end(), 0.0);
+    EXPECT_LT(sum, 1.0);
+    for (const float w : ws) EXPECT_GT(w, 0.0f);
+  }
+}
+
+TEST(PaperWeights, DispatchesByModel) {
+  auto ic = random_graph();
+  assign_paper_weights(ic.reverse, DiffusionModel::kIndependentCascade, 2);
+  auto lt = random_graph();
+  assign_paper_weights(lt.reverse, DiffusionModel::kLinearThreshold, 2);
+  // IC: weights unconstrained per-vertex; LT: all equal within a vertex.
+  bool lt_uniform_within_vertex = true;
+  for (VertexId v = 0; v < lt.reverse.num_vertices(); ++v) {
+    const auto ws = lt.reverse.weights(v);
+    for (const float w : ws) {
+      if (w != ws[0]) lt_uniform_within_vertex = false;
+    }
+  }
+  EXPECT_TRUE(lt_uniform_within_vertex);
+}
+
+TEST(MirrorWeights, ForwardEdgeMatchesReverse) {
+  auto g = random_graph();
+  assign_ic_weights_uniform(g.reverse, 7);
+  mirror_weights_to_forward(g.reverse, g.forward);
+  // For every reverse edge (v <- u) with weight w, forward (u -> v) has w.
+  for (VertexId v = 0; v < g.reverse.num_vertices(); ++v) {
+    const auto in_n = g.reverse.neighbors(v);
+    const auto in_w = g.reverse.weights(v);
+    for (std::size_t i = 0; i < in_n.size(); ++i) {
+      const VertexId u = in_n[i];
+      const auto out_n = g.forward.neighbors(u);
+      const auto out_w = g.forward.weights(u);
+      bool found = false;
+      for (std::size_t j = 0; j < out_n.size(); ++j) {
+        if (out_n[j] == v) {
+          EXPECT_FLOAT_EQ(out_w[j], in_w[i]);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(MirrorWeights, RequiresWeights) {
+  // Raw CSR pair without weights (the builder would assign defaults).
+  CSRGraph forward({0, 1, 1}, {1});
+  CSRGraph reverse = forward.transpose();
+  EXPECT_FALSE(reverse.has_weights());
+  EXPECT_THROW(mirror_weights_to_forward(reverse, forward), CheckError);
+}
+
+TEST(MirrorWeights, RejectsMismatchedGraphs) {
+  auto g = random_graph();
+  assign_ic_weights_uniform(g.reverse, 1);
+  CSRGraph other({0, 0}, {});
+  EXPECT_THROW(mirror_weights_to_forward(g.reverse, other), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

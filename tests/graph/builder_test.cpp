@@ -1,0 +1,87 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(Builder, InfersVertexCountFromMaxId) {
+  const CSRGraph g = build_csr({{0, 5}, {3, 1}});
+  EXPECT_EQ(g.num_vertices(), 6u);
+}
+
+TEST(Builder, RemovesSelfLoopsByDefault) {
+  const CSRGraph g = build_csr({{0, 0}, {0, 1}, {1, 1}}, 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  const CSRGraph g = build_csr({{0, 0}, {0, 1}}, 2, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  const CSRGraph g = build_csr({{0, 1}, {0, 1}, {0, 1}}, 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, DedupKeepsFirstWeight) {
+  const CSRGraph g = build_csr({{0, 1, 0.3f}, {0, 1, 0.9f}}, 2);
+  ASSERT_EQ(g.num_edges(), 1u);
+  EXPECT_FLOAT_EQ(g.weights(0)[0], 0.3f);
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  const CSRGraph g = build_csr({{0, 1}, {1, 2}}, 3, opts);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);  // 1 -> 0 and 1 -> 2
+}
+
+TEST(Builder, SymmetrizePreservesWeight) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  const CSRGraph g = build_csr({{0, 1, 0.7f}}, 2, opts);
+  EXPECT_FLOAT_EQ(g.weights(0)[0], 0.7f);
+  EXPECT_FLOAT_EQ(g.weights(1)[0], 0.7f);
+}
+
+TEST(Builder, CompactIdsDropsGaps) {
+  BuildOptions opts;
+  opts.compact_ids = true;
+  const CSRGraph g = build_csr({{100, 500}, {500, 9000}}, 0, opts);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, AdjacencySorted) {
+  const CSRGraph g = build_csr({{0, 9}, {0, 3}, {0, 7}, {0, 1}}, 10);
+  const auto n = g.neighbors(0);
+  for (std::size_t i = 1; i < n.size(); ++i) EXPECT_LT(n[i - 1], n[i]);
+}
+
+TEST(Builder, RejectsEdgeBeyondDeclaredCount) {
+  EXPECT_THROW(build_csr({{0, 5}}, 3), CheckError);
+}
+
+TEST(Builder, EmptyEdgeListWithDeclaredVertices) {
+  const CSRGraph g = build_csr({}, 4);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, DiffusionGraphOrientationsMatch) {
+  const auto dg = build_diffusion_graph({{0, 1}, {1, 2}, {2, 0}}, 3);
+  EXPECT_EQ(dg.forward.num_edges(), dg.reverse.num_edges());
+  // forward 0->1 implies reverse 1->0.
+  EXPECT_EQ(dg.reverse.neighbors(1)[0], 0u);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,125 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+CSRGraph triangle() {
+  // 0 -> 1, 0 -> 2, 1 -> 2
+  return build_csr({{0, 1, 0.5f}, {0, 2, 0.25f}, {1, 2, 1.0f}}, 3);
+}
+
+TEST(CSRGraph, BasicAccessors) {
+  const CSRGraph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(CSRGraph, NeighborsSortedByBuilder) {
+  const CSRGraph g = triangle();
+  const auto n0 = g.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(CSRGraph, WeightsParallelToNeighbors) {
+  const CSRGraph g = triangle();
+  ASSERT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.weights(0)[0], 0.5f);
+  EXPECT_FLOAT_EQ(g.weights(0)[1], 0.25f);
+  EXPECT_FLOAT_EQ(g.weights(1)[0], 1.0f);
+}
+
+TEST(CSRGraph, EmptyGraph) {
+  const CSRGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CSRGraph, IsolatedVertices) {
+  const CSRGraph g = build_csr({{0, 4, 1.0f}}, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+TEST(CSRGraph, TransposeReversesEdges) {
+  const CSRGraph g = triangle();
+  const CSRGraph t = g.transpose();
+  EXPECT_EQ(t.num_vertices(), 3u);
+  EXPECT_EQ(t.num_edges(), 3u);
+  EXPECT_EQ(t.degree(0), 0u);  // nothing points to 0
+  EXPECT_EQ(t.degree(1), 1u);  // 0 -> 1
+  EXPECT_EQ(t.degree(2), 2u);  // 0 -> 2, 1 -> 2
+  EXPECT_EQ(t.neighbors(1)[0], 0u);
+}
+
+TEST(CSRGraph, TransposePreservesWeights) {
+  const CSRGraph g = triangle();
+  const CSRGraph t = g.transpose();
+  // Edge 0 -> 2 (weight 0.25) becomes in-edge of 2 from 0.
+  const auto neighbors = t.neighbors(2);
+  const auto weights = t.weights(2);
+  bool found = false;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    if (neighbors[i] == 0) {
+      EXPECT_FLOAT_EQ(weights[i], 0.25f);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CSRGraph, DoubleTransposeIsIdentity) {
+  const CSRGraph g = triangle();
+  const CSRGraph tt = g.transpose().transpose();
+  ASSERT_EQ(tt.num_vertices(), g.num_vertices());
+  ASSERT_EQ(tt.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = tt.neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CSRGraph, EnsureWeightsFillsDefault) {
+  CSRGraph g = build_csr({{0, 1}}, 2);  // builder always adds weights...
+  CSRGraph bare({0, 1}, {1});           // ...so construct raw without them
+  EXPECT_FALSE(bare.has_weights());
+  bare.ensure_weights(0.5f);
+  ASSERT_TRUE(bare.has_weights());
+  EXPECT_FLOAT_EQ(bare.weights(0)[0], 0.5f);
+  EXPECT_EQ(g.num_vertices(), 2u);
+}
+
+TEST(CSRGraph, ValidationRejectsBadOffsets) {
+  EXPECT_THROW(CSRGraph({}, {}), CheckError);             // empty offsets
+  EXPECT_THROW(CSRGraph({1, 2}, {0, 0}), CheckError);     // not starting at 0
+  EXPECT_THROW(CSRGraph({0, 2}, {0}), CheckError);        // size mismatch
+  EXPECT_THROW(CSRGraph({0, 2, 1}, {0, 0}), CheckError);  // non-monotone
+  EXPECT_THROW(CSRGraph({0, 1}, {0}, {1.0f, 2.0f}), CheckError);  // weights
+}
+
+TEST(CSRGraph, MemoryBytesPositive) {
+  EXPECT_GT(triangle().memory_bytes(), 0u);
+}
+
+TEST(DiffusionGraph, FromForwardBuildsBothOrientations) {
+  const auto dg = DiffusionGraph::from_forward(triangle());
+  EXPECT_EQ(dg.num_vertices(), 3u);
+  EXPECT_EQ(dg.num_edges(), 3u);
+  EXPECT_EQ(dg.forward.degree(0), 2u);
+  EXPECT_EQ(dg.reverse.degree(2), 2u);
+}
+
+}  // namespace
+}  // namespace eimm

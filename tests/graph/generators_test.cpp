@@ -1,0 +1,171 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/stats.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+// --- deterministic shapes ---
+
+TEST(Generators, StarShape) {
+  const auto edges = gen_star(5);
+  EXPECT_EQ(edges.size(), 4u);
+  for (const auto& e : edges) EXPECT_EQ(e.src, 0u);
+}
+
+TEST(Generators, PathShape) {
+  const auto edges = gen_path(4);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].src, 0u);
+  EXPECT_EQ(edges[2].dst, 3u);
+}
+
+TEST(Generators, CycleShape) {
+  const auto edges = gen_cycle(4);
+  EXPECT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges.back().src, 3u);
+  EXPECT_EQ(edges.back().dst, 0u);
+}
+
+TEST(Generators, CompleteShape) {
+  const auto edges = gen_complete(5);
+  EXPECT_EQ(edges.size(), 20u);  // n(n-1)
+}
+
+TEST(Generators, ShapeGuards) {
+  EXPECT_THROW(gen_star(1), CheckError);
+  EXPECT_THROW(gen_path(1), CheckError);
+  EXPECT_THROW(gen_complete(10000), CheckError);
+}
+
+// --- random families: determinism and structural properties ---
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  const auto a = gen_erdos_renyi(100, 300, 7);
+  const auto b = gen_erdos_renyi(100, 300, 7);
+  EXPECT_EQ(a, b);
+  const auto c = gen_erdos_renyi(100, 300, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, ErdosRenyiEndpointsInRange) {
+  for (const auto& e : gen_erdos_renyi(50, 500, 1)) {
+    EXPECT_LT(e.src, 50u);
+    EXPECT_LT(e.dst, 50u);
+  }
+}
+
+TEST(Generators, BarabasiAlbertHeavyTail) {
+  const auto g = build_csr(gen_barabasi_albert(2000, 2, 11), 0);
+  const auto s = compute_graph_stats(g, false);
+  // Preferential attachment: the hubs dominate. Max degree far above the
+  // average, and the top 1% well above a uniform share.
+  EXPECT_GT(static_cast<double>(s.max_out_degree), 8.0 * s.avg_out_degree);
+  EXPECT_GT(s.top1pct_degree_share, 0.05);
+}
+
+TEST(Generators, BarabasiAlbertMinimumDegree) {
+  const auto g = build_csr(gen_barabasi_albert(500, 3, 13), 0);
+  // Every non-seed vertex attached with 3 (undirected) edges; dedup can
+  // merge a few, but degree must be at least 1.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 1u);
+  }
+}
+
+TEST(Generators, WattsStrogatzNearRegular) {
+  const auto g = build_csr(gen_watts_strogatz(1000, 3, 0.0, 17), 0);
+  // With beta=0 the ring lattice is exact: every vertex has degree 2k.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 6u);
+  }
+}
+
+TEST(Generators, WattsStrogatzRewiringKeepsScale) {
+  const auto g = build_csr(gen_watts_strogatz(1000, 3, 0.2, 17), 0);
+  const auto s = compute_graph_stats(g, false);
+  EXPECT_NEAR(s.avg_out_degree, 6.0, 0.5);  // dedup removes a few
+}
+
+TEST(Generators, RmatSizeAndSkew) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 8;
+  const auto edges = gen_rmat(params, 23);
+  EXPECT_EQ(edges.size(), (1u << 12) * 8u);
+  const auto g = build_csr(edges, 1u << 12);
+  const auto s = compute_graph_stats(g, false);
+  // R-MAT with Graph500 parameters is strongly skewed.
+  EXPECT_GT(s.top1pct_degree_share, 0.10);
+}
+
+TEST(Generators, RmatDeterministic) {
+  RmatParams params;
+  params.scale = 10;
+  EXPECT_EQ(gen_rmat(params, 5), gen_rmat(params, 5));
+  EXPECT_NE(gen_rmat(params, 5), gen_rmat(params, 6));
+}
+
+TEST(Generators, RmatRejectsBadProbabilities) {
+  RmatParams params;
+  params.a = 0.9;
+  params.b = 0.2;
+  params.c = 0.2;  // sums over 1
+  EXPECT_THROW(gen_rmat(params, 1), CheckError);
+}
+
+TEST(Generators, Grid2dStructure) {
+  const auto g = build_csr(gen_grid2d(10, 10, 0, 1), 100);
+  // Interior vertices have degree 4; corners 2.
+  EXPECT_EQ(g.degree(0), 2u);           // corner
+  EXPECT_EQ(g.degree(5 * 10 + 5), 4u);  // interior
+  const auto s = compute_graph_stats(g);
+  // Bidirectional grid: one big SCC.
+  EXPECT_DOUBLE_EQ(s.largest_scc_fraction, 1.0);
+}
+
+TEST(Generators, Grid2dShortcutsAdded) {
+  const auto base = gen_grid2d(10, 10, 0, 1).size();
+  const auto with = gen_grid2d(10, 10, 25, 1).size();
+  EXPECT_EQ(with, base + 50u);  // 25 shortcuts, both directions
+}
+
+TEST(Generators, PlantedPartitionCommunityBias) {
+  const auto edges = gen_planted_partition(1000, 10, 6.0, 0.5, 31);
+  // Count intra- vs inter-community edges; intra must dominate.
+  std::size_t intra = 0;
+  for (const auto& e : edges) {
+    if (e.src / 100 == e.dst / 100) ++intra;
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(edges.size()),
+            0.75);
+}
+
+TEST(Generators, AllFamiliesProduceValidEndpoints) {
+  const struct {
+    const char* name;
+    std::vector<WeightedEdge> edges;
+    VertexId n;
+  } cases[] = {
+      {"er", gen_erdos_renyi(64, 256, 1), 64},
+      {"ba", gen_barabasi_albert(64, 2, 1), 64},
+      {"ws", gen_watts_strogatz(64, 2, 0.3, 1), 64},
+      {"grid", gen_grid2d(8, 8, 4, 1), 64},
+      {"pp", gen_planted_partition(64, 4, 3.0, 1.0, 1), 64},
+  };
+  for (const auto& c : cases) {
+    for (const auto& e : c.edges) {
+      EXPECT_LT(e.src, c.n) << c.name;
+      EXPECT_LT(e.dst, c.n) << c.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eimm

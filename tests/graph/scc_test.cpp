@@ -1,0 +1,85 @@
+#include "graph/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(Scc, CycleIsOneComponent) {
+  const CSRGraph g = build_csr(gen_cycle(5), 5);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_EQ(result.largest_component_size(), 5u);
+}
+
+TEST(Scc, PathIsAllSingletons) {
+  const CSRGraph g = build_csr(gen_path(6), 6);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 6u);
+  EXPECT_EQ(result.largest_component_size(), 1u);
+}
+
+TEST(Scc, TwoCyclesBridgedOneWay) {
+  // Cycle {0,1,2}, cycle {3,4,5}, bridge 2 -> 3 (one direction only).
+  const CSRGraph g = build_csr(
+      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}}, 6);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 2u);
+  EXPECT_EQ(result.largest_component_size(), 3u);
+  // The two cycles are distinct components, members agree within each.
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[1], result.component[2]);
+  EXPECT_EQ(result.component[3], result.component[4]);
+  EXPECT_NE(result.component[0], result.component[3]);
+}
+
+TEST(Scc, CompleteGraphIsOneComponent) {
+  const CSRGraph g = build_csr(gen_complete(8), 8);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 1u);
+}
+
+TEST(Scc, StarIsAllSingletons) {
+  const CSRGraph g = build_csr(gen_star(7), 7);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 7u);
+}
+
+TEST(Scc, ComponentSizesSumToVertexCount) {
+  const CSRGraph g = build_csr(gen_erdos_renyi(200, 600, 3), 0);
+  const auto result = strongly_connected_components(g);
+  const auto sizes = result.component_sizes();
+  const auto total = std::accumulate(sizes.begin(), sizes.end(), VertexId{0});
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Scc, EmptyAdjacency) {
+  const CSRGraph g = build_csr({}, 3);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, 3u);
+}
+
+TEST(Scc, ReverseTopologicalIdOrder) {
+  // Tarjan assigns component ids in reverse topological order: the sink
+  // SCC gets id 0. For 0 -> 1, vertex 1's component finishes first.
+  const CSRGraph g = build_csr({{0, 1}}, 2);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.component[1], 0u);
+  EXPECT_EQ(result.component[0], 1u);
+}
+
+TEST(Scc, DeepPathDoesNotOverflowStack) {
+  // 200k-vertex path: a recursive Tarjan would blow the stack here.
+  constexpr VertexId n = 200'000;
+  const CSRGraph g = build_csr(gen_path(n), n);
+  const auto result = strongly_connected_components(g);
+  EXPECT_EQ(result.num_components, n);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,63 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(GraphStats, StarDegrees) {
+  const CSRGraph g = build_csr(gen_star(101), 101);
+  const auto s = compute_graph_stats(g);
+  EXPECT_EQ(s.num_vertices, 101u);
+  EXPECT_EQ(s.num_edges, 100u);
+  EXPECT_EQ(s.max_out_degree, 100u);
+  EXPECT_NEAR(s.avg_out_degree, 100.0 / 101.0, 1e-9);
+  // The hub is the top-1% vertex and owns every edge.
+  EXPECT_DOUBLE_EQ(s.top1pct_degree_share, 1.0);
+}
+
+TEST(GraphStats, CycleIsOneScc) {
+  const CSRGraph g = build_csr(gen_cycle(50), 50);
+  const auto s = compute_graph_stats(g);
+  EXPECT_DOUBLE_EQ(s.largest_scc_fraction, 1.0);
+}
+
+TEST(GraphStats, PathSccFractionTiny) {
+  const CSRGraph g = build_csr(gen_path(100), 100);
+  const auto s = compute_graph_stats(g);
+  EXPECT_DOUBLE_EQ(s.largest_scc_fraction, 0.01);
+}
+
+TEST(GraphStats, SccSkippable) {
+  const CSRGraph g = build_csr(gen_cycle(10), 10);
+  const auto s = compute_graph_stats(g, /*with_scc=*/false);
+  EXPECT_DOUBLE_EQ(s.largest_scc_fraction, 0.0);
+}
+
+TEST(GraphStats, EmptyGraph) {
+  const CSRGraph g;
+  const auto s = compute_graph_stats(g);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+}
+
+TEST(GraphStats, UniformDegreesLowSkew) {
+  const CSRGraph g = build_csr(gen_cycle(1000), 1000);
+  const auto s = compute_graph_stats(g);
+  // Every vertex has out-degree 1, so the top 1% holds exactly 1%.
+  EXPECT_NEAR(s.top1pct_degree_share, 0.01, 1e-9);
+}
+
+TEST(GraphStats, DescribeMentionsKeyNumbers) {
+  const CSRGraph g = build_csr(gen_star(10), 10);
+  const auto s = compute_graph_stats(g);
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("|V|=10"), std::string::npos);
+  EXPECT_NE(d.find("|E|=9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eimm

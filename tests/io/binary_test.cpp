@@ -1,0 +1,80 @@
+#include "io/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+void expect_equal_graphs(const CSRGraph& a, const CSRGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.targets(), b.targets());
+  EXPECT_EQ(a.raw_weights(), b.raw_weights());
+}
+
+TEST(BinaryCsr, RoundTripWeighted) {
+  const CSRGraph g = build_csr({{0, 1, 0.5f}, {1, 2, 0.25f}, {2, 0, 1.0f}}, 3);
+  std::stringstream ss;
+  write_binary_csr(ss, g);
+  const CSRGraph loaded = read_binary_csr(ss);
+  expect_equal_graphs(g, loaded);
+  EXPECT_TRUE(loaded.has_weights());
+}
+
+TEST(BinaryCsr, RoundTripUnweighted) {
+  const CSRGraph g({0, 1, 2}, {1, 0});
+  std::stringstream ss;
+  write_binary_csr(ss, g);
+  const CSRGraph loaded = read_binary_csr(ss);
+  expect_equal_graphs(g, loaded);
+  EXPECT_FALSE(loaded.has_weights());
+}
+
+TEST(BinaryCsr, RoundTripLargerRandomGraph) {
+  const CSRGraph g = build_csr(gen_erdos_renyi(500, 4000, 9), 500);
+  std::stringstream ss;
+  write_binary_csr(ss, g);
+  expect_equal_graphs(g, read_binary_csr(ss));
+}
+
+TEST(BinaryCsr, BadMagicThrows) {
+  std::stringstream ss("definitely not a graph file");
+  EXPECT_THROW(read_binary_csr(ss), CheckError);
+}
+
+TEST(BinaryCsr, TruncatedPayloadThrows) {
+  const CSRGraph g = build_csr({{0, 1}}, 2);
+  std::stringstream ss;
+  write_binary_csr(ss, g);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(read_binary_csr(truncated), CheckError);
+}
+
+TEST(BinaryCsr, EmptyStreamThrows) {
+  std::stringstream ss;
+  EXPECT_THROW(read_binary_csr(ss), CheckError);
+}
+
+TEST(BinaryCsr, FileRoundTrip) {
+  const CSRGraph g = build_csr({{0, 2, 0.1f}, {1, 2, 0.9f}}, 3);
+  const std::string path =
+      ::testing::TempDir() + "/eimm_binary_roundtrip.bin";
+  write_binary_csr_file(path, g);
+  expect_equal_graphs(g, read_binary_csr_file(path));
+}
+
+TEST(BinaryCsr, MissingFileThrows) {
+  EXPECT_THROW(read_binary_csr_file("/nonexistent/graph.bin"), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,70 @@
+#include "numa/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace eimm {
+namespace {
+
+TEST(ParseCpuList, SingleValue) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("7"), (std::vector<int>{7}));
+}
+
+TEST(ParseCpuList, Range) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpuList, MixedRangesAndSingles) {
+  EXPECT_EQ(parse_cpu_list("0-2,5,8-9"),
+            (std::vector<int>{0, 1, 2, 5, 8, 9}));
+}
+
+TEST(ParseCpuList, EmptyString) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+}
+
+TEST(ParseCpuList, IgnoresMalformedFragments) {
+  const auto result = parse_cpu_list("abc,2,x-y");
+  EXPECT_EQ(result, (std::vector<int>{2}));
+}
+
+TEST(ParseCpuList, TrailingComma) {
+  EXPECT_EQ(parse_cpu_list("1,2,"), (std::vector<int>{1, 2}));
+}
+
+TEST(ParseCpuList, InvertedRangeYieldsNothing) {
+  EXPECT_TRUE(parse_cpu_list("5-3").empty());
+}
+
+TEST(Topology, AtLeastOneNode) {
+  const NumaTopology& topo = numa_topology();
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_FALSE(topo.nodes.empty());
+}
+
+TEST(Topology, CpuMapCoversHardwareThreads) {
+  const NumaTopology& topo = numa_topology();
+  EXPECT_GE(topo.cpu_to_node.size(), 1u);
+  for (const int node : topo.cpu_to_node) {
+    EXPECT_TRUE(std::find(topo.nodes.begin(), topo.nodes.end(), node) !=
+                topo.nodes.end())
+        << "cpu mapped to unknown node " << node;
+  }
+}
+
+TEST(Topology, CurrentNodeIsKnown) {
+  const NumaTopology& topo = numa_topology();
+  const int node = topo.current_node();
+  EXPECT_TRUE(std::find(topo.nodes.begin(), topo.nodes.end(), node) !=
+              topo.nodes.end());
+}
+
+TEST(Topology, IsNumaConsistentWithNodeCount) {
+  const NumaTopology& topo = numa_topology();
+  EXPECT_EQ(topo.is_numa(), topo.num_nodes() > 1);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,82 @@
+#include "rrr/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eimm {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetTestClear) {
+  DynamicBitset b(128);
+  b.set(5);
+  EXPECT_TRUE(b.test(5));
+  EXPECT_FALSE(b.test(4));
+  b.clear(5);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(DynamicBitset, WordBoundaryBits) {
+  DynamicBitset b(130);
+  for (const std::size_t i : {0ul, 63ul, 64ul, 127ul, 128ul, 129ul}) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i)) << i;
+  }
+  EXPECT_EQ(b.count(), 6u);
+}
+
+TEST(DynamicBitset, CountAfterDuplicateSet) {
+  DynamicBitset b(64);
+  b.set(10);
+  b.set(10);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(DynamicBitset, ResetKeepsCapacity) {
+  DynamicBitset b(256);
+  b.set(0);
+  b.set(255);
+  b.reset();
+  EXPECT_EQ(b.size(), 256u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, ForEachSetAscending) {
+  DynamicBitset b(200);
+  const std::vector<std::size_t> expected{3, 64, 65, 130, 199};
+  for (const std::size_t i : expected) b.set(i);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, EmptyBitset) {
+  DynamicBitset b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+  int calls = 0;
+  b.for_each_set([&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(DynamicBitset, MemoryBytesMatchesWordCount) {
+  DynamicBitset b(129);  // needs 3 words
+  EXPECT_EQ(b.memory_bytes(), 3 * sizeof(std::uint64_t));
+}
+
+TEST(DynamicBitset, NonMultipleOf64Size) {
+  DynamicBitset b(70);
+  b.set(69);
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+}  // namespace
+}  // namespace eimm

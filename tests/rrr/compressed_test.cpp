@@ -1,0 +1,104 @@
+#include "rrr/compressed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrr/set.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(CompressedSet, EmptySet) {
+  const CompressedSet set = CompressedSet::encode({});
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.decode().empty());
+}
+
+TEST(CompressedSet, SingleElement) {
+  const CompressedSet set = CompressedSet::encode({42});
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_FALSE(set.contains(41));
+  EXPECT_FALSE(set.contains(43));
+}
+
+TEST(CompressedSet, ElementZero) {
+  const CompressedSet set = CompressedSet::encode({0, 5});
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_EQ(set.decode(), (std::vector<VertexId>{0, 5}));
+}
+
+TEST(CompressedSet, SortsAndDedups) {
+  const CompressedSet set = CompressedSet::encode({9, 3, 9, 1, 3});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.decode(), (std::vector<VertexId>{1, 3, 9}));
+}
+
+TEST(CompressedSet, RoundTripRandomSets) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<VertexId> members;
+    const std::size_t count = 1 + rng.next_bounded(500);
+    for (std::size_t i = 0; i < count; ++i) {
+      members.push_back(static_cast<VertexId>(rng.next_bounded(1u << 24)));
+    }
+    const CompressedSet set = CompressedSet::encode(members);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    EXPECT_EQ(set.decode(), members) << "trial " << trial;
+  }
+}
+
+TEST(CompressedSet, ContainsAgreesWithDecode) {
+  Xoshiro256 rng(13);
+  std::vector<VertexId> members;
+  for (int i = 0; i < 200; ++i) {
+    members.push_back(static_cast<VertexId>(rng.next_bounded(10'000)));
+  }
+  const CompressedSet set = CompressedSet::encode(members);
+  const auto decoded = set.decode();
+  for (VertexId v = 0; v < 10'000; v += 7) {
+    const bool expected =
+        std::binary_search(decoded.begin(), decoded.end(), v);
+    EXPECT_EQ(set.contains(v), expected) << v;
+  }
+}
+
+TEST(CompressedSet, ForEachAscending) {
+  const CompressedSet set = CompressedSet::encode({100, 5, 2000, 64, 65});
+  std::vector<VertexId> seen;
+  set.for_each([&](VertexId v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<VertexId>{5, 64, 65, 100, 2000}));
+}
+
+TEST(CompressedSet, LargeVertexIds) {
+  const VertexId big = kInvalidVertex - 1;
+  const CompressedSet set = CompressedSet::encode({big, 0});
+  EXPECT_TRUE(set.contains(big));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.decode(), (std::vector<VertexId>{0, big}));
+}
+
+TEST(CompressedSet, DenseRunsCompressWell) {
+  // Consecutive ids: every gap is 1 -> one byte each (plus the head).
+  std::vector<VertexId> run;
+  for (VertexId v = 1000; v < 2000; ++v) run.push_back(v);
+  const CompressedSet set = CompressedSet::encode(run);
+  EXPECT_LE(set.memory_bytes(), 1024u + 16u);
+  // Versus 4 bytes/entry for the plain vector representation.
+  const RRRSet vector_repr = RRRSet::make_vector(run);
+  EXPECT_LT(set.memory_bytes(), vector_repr.memory_bytes() / 3);
+}
+
+TEST(CompressedSet, SparseSetsStillSmallerThanBitmap) {
+  std::vector<VertexId> sparse{10, 100'000, 5'000'000};
+  const CompressedSet set = CompressedSet::encode(sparse);
+  const RRRSet bitmap = RRRSet::make_bitmap(sparse, 8'000'000);
+  EXPECT_LT(set.memory_bytes(), bitmap.memory_bytes() / 100);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,124 @@
+#include "rrr/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rrr/compressed.hpp"
+#include "support/macros.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(HuffmanCodec, EmptyInput) {
+  const auto encoded = HuffmanCodec::encode({});
+  EXPECT_EQ(encoded.payload_bits, 0u);
+  EXPECT_TRUE(HuffmanCodec::decode(encoded).empty());
+}
+
+TEST(HuffmanCodec, SingleSymbolAlphabet) {
+  const std::vector<std::uint8_t> data(100, 0x42);
+  const auto encoded = HuffmanCodec::encode(data);
+  // 1-bit codes: 100 bits ≈ 13 bytes, far below the 100-byte input.
+  EXPECT_EQ(encoded.payload_bits, 100u);
+  EXPECT_EQ(HuffmanCodec::decode(encoded), data);
+}
+
+TEST(HuffmanCodec, TwoSymbols) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 64; ++i) data.push_back(i % 2 ? 0xAA : 0x55);
+  const auto encoded = HuffmanCodec::encode(data);
+  EXPECT_EQ(HuffmanCodec::decode(encoded), data);
+  EXPECT_EQ(encoded.payload_bits, 64u);  // 1 bit per symbol
+}
+
+TEST(HuffmanCodec, RoundTripRandomBytes) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> data(1 + rng.next_bounded(5000));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_bounded(256));
+    const auto encoded = HuffmanCodec::encode(data);
+    EXPECT_EQ(HuffmanCodec::decode(encoded), data) << "trial " << trial;
+  }
+}
+
+TEST(HuffmanCodec, RoundTripSkewedBytes) {
+  // Geometric-ish distribution, like varint gap streams.
+  Xoshiro256 rng(7);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 10000; ++i) {
+    std::uint8_t value = 1;
+    while (rng.next_bool(0.5) && value < 64) value *= 2;
+    data.push_back(value);
+  }
+  const auto encoded = HuffmanCodec::encode(data);
+  EXPECT_EQ(HuffmanCodec::decode(encoded), data);
+  // Skewed input must compress well below 8 bits/symbol.
+  EXPECT_LT(encoded.payload_bits, 8u * data.size() * 6 / 10);
+}
+
+TEST(HuffmanCodec, DeterministicEncoding) {
+  std::vector<std::uint8_t> data{5, 5, 7, 7, 7, 9};
+  const auto a = HuffmanCodec::encode(data);
+  const auto b = HuffmanCodec::encode(data);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.code_lengths, b.code_lengths);
+}
+
+TEST(HuffmanCodec, CorruptStreamDetected) {
+  const std::vector<std::uint8_t> data(50, 1);
+  auto encoded = HuffmanCodec::encode(data);
+  encoded.bits.clear();  // truncate the payload entirely
+  EXPECT_THROW(HuffmanCodec::decode(encoded), CheckError);
+}
+
+TEST(HuffmanSet, EmptySet) {
+  const HuffmanSet set = HuffmanSet::encode({});
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.decode().empty());
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(HuffmanSet, RoundTrip) {
+  const HuffmanSet set = HuffmanSet::encode({9, 3, 9, 1, 200, 64});
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_EQ(set.decode(), (std::vector<VertexId>{1, 3, 9, 64, 200}));
+  EXPECT_TRUE(set.contains(64));
+  EXPECT_FALSE(set.contains(65));
+}
+
+TEST(HuffmanSet, RoundTripRandomSets) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<VertexId> members;
+    const std::size_t count = 1 + rng.next_bounded(800);
+    for (std::size_t i = 0; i < count; ++i) {
+      members.push_back(static_cast<VertexId>(rng.next_bounded(1u << 22)));
+    }
+    const HuffmanSet set = HuffmanSet::encode(members);
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    EXPECT_EQ(set.decode(), members) << trial;
+  }
+}
+
+TEST(HuffmanSet, CompressesDenseRunsBeyondVarint) {
+  // Consecutive ids: gaps are all 1 -> a single-symbol byte stream that
+  // Huffman packs ~8x below the varint bytes (HBMax's win case).
+  std::vector<VertexId> run;
+  for (VertexId v = 5000; v < 15000; ++v) run.push_back(v);
+  const HuffmanSet huffman = HuffmanSet::encode(run);
+  const CompressedSet varint = CompressedSet::encode(run);
+  EXPECT_LT(huffman.memory_bytes(), varint.memory_bytes() / 4);
+  EXPECT_EQ(huffman.decode(), varint.decode());
+}
+
+TEST(HuffmanSet, VertexZeroAndLargeIds) {
+  const HuffmanSet set = HuffmanSet::encode({0, kInvalidVertex - 1});
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(kInvalidVertex - 1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,61 @@
+#include "rrr/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/macros.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(RRRPool, ResizeAndFill) {
+  RRRPool pool(10);
+  pool.resize(3);
+  EXPECT_EQ(pool.size(), 3u);
+  pool[0] = RRRSet::make_vector({1, 2});
+  EXPECT_EQ(pool[0].size(), 2u);
+}
+
+TEST(RRRPool, NeverShrinks) {
+  RRRPool pool(10);
+  pool.resize(5);
+  EXPECT_THROW(pool.resize(3), CheckError);
+}
+
+TEST(RRRPool, CoverageStats) {
+  RRRPool pool = testing::make_pool(10, {{0, 1, 2, 3, 4},  // 50%
+                                         {0},              // 10%
+                                         {5, 6}});         // 20%
+  EXPECT_EQ(pool.total_vertices(), 8u);
+  EXPECT_NEAR(pool.average_coverage(), 8.0 / 30.0, 1e-12);
+  EXPECT_NEAR(pool.max_coverage(), 0.5, 1e-12);
+}
+
+TEST(RRRPool, EmptyPoolStats) {
+  RRRPool pool(10);
+  EXPECT_DOUBLE_EQ(pool.average_coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(pool.max_coverage(), 0.0);
+  EXPECT_EQ(pool.total_vertices(), 0u);
+}
+
+TEST(RRRPool, BitmapCount) {
+  RRRPool pool(100);
+  pool.resize(3);
+  pool[0] = RRRSet::make_vector({1});
+  pool[1] = RRRSet::make_bitmap({1, 2, 3}, 100);
+  pool[2] = RRRSet::make_bitmap({4}, 100);
+  EXPECT_EQ(pool.bitmap_count(), 2u);
+}
+
+TEST(RRRPool, MemoryBytesGrowsWithContent) {
+  RRRPool pool(1000);
+  pool.resize(1);
+  const auto empty_bytes = pool.memory_bytes();
+  std::vector<VertexId> big;
+  for (VertexId v = 0; v < 500; ++v) big.push_back(v);
+  pool[0] = RRRSet::make_vector(big);
+  EXPECT_GT(pool.memory_bytes(), empty_bytes);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,108 @@
+#include "rrr/set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(RRRSet, VectorRepresentationSorts) {
+  const RRRSet set = RRRSet::make_vector({5, 1, 3});
+  EXPECT_EQ(set.repr(), RRRRepr::kVector);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.vertices(), (std::vector<VertexId>{1, 3, 5}));
+}
+
+TEST(RRRSet, VectorContains) {
+  const RRRSet set = RRRSet::make_vector({10, 20, 30});
+  EXPECT_TRUE(set.contains(20));
+  EXPECT_FALSE(set.contains(15));
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_FALSE(set.contains(31));
+}
+
+TEST(RRRSet, BitmapContains) {
+  const RRRSet set = RRRSet::make_bitmap({10, 20, 30}, 64);
+  EXPECT_EQ(set.repr(), RRRRepr::kBitmap);
+  EXPECT_TRUE(set.contains(30));
+  EXPECT_FALSE(set.contains(29));
+  EXPECT_FALSE(set.contains(63));
+  EXPECT_FALSE(set.contains(1000));  // out of bitmap range
+}
+
+TEST(RRRSet, BitmapDedups) {
+  const RRRSet set = RRRSet::make_bitmap({5, 5, 5}, 16);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(RRRSet, BitmapRejectsOutOfRange) {
+  EXPECT_THROW(RRRSet::make_bitmap({100}, 50), CheckError);
+}
+
+TEST(RRRSet, AdaptiveSmallStaysVector) {
+  // 3 members of 1000 vertices, threshold 1/32 -> 31.25: vector.
+  const RRRSet set = RRRSet::make_adaptive({1, 2, 3}, 1000);
+  EXPECT_EQ(set.repr(), RRRRepr::kVector);
+}
+
+TEST(RRRSet, AdaptiveDenseBecomesBitmap) {
+  std::vector<VertexId> many;
+  for (VertexId v = 0; v < 100; ++v) many.push_back(v);
+  const RRRSet set = RRRSet::make_adaptive(many, 1000);  // 100 >= 31.25
+  EXPECT_EQ(set.repr(), RRRRepr::kBitmap);
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(RRRSet, AdaptiveThresholdBoundary) {
+  // threshold_fraction=0.5 of 10 vertices -> crossover at size 5.
+  const RRRSet small = RRRSet::make_adaptive({0, 1, 2, 3}, 10, 0.5);
+  EXPECT_EQ(small.repr(), RRRRepr::kVector);
+  const RRRSet large = RRRSet::make_adaptive({0, 1, 2, 3, 4}, 10, 0.5);
+  EXPECT_EQ(large.repr(), RRRRepr::kBitmap);
+}
+
+TEST(RRRSet, ForEachAscendingBothRepresentations) {
+  const std::vector<VertexId> members{2, 40, 41, 90};
+  for (const RRRSet& set : {RRRSet::make_vector(members),
+                            RRRSet::make_bitmap(members, 128)}) {
+    std::vector<VertexId> seen;
+    set.for_each([&](VertexId v) { seen.push_back(v); });
+    EXPECT_EQ(seen, members);
+  }
+}
+
+TEST(RRRSet, ToVectorRoundTrip) {
+  const std::vector<VertexId> members{7, 13, 99};
+  EXPECT_EQ(RRRSet::make_vector(members).to_vector(), members);
+  EXPECT_EQ(RRRSet::make_bitmap(members, 128).to_vector(), members);
+}
+
+TEST(RRRSet, EmptySet) {
+  const RRRSet set = RRRSet::make_vector({});
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.contains(0));
+}
+
+TEST(RRRSet, DefaultConstructedIsEmptyVector) {
+  const RRRSet set;
+  EXPECT_EQ(set.repr(), RRRRepr::kVector);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(RRRSet, MemoryFavorsRightRepresentation) {
+  // Dense set over a small vertex space: bitmap much smaller than vector.
+  std::vector<VertexId> dense;
+  const VertexId n = 10000;
+  for (VertexId v = 0; v < n; v += 2) dense.push_back(v);
+  const RRRSet as_vector = RRRSet::make_vector(dense);
+  const RRRSet as_bitmap = RRRSet::make_bitmap(dense, n);
+  EXPECT_LT(as_bitmap.memory_bytes(), as_vector.memory_bytes());
+  // Sparse set over a big vertex space: vector much smaller than bitmap.
+  const RRRSet sparse_vector = RRRSet::make_vector({1, 2, 3});
+  const RRRSet sparse_bitmap = RRRSet::make_bitmap({1, 2, 3}, 1u << 20);
+  EXPECT_LT(sparse_vector.memory_bytes(), sparse_bitmap.memory_bytes());
+}
+
+}  // namespace
+}  // namespace eimm

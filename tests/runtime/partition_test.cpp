@@ -1,0 +1,78 @@
+#include "runtime/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(Partition, CoversRangeExactly) {
+  for (std::size_t total : {0ul, 1ul, 7ul, 100ul, 1000ul}) {
+    for (std::size_t parts : {1ul, 2ul, 3ul, 7ul, 16ul}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const auto [begin, end] = block_range(total, parts, p);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        expected_begin = end;
+      }
+      EXPECT_EQ(covered, total) << "total=" << total << " parts=" << parts;
+    }
+  }
+}
+
+TEST(Partition, BlockSizesDifferByAtMostOne) {
+  for (std::size_t total : {10ul, 11ul, 97ul}) {
+    constexpr std::size_t parts = 4;
+    std::size_t min_size = total, max_size = 0;
+    for (std::size_t p = 0; p < parts; ++p) {
+      const auto [begin, end] = block_range(total, parts, p);
+      min_size = std::min(min_size, end - begin);
+      max_size = std::max(max_size, end - begin);
+    }
+    EXPECT_LE(max_size - min_size, 1u);
+  }
+}
+
+TEST(Partition, SinglePartOwnsEverything) {
+  const auto [begin, end] = block_range(42, 1, 0);
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 42u);
+}
+
+TEST(Partition, MorePartsThanItems) {
+  std::size_t nonempty = 0;
+  for (std::size_t p = 0; p < 10; ++p) {
+    const auto [begin, end] = block_range(3, 10, p);
+    if (end > begin) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 3u);
+}
+
+TEST(Partition, InvalidArgumentsThrow) {
+  EXPECT_THROW(block_range(10, 0, 0), CheckError);
+  EXPECT_THROW(block_range(10, 4, 4), CheckError);
+}
+
+TEST(Partition, OwnerConsistentWithRange) {
+  for (std::size_t total : {13ul, 100ul, 101ul}) {
+    for (std::size_t parts : {1ul, 3ul, 8ul}) {
+      for (std::size_t i = 0; i < total; ++i) {
+        const std::size_t owner = block_owner(total, parts, i);
+        const auto [begin, end] = block_range(total, parts, owner);
+        EXPECT_GE(i, begin) << total << " " << parts << " " << i;
+        EXPECT_LT(i, end) << total << " " << parts << " " << i;
+      }
+    }
+  }
+}
+
+TEST(Partition, OwnerRejectsOutOfRange) {
+  EXPECT_THROW(block_owner(5, 2, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,92 @@
+#include "runtime/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/thread_info.hpp"
+#include "support/rng.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(ArgMax, EmptyCounters) {
+  CounterArray c;
+  const auto r = parallel_argmax(c);
+  EXPECT_EQ(r.index, 0u);
+  EXPECT_EQ(r.value, 0u);
+}
+
+TEST(ArgMax, SingleElement) {
+  CounterArray c(1);
+  c.set(0, 7);
+  const auto r = parallel_argmax(c);
+  EXPECT_EQ(r.index, 0u);
+  EXPECT_EQ(r.value, 7u);
+}
+
+TEST(ArgMax, FindsUniqueMaximum) {
+  CounterArray c(1000);
+  for (std::size_t i = 0; i < c.size(); ++i) c.set(i, i % 97);
+  c.set(513, 1000);
+  const auto r = parallel_argmax(c);
+  EXPECT_EQ(r.index, 513u);
+  EXPECT_EQ(r.value, 1000u);
+}
+
+TEST(ArgMax, TieBreaksToLowestIndex) {
+  CounterArray c(100);
+  c.set(20, 50);
+  c.set(80, 50);
+  const auto r = parallel_argmax(c);
+  EXPECT_EQ(r.index, 20u);
+}
+
+TEST(ArgMax, AllZerosPicksIndexZero) {
+  CounterArray c(64);
+  const auto r = parallel_argmax(c);
+  EXPECT_EQ(r.index, 0u);
+  EXPECT_EQ(r.value, 0u);
+}
+
+TEST(ArgMax, MatchesSerialOnRandomData) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.next_bounded(5000);
+    CounterArray c(n);
+    for (std::size_t i = 0; i < n; ++i) c.set(i, rng.next_bounded(1000));
+    const auto serial = serial_argmax(c);
+    const auto parallel = parallel_argmax(c);
+    EXPECT_EQ(parallel.index, serial.index) << "trial " << trial;
+    EXPECT_EQ(parallel.value, serial.value) << "trial " << trial;
+  }
+}
+
+TEST(ArgMax, DeterministicAcrossThreadCounts) {
+  CounterArray c(10000);
+  Xoshiro256 rng(5);
+  for (std::size_t i = 0; i < c.size(); ++i) c.set(i, rng.next_bounded(50));
+  ArgMaxResult reference{};
+  bool first = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    ThreadCountScope scope(threads);
+    const auto r = parallel_argmax(c);
+    if (first) {
+      reference = r;
+      first = false;
+    } else {
+      EXPECT_EQ(r.index, reference.index) << threads << " threads";
+      EXPECT_EQ(r.value, reference.value) << threads << " threads";
+    }
+  }
+}
+
+TEST(ArgMax, MaximumAtBoundaries) {
+  CounterArray c(1024);
+  c.set(0, 9);
+  EXPECT_EQ(parallel_argmax(c).index, 0u);
+  c.set(0, 0);
+  c.set(1023, 9);
+  EXPECT_EQ(parallel_argmax(c).index, 1023u);
+}
+
+}  // namespace
+}  // namespace eimm

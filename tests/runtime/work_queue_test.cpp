@@ -1,0 +1,113 @@
+#include "runtime/work_queue.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(JobPool, CoversAllJobsSingleWorker) {
+  JobPool pool(100, 7, 1);
+  std::vector<int> seen(100, 0);
+  for (JobBatch b = pool.next(0); !b.empty(); b = pool.next(0)) {
+    for (std::size_t i = b.begin; i < b.end; ++i) seen[i]++;
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(JobPool, OwnerDrainsInAscendingOrder) {
+  JobPool pool(64, 8, 1);
+  std::size_t last_end = 0;
+  for (JobBatch b = pool.next(0); !b.empty(); b = pool.next(0)) {
+    EXPECT_EQ(b.begin, last_end);
+    last_end = b.end;
+  }
+  EXPECT_EQ(last_end, 64u);
+}
+
+TEST(JobPool, EmptyPool) {
+  JobPool pool(0, 4, 2);
+  EXPECT_TRUE(pool.next(0).empty());
+  EXPECT_TRUE(pool.next(1).empty());
+  EXPECT_EQ(pool.total_batches(), 0u);
+}
+
+TEST(JobPool, BatchCountMatchesCeilDiv) {
+  JobPool pool(100, 7, 1);  // 100/7 -> 15 batches
+  EXPECT_EQ(pool.total_batches(), 15u);
+}
+
+TEST(JobPool, EachJobProcessedExactlyOnceParallel) {
+  constexpr std::size_t kJobs = 10000;
+  const auto workers = static_cast<std::size_t>(omp_get_max_threads());
+  JobPool pool(kJobs, 16, workers);
+  std::vector<std::atomic<int>> seen(kJobs);
+#pragma omp parallel
+  {
+    const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+    for (JobBatch b = pool.next(wid); !b.empty(); b = pool.next(wid)) {
+      for (std::size_t i = b.begin; i < b.end; ++i) {
+        seen[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(JobPool, StealingKicksInUnderImbalance) {
+  // Worker 0's jobs are slow; the others finish instantly and must steal.
+  const std::size_t workers = 4;
+  constexpr std::size_t kJobs = 64;
+  JobPool pool(kJobs, 1, workers);
+  std::vector<std::atomic<int>> seen(kJobs);
+#pragma omp parallel num_threads(4)
+  {
+    const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+    for (JobBatch b = pool.next(wid); !b.empty(); b = pool.next(wid)) {
+      for (std::size_t i = b.begin; i < b.end; ++i) {
+        // Jobs in worker 0's original region are artificially slow.
+        if (i < kJobs / workers && wid == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        seen[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(seen[i].load(), 1);
+  // With three idle workers and one slow one, stealing must have happened
+  // (each worker starts with 16 batches; idle ones finish and steal).
+  EXPECT_GT(pool.steal_count(), 0u);
+}
+
+TEST(JobPool, InvalidConstructionThrows) {
+  EXPECT_THROW(JobPool(10, 0, 2), CheckError);
+  EXPECT_THROW(JobPool(10, 4, 0), CheckError);
+}
+
+TEST(JobPool, InvalidWorkerIdThrows) {
+  JobPool pool(10, 2, 2);
+  EXPECT_THROW(pool.next(2), CheckError);
+}
+
+TEST(JobPool, BatchSizeLargerThanJobs) {
+  JobPool pool(5, 100, 2);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < 2; ++w) {
+    for (JobBatch b = pool.next(w); !b.empty(); b = pool.next(w)) {
+      total += b.size();
+    }
+  }
+  EXPECT_EQ(total, 5u);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,150 @@
+// Property-style sweeps over the selection kernels' tunables: whatever
+// the representation threshold, batch size, or scheduling mode, the
+// greedy max-coverage output must not change — only its cost may.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "seedselect/select.hpp"
+#include "test_util.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm {
+namespace {
+
+RRRPool pool_with_threshold(double threshold) {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.02, 31);
+  RRRPool pool(g.num_vertices());
+  pool.resize(250);
+  SamplerScratch scratch(g.num_vertices());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    auto verts = sample_rrr(g.reverse, DiffusionModel::kIndependentCascade,
+                            555, i, scratch);
+    pool[i] = RRRSet::make_adaptive(std::move(verts), g.num_vertices(),
+                                    threshold);
+  }
+  return pool;
+}
+
+class BitmapThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BitmapThresholdSweep, SelectionInvariantUnderRepresentation) {
+  const RRRPool reference_pool = pool_with_threshold(1.0);  // all vectors
+  const RRRPool pool = pool_with_threshold(GetParam());
+
+  SelectionOptions options;
+  options.k = 10;
+  CounterArray a(reference_pool.num_vertices());
+  CounterArray b(pool.num_vertices());
+  const auto reference = efficient_select(reference_pool, a, options);
+  const auto variant = efficient_select(pool, b, options);
+  EXPECT_EQ(variant.seeds, reference.seeds);
+  EXPECT_EQ(variant.covered_sets, reference.covered_sets);
+  EXPECT_EQ(variant.marginal_coverage, reference.marginal_coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BitmapThresholdSweep,
+                         ::testing::Values(0.0,    // everything bitmap
+                                           0.01, 0.03125, 0.1, 0.5));
+
+class BatchSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizeSweep, SelectionInvariantUnderBatching) {
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions reference_options;
+  reference_options.k = 8;
+  reference_options.dynamic_balance = false;
+  CounterArray a(pool.num_vertices());
+  const auto reference = efficient_select(pool, a, reference_options);
+
+  SelectionOptions options;
+  options.k = 8;
+  options.dynamic_balance = true;
+  options.batch_size = GetParam();
+  CounterArray b(pool.num_vertices());
+  const auto variant = efficient_select(pool, b, options);
+  EXPECT_EQ(variant.seeds, reference.seeds);
+  EXPECT_EQ(variant.covered_sets, reference.covered_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSizeSweep,
+                         ::testing::Values(1, 3, 16, 64, 1024));
+
+TEST(SelectionProperties, CoveredSetsMatchesIndependentUnionCount) {
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 12;
+  CounterArray counters(pool.num_vertices());
+  const auto result = efficient_select(pool, counters, options);
+
+  // Recount coverage from scratch: a set is covered iff it contains any
+  // selected seed.
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    for (const VertexId seed : result.seeds) {
+      if (pool[i].contains(seed)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(result.covered_sets, covered);
+}
+
+TEST(SelectionProperties, SumOfMarginalsEqualsCoveredSets) {
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 12;
+  CounterArray counters(pool.num_vertices());
+  const auto result = efficient_select(pool, counters, options);
+  std::uint64_t marginal_sum = 0;
+  for (const std::uint64_t m : result.marginal_coverage) marginal_sum += m;
+  EXPECT_EQ(marginal_sum, result.covered_sets);
+}
+
+TEST(SelectionProperties, SeedsAreDistinct) {
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 20;
+  CounterArray counters(pool.num_vertices());
+  const auto result = efficient_select(pool, counters, options);
+  const std::set<VertexId> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), result.seeds.size());
+}
+
+TEST(SelectionProperties, LargerKNeverCoversLess) {
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  std::uint64_t previous = 0;
+  for (const std::size_t k : {1ul, 2ul, 4ul, 8ul, 16ul}) {
+    SelectionOptions options;
+    options.k = k;
+    CounterArray counters(pool.num_vertices());
+    const auto result = efficient_select(pool, counters, options);
+    EXPECT_GE(result.covered_sets, previous) << "k=" << k;
+    previous = result.covered_sets;
+  }
+}
+
+TEST(SelectionProperties, GreedyPrefixProperty) {
+  // Greedy is prefix-stable: the first j seeds of a k-seed run equal the
+  // full output of a j-seed run.
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions big;
+  big.k = 12;
+  CounterArray a(pool.num_vertices());
+  const auto full = efficient_select(pool, a, big);
+  for (const std::size_t j : {1ul, 4ul, 8ul}) {
+    SelectionOptions small;
+    small.k = j;
+    CounterArray b(pool.num_vertices());
+    const auto prefix = efficient_select(pool, b, small);
+    ASSERT_LE(prefix.seeds.size(), full.seeds.size());
+    for (std::size_t i = 0; i < prefix.seeds.size(); ++i) {
+      EXPECT_EQ(prefix.seeds[i], full.seeds[i]) << "j=" << j << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eimm

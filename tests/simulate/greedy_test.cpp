@@ -1,0 +1,115 @@
+#include "simulate/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/macros.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+using testing::make_graph;
+using testing::set_uniform_probability;
+
+TEST(CelfGreedy, PicksStarHubFirst) {
+  auto g = make_graph(gen_star(16));
+  set_uniform_probability(g, 1.0f);
+  SpreadOptions opt;
+  opt.num_samples = 50;
+  const auto result =
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 2, opt);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_DOUBLE_EQ(result.spread, 16.0);
+}
+
+TEST(CelfGreedy, MatchesNaiveGreedyOnSmallGraph) {
+  auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(20, 80, 3), DiffusionModel::kIndependentCascade);
+  SpreadOptions opt;
+  opt.num_samples = 2000;
+  const auto celf =
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 3, opt);
+
+  // Naive greedy: recompute all marginals each round.
+  std::vector<VertexId> naive;
+  double naive_spread = 0.0;
+  for (int round = 0; round < 3; ++round) {
+    VertexId best = kInvalidVertex;
+    double best_spread = -1.0;
+    for (VertexId v = 0; v < 20; ++v) {
+      std::vector<VertexId> trial(naive);
+      trial.push_back(v);
+      const double s = estimate_spread(
+          g.forward, DiffusionModel::kIndependentCascade, trial, opt);
+      if (s > best_spread) {
+        best_spread = s;
+        best = v;
+      }
+    }
+    naive.push_back(best);
+    naive_spread = best_spread;
+  }
+  // MC noise can flip near-ties, so compare achieved spread, not ids.
+  EXPECT_NEAR(celf.spread, naive_spread, naive_spread * 0.05 + 0.5);
+}
+
+TEST(CelfGreedy, SpreadMonotoneInK) {
+  auto g = testing::make_weighted_graph(
+      gen_barabasi_albert(60, 2, 5), DiffusionModel::kIndependentCascade);
+  SpreadOptions opt;
+  opt.num_samples = 500;
+  const auto k1 =
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 1, opt);
+  const auto k3 =
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 3, opt);
+  EXPECT_GE(k3.spread + 1e-9, k1.spread);
+}
+
+TEST(CelfGreedy, RejectsBadK) {
+  auto g = make_graph(gen_star(4));
+  set_uniform_probability(g, 0.5f);
+  EXPECT_THROW(
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 0),
+      CheckError);
+  EXPECT_THROW(
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 5),
+      CheckError);
+}
+
+TEST(ExhaustiveOptimal, FindsObviousOptimum) {
+  // Two disjoint stars: hubs 0 and 5. Optimal pair = {0, 5}.
+  auto g = make_graph({{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                       {5, 6}, {5, 7}, {5, 8}, {5, 9}},
+                      10);
+  set_uniform_probability(g, 1.0f);
+  SpreadOptions opt;
+  opt.num_samples = 20;
+  const auto best =
+      exhaustive_optimal(g.forward, DiffusionModel::kIndependentCascade, 2, opt);
+  EXPECT_EQ(best.seeds, (std::vector<VertexId>{0, 5}));
+  EXPECT_DOUBLE_EQ(best.spread, 10.0);
+}
+
+TEST(ExhaustiveOptimal, AtLeastAsGoodAsGreedy) {
+  auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(12, 50, 9), DiffusionModel::kIndependentCascade);
+  SpreadOptions opt;
+  opt.num_samples = 2000;
+  const auto optimal =
+      exhaustive_optimal(g.forward, DiffusionModel::kIndependentCascade, 2, opt);
+  const auto greedy =
+      celf_greedy(g.forward, DiffusionModel::kIndependentCascade, 2, opt);
+  EXPECT_GE(optimal.spread + 0.25, greedy.spread);  // MC tolerance
+}
+
+TEST(ExhaustiveOptimal, GuardsAgainstLargeInstances) {
+  auto g = make_graph(gen_star(30));
+  set_uniform_probability(g, 0.5f);
+  EXPECT_THROW(exhaustive_optimal(g.forward,
+                                  DiffusionModel::kIndependentCascade, 2),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

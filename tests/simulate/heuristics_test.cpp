@@ -1,0 +1,66 @@
+#include "simulate/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(TopDegree, StarHubFirst) {
+  const CSRGraph g = build_csr(gen_star(10), 10);
+  const auto seeds = top_degree_seeds(g, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(TopDegree, TiesBreakToLowestId) {
+  const CSRGraph g = build_csr(gen_cycle(8), 8);  // all degree 1
+  const auto seeds = top_degree_seeds(g, 3);
+  EXPECT_EQ(seeds, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(TopDegree, OrderedByDegree) {
+  // Degrees: v0 has 3 out-edges, v1 has 2, v2 has 1.
+  const CSRGraph g = build_csr(
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, 4);
+  const auto seeds = top_degree_seeds(g, 3);
+  EXPECT_EQ(seeds, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(TopDegree, RejectsBadK) {
+  const CSRGraph g = build_csr(gen_star(5), 5);
+  EXPECT_THROW(top_degree_seeds(g, 0), CheckError);
+  EXPECT_THROW(top_degree_seeds(g, 6), CheckError);
+}
+
+TEST(RandomSeeds, DistinctAndInRange) {
+  const auto seeds = random_seeds(100, 20, 7);
+  EXPECT_EQ(seeds.size(), 20u);
+  std::set<VertexId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const VertexId v : seeds) EXPECT_LT(v, 100u);
+}
+
+TEST(RandomSeeds, DeterministicInSeed) {
+  EXPECT_EQ(random_seeds(50, 10, 3), random_seeds(50, 10, 3));
+  EXPECT_NE(random_seeds(50, 10, 3), random_seeds(50, 10, 4));
+}
+
+TEST(RandomSeeds, FullSaturation) {
+  const auto seeds = random_seeds(5, 5, 11);
+  std::set<VertexId> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RandomSeeds, RejectsBadK) {
+  EXPECT_THROW(random_seeds(10, 0, 1), CheckError);
+  EXPECT_THROW(random_seeds(10, 11, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

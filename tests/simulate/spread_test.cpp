@@ -1,0 +1,140 @@
+#include "simulate/spread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+using testing::make_graph;
+using testing::set_uniform_probability;
+
+TEST(SpreadIC, EmptySeedSetIsZero) {
+  auto g = make_graph(gen_star(10));
+  set_uniform_probability(g, 0.5f);
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, {}), 0.0);
+}
+
+TEST(SpreadIC, AllVerticesSeededIsN) {
+  auto g = make_graph(gen_erdos_renyi(50, 200, 3), 50);
+  set_uniform_probability(g, 0.5f);
+  std::vector<VertexId> all(50);
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, all), 50.0);
+}
+
+TEST(SpreadIC, ProbabilityZeroSpreadsOnlySeeds) {
+  auto g = make_graph(gen_complete(10));
+  set_uniform_probability(g, 0.0f);
+  const std::vector<VertexId> seeds{2, 5};
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, seeds), 2.0);
+}
+
+TEST(SpreadIC, ProbabilityOneOnPathCoversSuffix) {
+  auto g = make_graph(gen_path(10));
+  set_uniform_probability(g, 1.0f);
+  const std::vector<VertexId> seeds{4};
+  // Seed 4 activates 5, 6, ..., 9 deterministically.
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, seeds), 6.0);
+}
+
+TEST(SpreadIC, StarHubReachesEverything) {
+  auto g = make_graph(gen_star(20));
+  set_uniform_probability(g, 1.0f);
+  const std::vector<VertexId> hub{0};
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, hub), 20.0);
+  const std::vector<VertexId> leaf{5};
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, leaf), 1.0);
+}
+
+TEST(SpreadIC, DuplicateSeedsCountOnce) {
+  auto g = make_graph(gen_star(10));
+  set_uniform_probability(g, 0.0f);
+  const std::vector<VertexId> seeds{3, 3, 3};
+  EXPECT_DOUBLE_EQ(estimate_spread_ic(g.forward, seeds), 1.0);
+}
+
+TEST(SpreadIC, DeterministicInSeed) {
+  auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(100, 600, 5), DiffusionModel::kIndependentCascade);
+  const std::vector<VertexId> seeds{1, 2, 3};
+  SpreadOptions opt;
+  opt.num_samples = 200;
+  const double a = estimate_spread_ic(g.forward, seeds, opt);
+  const double b = estimate_spread_ic(g.forward, seeds, opt);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SpreadIC, MonotoneInSeedSet) {
+  auto g = testing::make_weighted_graph(
+      gen_erdos_renyi(200, 1200, 5), DiffusionModel::kIndependentCascade);
+  SpreadOptions opt;
+  opt.num_samples = 500;
+  const std::vector<VertexId> small{1, 2};
+  const std::vector<VertexId> large{1, 2, 3, 4};
+  EXPECT_GE(estimate_spread_ic(g.forward, large, opt) + 1e-9,
+            estimate_spread_ic(g.forward, small, opt));
+}
+
+TEST(SpreadIC, HalfProbabilityPathMatchesGeometricSeries) {
+  // On a path with p=0.5, E[spread from 0] = sum_{i=0}^{n-1} 0.5^i -> 2.
+  auto g = make_graph(gen_path(20));
+  set_uniform_probability(g, 0.5f);
+  SpreadOptions opt;
+  opt.num_samples = 20000;
+  const std::vector<VertexId> seeds{0};
+  EXPECT_NEAR(estimate_spread_ic(g.forward, seeds, opt), 2.0, 0.05);
+}
+
+TEST(SpreadLT, PathWithFullWeightIsDeterministic) {
+  auto g = make_graph(gen_path(8));
+  set_uniform_probability(g, 1.0f);  // in-weight 1: always activates
+  const std::vector<VertexId> seeds{0};
+  EXPECT_DOUBLE_EQ(estimate_spread_lt(g.forward, seeds), 8.0);
+}
+
+TEST(SpreadLT, EmptySeedsZero) {
+  auto g = make_graph(gen_path(5));
+  set_uniform_probability(g, 1.0f);
+  EXPECT_DOUBLE_EQ(estimate_spread_lt(g.forward, {}), 0.0);
+}
+
+TEST(SpreadLT, NormalizedWeightsStayBounded) {
+  auto g = testing::make_weighted_graph(gen_erdos_renyi(100, 800, 9),
+                                        DiffusionModel::kLinearThreshold);
+  SpreadOptions opt;
+  opt.num_samples = 300;
+  const std::vector<VertexId> seeds{0, 1, 2};
+  const double spread = estimate_spread_lt(g.forward, seeds, opt);
+  EXPECT_GE(spread, 3.0);
+  EXPECT_LE(spread, 100.0);
+}
+
+TEST(SpreadLT, MonotoneInSeedSet) {
+  auto g = testing::make_weighted_graph(gen_barabasi_albert(150, 2, 3),
+                                        DiffusionModel::kLinearThreshold);
+  SpreadOptions opt;
+  opt.num_samples = 500;
+  const std::vector<VertexId> small{0};
+  const std::vector<VertexId> large{0, 1, 2};
+  EXPECT_GE(estimate_spread_lt(g.forward, large, opt) + 1e-9,
+            estimate_spread_lt(g.forward, small, opt));
+}
+
+TEST(SpreadDispatch, SelectsModel) {
+  auto g = make_graph(gen_path(6));
+  set_uniform_probability(g, 1.0f);
+  const std::vector<VertexId> seeds{0};
+  EXPECT_DOUBLE_EQ(
+      estimate_spread(g.forward, DiffusionModel::kIndependentCascade, seeds),
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      estimate_spread(g.forward, DiffusionModel::kLinearThreshold, seeds),
+      6.0);
+}
+
+}  // namespace
+}  // namespace eimm

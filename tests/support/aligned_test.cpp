@@ -1,0 +1,54 @@
+#include "support/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace eimm {
+namespace {
+
+TEST(Aligned, AllocBytesIsAligned) {
+  for (std::size_t alignment : {64ul, 128ul, 4096ul}) {
+    void* p = aligned_alloc_bytes(100, alignment);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignment, 0u);
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, ZeroBytesStillAllocates) {
+  void* p = aligned_alloc_bytes(0, 64);
+  ASSERT_NE(p, nullptr);
+  aligned_free(p);
+}
+
+TEST(Aligned, MakeAlignedArrayZeroInitialized) {
+  auto arr = make_aligned_array<std::uint64_t>(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arr.get()) % kCacheLineSize, 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(arr[i], 0u);
+}
+
+TEST(Aligned, CachePaddedOccupiesFullLines) {
+  static_assert(sizeof(CachePadded<int>) == kCacheLineSize);
+  static_assert(sizeof(CachePadded<char[100]>) == 2 * kCacheLineSize);
+  static_assert(alignof(CachePadded<int>) == kCacheLineSize);
+}
+
+TEST(Aligned, CachePaddedArrayElementsOnDistinctLines) {
+  std::vector<CachePadded<int>> v(4);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&v[i - 1].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&v[i].value);
+    EXPECT_GE(b - a, kCacheLineSize);
+  }
+}
+
+TEST(Aligned, CachePaddedAccessors) {
+  CachePadded<int> p(41);
+  EXPECT_EQ(*p, 41);
+  *p = 42;
+  EXPECT_EQ(p.value, 42);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,80 @@
+#include "support/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eimm {
+namespace {
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(1), 1);
+  EXPECT_EQ(popcount64(0xFF), 8);
+  EXPECT_EQ(popcount64(~std::uint64_t{0}), 64);
+}
+
+TEST(Bits, Ctz) {
+  EXPECT_EQ(ctz64(1), 0);
+  EXPECT_EQ(ctz64(2), 1);
+  EXPECT_EQ(ctz64(std::uint64_t{1} << 63), 63);
+  EXPECT_EQ(ctz64(0b1010000), 4);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 40));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, Log2Pow2) {
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(2), 1u);
+  EXPECT_EQ(log2_pow2(1024), 10u);
+}
+
+TEST(Bits, ForEachSetBitCollectsAscending) {
+  std::vector<std::size_t> seen;
+  for_each_set_bit(0b1011, 0, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Bits, ForEachSetBitAppliesBase) {
+  std::vector<std::size_t> seen;
+  for_each_set_bit(0b101, 64, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{64, 66}));
+}
+
+TEST(Bits, ForEachSetBitEmptyWord) {
+  int calls = 0;
+  for_each_set_bit(0, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Bits, ForEachSetBitFullWord) {
+  int calls = 0;
+  for_each_set_bit(~std::uint64_t{0}, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 64);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,57 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eimm {
+namespace {
+
+TEST(Csv, SimpleRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, PlainFieldsUnquoted) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(Csv, IncrementalCells) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.cell("dataset").cell(5.9).cell(42);
+  csv.end_row();
+  EXPECT_EQ(os.str(), "dataset,5.9,42\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"h1", "h2"});
+  csv.row({"v1", "v2"});
+  EXPECT_EQ(os.str(), "h1,h2\nv1,v2\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(std::vector<std::string>{});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,59 @@
+#include "support/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace eimm {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("EIMM_TEST_VAR"); }
+  void set(const char* value) { ::setenv("EIMM_TEST_VAR", value, 1); }
+};
+
+TEST_F(EnvTest, StringUnsetReturnsNullopt) {
+  EXPECT_FALSE(env_string("EIMM_TEST_VAR").has_value());
+}
+
+TEST_F(EnvTest, StringRoundTrip) {
+  set("hello");
+  EXPECT_EQ(env_string("EIMM_TEST_VAR").value(), "hello");
+}
+
+TEST_F(EnvTest, IntParsesAndFallsBack) {
+  set("42");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 42);
+  set("-3");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), -3);
+  set("abc");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  set("12abc");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  EXPECT_EQ(env_int("EIMM_UNSET_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesAndFallsBack) {
+  set("2.5");
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.0), 2.5);
+  set("garbage");
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.0), 1.0);
+}
+
+TEST_F(EnvTest, BoolVariants) {
+  for (const char* truthy : {"1", "true", "TRUE", "yes", "on", "On"}) {
+    set(truthy);
+    EXPECT_TRUE(env_bool("EIMM_TEST_VAR", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "false", "FALSE", "no", "off"}) {
+    set(falsy);
+    EXPECT_FALSE(env_bool("EIMM_TEST_VAR", true)) << falsy;
+  }
+  set("maybe");
+  EXPECT_TRUE(env_bool("EIMM_TEST_VAR", true));
+  EXPECT_FALSE(env_bool("EIMM_TEST_VAR", false));
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,112 @@
+#include "support/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/json.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5").as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const JsonValue v = parse_json("  {\n\t\"a\" :  1 ,\r\n \"b\": [ ] }  ");
+  EXPECT_DOUBLE_EQ(v.at("a").as_number(), 1.0);
+  EXPECT_TRUE(v.at("b").as_array().empty());
+}
+
+TEST(JsonParse, NestedStructures) {
+  const JsonValue v = parse_json(
+      R"({"outer": {"inner": [1, 2, {"deep": true}]}, "x": null})");
+  const JsonArray& inner = v.at("outer").at("inner").as_array();
+  ASSERT_EQ(inner.size(), 3u);
+  EXPECT_DOUBLE_EQ(inner[1].as_number(), 2.0);
+  EXPECT_TRUE(inner[2].at("deep").as_bool());
+  EXPECT_TRUE(v.at("x").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b")").as_string(), "a\"b");
+  EXPECT_EQ(parse_json(R"("a\\b")").as_string(), "a\\b");
+  EXPECT_EQ(parse_json(R"("line\nbreak")").as_string(), "line\nbreak");
+  EXPECT_EQ(parse_json(R"("tab\there")").as_string(), "tab\there");
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
+        "1 2", "{} []", "nul", "[1,,2]", "{\"a\":1,}"}) {
+    EXPECT_THROW(parse_json(bad), CheckError) << bad;
+  }
+}
+
+TEST(JsonParse, TypeMismatchesThrow) {
+  const JsonValue v = parse_json(R"({"n": 1})");
+  EXPECT_THROW(v.at("n").as_string(), CheckError);
+  EXPECT_THROW(v.at("n").as_array(), CheckError);
+  EXPECT_THROW(v.at("missing"), CheckError);
+  EXPECT_THROW(parse_json("[]").at("x"), CheckError);
+}
+
+TEST(JsonParse, HasChecksMembership) {
+  const JsonValue v = parse_json(R"({"present": 0})");
+  EXPECT_TRUE(v.has("present"));
+  EXPECT_FALSE(v.has("absent"));
+  EXPECT_FALSE(parse_json("[1]").has("x"));
+}
+
+TEST(JsonParse, RoundTripWithWriter) {
+  // Whatever JsonWriter emits, parse_json must read back.
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("Input", "com-Amazon")
+      .kv("Total", 0.97)
+      .kv("NumThreads", std::int64_t{8})
+      .kv("Capped", false);
+  w.key("Seeds").begin_array();
+  w.value(std::uint64_t{5}).value(std::uint64_t{17});
+  w.end_array().end_object();
+
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("Input").as_string(), "com-Amazon");
+  EXPECT_DOUBLE_EQ(v.at("Total").as_number(), 0.97);
+  EXPECT_DOUBLE_EQ(v.at("NumThreads").as_number(), 8.0);
+  EXPECT_FALSE(v.at("Capped").as_bool());
+  ASSERT_EQ(v.at("Seeds").as_array().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("Seeds").as_array()[1].as_number(), 17.0);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+}
+
+TEST(JsonParse, DeeplyNestedArrays) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += '[';
+  text += '1';
+  for (int i = 0; i < 50; ++i) text += ']';
+  JsonValue v = parse_json(text);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(v.is_array());
+    JsonValue inner = v.as_array()[0];  // full copy before reassigning
+    v = std::move(inner);
+  }
+  EXPECT_DOUBLE_EQ(v.as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,113 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  body(w);
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObject) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+}
+
+TEST(JsonWriter, SimpleKeyValues) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object().kv("a", std::int64_t{1}).kv("b", "x").end_object();
+  });
+  EXPECT_EQ(out, R"({"a": 1,"b": "x"})");
+}
+
+TEST(JsonWriter, NestedArray) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object().key("xs").begin_array();
+    w.value(std::int64_t{1}).value(std::int64_t{2});
+    w.end_array().end_object();
+  });
+  EXPECT_EQ(out, R"({"xs": [1,2]})");
+}
+
+TEST(JsonWriter, BooleansAndDoubles) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object().kv("t", true).kv("f", false).kv("d", 1.5).end_object();
+  });
+  EXPECT_EQ(out, R"({"t": true,"f": false,"d": 1.5})");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object()
+        .kv("nan", std::nan(""))
+        .kv("inf", std::numeric_limits<double>::infinity())
+        .end_object();
+  });
+  EXPECT_EQ(out, R"({"nan": null,"inf": null})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriter, KeyOutsideObjectThrows) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  EXPECT_THROW(w.key("oops"), CheckError);
+}
+
+TEST(JsonWriter, ValueWithoutKeyInObjectThrows) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_object();
+  EXPECT_THROW(w.value("loose"), CheckError);
+}
+
+TEST(JsonWriter, DanglingKeyThrowsOnEndObject) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_object().key("k");
+  EXPECT_THROW(w.end_object(), CheckError);
+}
+
+TEST(JsonWriter, MismatchedEndThrows) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_array();
+  EXPECT_THROW(w.end_object(), CheckError);
+}
+
+TEST(JsonWriter, PrettyOutputContainsNewlines) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object().kv("a", std::int64_t{1}).end_object();
+  EXPECT_NE(os.str().find('\n'), std::string::npos);
+}
+
+TEST(JsonWriter, ArrayOfObjects) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.begin_object().kv("i", std::int64_t{0}).end_object();
+    w.begin_object().kv("i", std::int64_t{1}).end_object();
+    w.end_array();
+  });
+  EXPECT_EQ(out, R"([{"i": 0},{"i": 1}])");
+}
+
+}  // namespace
+}  // namespace eimm

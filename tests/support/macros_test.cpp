@@ -1,0 +1,44 @@
+#include "support/macros.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eimm {
+namespace {
+
+TEST(Check, PassesOnTrue) {
+  EXPECT_NO_THROW(EIMM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(EIMM_CHECK(true, "with message"));
+}
+
+TEST(Check, ThrowsCheckErrorOnFalse) {
+  EXPECT_THROW(EIMM_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionAndContext) {
+  try {
+    EIMM_CHECK(2 > 3, "two is not greater");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater"), std::string::npos);
+    EXPECT_NE(what.find("macros_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(EIMM_CHECK(false), std::logic_error);
+}
+
+TEST(Check, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto count = [&]() {
+    ++calls;
+    return true;
+  };
+  EIMM_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace eimm

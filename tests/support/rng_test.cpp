@@ -1,0 +1,134 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace eimm {
+namespace {
+
+TEST(SplitMix64, DeterministicAndAdvancesState) {
+  std::uint64_t s1 = 42, s2 = 42;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s1, s2);
+  // Second draw differs from the first (state advanced).
+  EXPECT_NE(splitmix64(s1), a);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(HashCombine64, OrderSensitive) {
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+  EXPECT_EQ(hash_combine64(10, 20), hash_combine64(10, 20));
+}
+
+TEST(HashCombine64, SpreadsNearbyIndices) {
+  // Consecutive stream indices must produce well-separated seeds.
+  std::set<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    values.insert(hash_combine64(0xABCD, i));
+  }
+  EXPECT_EQ(values.size(), 1000u);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, ForStreamIndependentOfCallOrder) {
+  Xoshiro256 s5_first = Xoshiro256::for_stream(9, 5);
+  Xoshiro256 s9_first = Xoshiro256::for_stream(9, 9);
+  Xoshiro256 s5_second = Xoshiro256::for_stream(9, 5);
+  EXPECT_EQ(s5_first(), s5_second());
+  Xoshiro256 s5_again = Xoshiro256::for_stream(9, 5);
+  (void)s9_first;
+  EXPECT_EQ(Xoshiro256::for_stream(9, 5)(), s5_again());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBoundedZeroAndOne) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+  EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Xoshiro256, NextBoundedRoughlyUniform) {
+  Xoshiro256 rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) histogram[rng.next_bounded(kBuckets)]++;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, expected, expected * 0.1);
+  }
+}
+
+TEST(Xoshiro256, NextBoolExtremes) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Xoshiro256, NextBoolRate) {
+  Xoshiro256 rng(29);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  std::vector<int> v{3, 1, 2};
+  std::shuffle(v.begin(), v.end(), rng);  // compiles and runs
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,65 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eimm {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable t({"Graph", "Speedup"});
+  t.new_row().add("com-Amazon").add(5.9, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Graph"), std::string::npos);
+  EXPECT_NE(out.find("| com-Amazon"), std::string::npos);
+  EXPECT_NE(out.find("5.9"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(AsciiTable, TitlePrinted) {
+  AsciiTable t({"A"});
+  t.set_title("Table III");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("## Table III"), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAligned) {
+  AsciiTable t({"N", "Value"});
+  t.new_row().add("x").add(std::int64_t{1});
+  t.new_row().add("longer-name").add(std::int64_t{22});
+  std::ostringstream os;
+  t.print(os);
+  // Every data row has the same length as the header row.
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t expected = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << line;
+  }
+}
+
+TEST(FormatHelpers, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatHelpers, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.0 GiB");
+}
+
+TEST(FormatHelpers, FormatSpeedup) {
+  EXPECT_EQ(format_speedup(5.94), "5.9x");
+  EXPECT_EQ(format_speedup(357.39, 2), "357.39x");
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,99 @@
+#include "workloads/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+TEST(Registry, AllEightPaperDatasetsPresent) {
+  const auto& specs = workload_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  const std::vector<std::string> expected{
+      "com-Amazon", "com-YouTube", "com-DBLP", "com-LJ",
+      "soc-Pokec",  "as-Skitter",  "web-Google", "twitter7"};
+  for (const auto& name : expected) {
+    EXPECT_TRUE(find_workload(name).has_value()) << name;
+  }
+}
+
+TEST(Registry, SpecsCarryPaperTable1Numbers) {
+  const auto amazon = find_workload("com-Amazon");
+  ASSERT_TRUE(amazon.has_value());
+  EXPECT_EQ(amazon->paper_nodes, 334'863u);
+  EXPECT_EQ(amazon->paper_edges, 925'872u);
+  EXPECT_NEAR(amazon->paper_avg_coverage, 0.613, 1e-9);
+  const auto twitter = find_workload("twitter7");
+  ASSERT_TRUE(twitter.has_value());
+  EXPECT_EQ(twitter->paper_nodes, 41'652'230u);
+}
+
+TEST(Registry, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(find_workload("no-such-graph").has_value());
+}
+
+TEST(Registry, MakeUnknownThrows) {
+  EXPECT_THROW(make_workload("no-such-graph"), CheckError);
+}
+
+TEST(Registry, BadScaleThrows) {
+  EXPECT_THROW(make_workload("com-Amazon", 0.0), CheckError);
+  EXPECT_THROW(make_workload("com-Amazon", -1.0), CheckError);
+}
+
+TEST(Registry, AnaloguesAreNonTrivialAndDeterministic) {
+  for (const auto& spec : workload_specs()) {
+    const DiffusionGraph a = make_workload(spec.name, 0.01, 9);
+    EXPECT_GE(a.num_vertices(), 64u) << spec.name;
+    EXPECT_GT(a.num_edges(), a.num_vertices() / 2) << spec.name;
+    const DiffusionGraph b = make_workload(spec.name, 0.01, 9);
+    EXPECT_EQ(a.forward.targets(), b.forward.targets()) << spec.name;
+  }
+}
+
+TEST(Registry, ScaleGrowsTheGraph) {
+  const auto small = make_workload("com-Amazon", 0.01, 1);
+  const auto large = make_workload("com-Amazon", 0.05, 1);
+  EXPECT_GT(large.num_vertices(), small.num_vertices());
+}
+
+TEST(Registry, WeightsAssignedOnBothOrientations) {
+  const auto g = make_workload_with_weights(
+      "com-DBLP", DiffusionModel::kIndependentCascade, 0.01, 3);
+  EXPECT_TRUE(g.reverse.has_weights());
+  EXPECT_TRUE(g.forward.has_weights());
+}
+
+TEST(Registry, SkitterAnalogueIsSparseAndGridLike) {
+  const auto g = make_workload("as-Skitter", 0.05, 7);
+  const auto stats = compute_graph_stats(g.forward, false);
+  // Grid + shortcuts: average degree near 4, no heavy hubs.
+  EXPECT_LT(stats.avg_out_degree, 6.0);
+  EXPECT_LT(stats.max_out_degree, 32u);
+}
+
+TEST(Registry, SocialAnaloguesHaveGiantScc) {
+  for (const char* name : {"com-Amazon", "com-YouTube", "com-DBLP"}) {
+    const auto g = make_workload(name, 0.02, 7);
+    const auto stats = compute_graph_stats(g.forward, true);
+    EXPECT_GT(stats.largest_scc_fraction, 0.5) << name;
+  }
+}
+
+TEST(Registry, SocialAnaloguesAreSkewedUnlikeGridAndLattice) {
+  // R-MAT families must show hub concentration an order of magnitude
+  // above the near-regular lattice/small-world analogues.
+  const auto twitter = make_workload("twitter7", 0.01, 5);
+  const auto skitter = make_workload("as-Skitter", 0.01, 5);
+  const double twitter_skew =
+      compute_graph_stats(twitter.forward, false).top1pct_degree_share;
+  const double skitter_skew =
+      compute_graph_stats(skitter.forward, false).top1pct_degree_share;
+  EXPECT_GT(twitter_skew, 0.08);
+  EXPECT_GT(twitter_skew, 5.0 * skitter_skew);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,133 @@
+// extract_results — the C++ twin of the SC'24 artifact's
+// extract_results.py: scans strong-scaling-logs-* style directories of
+// per-run JSON logs, finds each (dataset, algorithm) pair's best time
+// over thread counts, and writes speedup CSV summaries.
+//
+//   extract_results --logs strong-scaling-logs-ic --out results/speedup_ic.csv
+//
+// Expects the JSON schema io/json_log.hpp writes (also what imm_cli and
+// the bench binaries emit).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "support/csv.hpp"
+#include "support/json_parse.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+struct BestRun {
+  double seconds = 1e300;
+  int threads = 0;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, "usage: %s --logs DIR [--out FILE.csv]\n", argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eimm;
+
+  std::string logs_dir;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--logs") logs_dir = next();
+    else if (arg == "--out") out_path = next();
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else usage(argv[0], ("unknown option " + arg).c_str());
+  }
+  if (logs_dir.empty()) usage(argv[0], "--logs is required");
+
+  // dataset -> algorithm -> best run over thread counts.
+  std::map<std::string, std::map<std::string, BestRun>> best;
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(logs_dir)) {
+    if (entry.path().extension() != ".json") continue;
+    std::ifstream is(entry.path());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    JsonValue doc;
+    try {
+      doc = parse_json(buffer.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", entry.path().c_str(),
+                   e.what());
+      continue;
+    }
+    ++files;
+    const std::string dataset = doc.at("Input").as_string();
+    const std::string algorithm = doc.at("Algorithm").as_string();
+    const double total = doc.at("Total").as_number();
+    const int threads = static_cast<int>(doc.at("NumThreads").as_number());
+    BestRun& run = best[dataset][algorithm];
+    if (total < run.seconds) run = {total, threads};
+  }
+  std::printf("parsed %zu log files from %s\n", files, logs_dir.c_str());
+  if (best.empty()) {
+    std::fprintf(stderr, "no usable logs found\n");
+    return 1;
+  }
+
+  AsciiTable table({"Dataset", "Speedup", "EfficientIMM Time (s)",
+                    "Ripples Time (s)", "Ripples Best #Threads",
+                    "EfficientIMM Best #Threads"});
+  std::ofstream csv_file;
+  if (!out_path.empty()) {
+    std::filesystem::create_directories(
+        std::filesystem::path(out_path).parent_path());
+    csv_file.open(out_path);
+  }
+  CsvWriter csv(csv_file);
+  if (csv_file.is_open()) {
+    csv.row({"Dataset", "Speedup", "EfficientIMM Time (s)",
+             "Ripples Time (s)", "Ripples Best #Threads",
+             "EfficientIMM Best #Threads"});
+  }
+
+  for (const auto& [dataset, algorithms] : best) {
+    const auto efficient = algorithms.find("EfficientIMM");
+    const auto ripples = algorithms.find("Ripples");
+    if (efficient == algorithms.end() || ripples == algorithms.end()) {
+      std::fprintf(stderr, "%s: missing one algorithm, skipping\n",
+                   dataset.c_str());
+      continue;
+    }
+    const double speedup =
+        ripples->second.seconds / efficient->second.seconds;
+    table.new_row()
+        .add(dataset)
+        .add(format_speedup(speedup, 2))
+        .add(efficient->second.seconds, 4)
+        .add(ripples->second.seconds, 4)
+        .add(ripples->second.threads)
+        .add(efficient->second.threads);
+    if (csv_file.is_open()) {
+      csv.cell(dataset)
+          .cell(format_double(speedup, 2))
+          .cell(format_double(efficient->second.seconds, 4))
+          .cell(format_double(ripples->second.seconds, 4))
+          .cell(ripples->second.threads)
+          .cell(efficient->second.threads);
+      csv.end_row();
+    }
+  }
+  table.print(std::cout);
+  if (csv_file.is_open()) std::printf("csv: %s\n", out_path.c_str());
+  return 0;
+}

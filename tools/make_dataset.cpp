@@ -1,0 +1,101 @@
+// make_dataset — materializes the workload analogues as files, the
+// offline counterpart of the artifact's download_dataset.sh (which
+// fetches the real SNAP archives; those cannot be redistributed here).
+//
+//   make_dataset --out datasets [--scale 1.0] [--format edgelist|binary]
+//   make_dataset --only com-Amazon --out datasets
+//
+// Emits one file per analogue plus a MANIFEST.tsv with basic stats so a
+// user can eyeball what was generated.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "graph/stats.hpp"
+#include "io/binary.hpp"
+#include "io/edgelist.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s --out DIR [--scale F] [--seed N]\n"
+               "          [--format edgelist|binary] [--only NAME]\n",
+               argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eimm;
+
+  std::string out_dir;
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  std::string format = "edgelist";
+  std::optional<std::string> only;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--out") out_dir = next();
+    else if (arg == "--scale") scale = std::strtod(next().c_str(), nullptr);
+    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--format") format = next();
+    else if (arg == "--only") only = next();
+    else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else usage(argv[0], ("unknown option " + arg).c_str());
+  }
+  if (out_dir.empty()) usage(argv[0], "--out is required");
+  if (format != "edgelist" && format != "binary") {
+    usage(argv[0], "--format must be edgelist or binary");
+  }
+
+  std::filesystem::create_directories(out_dir);
+  std::ofstream manifest(out_dir + "/MANIFEST.tsv");
+  manifest << "name\tfile\tnodes\tedges\tavg_degree\tfamily\n";
+
+  for (const WorkloadSpec& spec : workload_specs()) {
+    if (only && spec.name != *only) continue;
+    std::printf("generating %-12s (scale %.2f) ... ", spec.name.c_str(),
+                scale);
+    std::fflush(stdout);
+    const DiffusionGraph graph = make_workload(spec.name, scale, seed);
+    const GraphStats stats = compute_graph_stats(graph.forward, false);
+
+    std::string file;
+    if (format == "binary") {
+      file = out_dir + "/" + spec.name + ".csr";
+      write_binary_csr_file(file, graph.forward);
+    } else {
+      file = out_dir + "/" + spec.name + ".txt";
+      std::ofstream os(file);
+      // Re-derive the edge list from the CSR for a canonical sorted dump.
+      std::vector<WeightedEdge> edges;
+      edges.reserve(graph.num_edges());
+      for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+        for (const VertexId v : graph.forward.neighbors(u)) {
+          edges.push_back({u, v, 1.0f});
+        }
+      }
+      write_edge_list(os, edges, /*with_weights=*/false);
+    }
+    manifest << spec.name << '\t' << file << '\t' << stats.num_vertices
+             << '\t' << stats.num_edges << '\t' << stats.avg_out_degree
+             << '\t' << spec.family << '\n';
+    std::printf("%s (%u nodes, %llu edges)\n", file.c_str(),
+                stats.num_vertices,
+                static_cast<unsigned long long>(stats.num_edges));
+  }
+  std::printf("manifest: %s/MANIFEST.tsv\n", out_dir.c_str());
+  return 0;
+}
