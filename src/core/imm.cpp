@@ -10,7 +10,6 @@
 #include "rrr/generate.hpp"
 #include "rrr/pool.hpp"
 #include "seedselect/select.hpp"
-#include "support/log.hpp"
 #include "support/macros.hpp"
 #include "support/timer.hpp"
 
@@ -108,13 +107,7 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   bool capped = false;
 
   auto generate_to = [&](std::uint64_t target) {
-    if (target > options.max_rrr_sets) {
-      capped = true;
-      target = options.max_rrr_sets;
-      EIMM_LOG_WARN << "theta " << target << " capped at max_rrr_sets="
-                    << options.max_rrr_sets
-                    << "; approximation guarantee weakened";
-    }
+    target = cap_theta_request(target, options.max_rrr_sets, capped);
     if (target <= generated) return;
     ScopedAccumulator acc(breakdown.sampling_seconds);
     pool.resize(target);
@@ -143,32 +136,13 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
     return ripples_select_t<NullMem>(pool, sopt);
   };
 
-  // --- Sampling phase: probe OPT guesses x_i = n / 2^i ---
+  // --- Sampling phase: probe OPT guesses x_i = n / 2^i, then Set Theta ---
   ImmResult result;
-  double lower_bound = 1.0;
-  for (unsigned i = 1; i <= params.max_iterations(); ++i) {
-    const std::uint64_t theta_i = params.theta_for_iteration(i);
-    generate_to(theta_i);
-    const SelectionResult probe = select();
-    MartingaleIteration record;
-    record.iteration = i;
-    record.theta = theta_i;
-    record.coverage = probe.coverage_fraction();
-    record.lower_bound = params.lower_bound(probe.coverage_fraction());
-    record.accepted = params.accepts(probe.coverage_fraction(), i);
-    result.iterations.push_back(record);
-    if (record.accepted) {
-      lower_bound = record.lower_bound;
-      break;
-    }
-    // Keep the best certified-free estimate as a fallback LB so that a
-    // probe loop that never triggers still produces a sane θ.
-    lower_bound = std::max(lower_bound, record.lower_bound / 2.0);
-  }
-
-  // --- Set Theta + top-up generation ---
-  const std::uint64_t theta = params.theta_final(lower_bound);
-  if (generated < theta) generate_to(theta);
+  const std::uint64_t theta = run_martingale_probing(
+      params, generate_to, [&] { return select().coverage_fraction(); },
+      [&](const MartingaleIteration& record) {
+        result.iterations.push_back(record);
+      });
 
   // --- Selection phase ---
   const SelectionResult final_selection = select();

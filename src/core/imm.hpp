@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "core/martingale.hpp"
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
 #include "rrr/set.hpp"
@@ -79,15 +80,6 @@ struct PhaseBreakdown {
     const double other = total_seconds - sampling_seconds - selection_seconds;
     return other > 0.0 ? other : 0.0;
   }
-};
-
-/// One probing iteration of the sampling phase (Algorithm 1 lines 1-6).
-struct MartingaleIteration {
-  unsigned iteration = 0;       // i (1-based)
-  std::uint64_t theta = 0;      // θ_i requested for this probe
-  double coverage = 0.0;        // F(S_tmp) over the pool at this point
-  double lower_bound = 0.0;     // LB implied by this probe
-  bool accepted = false;        // did n·F(S) certify OPT >= x_i?
 };
 
 struct ImmResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/log.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -79,6 +80,46 @@ bool MartingaleParams::accepts(double coverage_fraction,
 
 double MartingaleParams::lower_bound(double coverage_fraction) const noexcept {
   return static_cast<double>(n) * coverage_fraction / (1.0 + epsilon_prime);
+}
+
+std::uint64_t run_martingale_probing(
+    const MartingaleParams& params,
+    const std::function<void(std::uint64_t)>& generate_to,
+    const std::function<double()>& select_coverage,
+    const std::function<void(const MartingaleIteration&)>& observe) {
+  double lower_bound = 1.0;
+  for (unsigned i = 1; i <= params.max_iterations(); ++i) {
+    MartingaleIteration record;
+    record.iteration = i;
+    record.theta = params.theta_for_iteration(i);
+    generate_to(record.theta);
+    record.coverage = select_coverage();
+    record.lower_bound = params.lower_bound(record.coverage);
+    record.accepted = params.accepts(record.coverage, i);
+    if (observe) observe(record);
+    if (record.accepted) {
+      lower_bound = record.lower_bound;
+      break;
+    }
+    // Keep the best certified-free estimate as a fallback LB so that a
+    // probe loop that never triggers still produces a sane θ.
+    lower_bound = std::max(lower_bound, record.lower_bound / 2.0);
+  }
+
+  // Set Theta + top-up generation (generate_to is idempotent below the
+  // high-water mark, so an already-large pool is left alone).
+  const std::uint64_t theta = params.theta_final(lower_bound);
+  generate_to(theta);
+  return theta;
+}
+
+std::uint64_t cap_theta_request(std::uint64_t target, std::uint64_t max_sets,
+                                bool& capped) {
+  if (target <= max_sets) return target;
+  capped = true;
+  EIMM_LOG_WARN << "theta " << target << " capped at max_rrr_sets="
+                << max_sets << "; approximation guarantee weakened";
+  return max_sets;
 }
 
 }  // namespace eimm

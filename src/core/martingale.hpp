@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "graph/types.hpp"
 
@@ -54,5 +55,33 @@ double log_binomial(std::uint64_t n, std::uint64_t k);
 /// Derives every constant above. ell is the caller's ℓ before boosting.
 MartingaleParams compute_martingale_params(VertexId n, std::size_t k,
                                            double epsilon, double ell = 1.0);
+
+/// One probing iteration of the sampling phase (Algorithm 1 lines 1-6).
+struct MartingaleIteration {
+  unsigned iteration = 0;       // i (1-based)
+  std::uint64_t theta = 0;      // θ_i requested for this probe
+  double coverage = 0.0;        // F(S_tmp) over the pool at this point
+  double lower_bound = 0.0;     // LB implied by this probe
+  bool accepted = false;        // did n·F(S) certify OPT >= x_i?
+};
+
+/// The shared sampling-phase workflow: probes x_i = n/2^i via
+/// generate_to(θ_i) + select_coverage() until a probe accepts (with the
+/// LB/2 fallback when none does), then tops up to θ = λ*/LB and returns
+/// it. Both the single-node drivers and the distributed simulation run
+/// exactly this loop, so any change to the acceptance logic lands in all
+/// of them at once. `observe` (optional) receives each probe's record.
+std::uint64_t run_martingale_probing(
+    const MartingaleParams& params,
+    const std::function<void(std::uint64_t)>& generate_to,
+    const std::function<double()>& select_coverage,
+    const std::function<void(const MartingaleIteration&)>& observe = {});
+
+/// Clamps a theta request to the caller's pool budget. Sets `capped` and
+/// warns (with the requested value, so the overshoot is visible) when the
+/// budget truncates the request — the shared policy for every driver, so
+/// "approximation guarantee weakened" means the same thing everywhere.
+std::uint64_t cap_theta_request(std::uint64_t target, std::uint64_t max_sets,
+                                bool& capped);
 
 }  // namespace eimm

@@ -2,16 +2,13 @@
 
 #include <omp.h>
 
-#include <algorithm>
-
 namespace eimm {
 
 int max_threads() noexcept { return omp_get_max_threads(); }
 
 int resolve_threads(int requested) noexcept {
-  const int hw = omp_get_num_procs();
   if (requested <= 0) return omp_get_max_threads();
-  return std::min(requested, hw);
+  return requested;
 }
 
 ThreadCountScope::ThreadCountScope(int threads)

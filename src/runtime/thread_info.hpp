@@ -6,7 +6,10 @@ namespace eimm {
 /// Hardware threads OpenMP will use by default.
 int max_threads() noexcept;
 
-/// Clamps `requested` to [1, max available]; 0 means "use all".
+/// Resolves a thread request: <= 0 means "use the OpenMP default";
+/// explicit requests are honored verbatim, including oversubscription —
+/// a sweep that asks for 4 threads must get 4 even on a 1-core host, or
+/// scaling experiments (and their log filenames) silently collapse.
 int resolve_threads(int requested) noexcept;
 
 /// RAII scope that sets the OpenMP thread count and restores the previous

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace eimm {
@@ -16,8 +18,12 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   auto s = env_string(name);
   if (!s) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(s->c_str(), &end, 10);
-  if (end == s->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  if (end == s->c_str() || (end != nullptr && *end != '\0') ||
+      errno == ERANGE) {
+    return fallback;
+  }
   return static_cast<std::int64_t>(v);
 }
 
@@ -25,8 +31,14 @@ double env_double(const char* name, double fallback) {
   auto s = env_string(name);
   if (!s) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(s->c_str(), &end);
-  if (end == s->c_str() || (end != nullptr && *end != '\0')) return fallback;
+  // ERANGE also fires on underflow to a subnormal (strtod("1e-320")),
+  // which is still the correctly rounded value — only reject overflow.
+  if (end == s->c_str() || (end != nullptr && *end != '\0') ||
+      (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))) {
+    return fallback;
+  }
   return v;
 }
 

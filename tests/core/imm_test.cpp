@@ -155,7 +155,9 @@ TEST(RunImm, IterationTelemetryIsCoherent) {
     EXPECT_LE(it.coverage, 1.0);
     EXPECT_GE(it.lower_bound, 0.0);
     // Only the last executed iteration can be the accepted one.
-    if (it.accepted) EXPECT_EQ(i, result.iterations.size() - 1);
+    if (it.accepted) {
+      EXPECT_EQ(i, result.iterations.size() - 1);
+    }
   }
   // θ_i grows geometrically across executed probes.
   for (std::size_t i = 1; i < result.iterations.size(); ++i) {

@@ -55,5 +55,63 @@ TEST_F(EnvTest, BoolVariants) {
   EXPECT_FALSE(env_bool("EIMM_TEST_VAR", false));
 }
 
+TEST_F(EnvTest, EmptyValueFallsBack) {
+  set("");
+  EXPECT_EQ(env_string("EIMM_TEST_VAR").value(), "");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.5), 1.5);
+  EXPECT_TRUE(env_bool("EIMM_TEST_VAR", true));
+  EXPECT_FALSE(env_bool("EIMM_TEST_VAR", false));
+}
+
+TEST_F(EnvTest, WhitespaceOnlyFallsBack) {
+  set("   ");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, IntOverflowFallsBack) {
+  // Out-of-range magnitudes must not silently clamp to LLONG_MAX/MIN —
+  // a truncated EIMM_MAX_RRR would change experiment scale unnoticed.
+  set("99999999999999999999999999");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  set("-99999999999999999999999999");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntBoundaryValuesParse) {
+  set("9223372036854775807");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), INT64_MAX);
+  set("-9223372036854775808");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), INT64_MIN);
+}
+
+TEST_F(EnvTest, DoubleOverflowFallsBack) {
+  set("1e999");
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.5), 1.5);
+  set("-1e999");
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, DoubleUnderflowParsesAsSubnormal) {
+  // strtod sets ERANGE for subnormals too, but the rounded value is
+  // still correct — a tiny epsilon must not silently become the default.
+  set("1e-320");
+  const double v = env_double("EIMM_TEST_VAR", 1.5);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-300);
+}
+
+TEST_F(EnvTest, TrailingGarbageFallsBack) {
+  set("3.5x");
+  EXPECT_DOUBLE_EQ(env_double("EIMM_TEST_VAR", 1.5), 1.5);
+  set("0x10");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+  set(" 5");  // leading whitespace is strtoll-legal, trailing is not
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 5);
+  set("5 ");
+  EXPECT_EQ(env_int("EIMM_TEST_VAR", 7), 7);
+}
+
 }  // namespace
 }  // namespace eimm

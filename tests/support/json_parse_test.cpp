@@ -54,10 +54,10 @@ TEST(JsonParse, MalformedInputsThrow) {
 
 TEST(JsonParse, TypeMismatchesThrow) {
   const JsonValue v = parse_json(R"({"n": 1})");
-  EXPECT_THROW(v.at("n").as_string(), CheckError);
-  EXPECT_THROW(v.at("n").as_array(), CheckError);
-  EXPECT_THROW(v.at("missing"), CheckError);
-  EXPECT_THROW(parse_json("[]").at("x"), CheckError);
+  EXPECT_THROW((void)v.at("n").as_string(), CheckError);
+  EXPECT_THROW((void)v.at("n").as_array(), CheckError);
+  EXPECT_THROW((void)v.at("missing"), CheckError);
+  EXPECT_THROW((void)parse_json("[]").at("x"), CheckError);
 }
 
 TEST(JsonParse, HasChecksMembership) {
@@ -92,6 +92,46 @@ TEST(JsonParse, RoundTripWithWriter) {
 TEST(JsonParse, EmptyContainers) {
   EXPECT_TRUE(parse_json("{}").as_object().empty());
   EXPECT_TRUE(parse_json("[]").as_array().empty());
+}
+
+TEST(JsonParse, MalformedNumbersThrow) {
+  for (const char* bad : {"1e", "1e+", "--1", "1.2.3", "+5", "-",
+                          "0x10", "1e99e9", "nan", "inf"}) {
+    EXPECT_THROW(parse_json(bad), CheckError) << bad;
+  }
+}
+
+TEST(JsonParse, NumberOverflowThrows) {
+  // from_chars reports out_of_range for doubles beyond DBL_MAX; a log
+  // with a corrupt counter must fail loudly, not round-trip as inf.
+  EXPECT_THROW(parse_json("1e999"), CheckError);
+  EXPECT_THROW(parse_json("-1e999"), CheckError);
+  EXPECT_THROW(parse_json("[1, 1e999]"), CheckError);
+}
+
+TEST(JsonParse, LargeMagnitudesWithinRangeParse) {
+  EXPECT_DOUBLE_EQ(parse_json("1e308").as_number(), 1e308);
+  EXPECT_DOUBLE_EQ(parse_json("-1e308").as_number(), -1e308);
+  EXPECT_DOUBLE_EQ(parse_json("9007199254740993").as_number(),
+                   9007199254740993.0);  // 2^53+1: stored at double precision
+}
+
+TEST(JsonParse, MalformedEscapesAndStringsThrow) {
+  for (const char* bad : {R"("\q")", R"("\u12")", R"("\uZZZZ")",
+                          R"("\u0100")", R"("\)", R"({"a" 1})",
+                          R"(["x" "y"])"}) {
+    EXPECT_THROW(parse_json(bad), CheckError) << bad;
+  }
+}
+
+TEST(JsonParse, TruncatedDocumentsThrow) {
+  // Every proper prefix of a valid document must throw, never return a
+  // partial value (the artifact parser reads whole files at once).
+  const std::string doc = R"({"Algorithm":"EfficientIMM","Seeds":[1,2]})";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW(parse_json(doc.substr(0, len)), CheckError) << len;
+  }
+  EXPECT_NO_THROW(parse_json(doc));
 }
 
 TEST(JsonParse, DeeplyNestedArrays) {

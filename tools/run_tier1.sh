@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verify in one command: configure, build, and run the full test
+# tree exactly the way ROADMAP.md specifies. Any argument is forwarded to
+# cmake --preset instead of the default in-source `build/` directory, e.g.
+#   tools/run_tier1.sh          # plain build/ dir, default flags
+#   tools/run_tier1.sh asan     # the Debug+ASan preset
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -ge 1 ]; then
+  preset="$1"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" -j "$(nproc)"
+else
+  cmake -B build -S .
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
