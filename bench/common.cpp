@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "numa/topology.hpp"
 #include "support/env.hpp"
@@ -52,6 +53,13 @@ DiffusionGraph load_workload(const BenchConfig& config,
                              const std::string& name, DiffusionModel model) {
   return make_workload_with_weights(name, model, config.scale,
                                     config.rng_seed);
+}
+
+std::string bench_json_path(const std::string& filename) {
+  // An empty EIMM_BENCH_JSON_DIR means unset, not the filesystem root.
+  const std::optional<std::string> dir = env_string("EIMM_BENCH_JSON_DIR");
+  if (!dir.has_value() || dir->empty()) return "./" + filename;
+  return *dir + "/" + filename;
 }
 
 void print_banner(const std::string& title, const BenchConfig& config) {

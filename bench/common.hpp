@@ -2,12 +2,16 @@
 //
 // Every binary honours the same environment knobs so the whole suite can
 // be scaled from "smoke test on a laptop" (defaults) toward paper-scale:
-//   EIMM_SCALE       workload scale factor (default 0.15)
-//   EIMM_THREADS     max threads for sweeps (default: all cores)
-//   EIMM_BENCH_REPS  repetitions; best (min) time is reported (default 1)
-//   EIMM_K           seed budget (default 50, as in the paper)
-//   EIMM_EPSILON     accuracy (default 0.5, as in the paper)
-//   EIMM_MAX_RRR     RRR-set cap per run (default 1M)
+//   EIMM_SCALE          workload scale factor (default 0.3 — must match
+//                       BenchConfig::scale; tests/bench/common_test
+//                       enforces the agreement)
+//   EIMM_THREADS        max threads for sweeps (default: all cores)
+//   EIMM_BENCH_REPS     repetitions; best (min) time is reported (default 1)
+//   EIMM_K              seed budget (default 50, as in the paper)
+//   EIMM_EPSILON        accuracy (default 0.5, as in the paper)
+//   EIMM_MAX_RRR        RRR-set cap per run (default 1M)
+//   EIMM_BENCH_JSON_DIR directory for machine-readable BENCH_*.json
+//                       results (default: current directory)
 #pragma once
 
 #include <functional>
@@ -49,5 +53,9 @@ DiffusionGraph load_workload(const BenchConfig& config,
 
 /// Prints the standard bench banner (binary name, config, host info).
 void print_banner(const std::string& title, const BenchConfig& config);
+
+/// Resolved path for a machine-readable result file:
+/// $EIMM_BENCH_JSON_DIR/<filename>, defaulting to ./<filename>.
+std::string bench_json_path(const std::string& filename);
 
 }  // namespace eimm::bench

@@ -1,0 +1,114 @@
+// serve_throughput — queries/sec against one frozen SketchStore.
+//
+// Builds the store once (the amortized cost the serving story banks on),
+// then sweeps thread counts over a fixed mixed query batch: unconstrained
+// top-k reads, blacklist queries that re-run the greedy kernel, and
+// whitelist queries restricted to a vertex range. Emits a human table
+// plus machine-readable BENCH_serve.json (workload, threads, queries/sec,
+// build-seconds) via io/json_log.
+//
+// Extra knobs on top of the common EIMM_* set:
+//   EIMM_SERVE_WORKLOAD  store workload (default com-Amazon)
+//   EIMM_SERVE_QUERIES   queries per batch (default 256)
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "io/json_log.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/env.hpp"
+#include "support/timer.hpp"
+
+using namespace eimm;
+using namespace eimm::bench;
+
+namespace {
+
+/// The serving mix: ~1/2 cached top-k, ~1/4 blacklist, ~1/4 whitelist.
+/// Constrained queries forbid prefixes of the default seed sequence
+/// (the "my best influencer declined" scenario) or whitelist a vertex
+/// stripe (regional targeting), so every query still returns k seeds
+/// worth of greedy work.
+std::vector<QueryOptions> make_query_mix(const SketchStore& store,
+                                         std::size_t count,
+                                         std::size_t k_max) {
+  const auto& defaults = store.default_seeds();
+  std::vector<QueryOptions> queries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QueryOptions& q = queries[i];
+    q.k = 1 + (i % k_max);
+    if (i % 4 == 1 && !defaults.empty()) {
+      const std::size_t banned = 1 + (i % defaults.size());
+      q.forbidden.assign(defaults.begin(),
+                         defaults.begin() + static_cast<std::ptrdiff_t>(banned));
+    } else if (i % 4 == 3) {
+      const VertexId n = store.num_vertices();
+      const VertexId begin = static_cast<VertexId>((i * 37) % n);
+      const VertexId len = n / 2 > 0 ? n / 2 : 1;
+      q.candidates.reserve(len);
+      for (VertexId j = 0; j < len; ++j) {
+        q.candidates.push_back(static_cast<VertexId>((begin + j) % n));
+      }
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = load_config();
+  print_banner("serve_throughput — sketch-store query serving", config);
+
+  const std::string workload =
+      env_string("EIMM_SERVE_WORKLOAD").value_or("com-Amazon");
+  const auto num_queries = static_cast<std::size_t>(
+      env_int("EIMM_SERVE_QUERIES", 256));
+
+  const DiffusionGraph graph =
+      load_workload(config, workload, DiffusionModel::kIndependentCascade);
+  const ImmOptions options = imm_options(
+      config, DiffusionModel::kIndependentCascade, config.max_threads);
+
+  Timer build_timer;
+  const SketchStore store = SketchStore::build(graph, options, workload);
+  const double build_seconds = build_timer.seconds();
+  std::printf(
+      "store: %s |V|=%u sketches=%llu k_max=%zu footprint=%.1f MiB "
+      "(built in %.3fs)\n\n",
+      workload.c_str(), store.num_vertices(),
+      static_cast<unsigned long long>(store.num_sketches()), store.k_max(),
+      static_cast<double>(store.memory_bytes()) / (1024.0 * 1024.0),
+      build_seconds);
+
+  const QueryEngine engine(store);
+  const std::vector<QueryOptions> queries =
+      make_query_mix(store, num_queries, config.k);
+
+  std::vector<ServeBenchResult> rows;
+  std::printf("%8s %14s %12s\n", "threads", "queries/sec", "batch secs");
+  for (const int threads : thread_sweep(config.max_threads)) {
+    const double seconds = best_seconds(config.reps, [&] {
+      Timer timer;
+      const auto results = engine.run_batch(queries, threads);
+      // Keep the optimizer honest: results must be materialized.
+      return results.size() == queries.size() ? timer.seconds()
+                                              : timer.seconds() + 1e9;
+    });
+    const double qps = static_cast<double>(queries.size()) / seconds;
+    std::printf("%8d %14.1f %12.4f\n", threads, qps, seconds);
+
+    ServeBenchResult row;
+    row.workload = workload;
+    row.threads = threads;
+    row.queries_per_second = qps;
+    row.build_seconds = build_seconds;
+    rows.push_back(row);
+  }
+
+  const std::string path = write_serve_bench_json_file(
+      bench_json_path("BENCH_serve.json"), rows);
+  std::printf("\nresults: %s\n", path.c_str());
+  return 0;
+}

@@ -77,18 +77,41 @@ void copy_counters(const CounterArray& base, CounterArray& working) {
   }
 }
 
+/// One greedy selection pass over the build's pool, reusing the fused
+/// base counters when they exist. Shared by the probing loop and the
+/// final selection so both see identical SelectionOptions.
+SelectionResult select_over_build(const PoolBuild& build,
+                                  const ImmOptions& options, Engine engine) {
+  SelectionOptions sopt;
+  sopt.k = options.k;
+  sopt.adaptive_update =
+      engine == Engine::kEfficient && options.adaptive_update;
+  sopt.dynamic_balance =
+      engine == Engine::kEfficient && options.dynamic_balance;
+  sopt.batch_size = options.batch_size;
+  if (engine == Engine::kEfficient) {
+    const MemPolicy policy =
+        options.numa_aware ? MemPolicy::kInterleave : MemPolicy::kDefault;
+    CounterArray working(build.pool.num_vertices(), policy);
+    if (build.counters_prebuilt) {
+      copy_counters(build.base_counters, working);
+      sopt.counters_prebuilt = true;
+    }
+    return efficient_select_t<NullMem>(build.pool, working, sopt);
+  }
+  return ripples_select_t<NullMem>(build.pool, sopt);
+}
+
 }  // namespace
 
-ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
-                  Engine engine) {
+PoolBuild build_rrr_pool(const DiffusionGraph& graph,
+                         const ImmOptions& options, Engine engine) {
   EIMM_CHECK(graph.reverse.has_weights(),
              "assign diffusion weights to graph.reverse before run_imm");
   const VertexId n = graph.num_vertices();
   EIMM_CHECK(n >= 2, "graph too small");
 
   ThreadCountScope thread_scope(options.threads);
-  Timer total_timer;
-  PhaseBreakdown breakdown;
 
   const MartingaleParams params =
       compute_martingale_params(n, options.k, options.epsilon, options.ell);
@@ -99,63 +122,70 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
                                ? MemPolicy::kInterleave
                                : MemPolicy::kDefault;
 
-  RRRPool pool(n);
-  CounterArray base_counters;  // populated incrementally under fusion
-  if (use_fusion) base_counters = CounterArray(n, policy);
+  PoolBuild build;
+  build.pool = RRRPool(n);
+  if (use_fusion) {
+    build.base_counters = CounterArray(n, policy);
+    build.counters_prebuilt = true;
+  }
 
   std::uint64_t generated = 0;
-  bool capped = false;
 
   auto generate_to = [&](std::uint64_t target) {
-    target = cap_theta_request(target, options.max_rrr_sets, capped);
+    target = cap_theta_request(target, options.max_rrr_sets,
+                               build.theta_capped);
     if (target <= generated) return;
-    ScopedAccumulator acc(breakdown.sampling_seconds);
-    pool.resize(target);
-    generate_rrr_range(pool, graph.reverse, options, engine, generated,
-                       target, use_fusion ? &base_counters : nullptr);
+    ScopedAccumulator acc(build.sampling_seconds);
+    build.pool.resize(target);
+    generate_rrr_range(build.pool, graph.reverse, options, engine, generated,
+                       target, use_fusion ? &build.base_counters : nullptr);
     generated = target;
   };
 
-  auto select = [&]() -> SelectionResult {
-    ScopedAccumulator acc(breakdown.selection_seconds);
-    SelectionOptions sopt;
-    sopt.k = options.k;
-    sopt.adaptive_update =
-        engine == Engine::kEfficient && options.adaptive_update;
-    sopt.dynamic_balance =
-        engine == Engine::kEfficient && options.dynamic_balance;
-    sopt.batch_size = options.batch_size;
-    if (engine == Engine::kEfficient) {
-      CounterArray working(n, policy);
-      if (use_fusion) {
-        copy_counters(base_counters, working);
-        sopt.counters_prebuilt = true;
-      }
-      return efficient_select_t<NullMem>(pool, working, sopt);
-    }
-    return ripples_select_t<NullMem>(pool, sopt);
+  auto probe_coverage = [&]() -> double {
+    ScopedAccumulator acc(build.probing_selection_seconds);
+    return select_over_build(build, options, engine).coverage_fraction();
   };
 
   // --- Sampling phase: probe OPT guesses x_i = n / 2^i, then Set Theta ---
-  ImmResult result;
-  const std::uint64_t theta = run_martingale_probing(
-      params, generate_to, [&] { return select().coverage_fraction(); },
+  build.theta = run_martingale_probing(
+      params, generate_to, probe_coverage,
       [&](const MartingaleIteration& record) {
-        result.iterations.push_back(record);
+        build.iterations.push_back(record);
       });
+  return build;
+}
+
+ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
+                  Engine engine) {
+  ThreadCountScope thread_scope(options.threads);
+  Timer total_timer;
+
+  PoolBuild build = build_rrr_pool(graph, options, engine);
+  const VertexId n = build.pool.num_vertices();
+
+  PhaseBreakdown breakdown;
+  breakdown.sampling_seconds = build.sampling_seconds;
+  breakdown.selection_seconds = build.probing_selection_seconds;
 
   // --- Selection phase ---
-  const SelectionResult final_selection = select();
+  SelectionResult final_selection;
+  {
+    ScopedAccumulator acc(breakdown.selection_seconds);
+    final_selection = select_over_build(build, options, engine);
+  }
 
+  ImmResult result;
+  result.iterations = std::move(build.iterations);
   result.seeds = final_selection.seeds;
   result.coverage_fraction = final_selection.coverage_fraction();
   result.estimated_spread =
       static_cast<double>(n) * result.coverage_fraction;
-  result.theta = theta;
-  result.num_rrr_sets = pool.size();
-  result.theta_capped = capped;
-  result.rrr_memory_bytes = pool.memory_bytes();
-  result.bitmap_sets = pool.bitmap_count();
+  result.theta = build.theta;
+  result.num_rrr_sets = build.pool.size();
+  result.theta_capped = build.theta_capped;
+  result.rrr_memory_bytes = build.pool.memory_bytes();
+  result.bitmap_sets = build.pool.bitmap_count();
   result.rebuild_rounds = final_selection.rebuild_rounds;
   result.threads_used = omp_get_max_threads();
   breakdown.total_seconds = total_timer.seconds();

@@ -24,7 +24,9 @@
 #include "core/martingale.hpp"
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
+#include "rrr/pool.hpp"
 #include "rrr/set.hpp"
+#include "runtime/atomic_counters.hpp"
 
 namespace eimm {
 
@@ -102,6 +104,32 @@ struct ImmResult {
   /// iteration of the Algorithm 1 loop).
   std::vector<MartingaleIteration> iterations;
 };
+
+/// Everything the sampling phase produces: the frozen RRR pool plus the
+/// provenance a consumer needs to reuse it without regenerating. run_imm
+/// performs its final selection over exactly this state, and the serve/
+/// subsystem freezes it into a queryable SketchStore.
+struct PoolBuild {
+  RRRPool pool{0};
+  /// Fused base counters (kernel fusion, Algorithm 3); valid — and worth
+  /// copying instead of rebuilding — only when counters_prebuilt.
+  CounterArray base_counters;
+  bool counters_prebuilt = false;
+  std::uint64_t theta = 0;
+  bool theta_capped = false;
+  double sampling_seconds = 0.0;
+  /// Selection time spent inside the probing iterations (the final
+  /// selection happens outside this struct's lifetime).
+  double probing_selection_seconds = 0.0;
+  std::vector<MartingaleIteration> iterations;
+};
+
+/// Runs the sampling phase only — martingale probing plus RRR-set
+/// generation — and returns the pool run_imm would have selected over.
+/// Deterministic in (graph, options, engine): the same inputs yield the
+/// same pool contents regardless of thread count.
+PoolBuild build_rrr_pool(const DiffusionGraph& graph,
+                         const ImmOptions& options, Engine engine);
 
 /// Runs the full IMM workflow with the chosen engine. The reverse graph
 /// must already carry diffusion weights (see diffusion/weights.hpp).

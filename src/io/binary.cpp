@@ -2,54 +2,93 @@
 
 #include <cstring>
 #include <fstream>
-#include <vector>
 
 #include "support/macros.hpp"
 
 namespace eimm {
+namespace bin {
+
+namespace detail {
+
+void fail(const std::string& message) { throw CheckError(message); }
+
+std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+  return static_cast<std::uint64_t>(end - pos);
+}
+
+}  // namespace detail
+
+void write_header(std::ostream& os, std::string_view magic,
+                  std::uint32_t version) {
+  EIMM_CHECK(magic.size() <= 8, "binary magic longer than 8 bytes");
+  char padded[8] = {};
+  std::memcpy(padded, magic.data(), magic.size());
+  os.write(padded, sizeof padded);
+  write_pod(os, version);
+}
+
+std::uint32_t read_header(std::istream& is, std::string_view magic,
+                          std::uint32_t expected_version, const char* what) {
+  EIMM_CHECK(magic.size() <= 8, "binary magic longer than 8 bytes");
+  char expected[8] = {};
+  std::memcpy(expected, magic.data(), magic.size());
+  char found[8] = {};
+  is.read(found, sizeof found);
+  detail::require(is.good() && std::memcmp(found, expected, sizeof found) == 0,
+                  "not a recognized ", what);
+  std::uint32_t version = 0;
+  read_pod(is, version, what);
+  if (version != expected_version) {
+    detail::fail(std::string("unsupported version ") +
+                 std::to_string(version) + " of " + what);
+  }
+  return version;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is, const char* what) {
+  std::uint64_t size = 0;
+  read_pod(is, size, what);
+  if (const auto left = detail::remaining_bytes(is)) {
+    detail::require(size <= *left, "truncated string in ", what);
+  }
+  std::string s;
+  try {
+    s.resize(size);
+  } catch (const std::exception&) {
+    detail::require(false, "implausible string length in ", what);
+  }
+  is.read(s.data(), static_cast<std::streamsize>(size));
+  detail::require(is.good(), "truncated string in ", what);
+  return s;
+}
+
+}  // namespace bin
+
 namespace {
 
-constexpr char kMagic[8] = {'E', 'I', 'M', 'M', 'C', 'S', 'R', '\0'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
-}
-
-template <typename T>
-void read_pod(std::istream& is, T& v) {
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
-  EIMM_CHECK(is.good(), "truncated binary graph file");
-}
-
-template <typename T>
-void write_vec(std::ostream& os, const std::vector<T>& v) {
-  write_pod(os, static_cast<std::uint64_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& is) {
-  std::uint64_t size = 0;
-  read_pod(is, size);
-  std::vector<T> v(size);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
-  EIMM_CHECK(is.good(), "truncated binary graph payload");
-  return v;
-}
+constexpr std::string_view kCsrMagic = "EIMMCSR";
+constexpr std::uint32_t kCsrVersion = 1;
+constexpr const char* kCsrWhat = "EfficientIMM binary graph file";
 
 }  // namespace
 
 void write_binary_csr(std::ostream& os, const CSRGraph& g) {
-  os.write(kMagic, sizeof kMagic);
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint8_t>(g.has_weights() ? 1 : 0));
-  write_vec(os, g.offsets());
-  write_vec(os, g.targets());
-  if (g.has_weights()) write_vec(os, g.raw_weights());
+  bin::write_header(os, kCsrMagic, kCsrVersion);
+  bin::write_pod(os, static_cast<std::uint8_t>(g.has_weights() ? 1 : 0));
+  bin::write_vec(os, g.offsets());
+  bin::write_vec(os, g.targets());
+  if (g.has_weights()) bin::write_vec(os, g.raw_weights());
 }
 
 void write_binary_csr_file(const std::string& path, const CSRGraph& g) {
@@ -60,19 +99,13 @@ void write_binary_csr_file(const std::string& path, const CSRGraph& g) {
 }
 
 CSRGraph read_binary_csr(std::istream& is) {
-  char magic[8] = {};
-  is.read(magic, sizeof magic);
-  EIMM_CHECK(is.good() && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
-             "not an EfficientIMM binary graph file");
-  std::uint32_t version = 0;
-  read_pod(is, version);
-  EIMM_CHECK(version == kVersion, "unsupported binary graph version");
+  bin::read_header(is, kCsrMagic, kCsrVersion, kCsrWhat);
   std::uint8_t weighted = 0;
-  read_pod(is, weighted);
-  auto offsets = read_vec<EdgeId>(is);
-  auto targets = read_vec<VertexId>(is);
+  bin::read_pod(is, weighted, kCsrWhat);
+  auto offsets = bin::read_vec<EdgeId>(is, kCsrWhat);
+  auto targets = bin::read_vec<VertexId>(is, kCsrWhat);
   std::vector<float> weights;
-  if (weighted != 0) weights = read_vec<float>(is);
+  if (weighted != 0) weights = bin::read_vec<float>(is, kCsrWhat);
   return CSRGraph(std::move(offsets), std::move(targets), std::move(weights));
 }
 

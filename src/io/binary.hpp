@@ -1,13 +1,98 @@
-// Binary CSR serialization — load big graphs without re-parsing text.
-// Little-endian, versioned header; weights are optional.
+// Binary serialization — load big graphs (and sketch-store snapshots)
+// without re-parsing text. Little-endian, versioned headers.
+//
+// The eimm::bin helpers are the shared on-disk vocabulary: every binary
+// format in the project (CSR graphs here, sketch-store snapshots in
+// src/serve) is an 8-byte magic + u32 version header followed by PODs
+// and length-prefixed POD vectors, so truncation and type mismatches
+// fail with a CheckError instead of UB.
 #pragma once
 
-#include <iosfwd>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
 
 #include "graph/csr.hpp"
+#include "support/macros.hpp"
 
 namespace eimm {
+
+namespace bin {
+
+namespace detail {
+/// Throws CheckError (EIMM_CHECK only takes literal messages; the bin
+/// helpers want the format name in the text).
+[[noreturn]] void fail(const std::string& message);
+inline void require(bool ok, const char* prefix, const char* what) {
+  if (!ok) fail(std::string(prefix) + what);
+}
+/// Bytes left between the read position and EOF, or nullopt when the
+/// stream is not seekable. Guards length-prefixed reads: a corrupted
+/// length field must raise CheckError, not a multi-exabyte allocation.
+std::optional<std::uint64_t> remaining_bytes(std::istream& is);
+}  // namespace detail
+
+/// Writes the 8-byte magic (shorter tags are NUL-padded) + version.
+void write_header(std::ostream& os, std::string_view magic,
+                  std::uint32_t version);
+
+/// Reads and validates a header written by write_header. Returns the
+/// stored version; throws CheckError on bad magic or version != expected.
+/// `what` names the format in error messages ("sketch-store snapshot").
+std::uint32_t read_header(std::istream& is, std::string_view magic,
+                          std::uint32_t expected_version, const char* what);
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& v, const char* what = "binary file") {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  detail::require(is.good(), "truncated ", what);
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is, const char* what = "binary file") {
+  std::uint64_t size = 0;
+  read_pod(is, size, what);
+  if (const auto left = detail::remaining_bytes(is)) {
+    detail::require(size <= *left / sizeof(T), "truncated payload in ", what);
+  }
+  std::vector<T> v;
+  try {
+    v.resize(size);
+  } catch (const std::exception&) {
+    // Non-seekable stream with a corrupt length: the pre-check above
+    // couldn't run, so keep the CheckError contract here.
+    detail::require(false, "implausible payload length in ", what);
+  }
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  detail::require(is.good(), "truncated payload in ", what);
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is, const char* what = "binary file");
+
+}  // namespace bin
 
 /// Writes the CSR arrays with a magic/version header.
 void write_binary_csr(std::ostream& os, const CSRGraph& g);

@@ -30,6 +30,35 @@ void write_experiment_json(std::ostream& os, const ExperimentRecord& r) {
   os << '\n';
 }
 
+void write_serve_bench_json(std::ostream& os,
+                            const std::vector<ServeBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object().kv("Bench", "serve_throughput");
+  w.key("Results").begin_array();
+  for (const ServeBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("Threads", r.threads)
+        .kv("QueriesPerSecond", r.queries_per_second)
+        .kv("BuildSeconds", r.build_seconds)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_serve_bench_json_file(
+    const std::string& path, const std::vector<ServeBenchResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open bench result file for writing");
+  write_serve_bench_json(os, results);
+  EIMM_CHECK(os.good(), "bench result write failed");
+  return path;
+}
+
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record) {
   std::filesystem::create_directories(dir);

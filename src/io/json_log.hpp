@@ -38,4 +38,22 @@ void write_experiment_json(std::ostream& os, const ExperimentRecord& record);
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record);
 
+/// One row of the serve-throughput bench (BENCH_serve.json schema:
+/// workload, threads, queries/sec, build-seconds).
+struct ServeBenchResult {
+  std::string workload;
+  int threads = 1;
+  double queries_per_second = 0.0;
+  double build_seconds = 0.0;
+};
+
+/// Serializes the bench sweep as one JSON document:
+/// {"Bench": "serve_throughput", "Results": [{"Workload": ..., ...}]}.
+void write_serve_bench_json(std::ostream& os,
+                            const std::vector<ServeBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_serve_bench_json_file(
+    const std::string& path, const std::vector<ServeBenchResult>& results);
+
 }  // namespace eimm

@@ -43,4 +43,22 @@ std::size_t RRRPool::bitmap_count() const noexcept {
   return c;
 }
 
+FlatPool RRRPool::flatten() const {
+  FlatPool flat;
+  flat.num_vertices = num_vertices_;
+  flat.offsets.resize(sets_.size() + 1);
+  flat.offsets[0] = 0;
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    flat.offsets[i + 1] = flat.offsets[i] + sets_[i].size();
+  }
+  flat.vertices.resize(flat.offsets.back());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    std::uint64_t cursor = flat.offsets[i];
+    sets_[i].for_each(
+        [&](VertexId v) { flat.vertices[cursor++] = v; });
+  }
+  return flat;
+}
+
 }  // namespace eimm

@@ -14,6 +14,16 @@
 
 namespace eimm {
 
+/// Flat CSR image of a pool: set `i` owns the ascending vertex run
+/// `vertices[offsets[i] .. offsets[i+1])`. This is the frozen layout the
+/// serve/ subsystem indexes and snapshots — one allocation per array
+/// instead of one per set, so it mmaps and serializes cleanly.
+struct FlatPool {
+  VertexId num_vertices = 0;
+  std::vector<std::uint64_t> offsets;  // size() == set count + 1
+  std::vector<VertexId> vertices;      // ascending within each set
+};
+
 class RRRPool {
  public:
   explicit RRRPool(VertexId num_vertices) : num_vertices_(num_vertices) {}
@@ -43,6 +53,10 @@ class RRRPool {
 
   /// Count of sets currently in bitmap representation.
   [[nodiscard]] std::size_t bitmap_count() const noexcept;
+
+  /// Copies every set into one contiguous CSR image (parallel fill;
+  /// bitmap sets are expanded to sorted vertex runs).
+  [[nodiscard]] FlatPool flatten() const;
 
  private:
   VertexId num_vertices_;

@@ -9,20 +9,45 @@
 
 namespace eimm {
 
-ArgMaxResult serial_argmax(const CounterArray& counters) {
-  if (counters.size() == 0) return {};
-  ArgMaxResult best{0, counters.get(0)};
-  for (std::size_t i = 1; i < counters.size(); ++i) {
-    const std::uint64_t v = counters.get(i);
-    if (v > best.value) {  // strict '>' keeps the lowest index on ties
-      best.value = v;
-      best.index = i;
+namespace {
+
+/// Regional arg-max over [begin, end); the mask test is hoisted so the
+/// common unmasked path keeps its original tight loop.
+ArgMaxResult block_argmax(const CounterArray& counters,
+                          const std::uint8_t* eligible, std::size_t begin,
+                          std::size_t end) {
+  ArgMaxResult best{begin < end ? begin : 0, 0};
+  if (eligible == nullptr) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint64_t v = counters.get(i);
+      if (v > best.value) {  // strict '>' keeps the lowest index on ties
+        best.value = v;
+        best.index = i;
+      }
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (eligible[i] == 0) continue;
+      const std::uint64_t v = counters.get(i);
+      if (v > best.value) {
+        best.value = v;
+        best.index = i;
+      }
     }
   }
   return best;
 }
 
-ArgMaxResult parallel_argmax(const CounterArray& counters) {
+}  // namespace
+
+ArgMaxResult serial_argmax(const CounterArray& counters,
+                           const std::uint8_t* eligible) {
+  if (counters.size() == 0) return {};
+  return block_argmax(counters, eligible, 0, counters.size());
+}
+
+ArgMaxResult parallel_argmax(const CounterArray& counters,
+                             const std::uint8_t* eligible) {
   const std::size_t n = counters.size();
   if (n == 0) return {};
 
@@ -36,15 +61,7 @@ ArgMaxResult parallel_argmax(const CounterArray& counters) {
     const auto nthreads = static_cast<std::size_t>(omp_get_num_threads());
     const auto [begin, end] = block_range(n, nthreads, tid);
     // Step 1: regional maximum over the thread's contiguous block.
-    ArgMaxResult local{begin < end ? begin : 0, 0};
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint64_t v = counters.get(i);
-      if (v > local.value) {  // strict '>' keeps the lowest index on ties
-        local.value = v;
-        local.index = i;
-      }
-    }
-    regional[tid].value = local;
+    regional[tid].value = block_argmax(counters, eligible, begin, end);
   }
 
   // Step 2: reduce the regional maxima. Blocks are in index order, so

@@ -20,10 +20,14 @@ struct ArgMaxResult {
 
 /// Parallel arg-max over `counters` (must be called OUTSIDE any OpenMP
 /// parallel region; spawns its own). Deterministic lowest-index
-/// tie-break.
-ArgMaxResult parallel_argmax(const CounterArray& counters);
+/// tie-break. `eligible`, when non-null, points at counters.size() bytes;
+/// indices with a zero entry are skipped (SelectionOptions::eligible,
+/// the constrained-selection path).
+ArgMaxResult parallel_argmax(const CounterArray& counters,
+                             const std::uint8_t* eligible = nullptr);
 
 /// Serial reference implementation (tests compare against this).
-ArgMaxResult serial_argmax(const CounterArray& counters);
+ArgMaxResult serial_argmax(const CounterArray& counters,
+                           const std::uint8_t* eligible = nullptr);
 
 }  // namespace eimm

@@ -60,6 +60,13 @@ struct SelectionOptions {
   bool dynamic_balance = true;
   /// Jobs per batch for the JobPool.
   std::size_t batch_size = 64;
+  /// Optional per-vertex eligibility mask (size ≥ the counter array's
+  /// size): vertices with a zero entry are never picked as seeds, though
+  /// their counters are still maintained. Pool-level constrained
+  /// selection; also the reference the serve/ QueryEngine's constrained
+  /// kernel is cross-validated against
+  /// (tests/serve/query_engine_test.cpp).
+  const std::vector<std::uint8_t>* eligible = nullptr;
 };
 
 struct SelectionResult {
@@ -127,12 +134,14 @@ bool contains_traced(const RRRSet& set, VertexId v) {
 /// parallel reduction; the traced path scans serially so every counter
 /// read reaches the cache model.
 template <typename Mem>
-ArgMaxResult argmax_counters(const CounterArray& counters) {
+ArgMaxResult argmax_counters(const CounterArray& counters,
+                             const std::uint8_t* eligible = nullptr) {
   if constexpr (!Mem::kTracing) {
-    return parallel_argmax(counters);
+    return parallel_argmax(counters, eligible);
   } else {
     ArgMaxResult best{0, 0};
     for (std::size_t i = 0; i < counters.size(); ++i) {
+      if (eligible != nullptr && eligible[i] == 0) continue;
       Mem::touch(&counters, sizeof(std::uint64_t));
       const std::uint64_t v = counters.get(i);
       if (v > best.value) {
@@ -157,6 +166,14 @@ SelectionResult efficient_select_t(const RRRPool& pool, CounterArray& counters,
   const VertexId n = pool.num_vertices();
   EIMM_CHECK(counters.size() >= n, "counter array smaller than vertex count");
   EIMM_CHECK(options.k > 0, "k must be positive");
+  const std::uint8_t* eligible = nullptr;
+  if (options.eligible != nullptr) {
+    // The arg-max scans the whole counter array, so the mask must cover
+    // every counter slot, not just |V|.
+    EIMM_CHECK(options.eligible->size() >= counters.size(),
+               "eligibility mask smaller than counter array");
+    eligible = options.eligible->data();
+  }
 
   SelectionResult result;
   result.total_sets = num_sets;
@@ -196,8 +213,8 @@ SelectionResult efficient_select_t(const RRRPool& pool, CounterArray& counters,
   std::uint64_t alive_count = num_sets;
   const std::size_t rounds = std::min<std::size_t>(options.k, n);
   for (std::size_t round = 0; round < rounds; ++round) {
-    const ArgMaxResult best = detail::argmax_counters<Mem>(counters);
-    if (best.value == 0) break;  // every remaining set already covered
+    const ArgMaxResult best = detail::argmax_counters<Mem>(counters, eligible);
+    if (best.value == 0) break;  // no eligible vertex covers an alive set
     const auto seed = static_cast<VertexId>(best.index);
     result.seeds.push_back(seed);
     result.marginal_coverage.push_back(best.value);

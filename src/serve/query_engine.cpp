@@ -1,0 +1,209 @@
+#include "serve/query_engine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <exception>
+#include <numeric>
+
+#include "runtime/thread_info.hpp"
+#include "runtime/work_queue.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+/// All argument checks for one query, shared by run_query and
+/// run_batch's serial pre-validation (so a bad batch fails fast and
+/// deterministically on its lowest invalid index).
+void validate_query(const SketchStore& store, const QueryOptions& q) {
+  EIMM_CHECK(q.k > 0, "query k must be positive");
+  EIMM_CHECK(q.k <= store.k_max(),
+             "query k exceeds the store's build-time cap");
+  const VertexId n = store.num_vertices();
+  for (const VertexId v : q.candidates) {
+    EIMM_CHECK(v < n, "candidate vertex out of range");
+  }
+  for (const VertexId v : q.forbidden) {
+    EIMM_CHECK(v < n, "forbidden vertex out of range");
+  }
+}
+
+/// Compiles the whitelist/blacklist into a per-vertex mask; empty when
+/// the query is unconstrained (every vertex eligible). Ids must already
+/// be validated.
+std::vector<std::uint8_t> build_mask(const SketchStore& store,
+                                     const QueryOptions& q) {
+  if (!q.constrained()) return {};
+  const VertexId n = store.num_vertices();
+  std::vector<std::uint8_t> mask;
+  if (q.candidates.empty()) {
+    mask.assign(n, 1);
+  } else {
+    mask.assign(n, 0);
+    for (const VertexId v : q.candidates) mask[v] = 1;
+  }
+  for (const VertexId v : q.forbidden) mask[v] = 0;
+  return mask;
+}
+
+}  // namespace
+
+QueryResult run_query(const SketchStore& store, const QueryOptions& options) {
+  const VertexId n = store.num_vertices();
+  const std::uint64_t num_sketches = store.num_sketches();
+  validate_query(store, options);
+
+  QueryResult result;
+  result.total_sketches = num_sketches;
+
+  const std::vector<std::uint8_t> mask = build_mask(store, options);
+
+  // Per-query scratch: the Algorithm 2 vertex-occurrence counters (seeded
+  // from the inverted-index degrees — the initial counter build is free)
+  // and the alive flags over sketches.
+  std::vector<std::uint64_t> counters(n);
+  for (VertexId v = 0; v < n; ++v) counters[v] = store.degree(v);
+  std::vector<std::uint8_t> alive(num_sketches, 1);
+
+  // Whitelisted queries arg-max over the (sorted) candidate list instead
+  // of all |V| vertices — a 3-candidate query should cost 3 counter
+  // reads per round, not |V|. Ascending order + strict '>' preserves the
+  // seedselect lowest-id tie-break.
+  std::vector<VertexId> scan_list;
+  if (!options.candidates.empty()) {
+    scan_list = options.candidates;
+    std::sort(scan_list.begin(), scan_list.end());
+  }
+
+  const std::size_t rounds =
+      std::min<std::size_t>(options.k, static_cast<std::size_t>(n));
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Serial arg-max with the seedselect tie-break (lowest id wins):
+    // queries parallelize across each other, not within themselves.
+    VertexId best_v = 0;
+    std::uint64_t best_c = 0;
+    auto consider = [&](VertexId v) {
+      if (!mask.empty() && mask[v] == 0) return;
+      if (counters[v] > best_c) {
+        best_c = counters[v];
+        best_v = v;
+      }
+    };
+    if (!scan_list.empty()) {
+      for (const VertexId v : scan_list) consider(v);
+    } else {
+      for (VertexId v = 0; v < n; ++v) consider(v);
+    }
+    if (best_c == 0) break;  // no eligible vertex covers an alive sketch
+
+    result.seeds.push_back(best_v);
+    result.marginal_coverage.push_back(best_c);
+    result.covered_sketches += best_c;
+
+    // Retire every alive sketch covering the pick, via the inverted
+    // index — O(covered sketches), never a scan over all θ.
+    for (const SketchId s : store.covering(best_v)) {
+      if (alive[s] == 0) continue;
+      alive[s] = 0;
+      for (const VertexId u : store.sketch(s)) --counters[u];
+    }
+  }
+
+  result.estimated_spread =
+      static_cast<double>(n) * result.coverage_fraction();
+  return result;
+}
+
+QueryResult QueryEngine::top_k(std::size_t k) const {
+  EIMM_CHECK(k > 0, "query k must be positive");
+  EIMM_CHECK(k <= store_->k_max(),
+             "query k exceeds the store's build-time cap");
+  const auto& seeds = store_->default_seeds();
+  const auto& marginals = store_->default_marginals();
+  const std::size_t count = std::min(k, seeds.size());
+
+  QueryResult result;
+  result.total_sketches = store_->num_sketches();
+  result.seeds.assign(seeds.begin(), seeds.begin() + count);
+  result.marginal_coverage.assign(marginals.begin(),
+                                  marginals.begin() + count);
+  result.covered_sketches = std::accumulate(
+      result.marginal_coverage.begin(), result.marginal_coverage.end(),
+      std::uint64_t{0});
+  result.estimated_spread =
+      static_cast<double>(store_->num_vertices()) *
+      result.coverage_fraction();
+  return result;
+}
+
+MarginalGainResult QueryEngine::evaluate(
+    const std::vector<VertexId>& seeds) const {
+  const VertexId n = store_->num_vertices();
+  MarginalGainResult result;
+  result.total_sketches = store_->num_sketches();
+  std::vector<std::uint8_t> covered(store_->num_sketches(), 0);
+  for (const VertexId v : seeds) {
+    EIMM_CHECK(v < n, "seed vertex out of range");
+    std::uint64_t gain = 0;
+    for (const SketchId s : store_->covering(v)) {
+      if (covered[s] == 0) {
+        covered[s] = 1;
+        ++gain;
+      }
+    }
+    result.incremental_coverage.push_back(gain);
+    result.covered_sketches += gain;
+  }
+  result.estimated_spread =
+      static_cast<double>(n) * result.coverage_fraction();
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::run_batch(
+    const std::vector<QueryOptions>& queries, int threads) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // Serial pre-validation: a malformed batch fails immediately on its
+  // lowest invalid index, before any kernel work is spent.
+  for (const QueryOptions& q : queries) validate_query(*store_, q);
+
+  ThreadCountScope thread_scope(threads);
+  const auto workers = static_cast<std::size_t>(omp_get_max_threads());
+  // Batch size 1: queries are coarse-grained jobs, and constrained ones
+  // cost far more than cached top-k reads — stealing evens that out.
+  JobPool jobs(queries.size(), 1, workers);
+  // Arguments were validated above, but an exception may still not cross
+  // an OpenMP region boundary (that would std::terminate) — so any
+  // unexpected failure (e.g. scratch allocation) is captured, remaining
+  // queries are skipped (threads still drain the JobPool), and the
+  // lowest captured index's error is rethrown.
+  std::exception_ptr first_error = nullptr;
+  std::size_t first_error_index = queries.size();
+  std::atomic<bool> failed{false};
+#pragma omp parallel
+  {
+    const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+    for (JobBatch batch = jobs.next(wid); !batch.empty();
+         batch = jobs.next(wid)) {
+      for (std::size_t i = batch.begin; i < batch.end; ++i) {
+        if (failed.load(std::memory_order_relaxed)) continue;
+        try {
+          results[i] = answer(queries[i]);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+#pragma omp critical(eimm_run_batch_error)
+          if (i < first_error_index) {
+            first_error_index = i;
+            first_error = std::current_exception();
+          }
+        }
+      }
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace eimm

@@ -1,0 +1,202 @@
+#include "serve/sketch_store.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "diffusion/model.hpp"
+#include "io/binary.hpp"
+#include "runtime/thread_info.hpp"
+#include "serve/query_engine.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "EIMMSKS";
+constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr const char* kSnapshotWhat = "sketch-store snapshot";
+
+}  // namespace
+
+SketchStore SketchStore::build(const DiffusionGraph& graph,
+                               const ImmOptions& options,
+                               std::string workload_label) {
+  PoolBuild pool_build = build_rrr_pool(graph, options, Engine::kEfficient);
+
+  SketchStoreMeta meta;
+  meta.workload = std::move(workload_label);
+  meta.model = std::string(to_string(options.model));
+  meta.rng_seed = options.rng_seed;
+  meta.epsilon = options.epsilon;
+  meta.theta = pool_build.theta;
+  meta.theta_capped = pool_build.theta_capped;
+  // Freezing (flatten + index build + default sequence) honours the same
+  // thread cap as the sampling phase.
+  ThreadCountScope thread_scope(options.threads);
+  return from_pool(pool_build.pool, options.k, std::move(meta));
+}
+
+SketchStore SketchStore::from_pool(const RRRPool& pool, std::size_t k_max,
+                                   SketchStoreMeta meta) {
+  EIMM_CHECK(pool.num_vertices() > 0, "cannot freeze a zero-vertex pool");
+  EIMM_CHECK(k_max > 0, "build-time query cap must be positive");
+  EIMM_CHECK(pool.size() <
+                 std::numeric_limits<SketchId>::max(),
+             "pool too large for 32-bit sketch ids");
+
+  SketchStore store;
+  store.num_vertices_ = pool.num_vertices();
+  store.num_sketches_ = pool.size();
+  // Greedy selection can never return more than |V| seeds, so a cap
+  // above that is meaningless — clamping keeps k_max ≤ |V| a snapshot
+  // invariant load() can enforce against corrupt files.
+  store.k_max_ = std::min<std::uint64_t>(k_max, pool.num_vertices());
+  store.meta_ = std::move(meta);
+
+  FlatPool flat = pool.flatten();
+  store.sketch_offsets_ = std::move(flat.offsets);
+  store.sketch_vertices_ = std::move(flat.vertices);
+  store.finalize();
+  return store;
+}
+
+void SketchStore::finalize() {
+  // Inverted index by counting sort: degree histogram → prefix sum →
+  // fill in sketch order, which leaves each vertex's covering list
+  // sorted by sketch id. Derived deterministically from the sketch CSR
+  // both at build and at load — the snapshot never carries it, so the
+  // two indexes cannot disagree no matter what the file contains.
+  const VertexId n = num_vertices_;
+  node_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const VertexId v : sketch_vertices_) {
+    ++node_offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    node_offsets_[v + 1] += node_offsets_[v];
+  }
+  node_sketches_.resize(sketch_vertices_.size());
+  std::vector<std::uint64_t> cursor(node_offsets_.begin(),
+                                    node_offsets_.end() - 1);
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    for (std::uint64_t i = sketch_offsets_[s]; i < sketch_offsets_[s + 1];
+         ++i) {
+      node_sketches_[cursor[sketch_vertices_[i]]++] =
+          static_cast<SketchId>(s);
+    }
+  }
+
+  // Precompute the unconstrained greedy sequence once; top-k queries for
+  // any k ≤ k_max become prefix reads. Uses the same kernel select()
+  // runs, so the cached and live paths cannot drift apart.
+  QueryOptions defaults;
+  defaults.k = k_max_;
+  QueryResult seq = run_query(*this, defaults);
+  default_seeds_ = std::move(seq.seeds);
+  default_marginals_ = std::move(seq.marginal_coverage);
+}
+
+std::uint64_t SketchStore::memory_bytes() const noexcept {
+  return sketch_offsets_.capacity() * sizeof(std::uint64_t) +
+         sketch_vertices_.capacity() * sizeof(VertexId) +
+         node_offsets_.capacity() * sizeof(std::uint64_t) +
+         node_sketches_.capacity() * sizeof(SketchId) +
+         default_seeds_.capacity() * sizeof(VertexId) +
+         default_marginals_.capacity() * sizeof(std::uint64_t);
+}
+
+void SketchStore::save(std::ostream& os) const {
+  bin::write_header(os, kSnapshotMagic, kSnapshotVersion);
+  bin::write_pod(os, num_vertices_);
+  bin::write_pod(os, num_sketches_);
+  bin::write_pod(os, k_max_);
+  bin::write_string(os, meta_.workload);
+  bin::write_string(os, meta_.model);
+  bin::write_pod(os, meta_.rng_seed);
+  bin::write_pod(os, meta_.epsilon);
+  bin::write_pod(os, meta_.theta);
+  bin::write_pod(os, static_cast<std::uint8_t>(meta_.theta_capped ? 1 : 0));
+  // Primary data only: the inverted index and the default greedy
+  // sequence are recomputed by load(), so no snapshot corruption can
+  // make the derived state disagree with the sketches.
+  bin::write_vec(os, sketch_offsets_);
+  bin::write_vec(os, sketch_vertices_);
+}
+
+void SketchStore::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  EIMM_CHECK(os.good(), "cannot open snapshot file for writing");
+  save(os);
+  EIMM_CHECK(os.good(), "snapshot write failed");
+}
+
+SketchStore SketchStore::load(std::istream& is) {
+  bin::read_header(is, kSnapshotMagic, kSnapshotVersion, kSnapshotWhat);
+
+  SketchStore store;
+  bin::read_pod(is, store.num_vertices_, kSnapshotWhat);
+  bin::read_pod(is, store.num_sketches_, kSnapshotWhat);
+  bin::read_pod(is, store.k_max_, kSnapshotWhat);
+  store.meta_.workload = bin::read_string(is, kSnapshotWhat);
+  store.meta_.model = bin::read_string(is, kSnapshotWhat);
+  bin::read_pod(is, store.meta_.rng_seed, kSnapshotWhat);
+  bin::read_pod(is, store.meta_.epsilon, kSnapshotWhat);
+  bin::read_pod(is, store.meta_.theta, kSnapshotWhat);
+  std::uint8_t capped = 0;
+  bin::read_pod(is, capped, kSnapshotWhat);
+  store.meta_.theta_capped = capped != 0;
+  store.sketch_offsets_ = bin::read_vec<std::uint64_t>(is, kSnapshotWhat);
+  store.sketch_vertices_ = bin::read_vec<VertexId>(is, kSnapshotWhat);
+
+  // Structural validation of the primary data: a malformed snapshot must
+  // fail loudly here, not as UB inside a query. Everything derived (the
+  // inverted index, the default sequence) is rebuilt below from the
+  // validated arrays, so no cross-index inconsistency can survive.
+  EIMM_CHECK(store.num_vertices_ > 0, "snapshot holds a zero-vertex store");
+  EIMM_CHECK(store.k_max_ > 0, "snapshot holds a zero query cap");
+  EIMM_CHECK(store.k_max_ <= store.num_vertices_,
+             "snapshot query cap exceeds the vertex count");
+  EIMM_CHECK(store.num_sketches_ <
+                 std::numeric_limits<SketchId>::max(),
+             "snapshot sketch count overflows 32-bit sketch ids");
+  EIMM_CHECK(store.sketch_offsets_.size() == store.num_sketches_ + 1,
+             "snapshot sketch offsets inconsistent with sketch count");
+  EIMM_CHECK(store.sketch_offsets_.front() == 0 &&
+                 store.sketch_offsets_.back() ==
+                     store.sketch_vertices_.size(),
+             "snapshot sketch offsets do not span the vertex payload");
+  for (std::size_t i = 1; i < store.sketch_offsets_.size(); ++i) {
+    EIMM_CHECK(store.sketch_offsets_[i] >= store.sketch_offsets_[i - 1],
+               "snapshot sketch offsets decrease");
+  }
+  for (std::uint64_t s = 0; s < store.num_sketches_; ++s) {
+    for (std::uint64_t i = store.sketch_offsets_[s];
+         i < store.sketch_offsets_[s + 1]; ++i) {
+      EIMM_CHECK(store.sketch_vertices_[i] < store.num_vertices_,
+                 "snapshot sketch member out of range");
+      // Strictly ascending runs are the sketch() contract — and rule out
+      // duplicate members, which would double-count coverage.
+      EIMM_CHECK(i == store.sketch_offsets_[s] ||
+                     store.sketch_vertices_[i - 1] < store.sketch_vertices_[i],
+                 "snapshot sketch members not strictly ascending");
+    }
+  }
+  try {
+    store.finalize();
+  } catch (const std::bad_alloc&) {
+    // A corrupt num_vertices field can pass the structural checks (no
+    // members need exist to exceed it) yet demand an absurd index
+    // allocation — keep the fail-loudly contract.
+    EIMM_CHECK(false, "snapshot vertex count implausibly large");
+  }
+  return store;
+}
+
+SketchStore SketchStore::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EIMM_CHECK(is.good(), "cannot open snapshot file");
+  return load(is);
+}
+
+}  // namespace eimm

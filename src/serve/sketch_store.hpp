@@ -1,0 +1,134 @@
+// SketchStore — the frozen, queryable image of one IMM build.
+//
+// The paper's asymmetry (sampling dominates, selection is cheap) is also
+// a serving opportunity: generate the RRR sketches ONCE with the full
+// martingale machinery, then answer many independent seed-selection
+// queries against the frozen pool without regeneration — the same
+// build/serve split HBMax exploits by compressing RRR state for reuse.
+//
+// The store holds two immutable CSR indexes over the same pool:
+//   sketch → member vertices   (the flattened pool; drives decrements)
+//   vertex → covering sketches (the inverted index; after a pick, jump
+//                               straight to the covered sketches instead
+//                               of scanning all θ sets)
+// plus the precomputed unconstrained greedy sequence up to the build-time
+// cap k_max, so plain top-k queries are an O(k) prefix read.
+//
+// Everything is read-only after build/load — queries allocate their own
+// scratch (see QueryEngine) — so any number of threads can serve from one
+// store concurrently. Snapshots round-trip through the eimm::bin
+// primitives of io/binary; save→load→save is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/imm.hpp"
+#include "graph/types.hpp"
+#include "rrr/pool.hpp"
+
+namespace eimm {
+
+/// Sketch ids are dense [0, num_sketches); 32 bits bounds a store at
+/// ~4.3B sketches, far above the 2^22 default generation cap.
+using SketchId = std::uint32_t;
+
+/// Build provenance carried in every snapshot: enough to reproduce the
+/// store (workload + seed + accuracy) and to label benchmark output.
+struct SketchStoreMeta {
+  std::string workload;  // free-form dataset label
+  std::string model;     // "IC" | "LT"
+  std::uint64_t rng_seed = 0;
+  double epsilon = 0.0;
+  std::uint64_t theta = 0;  // martingale θ the build requested
+  bool theta_capped = false;
+
+  friend bool operator==(const SketchStoreMeta&,
+                         const SketchStoreMeta&) = default;
+};
+
+class SketchStore {
+ public:
+  /// Runs the sampling phase (identical to run_imm with Engine::kEfficient
+  /// and the same options) and freezes the resulting pool. options.k is
+  /// the build-time query cap: queries may ask for any k ≤ k_max. The
+  /// cap is clamped to |V| (greedy can never return more seeds).
+  static SketchStore build(const DiffusionGraph& graph,
+                           const ImmOptions& options,
+                           std::string workload_label = "");
+
+  /// Freezes an existing pool (test seam and offline conversions).
+  static SketchStore from_pool(const RRRPool& pool, std::size_t k_max,
+                               SketchStoreMeta meta = {});
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::uint64_t num_sketches() const noexcept {
+    return num_sketches_;
+  }
+  [[nodiscard]] std::size_t k_max() const noexcept { return k_max_; }
+  [[nodiscard]] const SketchStoreMeta& meta() const noexcept { return meta_; }
+
+  /// Member vertices of sketch `s`, ascending.
+  [[nodiscard]] std::span<const VertexId> sketch(SketchId s) const noexcept {
+    return {sketch_vertices_.data() + sketch_offsets_[s],
+            sketch_vertices_.data() + sketch_offsets_[s + 1]};
+  }
+
+  /// Sketches covering vertex `v`, ascending.
+  [[nodiscard]] std::span<const SketchId> covering(VertexId v) const noexcept {
+    return {node_sketches_.data() + node_offsets_[v],
+            node_sketches_.data() + node_offsets_[v + 1]};
+  }
+
+  /// Number of sketches covering `v` — exactly the initial value of the
+  /// Algorithm 2 vertex-occurrence counter.
+  [[nodiscard]] std::uint64_t degree(VertexId v) const noexcept {
+    return node_offsets_[v + 1] - node_offsets_[v];
+  }
+
+  /// The unconstrained greedy sequence (≤ k_max seeds; shorter when the
+  /// pool is exhausted first) and each seed's marginal coverage.
+  [[nodiscard]] const std::vector<VertexId>& default_seeds() const noexcept {
+    return default_seeds_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& default_marginals()
+      const noexcept {
+    return default_marginals_;
+  }
+
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+  // --- Snapshots (eimm::bin format, magic "EIMMSKS") ---
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  static SketchStore load(std::istream& is);
+  static SketchStore load_file(const std::string& path);
+
+  friend bool operator==(const SketchStore&, const SketchStore&) = default;
+
+ private:
+  SketchStore() = default;
+
+  /// Derives the inverted index and the default greedy sequence from the
+  /// sketch CSR (shared by from_pool and load — snapshots carry only the
+  /// primary data).
+  void finalize();
+
+  VertexId num_vertices_ = 0;
+  std::uint64_t num_sketches_ = 0;
+  std::uint64_t k_max_ = 0;
+  SketchStoreMeta meta_;
+  std::vector<std::uint64_t> sketch_offsets_;  // num_sketches_ + 1
+  std::vector<VertexId> sketch_vertices_;
+  std::vector<std::uint64_t> node_offsets_;  // num_vertices_ + 1
+  std::vector<SketchId> node_sketches_;
+  std::vector<VertexId> default_seeds_;
+  std::vector<std::uint64_t> default_marginals_;
+};
+
+}  // namespace eimm

@@ -76,5 +76,86 @@ TEST(BinaryCsr, MissingFileThrows) {
   EXPECT_THROW(read_binary_csr_file("/nonexistent/graph.bin"), CheckError);
 }
 
+TEST(BinaryCsr, WrongVersionThrows) {
+  const CSRGraph g = build_csr({{0, 1}}, 2);
+  std::stringstream ss;
+  write_binary_csr(ss, g);
+  std::string data = ss.str();
+  data[8] = 42;  // version u32 lives right after the 8-byte magic
+  std::stringstream patched(data);
+  EXPECT_THROW(read_binary_csr(patched), CheckError);
+}
+
+// --- the shared eimm::bin primitives the snapshot formats build on ---
+
+TEST(BinaryPrimitives, PodAndVecAndStringRoundTrip) {
+  std::stringstream ss;
+  bin::write_pod(ss, std::uint64_t{0xDEADBEEFCAFEBABEull});
+  bin::write_vec(ss, std::vector<std::uint32_t>{1, 2, 3});
+  bin::write_string(ss, "sketch-store");
+  bin::write_vec(ss, std::vector<double>{});
+
+  std::uint64_t pod = 0;
+  bin::read_pod(ss, pod);
+  EXPECT_EQ(pod, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(bin::read_vec<std::uint32_t>(ss),
+            (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(bin::read_string(ss), "sketch-store");
+  EXPECT_TRUE(bin::read_vec<double>(ss).empty());
+}
+
+TEST(BinaryPrimitives, HeaderRoundTripAndMismatch) {
+  std::stringstream ss;
+  bin::write_header(ss, "EIMMTST", 3);
+  EXPECT_EQ(bin::read_header(ss, "EIMMTST", 3, "test format"), 3u);
+
+  std::stringstream wrong_magic;
+  bin::write_header(wrong_magic, "EIMMTST", 3);
+  EXPECT_THROW(bin::read_header(wrong_magic, "EIMMXXX", 3, "test format"),
+               CheckError);
+
+  std::stringstream wrong_version;
+  bin::write_header(wrong_version, "EIMMTST", 2);
+  EXPECT_THROW(bin::read_header(wrong_version, "EIMMTST", 3, "test format"),
+               CheckError);
+}
+
+TEST(BinaryPrimitives, TruncatedReadsThrowWithTheFormatName) {
+  std::stringstream ss;
+  bin::write_pod(ss, std::uint16_t{7});
+  std::uint64_t too_wide = 0;
+  try {
+    bin::read_pod(ss, too_wide, "unit-test format");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unit-test format"),
+              std::string::npos);
+  }
+
+  std::stringstream vec_stream;
+  bin::write_vec(vec_stream, std::vector<std::uint64_t>{1, 2, 3, 4});
+  std::string cut = vec_stream.str();
+  cut.resize(cut.size() - 5);
+  std::stringstream truncated(cut);
+  EXPECT_THROW(bin::read_vec<std::uint64_t>(truncated), CheckError);
+
+  std::stringstream empty;
+  EXPECT_THROW(bin::read_string(empty), CheckError);
+}
+
+TEST(BinaryPrimitives, CorruptedLengthPrefixThrowsInsteadOfAllocating) {
+  // A flipped high byte in a length field must fail the remaining-bytes
+  // sanity check, not attempt a multi-exabyte vector allocation.
+  std::stringstream ss;
+  bin::write_pod(ss, std::uint64_t{1} << 60);  // absurd element count
+  bin::write_pod(ss, std::uint32_t{7});        // a few real payload bytes
+  EXPECT_THROW(bin::read_vec<std::uint64_t>(ss), CheckError);
+
+  std::stringstream str_stream;
+  bin::write_pod(str_stream, std::uint64_t{1} << 60);
+  str_stream << "short";
+  EXPECT_THROW(bin::read_string(str_stream), CheckError);
+}
+
 }  // namespace
 }  // namespace eimm

@@ -1,0 +1,100 @@
+// The serving contract: an unconstrained k-query against a store built
+// with (workload, seed, epsilon, k) returns the IDENTICAL seed set a
+// direct Engine::kEfficient run produces — freezing the sketches loses
+// nothing.
+#include <gtest/gtest.h>
+
+#include "core/imm.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm {
+namespace {
+
+ImmOptions smoke_options(DiffusionModel model, std::size_t k,
+                         std::uint64_t seed) {
+  ImmOptions options;
+  options.k = k;
+  options.epsilon = 0.5;
+  options.model = model;
+  options.rng_seed = seed;
+  options.max_rrr_sets = 8192;
+  return options;
+}
+
+void expect_query_equals_direct_run(const std::string& workload,
+                                    DiffusionModel model, std::size_t k,
+                                    std::uint64_t seed) {
+  const DiffusionGraph graph =
+      make_workload_with_weights(workload, model, 0.01, seed);
+  const ImmOptions options = smoke_options(model, k, seed);
+
+  const ImmResult direct = run_efficient_imm(graph, options);
+  const SketchStore store = SketchStore::build(graph, options, workload);
+  const QueryEngine engine(store);
+  const QueryResult served = engine.top_k(k);
+
+  EXPECT_EQ(served.seeds, direct.seeds) << workload;
+  EXPECT_EQ(store.num_sketches(), direct.num_rrr_sets) << workload;
+  EXPECT_EQ(store.meta().theta, direct.theta) << workload;
+  EXPECT_EQ(store.meta().theta_capped, direct.theta_capped) << workload;
+  EXPECT_DOUBLE_EQ(served.coverage_fraction(), direct.coverage_fraction)
+      << workload;
+  EXPECT_DOUBLE_EQ(served.estimated_spread, direct.estimated_spread)
+      << workload;
+
+  // The live kernel agrees with the cached sequence as well.
+  QueryOptions q;
+  q.k = k;
+  EXPECT_EQ(engine.select(q).seeds, direct.seeds) << workload;
+}
+
+TEST(ServeEquivalence, IndependentCascadeMatchesDirectRun) {
+  expect_query_equals_direct_run(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 8, 0x5EEDBA5Eu);
+}
+
+TEST(ServeEquivalence, LinearThresholdMatchesDirectRun) {
+  expect_query_equals_direct_run(
+      "com-DBLP", DiffusionModel::kLinearThreshold, 6, 1234);
+}
+
+TEST(ServeEquivalence, SecondWorkloadAndSeedMatchesDirectRun) {
+  expect_query_equals_direct_run(
+      "com-YouTube", DiffusionModel::kIndependentCascade, 5, 987654321);
+}
+
+TEST(ServeEquivalence, SmallerQueriesArePrefixesOfTheDirectRun) {
+  const DiffusionGraph graph = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.01);
+  const ImmOptions options =
+      smoke_options(DiffusionModel::kIndependentCascade, 8, 0x5EEDBA5Eu);
+
+  const ImmResult direct = run_efficient_imm(graph, options);
+  const SketchStore store = SketchStore::build(graph, options);
+  const QueryEngine engine(store);
+  for (std::size_t k = 1; k <= direct.seeds.size(); ++k) {
+    const QueryResult served = engine.top_k(k);
+    ASSERT_EQ(served.seeds.size(), k);
+    EXPECT_TRUE(std::equal(served.seeds.begin(), served.seeds.end(),
+                           direct.seeds.begin()))
+        << "k=" << k;
+  }
+}
+
+TEST(ServeEquivalence, BuildIsDeterministicAcrossThreadCounts) {
+  const DiffusionGraph graph = make_workload_with_weights(
+      "com-DBLP", DiffusionModel::kIndependentCascade, 0.01);
+  ImmOptions options =
+      smoke_options(DiffusionModel::kIndependentCascade, 6, 42);
+
+  options.threads = 1;
+  const SketchStore serial = SketchStore::build(graph, options);
+  options.threads = 4;
+  const SketchStore parallel = SketchStore::build(graph, options);
+  EXPECT_TRUE(serial == parallel);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,160 @@
+// Snapshot round-trip and io/binary error-path coverage for the
+// sketch-store format: a snapshot built once must be loadable by another
+// process bit-for-bit, and every malformed input must fail with a clear
+// CheckError instead of UB (the suite runs under the asan preset in CI).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/binary.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/macros.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm {
+namespace {
+
+SketchStore make_store() {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.01);
+  ImmOptions options;
+  options.k = 6;
+  options.max_rrr_sets = 4096;
+  return SketchStore::build(g, options, "amazon-snapshot");
+}
+
+TEST(SketchSnapshot, SaveLoadSaveIsBitIdentical) {
+  const SketchStore store = make_store();
+  std::stringstream first;
+  store.save(first);
+  const SketchStore loaded = SketchStore::load(first);
+  std::stringstream second;
+  loaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+  EXPECT_TRUE(store == loaded);
+}
+
+TEST(SketchSnapshot, LoadedStoreAnswersIdenticallyToInMemory) {
+  const SketchStore store = make_store();
+  std::stringstream ss;
+  store.save(ss);
+  const SketchStore loaded = SketchStore::load(ss);
+
+  const QueryEngine in_memory(store);
+  const QueryEngine from_snapshot(loaded);
+
+  EXPECT_EQ(from_snapshot.top_k(6).seeds, in_memory.top_k(6).seeds);
+
+  QueryOptions constrained;
+  constrained.k = 4;
+  constrained.forbidden = {in_memory.top_k(1).seeds[0]};
+  const QueryResult a = in_memory.select(constrained);
+  const QueryResult b = from_snapshot.select(constrained);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.marginal_coverage, b.marginal_coverage);
+  EXPECT_EQ(a.covered_sketches, b.covered_sketches);
+
+  const std::vector<VertexId> eval_seeds = {1, 2, 3};
+  EXPECT_EQ(in_memory.evaluate(eval_seeds).covered_sketches,
+            from_snapshot.evaluate(eval_seeds).covered_sketches);
+}
+
+TEST(SketchSnapshot, FileRoundTrip) {
+  const SketchStore store = make_store();
+  const std::string path = ::testing::TempDir() + "/eimm_store_roundtrip.sks";
+  store.save_file(path);
+  const SketchStore loaded = SketchStore::load_file(path);
+  EXPECT_TRUE(store == loaded);
+}
+
+TEST(SketchSnapshot, MissingFileThrows) {
+  EXPECT_THROW(SketchStore::load_file("/nonexistent/store.sks"), CheckError);
+}
+
+TEST(SketchSnapshot, ZeroLengthFileThrows) {
+  std::stringstream empty;
+  EXPECT_THROW(SketchStore::load(empty), CheckError);
+
+  const std::string path = ::testing::TempDir() + "/eimm_store_empty.sks";
+  std::ofstream(path, std::ios::binary).close();
+  EXPECT_THROW(SketchStore::load_file(path), CheckError);
+}
+
+TEST(SketchSnapshot, BadMagicThrows) {
+  std::stringstream ss("not a sketch store at all, sorry");
+  EXPECT_THROW(SketchStore::load(ss), CheckError);
+
+  // A valid header of the WRONG format must be rejected too.
+  std::stringstream csr_like;
+  csr_like << "EIMMCSR" << '\0' << "garbagegarbage";
+  EXPECT_THROW(SketchStore::load(csr_like), CheckError);
+}
+
+TEST(SketchSnapshot, BadVersionThrows) {
+  const SketchStore store = make_store();
+  std::stringstream ss;
+  store.save(ss);
+  std::string data = ss.str();
+  data[8] = 99;  // version u32 lives right after the 8-byte magic
+  std::stringstream patched(data);
+  try {
+    SketchStore::load(patched);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(SketchSnapshot, TruncationAtEveryRegionThrows) {
+  const SketchStore store = make_store();
+  std::stringstream ss;
+  store.save(ss);
+  const std::string data = ss.str();
+  ASSERT_GT(data.size(), 64u);
+  // Chop at a spread of points: header, meta, every array region.
+  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 0.99}) {
+    std::string cut = data.substr(
+        0, static_cast<std::size_t>(static_cast<double>(data.size()) *
+                                    fraction));
+    std::stringstream truncated(std::move(cut));
+    EXPECT_THROW(SketchStore::load(truncated), CheckError)
+        << "fraction " << fraction;
+  }
+}
+
+TEST(SketchSnapshot, DuplicateSketchMembersThrow) {
+  // A hand-crafted snapshot whose single sketch lists vertex 1 twice:
+  // offsets and ranges all validate, but the duplicate would double-count
+  // coverage — load must reject the non-ascending run.
+  std::stringstream ss;
+  bin::write_header(ss, "EIMMSKS", 1);
+  bin::write_pod(ss, VertexId{2});
+  bin::write_pod(ss, std::uint64_t{1});  // num_sketches
+  bin::write_pod(ss, std::uint64_t{1});  // k_max
+  bin::write_string(ss, "crafted");
+  bin::write_string(ss, "IC");
+  bin::write_pod(ss, std::uint64_t{0});  // rng_seed
+  bin::write_pod(ss, double{0.5});       // epsilon
+  bin::write_pod(ss, std::uint64_t{1});  // theta
+  bin::write_pod(ss, std::uint8_t{0});   // theta_capped
+  bin::write_vec(ss, std::vector<std::uint64_t>{0, 2});
+  bin::write_vec(ss, std::vector<VertexId>{1, 1});
+  EXPECT_THROW(SketchStore::load(ss), CheckError);
+}
+
+TEST(SketchSnapshot, CorruptedStructureThrows) {
+  const SketchStore store = make_store();
+  std::stringstream ss;
+  store.save(ss);
+  std::string data = ss.str();
+  // num_vertices (u32) sits immediately after the 12-byte header; zeroing
+  // it makes the payload structurally inconsistent.
+  data[12] = data[13] = data[14] = data[15] = 0;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(SketchStore::load(corrupted), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

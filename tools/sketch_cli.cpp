@@ -1,0 +1,328 @@
+// sketch_cli — build-once / query-many driver for the serve subsystem.
+//
+//   sketch_cli build --workload com-Amazon --scale 0.1 --k 25 [--out s.sks]
+//   sketch_cli save  --workload com-DBLP --out store.sks
+//   sketch_cli load  --store store.sks
+//   sketch_cli query --store store.sks --k 10 --forbid 3,17
+//   sketch_cli query --store store.sks --k 5 --candidates 1,2,3,4,5
+//   sketch_cli query --store store.sks --eval 9,4,12
+//
+// Verbs:
+//   build   construct a store from a workload/graph; --out saves it
+//   save    build with a mandatory --out (explicit snapshot step)
+//   load    load a snapshot and print its header/summary
+//   query   load a snapshot and answer one query (top-k, constrained,
+//           or --eval marginal-gain evaluation of given seeds)
+//
+// Build options mirror imm_cli: --workload NAME | --graph PATH |
+// --binary PATH, --scale F, --undirected, --model IC|LT, --k N (the
+// build-time query cap), --epsilon F, --threads N, --seed N, --max-rrr N.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diffusion/weights.hpp"
+#include "graph/builder.hpp"
+#include "io/binary.hpp"
+#include "io/edgelist.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace eimm;
+
+struct CliOptions {
+  std::string verb;
+  std::optional<std::string> graph_path;
+  std::optional<std::string> binary_path;
+  std::optional<std::string> workload;
+  std::optional<std::string> store_path;
+  std::optional<std::string> out_path;
+  double scale = 1.0;
+  bool undirected = false;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  ImmOptions imm;
+  std::size_t query_k = 0;
+  std::vector<VertexId> candidates;
+  std::vector<VertexId> forbidden;
+  std::vector<VertexId> eval_seeds;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: %s build|save (--workload NAME | --graph PATH | --binary PATH)\n"
+      "          [--scale F] [--undirected] [--model IC|LT] [--k N]\n"
+      "          [--epsilon F] [--threads N] [--seed N] [--max-rrr N]\n"
+      "          [--out PATH]   (--out required for 'save')\n"
+      "       %s load --store PATH\n"
+      "       %s query --store PATH (--k N [--candidates LIST]\n"
+      "          [--forbid LIST] | --eval LIST)   LIST = comma-separated ids\n",
+      argv0, argv0, argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+std::vector<VertexId> parse_vertex_list(const char* argv0,
+                                        const std::string& list) {
+  std::vector<VertexId> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        value > std::numeric_limits<VertexId>::max()) {
+      usage(argv0, ("vertex list entry '" + token +
+                    "' is not a valid vertex id")
+                       .c_str());
+    }
+    out.push_back(static_cast<VertexId>(value));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_uint_option(const char* argv0, const std::string& arg,
+                                const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  // strtoull silently wraps "-5" to a huge value; reject signs up front.
+  if (value.empty() || value.find('-') != std::string::npos ||
+      end == nullptr || *end != '\0' || errno == ERANGE) {
+    usage(argv0, (arg + " expects a non-negative integer, got '" + value +
+                  "'")
+                     .c_str());
+  }
+  return v;
+}
+
+int parse_int_option(const char* argv0, const std::string& arg,
+                     const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    usage(argv0,
+          (arg + " expects an integer, got '" + value + "'").c_str());
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double_option(const char* argv0, const std::string& arg,
+                           const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    usage(argv0, (arg + " expects a number, got '" + value + "'").c_str());
+  }
+  return v;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  if (argc < 2) usage(argv[0], "missing verb");
+  CliOptions options;
+  options.verb = argv[1];
+  if (options.verb != "build" && options.verb != "save" &&
+      options.verb != "load" && options.verb != "query") {
+    if (options.verb == "--help" || options.verb == "-h") usage(argv[0]);
+    usage(argv[0], "verb must be build, save, load, or query");
+  }
+  options.imm.max_rrr_sets = 1u << 20;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--graph") options.graph_path = next();
+    else if (arg == "--binary") options.binary_path = next();
+    else if (arg == "--workload") options.workload = next();
+    else if (arg == "--store") options.store_path = next();
+    else if (arg == "--out") options.out_path = next();
+    else if (arg == "--scale") {
+      options.scale = parse_double_option(argv[0], arg, next());
+    } else if (arg == "--undirected") options.undirected = true;
+    else if (arg == "--model") options.model = parse_model(next());
+    else if (arg == "--k") {
+      const auto k = static_cast<std::size_t>(
+          parse_uint_option(argv[0], arg, next()));
+      if (k == 0) usage(argv[0], "--k must be positive");
+      options.imm.k = k;
+      options.query_k = k;
+    } else if (arg == "--epsilon") {
+      options.imm.epsilon = parse_double_option(argv[0], arg, next());
+    } else if (arg == "--threads") {
+      options.imm.threads = parse_int_option(argv[0], arg, next());
+    } else if (arg == "--seed") {
+      options.imm.rng_seed = parse_uint_option(argv[0], arg, next());
+    } else if (arg == "--max-rrr") {
+      options.imm.max_rrr_sets = parse_uint_option(argv[0], arg, next());
+    } else if (arg == "--candidates") {
+      options.candidates = parse_vertex_list(argv[0], next());
+    } else if (arg == "--forbid") {
+      options.forbidden = parse_vertex_list(argv[0], next());
+    } else if (arg == "--eval") {
+      options.eval_seeds = parse_vertex_list(argv[0], next());
+    } else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else usage(argv[0], ("unknown option " + arg).c_str());
+  }
+  return options;
+}
+
+void print_store_summary(const SketchStore& store) {
+  const SketchStoreMeta& meta = store.meta();
+  std::printf("store: workload=%s model=%s seed=%llu epsilon=%.3f\n",
+              meta.workload.empty() ? "(unnamed)" : meta.workload.c_str(),
+              meta.model.c_str(),
+              static_cast<unsigned long long>(meta.rng_seed), meta.epsilon);
+  std::printf("       |V|=%u sketches=%llu (theta=%llu%s) k_max=%zu\n",
+              store.num_vertices(),
+              static_cast<unsigned long long>(store.num_sketches()),
+              static_cast<unsigned long long>(meta.theta),
+              meta.theta_capped ? ", CAPPED" : "", store.k_max());
+  std::printf("       footprint=%.1f MiB, default sequence %zu seeds\n",
+              static_cast<double>(store.memory_bytes()) / (1024.0 * 1024.0),
+              store.default_seeds().size());
+}
+
+void print_query_result(const QueryResult& result) {
+  std::printf("seeds:");
+  for (const VertexId s : result.seeds) std::printf(" %u", s);
+  std::printf("\ncovered %llu / %llu sketches — estimated spread %.1f "
+              "(%.2f%% of |V|)\n",
+              static_cast<unsigned long long>(result.covered_sketches),
+              static_cast<unsigned long long>(result.total_sketches),
+              result.estimated_spread, 100.0 * result.coverage_fraction());
+}
+
+int run_build(const CliOptions& options) {
+  const int sources = (options.graph_path ? 1 : 0) +
+                      (options.binary_path ? 1 : 0) +
+                      (options.workload ? 1 : 0);
+  if (sources != 1) {
+    usage("sketch_cli",
+          "exactly one of --graph / --binary / --workload required");
+  }
+  if (options.verb == "save" && !options.out_path) {
+    usage("sketch_cli", "'save' requires --out PATH");
+  }
+
+  DiffusionGraph graph;
+  std::string label;
+  if (options.workload) {
+    label = *options.workload;
+    if (!find_workload(label)) {
+      std::fprintf(stderr, "unknown workload '%s'; available:\n",
+                   label.c_str());
+      for (const auto& spec : workload_specs()) {
+        std::fprintf(stderr, "  %s\n", spec.name.c_str());
+      }
+      return 2;
+    }
+    // Shared helper, so CLI-built stores match the stores the tests and
+    // benches build for the same (workload, model, scale, seed).
+    graph = make_workload_with_weights(label, options.model, options.scale,
+                                       options.imm.rng_seed);
+  } else {
+    if (options.graph_path) {
+      label = *options.graph_path;
+      BuildOptions build;
+      build.symmetrize = options.undirected;
+      graph = build_diffusion_graph(read_edge_list_file(*options.graph_path),
+                                    0, build);
+    } else {
+      label = *options.binary_path;
+      graph = DiffusionGraph::from_forward(
+          read_binary_csr_file(*options.binary_path));
+    }
+    // Same weight salt imm_cli applies to file-based inputs.
+    assign_paper_weights(graph.reverse, options.model,
+                         hash_combine64(options.imm.rng_seed, 0x77));
+  }
+
+  ImmOptions imm = options.imm;
+  imm.model = options.model;
+  const SketchStore store = SketchStore::build(graph, imm, label);
+  print_store_summary(store);
+
+  if (options.out_path) {
+    store.save_file(*options.out_path);
+    std::printf("saved: %s\n", options.out_path->c_str());
+  }
+  return 0;
+}
+
+int run_load(const CliOptions& options) {
+  if (!options.store_path) usage("sketch_cli", "'load' requires --store PATH");
+  const SketchStore store = SketchStore::load_file(*options.store_path);
+  print_store_summary(store);
+  return 0;
+}
+
+int run_query(const CliOptions& options) {
+  if (!options.store_path) {
+    usage("sketch_cli", "'query' requires --store PATH");
+  }
+  const SketchStore store = SketchStore::load_file(*options.store_path);
+  const QueryEngine engine(store);
+
+  if (!options.eval_seeds.empty()) {
+    const MarginalGainResult eval = engine.evaluate(options.eval_seeds);
+    std::printf("evaluated %zu seeds: covered %llu / %llu sketches — "
+                "estimated spread %.1f\n",
+                options.eval_seeds.size(),
+                static_cast<unsigned long long>(eval.covered_sketches),
+                static_cast<unsigned long long>(eval.total_sketches),
+                eval.estimated_spread);
+    std::printf("incremental coverage:");
+    for (std::size_t i = 0; i < options.eval_seeds.size(); ++i) {
+      std::printf(" %u:+%llu", options.eval_seeds[i],
+                  static_cast<unsigned long long>(
+                      eval.incremental_coverage[i]));
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (options.query_k == 0) {
+    usage("sketch_cli", "'query' requires --k N or --eval LIST");
+  }
+  QueryOptions query;
+  query.k = options.query_k;
+  query.candidates = options.candidates;
+  query.forbidden = options.forbidden;
+  print_query_result(engine.answer(query));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_cli(argc, argv);
+  try {
+    if (options.verb == "build" || options.verb == "save") {
+      return run_build(options);
+    }
+    if (options.verb == "load") return run_load(options);
+    return run_query(options);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
