@@ -9,6 +9,7 @@
 #include "runtime/work_queue.hpp"
 #include "rrr/generate.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/sharded.hpp"
 #include "seedselect/select.hpp"
 #include "support/macros.hpp"
 #include "support/timer.hpp"
@@ -22,10 +23,25 @@ namespace {
 void generate_rrr_range(RRRPool& pool, const CSRGraph& reverse,
                         const ImmOptions& opt, Engine engine,
                         std::uint64_t begin, std::uint64_t end,
-                        CounterArray* fused) {
+                        CounterArray* fused, int shards) {
   const VertexId n = reverse.num_vertices();
   const bool adaptive =
       engine == Engine::kEfficient && opt.adaptive_representation;
+
+  if (engine == Engine::kEfficient && shards > 1) {
+    // NUMA-sharded pipeline: per-domain slices staged in worker-local
+    // arenas, merged into the same pool image the paths below build.
+    ShardedConfig config;
+    config.shards = shards;
+    config.model = opt.model;
+    config.rng_seed = opt.rng_seed;
+    config.batch_size = opt.batch_size;
+    config.adaptive_representation = adaptive;
+    config.bitmap_threshold = opt.bitmap_threshold;
+    ShardedSampler sampler(reverse, config);
+    sampler.generate(pool, begin, end, fused);
+    return;
+  }
 
   auto build_one = [&](std::uint64_t index, SamplerScratch& scratch) {
     std::vector<VertexId> verts =
@@ -128,6 +144,8 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
     build.base_counters = CounterArray(n, policy);
     build.counters_prebuilt = true;
   }
+  build.shards_used =
+      engine == Engine::kEfficient ? resolve_shards(options.shards) : 1;
 
   std::uint64_t generated = 0;
 
@@ -138,7 +156,8 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
     ScopedAccumulator acc(build.sampling_seconds);
     build.pool.resize(target);
     generate_rrr_range(build.pool, graph.reverse, options, engine, generated,
-                       target, use_fusion ? &build.base_counters : nullptr);
+                       target, use_fusion ? &build.base_counters : nullptr,
+                       build.shards_used);
     generated = target;
   };
 
@@ -188,6 +207,7 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   result.bitmap_sets = build.pool.bitmap_count();
   result.rebuild_rounds = final_selection.rebuild_rounds;
   result.threads_used = omp_get_max_threads();
+  result.shards_used = build.shards_used;
   breakdown.total_seconds = total_timer.seconds();
   result.breakdown = breakdown;
   return result;

@@ -66,6 +66,12 @@ struct ImmOptions {
   double bitmap_threshold = kDefaultBitmapThreshold;
   /// RRR sets per dynamic-balancing batch.
   std::size_t batch_size = 64;
+  /// NUMA sampling shards (rrr/sharded.hpp). 0 resolves from the
+  /// EIMM_SHARDS environment variable, defaulting to the detected NUMA
+  /// domain count; 1 forces the legacy single-path generation loop.
+  /// Pool contents are bit-identical for every value — per-index RNG
+  /// streams — so this only moves storage placement and scheduling.
+  int shards = 0;
 
   /// Safety cap on total RRR sets — keeps bench-scale LT runs (θ up to
   /// 1e8-1e9 in the paper) tractable. Capped runs are flagged in the
@@ -99,6 +105,8 @@ struct ImmResult {
   std::uint64_t bitmap_sets = 0;
   std::uint32_t rebuild_rounds = 0;
   int threads_used = 0;
+  /// Sampling shards the build used (1 on non-NUMA hosts by default).
+  int shards_used = 1;
   PhaseBreakdown breakdown;
   /// Sampling-phase probe history (diagnostics; one entry per executed
   /// iteration of the Algorithm 1 loop).
@@ -121,6 +129,8 @@ struct PoolBuild {
   /// Selection time spent inside the probing iterations (the final
   /// selection happens outside this struct's lifetime).
   double probing_selection_seconds = 0.0;
+  /// Resolved sampling shard count (1 = legacy single-path generation).
+  int shards_used = 1;
   std::vector<MartingaleIteration> iterations;
 };
 

@@ -3,8 +3,8 @@
 #include "core/martingale.hpp"
 #include "runtime/atomic_counters.hpp"
 #include "runtime/partition.hpp"
-#include "rrr/generate.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/sharded.hpp"
 #include "seedselect/select.hpp"
 #include "support/macros.hpp"
 
@@ -43,16 +43,21 @@ DistImmResult run_distributed_imm(const DiffusionGraph& graph,
   std::uint64_t generated = 0;
   bool capped = false;
 
+  // Each simulated rank is one shard of the NUMA-sharded pipeline: the
+  // shard slices ARE the rank-owned pool slices, and stream keying by
+  // global index keeps pool contents independent of the rank count.
+  ShardedConfig shard_config;
+  shard_config.shards = options.ranks;
+  shard_config.model = options.model;
+  shard_config.rng_seed = options.rng_seed;
+  shard_config.adaptive_representation = false;  // wire format: raw vectors
+  ShardedSampler sampler(graph.reverse, shard_config);
+
   auto generate_to = [&](std::uint64_t target) {
     target = cap_theta_request(target, options.max_rrr_sets, capped);
     if (target <= generated) return;
     pool.resize(target);
-    SamplerScratch scratch(n);
-    for (std::uint64_t i = generated; i < target; ++i) {
-      pool[i] = RRRSet::make_vector(
-          sample_rrr(graph.reverse, options.model, options.rng_seed, i,
-                     scratch));
-    }
+    sampler.generate(pool, generated, target, nullptr);
     generated = target;
   };
 
@@ -79,10 +84,10 @@ DistImmResult run_distributed_imm(const DiffusionGraph& graph,
 
   // Block-partition the pool across ranks and charge the strategy.
   const auto ranks = static_cast<std::size_t>(options.ranks);
+  const auto rank_slices = split_ranges(pool.size(), ranks);
   result.sets_per_rank.resize(ranks, 0);
   for (std::size_t r = 0; r < ranks; ++r) {
-    const auto [lo, hi] = block_range(pool.size(), ranks, r);
-    result.sets_per_rank[r] = hi - lo;
+    result.sets_per_rank[r] = rank_slices[r].second - rank_slices[r].first;
   }
 
   if (options.strategy == DistStrategy::kCounterReduce) {
@@ -102,7 +107,7 @@ DistImmResult run_distributed_imm(const DiffusionGraph& graph,
     // Every non-root rank ships its slice of raw sketches to rank 0.
     result.comm.rounds = 1;
     for (std::size_t r = 1; r < ranks; ++r) {
-      const auto [lo, hi] = block_range(pool.size(), ranks, r);
+      const auto [lo, hi] = rank_slices[r];
       for (std::size_t i = lo; i < hi; ++i) {
         result.comm.bytes_moved += set_wire_bytes(pool[i]);
       }

@@ -59,6 +59,41 @@ std::string write_serve_bench_json_file(
   return path;
 }
 
+void write_sharded_bench_json(std::ostream& os, int numa_domains,
+                              const std::vector<ShardedBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("Bench", "sharded_sampling")
+      .kv("NumaDomains", static_cast<std::int64_t>(numa_domains));
+  w.key("Results").begin_array();
+  for (const ShardedBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("Shards", r.shards)
+        .kv("Threads", r.threads)
+        .kv("SamplingSeconds", r.sampling_seconds)
+        .kv("SetsPerSecond", r.sets_per_second)
+        .kv("NumRRRSets", r.num_rrr_sets)
+        .kv("PoolMatchesUnsharded", r.pool_matches_unsharded)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_sharded_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<ShardedBenchResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open bench result file for writing");
+  write_sharded_bench_json(os, numa_domains, results);
+  EIMM_CHECK(os.good(), "bench result write failed");
+  return path;
+}
+
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record) {
   std::filesystem::create_directories(dir);

@@ -56,4 +56,28 @@ void write_serve_bench_json(std::ostream& os,
 std::string write_serve_bench_json_file(
     const std::string& path, const std::vector<ServeBenchResult>& results);
 
+/// One row of the sharded-sampling bench (BENCH_sharded.json schema):
+/// per-shard-count sampling throughput plus the bit-match check against
+/// the unsharded build.
+struct ShardedBenchResult {
+  std::string workload;
+  int shards = 1;
+  int threads = 1;
+  double sampling_seconds = 0.0;
+  double sets_per_second = 0.0;
+  std::uint64_t num_rrr_sets = 0;
+  bool pool_matches_unsharded = true;
+};
+
+/// Serializes the sweep as one document:
+/// {"Bench": "sharded_sampling", "NumaDomains": N, "Results": [...]}.
+/// `numa_domains` is the detected domain count of the host that ran it.
+void write_sharded_bench_json(std::ostream& os, int numa_domains,
+                              const std::vector<ShardedBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_sharded_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<ShardedBenchResult>& results);
+
 }  // namespace eimm

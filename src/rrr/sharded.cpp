@@ -1,0 +1,223 @@
+#include "rrr/sharded.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "rrr/generate.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/work_queue.hpp"
+#include "support/env.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+int resolve_shards(int requested) {
+  if (requested > 0) return requested;
+  const std::int64_t env = env_int("EIMM_SHARDS", 0);
+  if (env > 0) {
+    return static_cast<int>(
+        std::min<std::int64_t>(env, std::numeric_limits<int>::max()));
+  }
+  return numa_topology().num_nodes();
+}
+
+ShardPlan ShardPlan::make(std::uint64_t begin, std::uint64_t end,
+                          int num_shards, std::size_t num_workers,
+                          const NumaTopology& topo) {
+  EIMM_CHECK(end >= begin, "invalid shard range");
+  const auto shards = static_cast<std::size_t>(std::max(1, num_shards));
+  const std::size_t workers = std::max<std::size_t>(1, num_workers);
+
+  ShardPlan plan;
+  plan.total_workers = workers;
+  plan.shards.resize(shards);
+  const auto slices = split_ranges(static_cast<std::size_t>(end - begin),
+                                   shards);
+  const int domains = std::max(1, topo.num_nodes());
+  for (std::size_t s = 0; s < shards; ++s) {
+    Shard& shard = plan.shards[s];
+    shard.begin = begin + slices[s].first;
+    shard.end = begin + slices[s].second;
+    shard.domain = topo.nodes.empty()
+                       ? 0
+                       : topo.nodes[s % static_cast<std::size_t>(domains)];
+    if (workers >= shards) {
+      const auto [w_lo, w_hi] = block_range(workers, shards, s);
+      shard.first_worker = w_lo;
+      shard.worker_count = w_hi - w_lo;
+    } else {
+      // More shards than workers: worker block_owner(...) serves this
+      // shard alone (each worker walks a contiguous run of shards).
+      shard.first_worker = block_owner(shards, workers, s);
+      shard.worker_count = 1;
+    }
+  }
+  return plan;
+}
+
+std::vector<std::size_t> ShardPlan::shards_for_worker(std::size_t w) const {
+  std::vector<std::size_t> owned;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const Shard& shard = shards[s];
+    if (w >= shard.first_worker && w < shard.first_worker + shard.worker_count) {
+      owned.push_back(s);
+    }
+  }
+  return owned;
+}
+
+ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
+  const std::size_t len = vertices.size();
+  if (head_capacity_ - head_used_ < len || chunks_.empty()) {
+    const std::size_t capacity = std::max(chunk_vertices_, len);
+    chunks_.emplace_back(capacity * sizeof(VertexId), MemPolicy::kLocal);
+    head_capacity_ = chunks_.back().bytes() / sizeof(VertexId);
+    head_used_ = 0;
+  }
+  Ref ref;
+  ref.chunk = static_cast<std::uint32_t>(chunks_.size() - 1);
+  ref.pos = static_cast<std::uint32_t>(head_used_);
+  ref.len = static_cast<std::uint32_t>(len);
+  auto* base = static_cast<VertexId*>(chunks_.back().data());
+  std::copy(vertices.begin(), vertices.end(), base + head_used_);
+  head_used_ += len;
+  ++runs_;
+  return ref;
+}
+
+std::span<const VertexId> ShardArena::view(const Ref& ref) const noexcept {
+  const auto* base = static_cast<const VertexId*>(chunks_[ref.chunk].data());
+  return {base + ref.pos, ref.len};
+}
+
+std::uint64_t ShardArena::mapped_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const NumaBuffer& c : chunks_) bytes += c.bytes();
+  return bytes;
+}
+
+namespace {
+
+/// Where one staged run lives: which worker's arena plus the handle.
+struct SetRef {
+  std::uint32_t worker = 0;
+  ShardArena::Ref ref;
+};
+
+}  // namespace
+
+ShardedSampler::ShardedSampler(const CSRGraph& reverse, ShardedConfig config)
+    : reverse_(reverse), config_(std::move(config)) {
+  EIMM_CHECK(config_.shards >= 1, "shard count must be >= 1");
+  EIMM_CHECK(config_.batch_size > 0, "batch size must be positive");
+}
+
+void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
+                              std::uint64_t end, CounterArray* fused) {
+  EIMM_CHECK(end >= begin, "invalid generation range");
+  EIMM_CHECK(pool.size() >= end, "pool not resized for generation range");
+  const std::uint64_t count = end - begin;
+  const NumaTopology& topo = numa_topology();
+
+  ShardPlan plan = ShardPlan::make(
+      begin, end, config_.shards,
+      static_cast<std::size_t>(omp_get_max_threads()), topo);
+  std::vector<std::unique_ptr<JobPool>> jobs;
+  std::vector<ShardArena> arenas;
+  std::vector<SetRef> refs(count);
+  const VertexId n = reverse_.num_vertices();
+
+  if (count > 0) {
+#pragma omp parallel
+    {
+#pragma omp single
+      {
+        // The plan must describe the team that actually materialized:
+        // OMP_DYNAMIC, thread limits, or an enclosing parallel region
+        // can hand us fewer threads than omp_get_max_threads() promised,
+        // and a shard assigned to an absent worker would never drain.
+        const auto team = static_cast<std::size_t>(omp_get_num_threads());
+        if (team != plan.total_workers) {
+          plan = ShardPlan::make(begin, end, config_.shards, team, topo);
+        }
+        // One job pool per shard: stealing is confined to the shard's
+        // worker group, so the locality the plan establishes survives
+        // imbalance. Arenas are worker-private (single writer each).
+        jobs.reserve(plan.shards.size());
+        for (const ShardPlan::Shard& shard : plan.shards) {
+          jobs.push_back(std::make_unique<JobPool>(
+              shard.size(), config_.batch_size,
+              std::max<std::size_t>(1, shard.worker_count)));
+        }
+        arenas = std::vector<ShardArena>(plan.total_workers);
+      }  // implicit barrier: every worker sees the final plan
+
+      const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+      if (wid < plan.total_workers) {
+        SamplerScratch scratch(n);
+        ShardArena& arena = arenas[wid];
+        for (const std::size_t s : plan.shards_for_worker(wid)) {
+          const ShardPlan::Shard& shard = plan.shards[s];
+          const std::size_t local = wid - shard.first_worker;
+          for (JobBatch batch = jobs[s]->next(local); !batch.empty();
+               batch = jobs[s]->next(local)) {
+            for (std::size_t j = batch.begin; j < batch.end; ++j) {
+              const std::uint64_t global = shard.begin + j;
+              const std::vector<VertexId> verts = sample_rrr(
+                  reverse_, config_.model, config_.rng_seed, global,
+                  scratch);
+              if (fused != nullptr) {
+                for (const VertexId v : verts) fused->increment(v);
+              }
+              SetRef& slot = refs[global - begin];
+              slot.worker = static_cast<std::uint32_t>(wid);
+              slot.ref = arena.append(verts);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  stats_ = ShardStats{};
+  stats_.numa_domains = topo.num_nodes();
+  stats_.sets_per_shard.reserve(plan.shards.size());
+  stats_.shard_domains.reserve(plan.shards.size());
+  for (const ShardPlan::Shard& shard : plan.shards) {
+    stats_.sets_per_shard.push_back(shard.size());
+    stats_.shard_domains.push_back(shard.domain);
+  }
+  stats_.steals_per_shard.assign(plan.shards.size(), 0);
+  for (std::size_t s = 0; s < jobs.size(); ++s) {
+    stats_.steals_per_shard[s] = jobs[s]->steal_count();
+  }
+  std::uint64_t staged = 0;
+  for (const ShardArena& arena : arenas) {
+    stats_.staged_bytes += arena.mapped_bytes();
+    staged += arena.runs();
+  }
+  // Every slot must have been staged exactly once; a scheduling bug here
+  // would otherwise surface as silently-empty RRR sets far downstream.
+  EIMM_CHECK(staged == count, "sharded generation lost RRR slots");
+  if (count == 0) return;
+
+  // Merge: copy every staged run into its RRRPool slot. Slot content is a
+  // pure function of the global index, so the image bit-matches the
+  // unsharded build no matter how the runs were staged.
+  const bool adaptive = config_.adaptive_representation;
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const SetRef& slot = refs[i];
+    const std::span<const VertexId> run = arenas[slot.worker].view(slot.ref);
+    std::vector<VertexId> verts(run.begin(), run.end());
+    pool[begin + i] =
+        adaptive ? RRRSet::make_adaptive(std::move(verts), n,
+                                         config_.bitmap_threshold)
+                 : RRRSet::make_vector(std::move(verts));
+  }
+}
+
+}  // namespace eimm

@@ -1,0 +1,162 @@
+// NUMA-sharded RRR sampling pipeline (§IV-B taken to its conclusion).
+//
+// The paper's Table II shows that WHERE the sampling phase's working set
+// lives dominates Generate_RRRsets runtime on multi-socket hosts. This
+// layer partitions one generation round into per-NUMA-domain shards:
+//
+//   1. ShardPlan splits the global RRR index range [begin, end) into
+//      contiguous shard slices (runtime/partition) and assigns each shard
+//      a NUMA domain plus a contiguous group of workers.
+//   2. Each worker samples its shard's slots through a per-shard JobPool
+//      (runtime/work_queue) — stealing stays confined to the shard, so a
+//      thread never migrates its working set across domains — and stages
+//      the sampled vertex runs in a worker-private ShardArena whose pages
+//      are mbind'd kLocal (numa/alloc): first touch by the sampling
+//      worker places them on its own domain.
+//   3. merge() copies the staged runs into the shared RRRPool slots in
+//      one parallel pass, producing the exact CSR image the unsharded
+//      path builds — core/imm, seedselect, and serve consume it
+//      unchanged. The stage+merge split costs one extra copy of the
+//      vertex payload versus the legacy move-into-pool loop; the
+//      locality win it buys is in the sampling phase itself (scratch,
+//      graph reads, and staging writes all stay on-domain), which is
+//      where Table II says the time goes. A shard-local pool format
+//      that survives into selection is the natural next step.
+//
+// Determinism: slot i's content depends only on (rng_seed, i) — the same
+// per-index streams the unsharded path uses — so every shard count,
+// worker count, and steal schedule yields a bit-identical pool
+// (tests/statcheck enforces this). On single-node hosts the kLocal
+// policy falls back to first-touch and the pipeline degrades to plain
+// batched generation; shards == 1 callers should prefer the legacy
+// single-path loop in core/imm, which this layer bit-matches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+#include "numa/alloc.hpp"
+#include "numa/topology.hpp"
+#include "rrr/pool.hpp"
+#include "rrr/set.hpp"
+#include "runtime/atomic_counters.hpp"
+
+namespace eimm {
+
+/// Resolves a shard-count request: explicit positive values win, then the
+/// EIMM_SHARDS environment variable, then the detected NUMA domain count
+/// (1 on non-NUMA hosts — the single-domain fallback). Always >= 1.
+int resolve_shards(int requested);
+
+/// How one generation round is cut into shards and who serves each shard.
+struct ShardPlan {
+  struct Shard {
+    std::uint64_t begin = 0;  ///< global RRR index range [begin, end)
+    std::uint64_t end = 0;
+    int domain = 0;           ///< preferred NUMA node (advisory: placement
+                              ///< follows the workers' first touch)
+    std::size_t first_worker = 0;  ///< workers [first, first+count) serve it
+    std::size_t worker_count = 0;
+
+    [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+    [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+  };
+
+  std::vector<Shard> shards;
+  std::size_t total_workers = 1;
+
+  /// Splits [begin, end) into `num_shards` contiguous slices, round-robins
+  /// domains from `topo`, and distributes `num_workers` over the shards.
+  /// When workers outnumber shards every shard gets a contiguous worker
+  /// group; otherwise each worker serves a contiguous run of shards
+  /// one-by-one (shard count > thread count stays valid, just serialized).
+  static ShardPlan make(std::uint64_t begin, std::uint64_t end,
+                        int num_shards, std::size_t num_workers,
+                        const NumaTopology& topo);
+
+  /// Shard indices worker `w` serves, in ascending order.
+  [[nodiscard]] std::vector<std::size_t> shards_for_worker(
+      std::size_t w) const;
+};
+
+/// Worker-private staging storage for sampled vertex runs: page-aligned
+/// NumaBuffer chunks requested kLocal, so the pages land on the sampling
+/// worker's own domain under first-touch. Single-writer; a run never
+/// spans chunks, so view() is one contiguous span.
+class ShardArena {
+ public:
+  /// Handle to one staged run.
+  struct Ref {
+    std::uint32_t chunk = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// `chunk_vertices` is the default chunk capacity; runs larger than it
+  /// get a dedicated exactly-sized chunk.
+  explicit ShardArena(std::size_t chunk_vertices = std::size_t{1} << 18)
+      : chunk_vertices_(chunk_vertices == 0 ? 1 : chunk_vertices) {}
+
+  Ref append(std::span<const VertexId> vertices);
+  [[nodiscard]] std::span<const VertexId> view(const Ref& ref) const noexcept;
+
+  /// Bytes of mapped staging memory (diagnostics).
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
+  /// Staged runs so far.
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  std::size_t chunk_vertices_;
+  std::vector<NumaBuffer> chunks_;
+  std::size_t head_capacity_ = 0;  // capacity of the current chunk
+  std::size_t head_used_ = 0;      // vertices used in the current chunk
+  std::uint64_t runs_ = 0;
+};
+
+/// Per-round diagnostics (benches and tests read these).
+struct ShardStats {
+  std::vector<std::uint64_t> sets_per_shard;
+  std::vector<std::uint64_t> steals_per_shard;
+  std::vector<int> shard_domains;
+  std::uint64_t staged_bytes = 0;
+  int numa_domains = 1;  ///< detected domains when the plan was made
+};
+
+struct ShardedConfig {
+  /// Resolved shard count (>= 1); use resolve_shards() to apply the
+  /// EIMM_SHARDS / topology defaulting.
+  int shards = 1;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  std::uint64_t rng_seed = 0;
+  std::size_t batch_size = 64;
+  /// Build RRRSet::make_adaptive (true) or make_vector (false) at merge.
+  bool adaptive_representation = true;
+  double bitmap_threshold = kDefaultBitmapThreshold;
+};
+
+/// One sharded generation pipeline over a fixed reverse graph. generate()
+/// may be called repeatedly with growing ranges (the martingale rounds);
+/// stats() describes the most recent round.
+class ShardedSampler {
+ public:
+  ShardedSampler(const CSRGraph& reverse, ShardedConfig config);
+
+  /// Samples global slots [begin, end) into `pool` (already resized to at
+  /// least `end`). When `fused` is non-null every sampled vertex also
+  /// increments the counter in place (kernel fusion, Algorithm 3).
+  void generate(RRRPool& pool, std::uint64_t begin, std::uint64_t end,
+                CounterArray* fused);
+
+  [[nodiscard]] int num_shards() const noexcept { return config_.shards; }
+  [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
+
+ private:
+  const CSRGraph& reverse_;
+  ShardedConfig config_;
+  ShardStats stats_;
+};
+
+}  // namespace eimm

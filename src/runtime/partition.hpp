@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <utility>
+#include <vector>
 
 #include "support/macros.hpp"
 
@@ -22,6 +23,18 @@ inline std::pair<std::size_t, std::size_t> block_range(std::size_t total,
   const std::size_t begin = part * base + (part < extra ? part : extra);
   const std::size_t size = base + (part < extra ? 1 : 0);
   return {begin, begin + size};
+}
+
+/// All `parts` block ranges at once — the per-shard / per-rank loop body
+/// of the sharded sampler and the distributed simulation.
+inline std::vector<std::pair<std::size_t, std::size_t>> split_ranges(
+    std::size_t total, std::size_t parts) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    out.push_back(block_range(total, parts, p));
+  }
+  return out;
 }
 
 /// Owner of item `index` under block_range partitioning.

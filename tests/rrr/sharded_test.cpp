@@ -1,0 +1,278 @@
+// Property and negative-path coverage for the NUMA-sharded sampling
+// pipeline: plan partitioning invariants, arena staging, and the merge's
+// bit-identity with the serial reference under degenerate shapes —
+// empty shards, one giant shard, shard count > thread count > node
+// count, and oversubscribed thread requests via resolve_threads. The
+// whole file is sanitizer-hot: it runs under the asan preset like every
+// suite, and the arena/merge paths are exactly what ASan needs to see.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "rrr/sharded.hpp"
+#include "runtime/thread_info.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+DiffusionGraph small_graph(DiffusionModel model, std::uint64_t seed = 13) {
+  return testing::make_weighted_graph(gen_erdos_renyi(200, 900, seed), model);
+}
+
+ShardedConfig config_for(DiffusionModel model, int shards,
+                         bool adaptive = true) {
+  ShardedConfig config;
+  config.shards = shards;
+  config.model = model;
+  config.rng_seed = 0xABCD;
+  config.batch_size = 4;
+  config.adaptive_representation = adaptive;
+  return config;
+}
+
+/// Generates `count` sets through the sharded pipeline and asserts the
+/// flattened image matches the serial per-index reference sampler.
+void expect_matches_serial(const DiffusionGraph& g, DiffusionModel model,
+                           std::size_t count, int shards, bool adaptive) {
+  ShardedSampler sampler(g.reverse, config_for(model, shards, adaptive));
+  RRRPool pool(g.num_vertices());
+  pool.resize(count);
+  sampler.generate(pool, 0, count, nullptr);
+
+  const RRRPool reference =
+      testing::sample_pool(g, model, count, 0xABCD, adaptive);
+  const FlatPool a = pool.flatten();
+  const FlatPool b = reference.flatten();
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+// --- ShardPlan invariants ---
+
+TEST(ShardPlan, SlicesPartitionTheRangeExactly) {
+  const NumaTopology& topo = numa_topology();
+  for (const int shards : {1, 2, 3, 7, 16}) {
+    const ShardPlan plan = ShardPlan::make(100, 420, shards, 4, topo);
+    ASSERT_EQ(plan.shards.size(), static_cast<std::size_t>(shards));
+    std::uint64_t cursor = 100;
+    std::uint64_t total = 0;
+    for (const ShardPlan::Shard& shard : plan.shards) {
+      EXPECT_EQ(shard.begin, cursor);  // contiguous, no gap, no overlap
+      EXPECT_LE(shard.begin, shard.end);
+      cursor = shard.end;
+      total += shard.size();
+    }
+    EXPECT_EQ(cursor, 420u);
+    EXPECT_EQ(total, 320u);
+  }
+}
+
+TEST(ShardPlan, MoreShardsThanSetsYieldsEmptyShards) {
+  const ShardPlan plan = ShardPlan::make(0, 3, 8, 4, numa_topology());
+  std::size_t empty = 0;
+  std::uint64_t total = 0;
+  for (const ShardPlan::Shard& shard : plan.shards) {
+    empty += shard.empty() ? 1 : 0;
+    total += shard.size();
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(empty, 5u);
+}
+
+TEST(ShardPlan, WorkerGroupsPartitionWorkersWhenWorkersOutnumberShards) {
+  const ShardPlan plan = ShardPlan::make(0, 1000, 3, 8, numa_topology());
+  std::size_t covered = 0;
+  std::size_t cursor = 0;
+  for (const ShardPlan::Shard& shard : plan.shards) {
+    EXPECT_GE(shard.worker_count, 1u);
+    EXPECT_EQ(shard.first_worker, cursor);
+    cursor += shard.worker_count;
+    covered += shard.worker_count;
+  }
+  EXPECT_EQ(covered, 8u);
+}
+
+TEST(ShardPlan, EveryShardServedWhenShardsOutnumberWorkers) {
+  const ShardPlan plan = ShardPlan::make(0, 1000, 9, 2, numa_topology());
+  std::vector<bool> served(9, false);
+  for (std::size_t w = 0; w < plan.total_workers; ++w) {
+    for (const std::size_t s : plan.shards_for_worker(w)) {
+      EXPECT_FALSE(served[s]) << "shard " << s << " served twice";
+      served[s] = true;
+      EXPECT_EQ(plan.shards[s].worker_count, 1u);
+    }
+  }
+  for (std::size_t s = 0; s < served.size(); ++s) {
+    EXPECT_TRUE(served[s]) << "shard " << s << " unserved";
+  }
+}
+
+TEST(ShardPlan, DomainsComeFromTheTopology) {
+  const NumaTopology& topo = numa_topology();
+  const ShardPlan plan = ShardPlan::make(0, 64, 6, 2, topo);
+  for (const ShardPlan::Shard& shard : plan.shards) {
+    EXPECT_NE(std::find(topo.nodes.begin(), topo.nodes.end(), shard.domain),
+              topo.nodes.end());
+  }
+}
+
+// --- ShardArena staging ---
+
+TEST(ShardArena, RoundTripsRunsAcrossChunkBoundaries) {
+  ShardArena arena(/*chunk_vertices=*/8);
+  std::vector<std::vector<VertexId>> runs = {
+      {1, 2, 3, 4, 5}, {6, 7, 8}, {9}, {10, 11, 12, 13, 14, 15, 16},
+      {}, {17, 18}};
+  std::vector<ShardArena::Ref> refs;
+  for (const auto& run : runs) refs.push_back(arena.append(run));
+  ASSERT_EQ(arena.runs(), runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto view = arena.view(refs[i]);
+    EXPECT_EQ(std::vector<VertexId>(view.begin(), view.end()), runs[i]);
+  }
+}
+
+TEST(ShardArena, RunLargerThanChunkGetsDedicatedChunk) {
+  ShardArena arena(/*chunk_vertices=*/4);
+  std::vector<VertexId> giant(1000);
+  std::iota(giant.begin(), giant.end(), 0);
+  const auto ref = arena.append(giant);
+  const auto view = arena.view(ref);
+  EXPECT_EQ(std::vector<VertexId>(view.begin(), view.end()), giant);
+  EXPECT_GE(arena.mapped_bytes(), giant.size() * sizeof(VertexId));
+}
+
+// --- Merge bit-identity under degenerate shapes ---
+
+TEST(ShardedSampler, EmptyShardsMergeCleanly) {
+  // 3 sets across 8 shards: five shards stage nothing.
+  const auto g = small_graph(DiffusionModel::kIndependentCascade);
+  expect_matches_serial(g, DiffusionModel::kIndependentCascade, 3, 8, true);
+}
+
+TEST(ShardedSampler, OneGiantShardMatchesSerial) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade);
+  expect_matches_serial(g, DiffusionModel::kIndependentCascade, 400, 1,
+                        true);
+}
+
+TEST(ShardedSampler, ZeroSetsIsANoOp) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade);
+  ShardedSampler sampler(
+      g.reverse, config_for(DiffusionModel::kIndependentCascade, 4));
+  RRRPool pool(g.num_vertices());
+  sampler.generate(pool, 0, 0, nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+  std::uint64_t staged = 0;
+  for (const std::uint64_t s : sampler.stats().sets_per_shard) staged += s;
+  EXPECT_EQ(staged, 0u);
+}
+
+TEST(ShardedSampler, ShardsAboveThreadsAboveNodes) {
+  // shard count (5) > thread count (2) > NUMA node count (1 on CI).
+  const auto g = small_graph(DiffusionModel::kLinearThreshold);
+  ThreadCountScope scope(2);
+  expect_matches_serial(g, DiffusionModel::kLinearThreshold, 123, 5, true);
+}
+
+TEST(ShardedSampler, OversubscribedThreadsViaResolveThreads) {
+  // resolve_threads honors explicit oversubscription requests verbatim;
+  // the pipeline must stay correct when workers outnumber cores.
+  const auto g = small_graph(DiffusionModel::kIndependentCascade);
+  const int oversubscribed = resolve_threads(4 * max_threads());
+  ASSERT_GT(oversubscribed, max_threads());
+  ThreadCountScope scope(oversubscribed);
+  expect_matches_serial(g, DiffusionModel::kIndependentCascade, 200, 3,
+                        true);
+}
+
+TEST(ShardedSampler, VectorOnlyRepresentationMatchesSerial) {
+  // The dist/ wire format path (adaptive_representation = false).
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 29);
+  expect_matches_serial(g, DiffusionModel::kIndependentCascade, 150, 4,
+                        false);
+}
+
+TEST(ShardedSampler, GrowingRangesMatchOneShotGeneration) {
+  // The martingale driver calls generate() with growing ranges; the
+  // union must equal a single-range build.
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 31);
+  const auto model = DiffusionModel::kIndependentCascade;
+  ShardedSampler incremental(g.reverse, config_for(model, 3));
+  RRRPool grown(g.num_vertices());
+  grown.resize(40);
+  incremental.generate(grown, 0, 40, nullptr);
+  grown.resize(170);
+  incremental.generate(grown, 40, 170, nullptr);
+
+  ShardedSampler oneshot(g.reverse, config_for(model, 3));
+  RRRPool whole(g.num_vertices());
+  whole.resize(170);
+  oneshot.generate(whole, 0, 170, nullptr);
+
+  const FlatPool a = grown.flatten();
+  const FlatPool b = whole.flatten();
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+TEST(ShardedSampler, FusedCountersCountMembership) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 37);
+  const auto model = DiffusionModel::kIndependentCascade;
+  constexpr std::size_t kSets = 120;
+
+  ShardedSampler sampler(g.reverse, config_for(model, 4));
+  RRRPool pool(g.num_vertices());
+  pool.resize(kSets);
+  CounterArray counters(g.num_vertices());
+  sampler.generate(pool, 0, kSets, &counters);
+
+  std::vector<std::uint64_t> expected(g.num_vertices(), 0);
+  for (std::size_t i = 0; i < kSets; ++i) {
+    pool[i].for_each([&](VertexId v) { ++expected[v]; });
+  }
+  EXPECT_EQ(counters.snapshot(), expected);
+}
+
+TEST(ShardedSampler, StatsDescribeThePlan) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 41);
+  ShardedSampler sampler(
+      g.reverse, config_for(DiffusionModel::kIndependentCascade, 4));
+  RRRPool pool(g.num_vertices());
+  pool.resize(100);
+  sampler.generate(pool, 0, 100, nullptr);
+
+  const ShardStats& stats = sampler.stats();
+  ASSERT_EQ(stats.sets_per_shard.size(), 4u);
+  EXPECT_EQ(std::accumulate(stats.sets_per_shard.begin(),
+                            stats.sets_per_shard.end(), std::uint64_t{0}),
+            100u);
+  EXPECT_EQ(stats.shard_domains.size(), 4u);
+  EXPECT_GE(stats.numa_domains, 1);
+  EXPECT_GT(stats.staged_bytes, 0u);
+}
+
+TEST(ShardedSampler, RejectsInvalidConfigurations) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 43);
+  ShardedConfig zero_shards =
+      config_for(DiffusionModel::kIndependentCascade, 1);
+  zero_shards.shards = 0;
+  EXPECT_THROW((void)ShardedSampler(g.reverse, zero_shards), CheckError);
+
+  ShardedConfig zero_batch =
+      config_for(DiffusionModel::kIndependentCascade, 2);
+  zero_batch.batch_size = 0;
+  EXPECT_THROW((void)ShardedSampler(g.reverse, zero_batch), CheckError);
+
+  ShardedSampler sampler(
+      g.reverse, config_for(DiffusionModel::kIndependentCascade, 2));
+  RRRPool pool(g.num_vertices());
+  pool.resize(10);
+  EXPECT_THROW(sampler.generate(pool, 0, 11, nullptr), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,144 @@
+// Determinism regressions for the sharded sampling pipeline:
+//   * same (workload, seed, epsilon, shards) → bit-identical
+//     RRRPool::flatten() CSR image across repeated runs;
+//   * shards == 1 (explicit or via EIMM_SHARDS=1) routes through the
+//     legacy single-path generation loop and bit-matches the serial
+//     per-index reference sampler;
+//   * every shard count produces the same image — shard count moves
+//     placement and scheduling, never content.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "rrr/sharded.hpp"
+#include "statcheck.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+using statcheck::statcheck_imm_options;
+using statcheck::statcheck_workload;
+
+/// Scoped environment override that restores the previous value.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* previous = std::getenv(name);
+    if (previous != nullptr) previous_ = previous;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (previous_.has_value()) {
+      ::setenv(name_.c_str(), previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+void expect_flat_equal(const FlatPool& a, const FlatPool& b) {
+  EXPECT_EQ(a.num_vertices, b.num_vertices);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.vertices, b.vertices);
+}
+
+TEST(ShardedDeterminism, RepeatedRunsProduceIdenticalCsrImages) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-DBLP", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
+  opt.shards = 3;
+  const PoolBuild a = build_rrr_pool(g, opt, Engine::kEfficient);
+  const PoolBuild b = build_rrr_pool(g, opt, Engine::kEfficient);
+  EXPECT_EQ(a.shards_used, 3);
+  EXPECT_EQ(b.shards_used, 3);
+  EXPECT_EQ(a.pool.size(), b.pool.size());
+  expect_flat_equal(a.pool.flatten(), b.pool.flatten());
+}
+
+TEST(ShardedDeterminism, ShardsOneBitMatchesSerialReferenceSampler) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
+  opt.shards = 1;
+  const PoolBuild build = build_rrr_pool(g, opt, Engine::kEfficient);
+  EXPECT_EQ(build.shards_used, 1);
+
+  // The serial reference: one RRR set per index from (seed, index), the
+  // contract the pre-sharding path has always satisfied.
+  const RRRPool reference = testing::sample_pool(
+      g, opt.model, build.pool.size(), opt.rng_seed, /*adaptive=*/true);
+  expect_flat_equal(build.pool.flatten(), reference.flatten());
+}
+
+TEST(ShardedDeterminism, EnvShardsOneBitMatchesExplicitShardsOne) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-YouTube", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 4);
+
+  opt.shards = 1;
+  const PoolBuild explicit_one = build_rrr_pool(g, opt, Engine::kEfficient);
+
+  ScopedEnv env("EIMM_SHARDS", "1");
+  opt.shards = 0;  // defer to the environment
+  const PoolBuild via_env = build_rrr_pool(g, opt, Engine::kEfficient);
+  EXPECT_EQ(via_env.shards_used, 1);
+  expect_flat_equal(explicit_one.pool.flatten(), via_env.pool.flatten());
+}
+
+TEST(ShardedDeterminism, EveryShardCountProducesTheSameImage) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-DBLP", DiffusionModel::kLinearThreshold, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kLinearThreshold, 6);
+  opt.shards = 1;
+  const PoolBuild reference = build_rrr_pool(g, opt, Engine::kEfficient);
+  const FlatPool reference_flat = reference.pool.flatten();
+
+  for (const int shards : {2, 3, 5, 8}) {
+    opt.shards = shards;
+    const PoolBuild sharded = build_rrr_pool(g, opt, Engine::kEfficient);
+    EXPECT_EQ(sharded.shards_used, shards);
+    expect_flat_equal(reference_flat, sharded.pool.flatten());
+  }
+}
+
+TEST(ShardedDeterminism, ShardedSeedsIdenticalToUnsharded) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
+  opt.shards = 1;
+  const ImmResult unsharded = run_imm(g, opt, Engine::kEfficient);
+  opt.shards = 4;
+  const ImmResult sharded = run_imm(g, opt, Engine::kEfficient);
+  EXPECT_EQ(sharded.shards_used, 4);
+  EXPECT_EQ(unsharded.seeds, sharded.seeds);
+  EXPECT_EQ(unsharded.num_rrr_sets, sharded.num_rrr_sets);
+  EXPECT_DOUBLE_EQ(unsharded.coverage_fraction, sharded.coverage_fraction);
+}
+
+TEST(ShardedDeterminism, ExplicitShardsOverrideEnvironment) {
+  ScopedEnv env("EIMM_SHARDS", "7");
+  EXPECT_EQ(resolve_shards(0), 7);
+  EXPECT_EQ(resolve_shards(2), 2);
+}
+
+TEST(ShardedDeterminism, UnsetEnvironmentFallsBackToTopology) {
+  // resolve_shards(0) with no env must report the detected domain count
+  // (1 on non-NUMA hosts — the graceful single-domain fallback).
+  const char* previous = std::getenv("EIMM_SHARDS");
+  if (previous == nullptr) {
+    EXPECT_EQ(resolve_shards(0), numa_topology().num_nodes());
+  }
+  EXPECT_GE(resolve_shards(0), 1);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,124 @@
+// Statistical-equivalence harness for fast-path validation.
+//
+// Every perf PR that reroutes the sampling or selection hot path carries
+// the same obligation: the seeds it emits must still be GOOD seeds. Seed
+// identity is the strongest check (and the sharded pipeline passes it —
+// see sharded_determinism_test), but future optimizations may trade exact
+// pool identity for speed; this harness is the contract those PRs test
+// against instead. It runs forward Monte-Carlo spread estimation
+// (simulate/spread — the paper's ground-truth oracle) over a reference
+// seed set and a candidate seed set on the same graph, and reports the
+// spread ratio so callers can assert candidate >= (1 - tolerance) *
+// reference.
+//
+// Seeding: everything derives from statcheck_seed(), fixed by default and
+// overridable via EIMM_STATCHECK_SEED (CI pins it explicitly so the suite
+// is reproducible across runners).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/imm.hpp"
+#include "simulate/spread.hpp"
+#include "support/env.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm::statcheck {
+
+/// The harness-wide base seed: EIMM_STATCHECK_SEED, default fixed.
+inline std::uint64_t statcheck_seed() {
+  return static_cast<std::uint64_t>(env_int("EIMM_STATCHECK_SEED", 20240924));
+}
+
+/// Monte-Carlo spread comparison of two seed sets on one graph.
+struct SpreadComparison {
+  std::vector<VertexId> reference_seeds;
+  std::vector<VertexId> candidate_seeds;
+  double reference_spread = 0.0;
+  double candidate_spread = 0.0;
+
+  /// candidate / reference (1.0 when the reference spread is zero —
+  /// nothing to degrade).
+  [[nodiscard]] double ratio() const noexcept {
+    if (reference_spread <= 0.0) return 1.0;
+    return candidate_spread / reference_spread;
+  }
+
+  /// True when the candidate's spread is within `tolerance` (fractional)
+  /// of the reference: candidate >= (1 - tolerance) * reference.
+  [[nodiscard]] bool within(double tolerance) const noexcept {
+    return ratio() >= 1.0 - tolerance;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << "reference spread " << reference_spread << " ("
+       << reference_seeds.size() << " seeds) vs candidate spread "
+       << candidate_spread << " (" << candidate_seeds.size()
+       << " seeds), ratio " << ratio();
+    return os.str();
+  }
+};
+
+/// Estimates both seed sets' spread under `model` on graph.forward (which
+/// must carry mirrored weights — make_workload_with_weights does).
+inline SpreadComparison compare_spread(const DiffusionGraph& graph,
+                                       DiffusionModel model,
+                                       std::vector<VertexId> reference,
+                                       std::vector<VertexId> candidate,
+                                       int num_samples = 1200) {
+  SpreadOptions spread_opt;
+  spread_opt.num_samples = num_samples;
+  spread_opt.rng_seed = statcheck_seed() ^ 0xC0FFEEull;
+
+  SpreadComparison cmp;
+  cmp.reference_seeds = std::move(reference);
+  cmp.candidate_seeds = std::move(candidate);
+  cmp.reference_spread =
+      estimate_spread(graph.forward, model, cmp.reference_seeds, spread_opt);
+  cmp.candidate_spread =
+      estimate_spread(graph.forward, model, cmp.candidate_seeds, spread_opt);
+  return cmp;
+}
+
+/// The standard workload options for statcheck runs: deliberately small
+/// enough for CI, seeded from statcheck_seed().
+inline ImmOptions statcheck_imm_options(DiffusionModel model,
+                                        std::size_t k = 8) {
+  ImmOptions opt;
+  opt.k = k;
+  opt.epsilon = 0.5;
+  opt.model = model;
+  opt.rng_seed = statcheck_seed();
+  opt.max_rrr_sets = 100'000;
+  return opt;
+}
+
+/// Builds the registry workload `name` at `scale` with weights for
+/// `model`, seeded from statcheck_seed().
+inline DiffusionGraph statcheck_workload(const std::string& name,
+                                         DiffusionModel model,
+                                         double scale = 0.05) {
+  return make_workload_with_weights(name, model, scale, statcheck_seed());
+}
+
+/// Runs the unsharded Engine::kEfficient build (the reference) and the
+/// sharded pipeline with `shards`, and compares the two seed sets' Monte
+/// Carlo spread. The reusable entry point: swap the candidate runner to
+/// validate any future fast path the same way.
+inline SpreadComparison compare_sharded_quality(const DiffusionGraph& graph,
+                                                ImmOptions options,
+                                                int shards,
+                                                int num_samples = 1200) {
+  options.shards = 1;
+  const ImmResult reference = run_imm(graph, options, Engine::kEfficient);
+  options.shards = shards;
+  const ImmResult candidate = run_imm(graph, options, Engine::kEfficient);
+  return compare_spread(graph, options.model, reference.seeds,
+                        candidate.seeds, num_samples);
+}
+
+}  // namespace eimm::statcheck

@@ -63,6 +63,8 @@ struct CliOptions {
       "usage: %s build|save (--workload NAME | --graph PATH | --binary PATH)\n"
       "          [--scale F] [--undirected] [--model IC|LT] [--k N]\n"
       "          [--epsilon F] [--threads N] [--seed N] [--max-rrr N]\n"
+      "          [--shards N]   (NUMA sampling shards; default EIMM_SHARDS\n"
+      "                          or the detected domain count)\n"
       "          [--out PATH]   (--out required for 'save')\n"
       "       %s load --store PATH\n"
       "       %s query --store PATH (--k N [--candidates LIST]\n"
@@ -169,6 +171,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.imm.epsilon = parse_double_option(argv[0], arg, next());
     } else if (arg == "--threads") {
       options.imm.threads = parse_int_option(argv[0], arg, next());
+    } else if (arg == "--shards") {
+      const int shards = parse_int_option(argv[0], arg, next());
+      if (shards < 1) usage(argv[0], "--shards must be >= 1");
+      options.imm.shards = shards;
     } else if (arg == "--seed") {
       options.imm.rng_seed = parse_uint_option(argv[0], arg, next());
     } else if (arg == "--max-rrr") {
