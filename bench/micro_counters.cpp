@@ -1,90 +1,211 @@
-// Microbenchmarks for the global-counter design space of Algorithm 2:
-//  - shared atomic counters (EfficientIMM's choice: one fetch_add per
-//    member, 64-bit granularity),
-//  - per-thread private counters + merge (the memory-hungry alternative),
-//  - a single padded atomic hammered by all threads (worst-case
-//    contention reference point).
-#include <benchmark/benchmark.h>
-#include <omp.h>
-
+// Microbenchmark of the global-counter design space of Algorithm 2:
+//  - "flat"      the shared atomic CounterArray (EfficientIMM's choice:
+//                one fetch_add per member, 64-bit granularity),
+//  - "sharded"   the NUMA ShardedCounterArray swept over shard counts
+//                {1, 2, #domains} — per-domain replicas, updates to the
+//                caller's home replica, summed hierarchical arg-max,
+//  - "perthread" per-thread private counters + merge (the memory-hungry
+//                alternative),
+//  - "contended" a single atomic hammered by all threads (worst-case
+//                contention reference point).
+//
+// Each row times the parallel update stream and one arg-max over the
+// result, and checks the layout's summed snapshot against the flat
+// reference — layouts must agree on VALUES, not just speed (exit 1
+// otherwise). Emits a human table plus machine-readable
+// BENCH_counters.json via io/json_log.
+//
+// Extra knobs on top of the common EIMM_* set:
+//   EIMM_COUNTER_VERTICES  counter slots (default 1<<16)
+//   EIMM_COUNTER_UPDATES   updates per rep (default 1<<20)
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
 #include <vector>
 
-#include "runtime/atomic_counters.hpp"
+#include "common.hpp"
+#include "io/json_log.hpp"
+#include "numa/topology.hpp"
+#include "runtime/reduction.hpp"
+#include "support/env.hpp"
 #include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace eimm;
+using namespace eimm::bench;
 
 namespace {
 
-using namespace eimm;
-
-constexpr std::size_t kVertices = 1 << 16;
-constexpr std::size_t kUpdates = 1 << 20;
-
-std::vector<std::uint32_t> random_targets() {
-  std::vector<std::uint32_t> targets(kUpdates);
+std::vector<std::uint32_t> random_targets(std::size_t updates,
+                                          std::size_t vertices) {
+  std::vector<std::uint32_t> targets(updates);
   Xoshiro256 rng(42);
   for (auto& t : targets) {
-    t = static_cast<std::uint32_t>(rng.next_bounded(kVertices));
+    t = static_cast<std::uint32_t>(rng.next_bounded(vertices));
   }
   return targets;
 }
 
-void BM_SharedAtomicCounters(benchmark::State& state) {
-  const auto targets = random_targets();
-  CounterArray counters(kVertices);
-  for (auto _ : state) {
-    counters.reset();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      counters.increment(targets[i]);
-    }
-    benchmark::DoNotOptimize(counters.get(0));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kUpdates));
-}
-BENCHMARK(BM_SharedAtomicCounters)->Unit(benchmark::kMillisecond);
-
-void BM_PerThreadCountersPlusMerge(benchmark::State& state) {
-  const auto targets = random_targets();
-  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
-  for (auto _ : state) {
-    std::vector<std::vector<std::uint64_t>> locals(
-        threads, std::vector<std::uint64_t>(kVertices, 0));
-    std::vector<std::uint64_t> merged(kVertices, 0);
-#pragma omp parallel
-    {
-      auto& local = locals[static_cast<std::size_t>(omp_get_thread_num())];
-#pragma omp for schedule(static)
-      for (std::size_t i = 0; i < targets.size(); ++i) {
-        local[targets[i]]++;
-      }
-#pragma omp for schedule(static)
-      for (std::size_t v = 0; v < kVertices; ++v) {
-        std::uint64_t sum = 0;
-        for (std::size_t t = 0; t < threads; ++t) sum += locals[t][v];
-        merged[v] = sum;
-      }
-    }
-    benchmark::DoNotOptimize(merged[0]);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kUpdates));
-}
-BENCHMARK(BM_PerThreadCountersPlusMerge)->Unit(benchmark::kMillisecond);
-
-void BM_SingleAtomicContention(benchmark::State& state) {
-  CounterArray counters(1);
-  for (auto _ : state) {
-    counters.reset();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < kUpdates; ++i) {
-      counters.increment(0);
-    }
-    benchmark::DoNotOptimize(counters.get(0));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kUpdates));
-}
-BENCHMARK(BM_SingleAtomicContention)->Unit(benchmark::kMillisecond);
-
 }  // namespace
+
+int main() {
+  const BenchConfig config = load_config();
+  print_banner("micro_counters — Algorithm 2 counter layouts", config);
+
+  const auto vertices = static_cast<std::size_t>(
+      env_int("EIMM_COUNTER_VERTICES", std::int64_t{1} << 16));
+  const auto updates = static_cast<std::size_t>(
+      env_int("EIMM_COUNTER_UPDATES", std::int64_t{1} << 20));
+  const int domains = numa_topology().num_nodes();
+  const auto targets = random_targets(updates, vertices);
+
+  // The flat reference: every layout's summed snapshot must match this
+  // after the same update stream.
+  CounterArray reference(vertices);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    reference.increment(targets[i]);
+  }
+  const std::vector<std::uint64_t> reference_snapshot = reference.snapshot();
+
+  std::vector<CounterBenchResult> rows;
+  AsciiTable table(
+      {"Layout", "Shards", "Update s", "Updates/s", "Argmax s", "Match"});
+
+  auto add_row = [&](const std::string& layout, int shards,
+                     double update_seconds, double argmax_seconds,
+                     bool matches) {
+    CounterBenchResult row;
+    row.layout = layout;
+    row.shards = shards;
+    row.threads = config.max_threads;
+    row.update_seconds = update_seconds;
+    row.updates_per_second =
+        update_seconds > 0.0
+            ? static_cast<double>(updates) / update_seconds
+            : 0.0;
+    row.argmax_seconds = argmax_seconds;
+    row.matches_flat = matches;
+    rows.push_back(row);
+    table.new_row()
+        .add(layout)
+        .add(static_cast<std::uint64_t>(shards))
+        .add(update_seconds, 4)
+        .add(row.updates_per_second, 0)
+        .add(argmax_seconds, 4)
+        .add(matches ? "yes" : "NO");
+    if (!matches) {
+      std::fprintf(stderr,
+                   "ERROR: layout %s (shards=%d) diverged from the flat "
+                   "counter values\n",
+                   layout.c_str(), shards);
+    }
+  };
+
+  // --- flat shared atomic array ---
+  {
+    CounterArray counters(vertices);
+    const double update_seconds = best_seconds(config.reps, [&] {
+      counters.reset();
+      Timer timer;
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        counters.increment(targets[i]);
+      }
+      return timer.seconds();
+    });
+    Timer argmax_timer;
+    const ArgMaxResult best = parallel_argmax(counters);
+    const double argmax_seconds = argmax_timer.seconds();
+    add_row("flat", 1, update_seconds, argmax_seconds,
+            counters.snapshot() == reference_snapshot &&
+                best.value == reference_snapshot[best.index]);
+  }
+
+  // --- sharded layout, shards in {1, 2, #domains} (deduplicated) ---
+  std::vector<int> shard_counts{1, 2, domains};
+  std::sort(shard_counts.begin(), shard_counts.end());
+  shard_counts.erase(
+      std::unique(shard_counts.begin(), shard_counts.end()),
+      shard_counts.end());
+  for (const int shards : shard_counts) {
+    ShardedCounterArray counters(vertices, shards);
+    const double update_seconds = best_seconds(config.reps, [&] {
+      counters.reset();
+      Timer timer;
+#pragma omp parallel
+      {
+        CounterSlab slab = counters.local();
+#pragma omp for schedule(static)
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          slab.increment(targets[i]);
+        }
+      }
+      return timer.seconds();
+    });
+    Timer argmax_timer;
+    const ArgMaxResult best = parallel_argmax(counters);
+    const double argmax_seconds = argmax_timer.seconds();
+    add_row("sharded", shards, update_seconds, argmax_seconds,
+            counters.snapshot() == reference_snapshot &&
+                best.value == reference_snapshot[best.index]);
+  }
+
+  // --- per-thread private counters + merge ---
+  {
+    std::vector<std::uint64_t> merged(vertices, 0);
+    const double update_seconds = best_seconds(config.reps, [&] {
+      std::fill(merged.begin(), merged.end(), 0);
+      Timer timer;
+#pragma omp parallel
+      {
+        std::vector<std::uint64_t> local(vertices, 0);
+#pragma omp for schedule(static)
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          local[targets[i]]++;
+        }
+        for (std::size_t v = 0; v < vertices; ++v) {
+          if (local[v] != 0) {
+#pragma omp atomic
+            merged[v] += local[v];
+          }
+        }
+      }
+      return timer.seconds();
+    });
+    add_row("perthread", 1, update_seconds, 0.0,
+            merged == reference_snapshot);
+  }
+
+  // --- single contended atomic ---
+  {
+    CounterArray counters(1);
+    const double update_seconds = best_seconds(config.reps, [&] {
+      counters.reset();
+      Timer timer;
+#pragma omp parallel for schedule(static)
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        counters.increment(0);
+      }
+      return timer.seconds();
+    });
+    add_row("contended", 1, update_seconds, 0.0,
+            counters.get(0) == updates);
+  }
+
+  std::printf("\n");
+  table.set_title("Counter layouts: " + std::to_string(vertices) +
+                  " slots, " + std::to_string(updates) + " updates (" +
+                  std::to_string(domains) + " NUMA domain(s) detected)");
+  table.print(std::cout);
+
+  const std::string path = write_counter_bench_json_file(
+      bench_json_path("BENCH_counters.json"), domains, rows);
+  std::printf("\nresults: %s\n", path.c_str());
+
+  for (const CounterBenchResult& row : rows) {
+    if (!row.matches_flat) return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "cachesim/harness.hpp"
 
 #include "runtime/thread_info.hpp"
+#include "seedselect/engine.hpp"
 
 namespace eimm {
 
@@ -16,12 +17,22 @@ TracedSelectionReport run_traced_selection(Engine engine, const RRRPool& pool,
   options.dynamic_balance = false;  // keep the trace schedule-stable
   options.counters_prebuilt = false;
 
+  // Route through the SelectionEngine's traced entry point (flat
+  // counters, no pinning) so the cache model keeps observing the paper's
+  // Algorithm 2 layout while the engine subsystem owns the kernels.
+  SelectionEngineConfig engine_config;
+  engine_config.counter_shards = 1;
+  engine_config.pin = PinMode::kNone;
+  const SelectionEngine selection(engine_config);
+
   TraceSession session(config);
   if (engine == Engine::kEfficient) {
     CounterArray counters(pool.num_vertices(), MemPolicy::kDefault);
-    report.selection = efficient_select_t<TraceMem>(pool, counters, options);
+    report.selection = selection.select_traced<TraceMem>(
+        SelectionKernel::kEfficient, pool, options, &counters);
   } else {
-    report.selection = ripples_select_t<TraceMem>(pool, options);
+    report.selection = selection.select_traced<TraceMem>(
+        SelectionKernel::kRipples, pool, options);
   }
   report.cache = session.aggregate();
   report.traced_threads = session.thread_count();

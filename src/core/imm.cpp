@@ -10,7 +10,7 @@
 #include "rrr/generate.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/sharded.hpp"
-#include "seedselect/select.hpp"
+#include "seedselect/engine.hpp"
 #include "support/macros.hpp"
 #include "support/timer.hpp"
 
@@ -82,15 +82,25 @@ void generate_rrr_range(RRRPool& pool, const CSRGraph& reverse,
   }
 }
 
-/// Copies the fused base counters into the working counters (the final
-/// selection mutates its counter; the base stays valid for reuse in the
-/// next martingale round).
-void copy_counters(const CounterArray& base, CounterArray& working) {
-  const std::size_t n = base.size();
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < n; ++i) {
-    working.set(i, base.get(i));
-  }
+/// Counter shards this run's selection phase uses: the ripples baseline
+/// and the --no-numa ablation both force the legacy flat layout (the
+/// whole sharded-counter machinery is a NUMA feature, so the numa_aware
+/// flag must gate it for the ablation benches to measure anything).
+int resolved_counter_shards(const ImmOptions& options, Engine engine) {
+  if (engine != Engine::kEfficient || !options.numa_aware) return 1;
+  return resolve_counter_shards(options.counter_shards);
+}
+
+/// The selection-phase engine for one run: pinned thread team, counter
+/// layout (flat vs domain-sharded) resolved from the options/environment.
+SelectionEngine make_selection_engine(const ImmOptions& options,
+                                      Engine engine) {
+  SelectionEngineConfig config;
+  config.counter_shards = resolved_counter_shards(options, engine);
+  config.counter_policy = (engine == Engine::kEfficient && options.numa_aware)
+                              ? MemPolicy::kInterleave
+                              : MemPolicy::kDefault;
+  return SelectionEngine(config);
 }
 
 /// One greedy selection pass over the build's pool, reusing the fused
@@ -105,17 +115,13 @@ SelectionResult select_over_build(const PoolBuild& build,
   sopt.dynamic_balance =
       engine == Engine::kEfficient && options.dynamic_balance;
   sopt.batch_size = options.batch_size;
+  const SelectionEngine selection = make_selection_engine(options, engine);
   if (engine == Engine::kEfficient) {
-    const MemPolicy policy =
-        options.numa_aware ? MemPolicy::kInterleave : MemPolicy::kDefault;
-    CounterArray working(build.pool.num_vertices(), policy);
-    if (build.counters_prebuilt) {
-      copy_counters(build.base_counters, working);
-      sopt.counters_prebuilt = true;
-    }
-    return efficient_select_t<NullMem>(build.pool, working, sopt);
+    return selection.select(
+        SelectionKernel::kEfficient, build.pool, sopt,
+        build.counters_prebuilt ? &build.base_counters : nullptr);
   }
-  return ripples_select_t<NullMem>(build.pool, sopt);
+  return selection.select(SelectionKernel::kRipples, build.pool, sopt);
 }
 
 }  // namespace
@@ -208,6 +214,7 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   result.rebuild_rounds = final_selection.rebuild_rounds;
   result.threads_used = omp_get_max_threads();
   result.shards_used = build.shards_used;
+  result.counter_shards_used = resolved_counter_shards(options, engine);
   breakdown.total_seconds = total_timer.seconds();
   result.breakdown = breakdown;
   return result;

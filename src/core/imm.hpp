@@ -72,6 +72,15 @@ struct ImmOptions {
   /// Pool contents are bit-identical for every value — per-index RNG
   /// streams — so this only moves storage placement and scheduling.
   int shards = 0;
+  /// NUMA counter shards for the selection phase (seedselect/engine.hpp):
+  /// one domain-local counter replica per shard. 0 resolves from the
+  /// EIMM_COUNTER_SHARDS environment variable, defaulting to the
+  /// detected NUMA domain count; 1 keeps the legacy flat CounterArray.
+  /// Forced to 1 when numa_aware is false (the sharded counter is a
+  /// NUMA feature, so the --no-numa ablation disables it too). Seed
+  /// sequences are bit-identical for every value — the sharded layout
+  /// only moves counter placement, never greedy outcomes.
+  int counter_shards = 0;
 
   /// Safety cap on total RRR sets — keeps bench-scale LT runs (θ up to
   /// 1e8-1e9 in the paper) tractable. Capped runs are flagged in the
@@ -107,6 +116,8 @@ struct ImmResult {
   int threads_used = 0;
   /// Sampling shards the build used (1 on non-NUMA hosts by default).
   int shards_used = 1;
+  /// Counter shards the selection phase used (1 = legacy flat array).
+  int counter_shards_used = 1;
   PhaseBreakdown breakdown;
   /// Sampling-phase probe history (diagnostics; one entry per executed
   /// iteration of the Algorithm 1 loop).

@@ -5,7 +5,7 @@
 #include "runtime/partition.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/sharded.hpp"
-#include "seedselect/select.hpp"
+#include "seedselect/engine.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -61,11 +61,14 @@ DistImmResult run_distributed_imm(const DiffusionGraph& graph,
     generated = target;
   };
 
+  // Selection routes through the same engine as the single-node driver:
+  // the cluster simulation only changes where sets LIVE, and the
+  // pinned/sharded counter machinery applies on the simulating host too.
+  const SelectionEngine selection_engine;
   auto select = [&]() -> SelectionResult {
     SelectionOptions sopt;
     sopt.k = options.k;
-    CounterArray counters(n);
-    return efficient_select_t<NullMem>(pool, counters, sopt);
+    return selection_engine.select(SelectionKernel::kEfficient, pool, sopt);
   };
 
   // Martingale probing, shared with the single-node driver: the cluster

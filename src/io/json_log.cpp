@@ -94,6 +94,41 @@ std::string write_sharded_bench_json_file(
   return path;
 }
 
+void write_counter_bench_json(std::ostream& os, int numa_domains,
+                              const std::vector<CounterBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("Bench", "micro_counters")
+      .kv("NumaDomains", static_cast<std::int64_t>(numa_domains));
+  w.key("Results").begin_array();
+  for (const CounterBenchResult& r : results) {
+    w.begin_object()
+        .kv("Layout", r.layout)
+        .kv("Shards", r.shards)
+        .kv("Threads", r.threads)
+        .kv("UpdateSeconds", r.update_seconds)
+        .kv("UpdatesPerSecond", r.updates_per_second)
+        .kv("ArgmaxSeconds", r.argmax_seconds)
+        .kv("MatchesFlat", r.matches_flat)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_counter_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<CounterBenchResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open bench result file for writing");
+  write_counter_bench_json(os, numa_domains, results);
+  EIMM_CHECK(os.good(), "bench result write failed");
+  return path;
+}
+
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record) {
   std::filesystem::create_directories(dir);

@@ -80,4 +80,28 @@ std::string write_sharded_bench_json_file(
     const std::string& path, int numa_domains,
     const std::vector<ShardedBenchResult>& results);
 
+/// One row of the counter-layout bench (BENCH_counters.json schema):
+/// update/arg-max throughput of one counter layout at one shard count.
+struct CounterBenchResult {
+  std::string layout;  // "flat" | "sharded" | "perthread" | "contended"
+  int shards = 1;
+  int threads = 1;
+  double update_seconds = 0.0;
+  double updates_per_second = 0.0;
+  double argmax_seconds = 0.0;
+  /// Snapshot of the layout equals the flat reference after the same
+  /// update stream (layouts must agree on VALUES, not just speed).
+  bool matches_flat = true;
+};
+
+/// Serializes the sweep as one document:
+/// {"Bench": "micro_counters", "NumaDomains": N, "Results": [...]}.
+void write_counter_bench_json(std::ostream& os, int numa_domains,
+                              const std::vector<CounterBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_counter_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<CounterBenchResult>& results);
+
 }  // namespace eimm

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "rrr/generate.hpp"
+#include "runtime/affinity.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/work_queue.hpp"
 #include "support/env.hpp"
@@ -121,6 +122,14 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
   EIMM_CHECK(pool.size() >= end, "pool not resized for generation range");
   const std::uint64_t count = end - begin;
   const NumaTopology& topo = numa_topology();
+
+  // Pin the team before planning work onto it: ShardPlan hands shard s
+  // to a contiguous worker group, and the compact pin plan maps
+  // contiguous thread ids to one domain each — together they keep a
+  // shard's JobPool, scratch, and kLocal arena pages on one domain
+  // instead of relying on OMP_PROC_BIND (the ROADMAP placement gap).
+  // No-op on single-node hosts or under EIMM_PIN=none.
+  pin_openmp_team();
 
   ShardPlan plan = ShardPlan::make(
       begin, end, config_.shards,

@@ -1,0 +1,229 @@
+#include "runtime/affinity.hpp"
+
+#include <omp.h>
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+
+#include "support/env.hpp"
+#include "support/log.hpp"
+
+namespace eimm {
+
+namespace {
+
+std::optional<PinMode>& pin_override() {
+  static std::optional<PinMode> override;
+  return override;
+}
+
+/// Logs the first ACTIVE pinning map of the process when EIMM_VERBOSE is
+/// set — the ROADMAP-noted diagnosability gap: without this, a mis-pinned
+/// run (cpuset stripped the mask, OMP_PROC_BIND fought the plan, ...) is
+/// indistinguishable from a correctly placed one.
+void log_pin_map_once(PinMode mode, const std::vector<PinnedThread>& map) {
+  if (!env_bool("EIMM_VERBOSE", false)) return;
+  static std::once_flag flag;
+  std::call_once(flag, [&] {
+    std::fprintf(stderr, "[eimm affinity] pin=%s, %zu worker(s):\n",
+                 std::string(to_string(mode)).c_str(), map.size());
+    for (const PinnedThread& t : map) {
+      if (t.thread < 0) continue;
+      std::fprintf(stderr, "[eimm affinity]   thread %d -> cpu %d (node %d)%s\n",
+                   t.thread, t.cpu, t.domain,
+                   t.pinned ? "" : " [pin rejected]");
+    }
+  });
+}
+
+}  // namespace
+
+PinMode parse_pin_mode(const std::string& s, PinMode fallback, bool* ok) {
+  std::string lower(s.size(), '\0');
+  std::transform(s.begin(), s.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (ok != nullptr) *ok = true;
+  if (lower == "none") return PinMode::kNone;
+  if (lower == "auto") return PinMode::kAuto;
+  if (lower == "compact") return PinMode::kCompact;
+  if (lower == "spread") return PinMode::kSpread;
+  if (ok != nullptr) *ok = false;
+  return fallback;
+}
+
+PinMode resolve_pin_mode() {
+  if (pin_override().has_value()) return *pin_override();
+  if (const auto value = env_string("EIMM_PIN")) {
+    bool ok = false;
+    const PinMode mode = parse_pin_mode(*value, PinMode::kAuto, &ok);
+    if (!ok) {
+      EIMM_LOG_WARN << "EIMM_PIN='" << *value
+                    << "' is not none|auto|compact|spread; using auto";
+    }
+    return mode;
+  }
+  return PinMode::kAuto;
+}
+
+void set_pin_mode(PinMode mode) { pin_override() = mode; }
+
+void reset_pin_mode() { pin_override().reset(); }
+
+PinMode effective_pin_mode(PinMode mode, const NumaTopology& topo) noexcept {
+  if (mode != PinMode::kAuto) return mode;
+  return topo.is_numa() ? PinMode::kCompact : PinMode::kNone;
+}
+
+PinPlan make_pin_plan(PinMode mode, std::size_t workers,
+                      const NumaTopology& topo) {
+  PinPlan plan;
+  plan.mode = effective_pin_mode(mode, topo);
+  if (plan.mode == PinMode::kNone || workers == 0 ||
+      topo.cpu_to_node.empty()) {
+    return plan;
+  }
+
+  // cpu lists per domain, domains in topo.nodes order, cpus ascending —
+  // the deterministic base both fill orders draw from.
+  std::vector<std::vector<int>> node_cpus(topo.nodes.size());
+  for (std::size_t cpu = 0; cpu < topo.cpu_to_node.size(); ++cpu) {
+    const int node = topo.cpu_to_node[cpu];
+    const auto it = std::find(topo.nodes.begin(), topo.nodes.end(), node);
+    if (it == topo.nodes.end()) continue;  // cpu on an offline node
+    node_cpus[static_cast<std::size_t>(it - topo.nodes.begin())].push_back(
+        static_cast<int>(cpu));
+  }
+
+  std::vector<int> order;
+  order.reserve(topo.cpu_to_node.size());
+  if (plan.mode == PinMode::kCompact) {
+    for (const auto& cpus : node_cpus) {
+      order.insert(order.end(), cpus.begin(), cpus.end());
+    }
+  } else {  // kSpread: one cpu from each domain per turn
+    for (std::size_t round = 0; order.size() < topo.cpu_to_node.size();
+         ++round) {
+      bool took_any = false;
+      for (const auto& cpus : node_cpus) {
+        if (round < cpus.size()) {
+          order.push_back(cpus[round]);
+          took_any = true;
+        }
+      }
+      if (!took_any) break;
+    }
+  }
+  if (order.empty()) {
+    plan.mode = PinMode::kNone;
+    return plan;
+  }
+
+  plan.worker_cpu.resize(workers);
+  plan.worker_domain.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const int cpu = order[w % order.size()];
+    plan.worker_cpu[w] = cpu;
+    plan.worker_domain[w] =
+        static_cast<std::size_t>(cpu) < topo.cpu_to_node.size()
+            ? topo.cpu_to_node[static_cast<std::size_t>(cpu)]
+            : 0;
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0) return false;
+#if defined(__linux__)
+  if (static_cast<std::size_t>(cpu) >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<std::size_t>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+int apply_pin(const PinPlan& plan, std::size_t worker) {
+  if (!plan.active()) return -1;
+  const int cpu = plan.worker_cpu[worker % plan.worker_cpu.size()];
+  return pin_current_thread(cpu) ? cpu : -1;
+}
+
+std::vector<int> current_affinity_cpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return cpus;
+  }
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(static_cast<std::size_t>(cpu), &set)) cpus.push_back(cpu);
+  }
+#endif
+  return cpus;
+}
+
+bool set_affinity_cpus(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const int cpu : cpus) {
+    if (cpu < 0 || static_cast<std::size_t>(cpu) >= CPU_SETSIZE) continue;
+    CPU_SET(static_cast<std::size_t>(cpu), &set);
+  }
+  if (CPU_COUNT(&set) == 0) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+std::vector<PinnedThread> pin_openmp_team(PinMode mode) {
+  const NumaTopology& topo = numa_topology();
+  const PinPlan plan = make_pin_plan(
+      mode, static_cast<std::size_t>(omp_get_max_threads()), topo);
+  std::vector<PinnedThread> map;
+  if (!plan.active()) return map;
+
+  map.resize(plan.workers());
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    if (tid < map.size()) {
+      PinnedThread record;
+      record.thread = static_cast<int>(tid);
+      record.pinned = apply_pin(plan, tid) >= 0;
+      // Report where the thread ACTUALLY landed, not where the plan
+      // asked — after a successful pin the two agree; after a rejected
+      // one the divergence is the diagnostic.
+      record.cpu = sched_getcpu();
+      record.domain =
+          (record.cpu >= 0 &&
+           static_cast<std::size_t>(record.cpu) < topo.cpu_to_node.size())
+              ? topo.cpu_to_node[static_cast<std::size_t>(record.cpu)]
+              : 0;
+      map[tid] = record;
+    }
+  }
+  // Teams smaller than the plan (OMP_DYNAMIC, thread limits) leave
+  // default rows; drop them so the map describes real threads only.
+  map.erase(std::remove_if(map.begin(), map.end(),
+                           [](const PinnedThread& t) { return t.thread < 0; }),
+            map.end());
+  log_pin_map_once(plan.mode, map);
+  return map;
+}
+
+std::vector<PinnedThread> pin_openmp_team() {
+  return pin_openmp_team(resolve_pin_mode());
+}
+
+}  // namespace eimm

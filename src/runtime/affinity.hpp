@@ -1,0 +1,149 @@
+// Thread-to-NUMA-domain pinning (§IV-B follow-through).
+//
+// PR 3 made RRR *storage* domain-local but left thread placement to the
+// OS scheduler (ROADMAP: "placement relies on OMP_PROC_BIND") — a
+// migrated thread drags its working set to a remote domain and the
+// mbind(kLocal) staging pages stop being local. This layer owns the
+// worker→cpu→domain map:
+//
+//   * PinMode — EIMM_PIN=auto|none|compact|spread (or set_pin_mode for
+//     CLIs). `auto` resolves to compact on NUMA hosts and to a no-op on
+//     single-node hosts, so laptops/CI keep the identical code path.
+//   * make_pin_plan — builds the worker→cpu assignment from the live
+//     numa::topology: compact fills one domain before the next (worker
+//     groups match the ShardPlan's contiguous shard groups), spread
+//     round-robins domains (one worker per domain per turn).
+//   * pin_openmp_team — pins the current OpenMP team (one worker per
+//     thread id, so later parallel regions of the same team reuse the
+//     pinned OS threads) and returns the EFFECTIVE map read back via
+//     sched_getcpu, logged once under EIMM_VERBOSE so mis-pinning is
+//     diagnosable instead of silent.
+//
+// Pinning is a performance hint, never a correctness requirement: every
+// entry point degrades to a no-op when the topology is flat, the mode is
+// none, or the pthread affinity call is rejected (cpusets, sandboxes).
+// Re-pinning is idempotent — callers may pin per phase without tracking
+// whether a previous phase already did.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numa/topology.hpp"
+
+namespace eimm {
+
+enum class PinMode {
+  kNone,     // leave threads wherever the scheduler puts them
+  kAuto,     // compact on NUMA hosts, none on single-node hosts
+  kCompact,  // fill domain 0's cpus, then domain 1's, ...
+  kSpread,   // round-robin: one cpu from each domain in turn
+};
+
+constexpr std::string_view to_string(PinMode mode) noexcept {
+  switch (mode) {
+    case PinMode::kNone: return "none";
+    case PinMode::kAuto: return "auto";
+    case PinMode::kCompact: return "compact";
+    case PinMode::kSpread: return "spread";
+  }
+  return "none";
+}
+
+/// Parses "none" | "auto" | "compact" | "spread" (case-insensitive).
+/// Anything else returns `fallback` and sets *ok to false — the negative
+/// path EIMM_PIN resolution warns on instead of aborting a run.
+PinMode parse_pin_mode(const std::string& s, PinMode fallback,
+                       bool* ok = nullptr);
+
+/// Process-wide mode: a set_pin_mode() override wins, then EIMM_PIN,
+/// then kAuto. Unparseable EIMM_PIN values warn and resolve to kAuto.
+PinMode resolve_pin_mode();
+
+/// Explicit override (CLI --pin); wins over EIMM_PIN until reset.
+void set_pin_mode(PinMode mode);
+/// Drops the override; resolution returns to EIMM_PIN / kAuto.
+void reset_pin_mode();
+
+/// Resolves kAuto against a topology: compact when >1 domain, else none.
+PinMode effective_pin_mode(PinMode mode, const NumaTopology& topo) noexcept;
+
+/// The worker→cpu assignment one team of `workers` threads should use.
+/// Inactive (empty) when the effective mode is none or the topology
+/// exposes no usable cpu map — callers skip pinning entirely.
+struct PinPlan {
+  PinMode mode = PinMode::kNone;  ///< effective mode the plan encodes
+  std::vector<int> worker_cpu;    ///< worker w → cpu id
+  std::vector<int> worker_domain; ///< worker w → NUMA node of that cpu
+
+  [[nodiscard]] bool active() const noexcept { return !worker_cpu.empty(); }
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return worker_cpu.size();
+  }
+};
+
+PinPlan make_pin_plan(PinMode mode, std::size_t workers,
+                      const NumaTopology& topo);
+
+/// Pins the calling thread to one cpu. False when cpu < 0, the platform
+/// has no pthread affinity, or the kernel rejected the mask (the caller
+/// proceeds unpinned). Calling again with the same cpu is a no-op that
+/// still reports success — idempotent re-pinning.
+bool pin_current_thread(int cpu);
+
+/// Applies `plan` to the calling thread as worker `worker` (modulo the
+/// plan width, so oversubscribed teams wrap). Returns the cpu pinned to,
+/// or -1 for inactive plans / rejected masks.
+int apply_pin(const PinPlan& plan, std::size_t worker);
+
+/// Cpus the calling thread is currently allowed on (pthread affinity
+/// mask read-back; empty when unsupported). Test/diagnostic helper.
+std::vector<int> current_affinity_cpus();
+
+/// Sets the calling thread's affinity mask to exactly `cpus`. False when
+/// empty, unsupported, or rejected by the kernel.
+bool set_affinity_cpus(const std::vector<int>& cpus);
+
+/// RAII guard that snapshots the calling thread's affinity mask and
+/// restores it on destruction. Pinning is deliberately sticky for the
+/// compute phases (run_imm owns its process's threads, and OpenMP pool
+/// threads are re-pinned by the next phase's pin_openmp_team call) —
+/// but serving entry points called from arbitrary application threads
+/// (QueryEngine::run_batch) wrap themselves in this guard so a pinned
+/// batch never permanently narrows the CALLER's thread, whose mask
+/// later-spawned threads would inherit.
+class ScopedAffinityRestore {
+ public:
+  ScopedAffinityRestore() : saved_(current_affinity_cpus()) {}
+  ~ScopedAffinityRestore() {
+    if (!saved_.empty()) set_affinity_cpus(saved_);
+  }
+  ScopedAffinityRestore(const ScopedAffinityRestore&) = delete;
+  ScopedAffinityRestore& operator=(const ScopedAffinityRestore&) = delete;
+
+ private:
+  std::vector<int> saved_;
+};
+
+/// One row of the effective pinning map.
+struct PinnedThread {
+  int thread = -1;  ///< OpenMP thread id (== plan worker index)
+  int cpu = -1;     ///< cpu the thread reported AFTER pinning
+  int domain = 0;   ///< NUMA node of that cpu
+  bool pinned = false;
+};
+
+/// Pins the current OpenMP team under `mode` (spawns one parallel
+/// region; later regions reuse the same pinned OS threads) and returns
+/// the effective thread→cpu→domain map. Empty when the effective mode is
+/// none. The first active map of the process is logged to stderr under
+/// EIMM_VERBOSE. Safe to call repeatedly — re-pinning is idempotent.
+std::vector<PinnedThread> pin_openmp_team(PinMode mode);
+
+/// pin_openmp_team(resolve_pin_mode()).
+std::vector<PinnedThread> pin_openmp_team();
+
+}  // namespace eimm

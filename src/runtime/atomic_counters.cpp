@@ -1,8 +1,27 @@
 #include "runtime/atomic_counters.hpp"
 
 #include <omp.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "numa/topology.hpp"
+#include "runtime/partition.hpp"
+#include "support/env.hpp"
+#include "support/macros.hpp"
 
 namespace eimm {
+
+int resolve_counter_shards(int requested) {
+  if (requested > 0) return requested;
+  const std::int64_t env = env_int("EIMM_COUNTER_SHARDS", 0);
+  if (env > 0) {
+    return static_cast<int>(
+        std::min<std::int64_t>(env, std::numeric_limits<int>::max()));
+  }
+  return numa_topology().num_nodes();
+}
 
 CounterArray::CounterArray(std::size_t n, MemPolicy policy)
     : array_(n, policy) {
@@ -28,6 +47,75 @@ std::vector<std::uint64_t> CounterArray::snapshot() const {
 std::uint64_t CounterArray::total() const noexcept {
   std::uint64_t sum = 0;
   for (std::size_t i = 0; i < array_.size(); ++i) sum += get(i);
+  return sum;
+}
+
+ShardedCounterArray::ShardedCounterArray(std::size_t n, int shards,
+                                         MemPolicy policy)
+    : n_(n) {
+  const auto count = static_cast<std::size_t>(std::max(1, shards));
+  replicas_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    replicas_.emplace_back(n, policy);
+  }
+}
+
+int ShardedCounterArray::home_shard() const noexcept {
+  const int shards = static_cast<int>(replicas_.size());
+  if (shards <= 1) return 0;
+  const NumaTopology& topo = numa_topology();
+  if (topo.is_numa()) {
+    const int cpu = sched_getcpu();
+    if (cpu >= 0 &&
+        static_cast<std::size_t>(cpu) < topo.cpu_to_node.size()) {
+      // Map the node ID to its POSITION in the online-node list before
+      // the modulo — sysfs allows gapped ids (e.g. {0, 2}), and raw-id
+      // arithmetic would collapse distinct domains onto one replica.
+      const int node = topo.cpu_to_node[static_cast<std::size_t>(cpu)];
+      const auto it =
+          std::find(topo.nodes.begin(), topo.nodes.end(), node);
+      if (it != topo.nodes.end()) {
+        return static_cast<int>(it - topo.nodes.begin()) % shards;
+      }
+    }
+  }
+  return omp_get_thread_num() % shards;
+}
+
+void ShardedCounterArray::reset() noexcept {
+  for (auto& replica : replicas_) {
+    const std::size_t n = replica.size();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      replica[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ShardedCounterArray::load_base(const CounterArray& base) {
+  EIMM_CHECK(base.size() >= n_, "base counter smaller than sharded layout");
+  if (n_ == 0) return;
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto nthreads = static_cast<std::size_t>(omp_get_num_threads());
+    const auto [begin, end] = block_range(n_, nthreads, tid);
+    CounterSlab home = local();
+    for (std::size_t i = begin; i < end; ++i) {
+      home.store(i, base.get(i));
+    }
+  }
+}
+
+std::vector<std::uint64_t> ShardedCounterArray::snapshot() const {
+  std::vector<std::uint64_t> out(n_);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = get(i);
+  return out;
+}
+
+std::uint64_t ShardedCounterArray::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n_; ++i) sum += get(i);
   return sum;
 }
 

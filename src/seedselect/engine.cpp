@@ -1,0 +1,171 @@
+#include "seedselect/engine.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "numa/topology.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+namespace {
+
+/// Copies a fused base into the flat working layout (the final selection
+/// mutates its counter; the base stays valid for reuse in the next
+/// martingale round). Same undersized-base contract as
+/// ShardedCounterArray::load_base — a silent truncation here would skip
+/// the initial build with zeroed tail counters and quietly mis-select.
+void copy_base_flat(const CounterArray& base, CounterArray& working) {
+  EIMM_CHECK(base.size() >= working.size(),
+             "base counter smaller than working layout");
+  const std::size_t n = working.size();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    working.set(i, base.get(i));
+  }
+}
+
+/// Compiles the whitelist/blacklist into a per-vertex mask; empty when
+/// the query is unconstrained (every vertex eligible). Ids must already
+/// be validated.
+std::vector<std::uint8_t> build_mask(const SketchStore& store,
+                                     const QueryOptions& q) {
+  if (!q.constrained()) return {};
+  const VertexId n = store.num_vertices();
+  std::vector<std::uint8_t> mask;
+  if (q.candidates.empty()) {
+    mask.assign(n, 1);
+  } else {
+    mask.assign(n, 0);
+    for (const VertexId v : q.candidates) mask[v] = 1;
+  }
+  for (const VertexId v : q.forbidden) mask[v] = 0;
+  return mask;
+}
+
+}  // namespace
+
+void validate_store_query(const SketchStore& store,
+                          const QueryOptions& query) {
+  EIMM_CHECK(query.k > 0, "query k must be positive");
+  EIMM_CHECK(query.k <= store.k_max(),
+             "query k exceeds the store's build-time cap");
+  const VertexId n = store.num_vertices();
+  for (const VertexId v : query.candidates) {
+    EIMM_CHECK(v < n, "candidate vertex out of range");
+  }
+  for (const VertexId v : query.forbidden) {
+    EIMM_CHECK(v < n, "forbidden vertex out of range");
+  }
+}
+
+SelectionEngine::SelectionEngine(SelectionEngineConfig config)
+    : shards_(resolve_counter_shards(config.counter_shards)),
+      pin_(effective_pin_mode(config.pin.value_or(resolve_pin_mode()),
+                              numa_topology())),
+      counter_policy_(config.counter_policy) {}
+
+SelectionResult SelectionEngine::select(SelectionKernel kernel,
+                                        const RRRPool& pool,
+                                        const SelectionOptions& options,
+                                        const CounterArray* base) const {
+  // Pin the team first: the same OS threads serve every parallel region
+  // the kernel spawns, so one pinning pass places the whole phase (and
+  // the sharded replicas' first touch lands on the right domains).
+  pin_openmp_team(pin_);
+
+  if (kernel == SelectionKernel::kRipples) {
+    return ripples_select_t<NullMem>(pool, options);
+  }
+
+  const VertexId n = pool.num_vertices();
+  SelectionOptions sopt = options;
+  sopt.counters_prebuilt = base != nullptr;
+  if (shards_ <= 1) {
+    CounterArray working(n, counter_policy_);
+    if (base != nullptr) copy_base_flat(*base, working);
+    return efficient_select_t<NullMem>(pool, working, sopt);
+  }
+  ShardedCounterArray working(n, shards_);
+  if (base != nullptr) working.load_base(*base);
+  return efficient_select_t<NullMem, ShardedCounterArray>(pool, working,
+                                                          sopt);
+}
+
+QueryResult SelectionEngine::select(const SketchStore& store,
+                                    const QueryOptions& options) const {
+  return select_from_store(store, options);
+}
+
+QueryResult select_from_store(const SketchStore& store,
+                              const QueryOptions& options) {
+  const VertexId n = store.num_vertices();
+  const std::uint64_t num_sketches = store.num_sketches();
+  validate_store_query(store, options);
+
+  QueryResult result;
+  result.total_sketches = num_sketches;
+
+  const std::vector<std::uint8_t> mask = build_mask(store, options);
+
+  // Per-query scratch: the Algorithm 2 vertex-occurrence counters (seeded
+  // from the inverted-index degrees — the initial counter build is free)
+  // and the alive flags over sketches.
+  std::vector<std::uint64_t> counters(n);
+  for (VertexId v = 0; v < n; ++v) counters[v] = store.degree(v);
+  std::vector<std::uint8_t> alive(num_sketches, 1);
+
+  // Whitelisted queries arg-max over the (sorted) candidate list instead
+  // of all |V| vertices — a 3-candidate query should cost 3 counter
+  // reads per round, not |V|. Ascending order + strict '>' preserves the
+  // seedselect lowest-id tie-break.
+  std::vector<VertexId> scan_list;
+  if (!options.candidates.empty()) {
+    scan_list = options.candidates;
+    std::sort(scan_list.begin(), scan_list.end());
+  }
+
+  const std::size_t rounds =
+      std::min<std::size_t>(options.k, static_cast<std::size_t>(n));
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Serial arg-max with the seedselect tie-break (lowest id wins):
+    // queries parallelize across each other, not within themselves.
+    VertexId best_v = 0;
+    std::uint64_t best_c = 0;
+    auto consider = [&](VertexId v) {
+      if (!mask.empty() && mask[v] == 0) return;
+      if (counters[v] > best_c) {
+        best_c = counters[v];
+        best_v = v;
+      }
+    };
+    if (!scan_list.empty()) {
+      for (const VertexId v : scan_list) consider(v);
+    } else {
+      for (VertexId v = 0; v < n; ++v) consider(v);
+    }
+    if (best_c == 0) break;  // no eligible vertex covers an alive sketch
+
+    result.seeds.push_back(best_v);
+    result.marginal_coverage.push_back(best_c);
+    result.covered_sketches += best_c;
+
+    // Retire every alive sketch covering the pick, via the inverted
+    // index — O(covered sketches), never a scan over all θ.
+    for (const SketchId s : store.covering(best_v)) {
+      if (alive[s] == 0) continue;
+      alive[s] = 0;
+      for (const VertexId u : store.sketch(s)) --counters[u];
+    }
+  }
+
+  result.estimated_spread =
+      static_cast<double>(n) * result.coverage_fraction();
+  return result;
+}
+
+}  // namespace eimm

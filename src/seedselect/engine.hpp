@@ -1,0 +1,127 @@
+// SelectionEngine — the one owner of the Find_Most_Influential_Set
+// phase. Every production caller (core/imm's probing + final selection,
+// serve/QueryEngine's live kernel, dist/imm's simulated ranks, and the
+// cachesim traced harness) routes selection through this subsystem
+// instead of instantiating the select.hpp kernel templates directly.
+//
+// What the engine adds over the bare kernels:
+//   * thread placement — workers are pinned to NUMA domains via
+//     runtime/affinity before the kernel runs (EIMM_PIN; no-op on
+//     single-node hosts), so the counter replicas below actually stay
+//     domain-local;
+//   * counter layout — EIMM_COUNTER_SHARDS (default: the detected
+//     domain count) selects between the legacy flat CounterArray
+//     (shards == 1, the bit-exact reference path) and the
+//     ShardedCounterArray with one mbind(kLocal) replica per domain;
+//   * the prebuilt-counter (kernel fusion, Algorithm 3) hand-off: the
+//     engine copies a fused base into whichever working layout it
+//     chose, so core/imm no longer needs to know the layout exists.
+//
+// Contract: the engine's seed sequences are bit-identical to the legacy
+// kernels for every shard count and pin mode (same lowest-vertex-id
+// tie-break end to end) — enforced by tests/seedselect and the
+// ctest -L statcheck harness.
+//
+// Layering note: owning the serve-side store kernel here makes
+// seedselect reference serve (implementation-only: engine.cpp includes
+// the serve headers, the declarations below use forward declarations),
+// while serve calls back into this header — a deliberate cycle at the
+// module level, paid so ONE subsystem defines every selection tie-break.
+// The umbrella static library absorbs it; splitting the modules into
+// standalone libraries would require hoisting the store kernel's data
+// types into a lower layer first.
+#pragma once
+
+#include <optional>
+
+#include "numa/policy.hpp"
+#include "runtime/affinity.hpp"
+#include "runtime/atomic_counters.hpp"
+#include "seedselect/select.hpp"
+
+namespace eimm {
+
+class SketchStore;
+struct QueryOptions;
+struct QueryResult;
+
+/// Which greedy kernel to run (mirrors core/imm's Engine choice without
+/// depending on it — core maps one onto the other).
+enum class SelectionKernel { kEfficient, kRipples };
+
+struct SelectionEngineConfig {
+  /// Counter replicas for the efficient kernel: 0 resolves
+  /// EIMM_COUNTER_SHARDS then the detected NUMA domain count; 1 keeps
+  /// the legacy flat CounterArray (the statcheck reference path).
+  int counter_shards = 0;
+  /// Pin-mode override; unset resolves EIMM_PIN / set_pin_mode / auto.
+  std::optional<PinMode> pin;
+  /// Placement for the flat counter path (sharded replicas are always
+  /// kLocal). core/imm passes kInterleave when numa_aware.
+  MemPolicy counter_policy = MemPolicy::kDefault;
+};
+
+class SelectionEngine {
+ public:
+  explicit SelectionEngine(SelectionEngineConfig config = {});
+
+  /// Resolved counter-shard count this engine will select with.
+  [[nodiscard]] int counter_shards() const noexcept { return shards_; }
+  /// Effective pin mode (kAuto already resolved against the topology).
+  [[nodiscard]] PinMode pin_mode() const noexcept { return pin_; }
+
+  /// Greedy selection over a pool. `base`, when non-null, holds the
+  /// fused initial counters (kernel fusion, Algorithm 3); the engine
+  /// copies them into its working layout and skips the initial build.
+  /// The ripples kernel ignores `base`. Must be called outside any
+  /// OpenMP parallel region (the kernels spawn their own).
+  SelectionResult select(SelectionKernel kernel, const RRRPool& pool,
+                         const SelectionOptions& options,
+                         const CounterArray* base = nullptr) const;
+
+  /// The serve-side kernel (see select_from_store below); member form
+  /// for callers already holding an engine.
+  QueryResult select(const SketchStore& store,
+                     const QueryOptions& options) const;
+
+  /// Traced variant for the cachesim harness: flat counters only (the
+  /// cache model observes the paper's Algorithm 2 layout), no pinning
+  /// (the trace must be schedule-stable). `counters` is required for the
+  /// efficient kernel and ignored by ripples (which keeps thread-local
+  /// counters of its own).
+  template <typename Mem>
+  SelectionResult select_traced(SelectionKernel kernel, const RRRPool& pool,
+                                const SelectionOptions& options,
+                                CounterArray* counters = nullptr) const {
+    if (kernel == SelectionKernel::kEfficient) {
+      EIMM_CHECK(counters != nullptr,
+                 "efficient traced selection needs a counter array");
+      return efficient_select_t<Mem>(pool, *counters, options);
+    }
+    return ripples_select_t<Mem>(pool, options);
+  }
+
+ private:
+  int shards_ = 1;
+  PinMode pin_ = PinMode::kNone;
+  MemPolicy counter_policy_ = MemPolicy::kDefault;
+};
+
+/// Argument validation for one store query (shared by the engine's
+/// store kernel and QueryEngine::run_batch's serial pre-validation, so
+/// a bad batch fails fast and deterministically on its lowest invalid
+/// index). Throws CheckError on out-of-range ids / k.
+void validate_store_query(const SketchStore& store, const QueryOptions& query);
+
+/// The serve-side selection kernel: inverted-index greedy over a frozen
+/// SketchStore (top-k, whitelists, blacklists), serial per query so
+/// queries parallelize across each other. Same lowest-vertex-id
+/// tie-break as the pool kernels — an unconstrained query reproduces the
+/// efficient kernel's seed sequence exactly. A free function because it
+/// reads no engine state (counter layout and pinning are pool-phase
+/// concerns; batch serving pins its own team) — serve::run_query calls
+/// it per query without resolving shard/pin configuration each time.
+QueryResult select_from_store(const SketchStore& store,
+                              const QueryOptions& options);
+
+}  // namespace eimm

@@ -13,7 +13,12 @@
 // 64-bit atomic counter; the arg-max is a two-step parallel reduction;
 // after each pick the counter is either decremented over covered sets or
 // rebuilt from the survivors — whichever touches fewer vertices
-// (§IV-C "Adaptive Vertex Occurrence Counter Update").
+// (§IV-C "Adaptive Vertex Occurrence Counter Update"). The kernel is
+// additionally templated on the Counters layout: the flat CounterArray
+// (the paper's shared atomic array) or the NUMA ShardedCounterArray
+// (per-domain replicas, updates to the caller's home replica, summed
+// hierarchical arg-max). Workers resolve a CounterSlab view once per
+// parallel region; both layouts produce bit-identical seed sequences.
 //
 // Both kernels are templated on a Mem policy that observes every data
 // access (counters, set payloads); NullMem compiles to nothing, and
@@ -130,11 +135,12 @@ bool contains_traced(const RRRSet& set, VertexId v) {
   return set.contains(v);
 }
 
-/// Arg-max over the counter array. The production path uses the two-step
-/// parallel reduction; the traced path scans serially so every counter
-/// read reaches the cache model.
-template <typename Mem>
-ArgMaxResult argmax_counters(const CounterArray& counters,
+/// Arg-max over either counter layout. The production path uses the
+/// layout's parallel reduction (two-step flat, hierarchical sharded);
+/// the traced path scans serially so every counter read reaches the
+/// cache model.
+template <typename Mem, typename Counters>
+ArgMaxResult argmax_counters(const Counters& counters,
                              const std::uint8_t* eligible = nullptr) {
   if constexpr (!Mem::kTracing) {
     return parallel_argmax(counters, eligible);
@@ -159,8 +165,8 @@ ArgMaxResult argmax_counters(const CounterArray& counters,
 // EfficientIMM kernel (Algorithm 2)
 // ---------------------------------------------------------------------------
 
-template <typename Mem = NullMem>
-SelectionResult efficient_select_t(const RRRPool& pool, CounterArray& counters,
+template <typename Mem = NullMem, typename Counters = CounterArray>
+SelectionResult efficient_select_t(const RRRPool& pool, Counters& counters,
                                    const SelectionOptions& options) {
   const std::size_t num_sets = pool.size();
   const VertexId n = pool.num_vertices();
@@ -182,30 +188,36 @@ SelectionResult efficient_select_t(const RRRPool& pool, CounterArray& counters,
   const auto workers = static_cast<std::size_t>(omp_get_max_threads());
 
   // Initial counter build (skipped under kernel fusion): partition the
-  // RRR sets, broadcast each member into the shared atomic counter.
+  // RRR sets, broadcast each member into the worker's counter slab (the
+  // one shared array, or its home NUMA replica under the sharded layout).
   if (!options.counters_prebuilt) {
     if (options.dynamic_balance) {
       JobPool jobs(num_sets, options.batch_size, workers);
 #pragma omp parallel
       {
+        CounterSlab slab = counters.local();
         const auto wid = static_cast<std::size_t>(omp_get_thread_num());
         for (JobBatch batch = jobs.next(wid); !batch.empty();
              batch = jobs.next(wid)) {
           for (std::size_t i = batch.begin; i < batch.end; ++i) {
             detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
               Mem::touch(&counters, sizeof(std::uint64_t));
-              counters.increment(v);
+              slab.increment(v);
             });
           }
         }
       }
     } else {
-#pragma omp parallel for schedule(static)
-      for (std::size_t i = 0; i < num_sets; ++i) {
-        detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
-          Mem::touch(&counters, sizeof(std::uint64_t));
-          counters.increment(v);
-        });
+#pragma omp parallel
+      {
+        CounterSlab slab = counters.local();
+#pragma omp for schedule(static)
+        for (std::size_t i = 0; i < num_sets; ++i) {
+          detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
+            Mem::touch(&counters, sizeof(std::uint64_t));
+            slab.increment(v);
+          });
+        }
       }
     }
   }
@@ -236,29 +248,42 @@ SelectionResult efficient_select_t(const RRRPool& pool, CounterArray& counters,
       ++result.rebuild_rounds;
       // Rebuild: zero the counter, re-broadcast only the survivors.
       counters.reset();
-#pragma omp parallel for schedule(dynamic, 16)
-      for (std::size_t i = 0; i < num_sets; ++i) {
-        if (!alive[i]) continue;
-        if (detail::contains_traced<Mem>(pool[i], seed)) {
-          alive[i] = 0;
-          continue;
+#pragma omp parallel
+      {
+        CounterSlab slab = counters.local();
+#pragma omp for schedule(dynamic, 16)
+        for (std::size_t i = 0; i < num_sets; ++i) {
+          if (!alive[i]) continue;
+          if (detail::contains_traced<Mem>(pool[i], seed)) {
+            alive[i] = 0;
+            continue;
+          }
+          detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
+            Mem::touch(&counters, sizeof(std::uint64_t));
+            slab.increment(v);
+          });
         }
-        detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
-          Mem::touch(&counters, sizeof(std::uint64_t));
-          counters.increment(v);
-        });
       }
     } else {
-      // Decrement: remove each covered set's contribution.
-#pragma omp parallel for schedule(dynamic, 16)
-      for (std::size_t i = 0; i < num_sets; ++i) {
-        if (!alive[i]) continue;
-        if (!detail::contains_traced<Mem>(pool[i], seed)) continue;
-        alive[i] = 0;
-        detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
-          Mem::touch(&counters, sizeof(std::uint64_t));
-          counters.decrement(v);
-        });
+      // Decrement: remove each covered set's contribution. Under the
+      // sharded layout the decrement lands on the DECREMENTING thread's
+      // home replica — possibly not the one the matching increment hit;
+      // the summed view stays exact either way (modular arithmetic, see
+      // atomic_counters.hpp), which is what makes the §IV-C adaptive
+      // update shard-layout-agnostic.
+#pragma omp parallel
+      {
+        CounterSlab slab = counters.local();
+#pragma omp for schedule(dynamic, 16)
+        for (std::size_t i = 0; i < num_sets; ++i) {
+          if (!alive[i]) continue;
+          if (!detail::contains_traced<Mem>(pool[i], seed)) continue;
+          alive[i] = 0;
+          detail::for_each_traced<Mem>(pool[i], [&](VertexId v) {
+            Mem::touch(&counters, sizeof(std::uint64_t));
+            slab.decrement(v);
+          });
+        }
       }
     }
   }

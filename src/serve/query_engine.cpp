@@ -6,113 +6,20 @@
 #include <exception>
 #include <numeric>
 
+#include "runtime/affinity.hpp"
 #include "runtime/thread_info.hpp"
 #include "runtime/work_queue.hpp"
+#include "seedselect/engine.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
-namespace {
-
-/// All argument checks for one query, shared by run_query and
-/// run_batch's serial pre-validation (so a bad batch fails fast and
-/// deterministically on its lowest invalid index).
-void validate_query(const SketchStore& store, const QueryOptions& q) {
-  EIMM_CHECK(q.k > 0, "query k must be positive");
-  EIMM_CHECK(q.k <= store.k_max(),
-             "query k exceeds the store's build-time cap");
-  const VertexId n = store.num_vertices();
-  for (const VertexId v : q.candidates) {
-    EIMM_CHECK(v < n, "candidate vertex out of range");
-  }
-  for (const VertexId v : q.forbidden) {
-    EIMM_CHECK(v < n, "forbidden vertex out of range");
-  }
-}
-
-/// Compiles the whitelist/blacklist into a per-vertex mask; empty when
-/// the query is unconstrained (every vertex eligible). Ids must already
-/// be validated.
-std::vector<std::uint8_t> build_mask(const SketchStore& store,
-                                     const QueryOptions& q) {
-  if (!q.constrained()) return {};
-  const VertexId n = store.num_vertices();
-  std::vector<std::uint8_t> mask;
-  if (q.candidates.empty()) {
-    mask.assign(n, 1);
-  } else {
-    mask.assign(n, 0);
-    for (const VertexId v : q.candidates) mask[v] = 1;
-  }
-  for (const VertexId v : q.forbidden) mask[v] = 0;
-  return mask;
-}
-
-}  // namespace
 
 QueryResult run_query(const SketchStore& store, const QueryOptions& options) {
-  const VertexId n = store.num_vertices();
-  const std::uint64_t num_sketches = store.num_sketches();
-  validate_query(store, options);
-
-  QueryResult result;
-  result.total_sketches = num_sketches;
-
-  const std::vector<std::uint8_t> mask = build_mask(store, options);
-
-  // Per-query scratch: the Algorithm 2 vertex-occurrence counters (seeded
-  // from the inverted-index degrees — the initial counter build is free)
-  // and the alive flags over sketches.
-  std::vector<std::uint64_t> counters(n);
-  for (VertexId v = 0; v < n; ++v) counters[v] = store.degree(v);
-  std::vector<std::uint8_t> alive(num_sketches, 1);
-
-  // Whitelisted queries arg-max over the (sorted) candidate list instead
-  // of all |V| vertices — a 3-candidate query should cost 3 counter
-  // reads per round, not |V|. Ascending order + strict '>' preserves the
-  // seedselect lowest-id tie-break.
-  std::vector<VertexId> scan_list;
-  if (!options.candidates.empty()) {
-    scan_list = options.candidates;
-    std::sort(scan_list.begin(), scan_list.end());
-  }
-
-  const std::size_t rounds =
-      std::min<std::size_t>(options.k, static_cast<std::size_t>(n));
-  for (std::size_t round = 0; round < rounds; ++round) {
-    // Serial arg-max with the seedselect tie-break (lowest id wins):
-    // queries parallelize across each other, not within themselves.
-    VertexId best_v = 0;
-    std::uint64_t best_c = 0;
-    auto consider = [&](VertexId v) {
-      if (!mask.empty() && mask[v] == 0) return;
-      if (counters[v] > best_c) {
-        best_c = counters[v];
-        best_v = v;
-      }
-    };
-    if (!scan_list.empty()) {
-      for (const VertexId v : scan_list) consider(v);
-    } else {
-      for (VertexId v = 0; v < n; ++v) consider(v);
-    }
-    if (best_c == 0) break;  // no eligible vertex covers an alive sketch
-
-    result.seeds.push_back(best_v);
-    result.marginal_coverage.push_back(best_c);
-    result.covered_sketches += best_c;
-
-    // Retire every alive sketch covering the pick, via the inverted
-    // index — O(covered sketches), never a scan over all θ.
-    for (const SketchId s : store.covering(best_v)) {
-      if (alive[s] == 0) continue;
-      alive[s] = 0;
-      for (const VertexId u : store.sketch(s)) --counters[u];
-    }
-  }
-
-  result.estimated_spread =
-      static_cast<double>(n) * result.coverage_fraction();
-  return result;
+  // The live greedy kernel is owned by the SelectionEngine subsystem —
+  // one place defines the tie-breaks for pool AND store selection, so
+  // the serve path cannot drift from the seedselect kernels it is
+  // cross-validated against.
+  return select_from_store(store, options);
 }
 
 QueryResult QueryEngine::top_k(std::size_t k) const {
@@ -167,10 +74,18 @@ std::vector<QueryResult> QueryEngine::run_batch(
 
   // Serial pre-validation: a malformed batch fails immediately on its
   // lowest invalid index, before any kernel work is spent.
-  for (const QueryOptions& q : queries) validate_query(*store_, q);
+  for (const QueryOptions& q : queries) validate_store_query(*store_, q);
 
   ThreadCountScope thread_scope(threads);
   const auto workers = static_cast<std::size_t>(omp_get_max_threads());
+  // Pin the serving team the same way the selection engine pins its
+  // workers (EIMM_PIN; no-op on single-node hosts): each query's scratch
+  // counters then stay on the answering thread's own domain. Unlike the
+  // compute phases, run_batch is called from arbitrary application
+  // threads, so the CALLER's mask is restored on exit — a batch must
+  // not permanently pin the thread that submitted it.
+  ScopedAffinityRestore caller_mask;
+  pin_openmp_team();
   // Batch size 1: queries are coarse-grained jobs, and constrained ones
   // cost far more than cached top-k reads — stealing evens that out.
   JobPool jobs(queries.size(), 1, workers);

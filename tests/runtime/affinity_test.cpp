@@ -1,0 +1,221 @@
+// runtime/affinity coverage: EIMM_PIN parsing (including the negative
+// paths), topology fallback on single-node/CI hosts, plan construction
+// against synthetic multi-domain topologies, and idempotent re-pinning.
+#include "runtime/affinity.hpp"
+
+#include <gtest/gtest.h>
+#include <omp.h>
+#include <sched.h>
+
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+using testing::ScopedEnv;
+
+/// The paper's testbed shape in miniature: 2 domains, 2 cpus each.
+NumaTopology two_domain_topology() {
+  NumaTopology topo;
+  topo.nodes = {0, 1};
+  topo.cpu_to_node = {0, 0, 1, 1};
+  return topo;
+}
+
+NumaTopology single_domain_topology() {
+  NumaTopology topo;
+  topo.nodes = {0};
+  topo.cpu_to_node = {0, 0};
+  return topo;
+}
+
+TEST(ParsePinMode, AcceptsEveryModeCaseInsensitively) {
+  bool ok = false;
+  EXPECT_EQ(parse_pin_mode("none", PinMode::kAuto, &ok), PinMode::kNone);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_pin_mode("AUTO", PinMode::kNone, &ok), PinMode::kAuto);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_pin_mode("Compact", PinMode::kAuto, &ok),
+            PinMode::kCompact);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(parse_pin_mode("sPrEaD", PinMode::kAuto, &ok), PinMode::kSpread);
+  EXPECT_TRUE(ok);
+}
+
+TEST(ParsePinMode, RejectsGarbageToFallback) {
+  bool ok = true;
+  EXPECT_EQ(parse_pin_mode("scattered", PinMode::kCompact, &ok),
+            PinMode::kCompact);
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_EQ(parse_pin_mode("", PinMode::kNone, &ok), PinMode::kNone);
+  EXPECT_FALSE(ok);
+  ok = true;
+  EXPECT_EQ(parse_pin_mode("1", PinMode::kAuto, &ok), PinMode::kAuto);
+  EXPECT_FALSE(ok);
+  // Null ok pointer must be tolerated (env resolution passes one, CLIs
+  // may not).
+  EXPECT_EQ(parse_pin_mode("bogus", PinMode::kSpread), PinMode::kSpread);
+}
+
+TEST(ResolvePinMode, EnvironmentDrivesResolution) {
+  reset_pin_mode();
+  {
+    ScopedEnv env("EIMM_PIN", "spread");
+    EXPECT_EQ(resolve_pin_mode(), PinMode::kSpread);
+  }
+  {
+    ScopedEnv env("EIMM_PIN", "none");
+    EXPECT_EQ(resolve_pin_mode(), PinMode::kNone);
+  }
+  {
+    // Negative path: unparseable EIMM_PIN falls back to auto (and warns)
+    // instead of aborting the run.
+    ScopedEnv env("EIMM_PIN", "sideways");
+    EXPECT_EQ(resolve_pin_mode(), PinMode::kAuto);
+  }
+  {
+    ScopedEnv env("EIMM_PIN", nullptr);
+    EXPECT_EQ(resolve_pin_mode(), PinMode::kAuto);
+  }
+}
+
+TEST(ResolvePinMode, ExplicitOverrideWinsOverEnvironment) {
+  ScopedEnv env("EIMM_PIN", "spread");
+  set_pin_mode(PinMode::kCompact);
+  EXPECT_EQ(resolve_pin_mode(), PinMode::kCompact);
+  reset_pin_mode();
+  EXPECT_EQ(resolve_pin_mode(), PinMode::kSpread);
+}
+
+TEST(EffectivePinMode, AutoIsCompactOnNumaAndNoneOnFlatHosts) {
+  EXPECT_EQ(effective_pin_mode(PinMode::kAuto, two_domain_topology()),
+            PinMode::kCompact);
+  EXPECT_EQ(effective_pin_mode(PinMode::kAuto, single_domain_topology()),
+            PinMode::kNone);
+  // Explicit modes pass through untouched, even on flat hosts.
+  EXPECT_EQ(effective_pin_mode(PinMode::kSpread, single_domain_topology()),
+            PinMode::kSpread);
+  EXPECT_EQ(effective_pin_mode(PinMode::kNone, two_domain_topology()),
+            PinMode::kNone);
+}
+
+TEST(MakePinPlan, CompactFillsDomainsInOrder) {
+  const PinPlan plan =
+      make_pin_plan(PinMode::kCompact, 4, two_domain_topology());
+  ASSERT_TRUE(plan.active());
+  EXPECT_EQ(plan.mode, PinMode::kCompact);
+  EXPECT_EQ(plan.worker_cpu, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan.worker_domain, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(MakePinPlan, SpreadRoundRobinsDomains) {
+  const PinPlan plan =
+      make_pin_plan(PinMode::kSpread, 4, two_domain_topology());
+  ASSERT_TRUE(plan.active());
+  EXPECT_EQ(plan.worker_cpu, (std::vector<int>{0, 2, 1, 3}));
+  EXPECT_EQ(plan.worker_domain, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(MakePinPlan, OversubscriptionWrapsModuloCpus) {
+  const PinPlan plan =
+      make_pin_plan(PinMode::kCompact, 6, two_domain_topology());
+  ASSERT_TRUE(plan.active());
+  EXPECT_EQ(plan.worker_cpu, (std::vector<int>{0, 1, 2, 3, 0, 1}));
+}
+
+TEST(MakePinPlan, AutoOnSingleDomainIsInactive) {
+  // The CI/laptop fallback: kAuto on a flat host must produce an
+  // inactive plan so every pinning call degenerates to a no-op.
+  const PinPlan plan =
+      make_pin_plan(PinMode::kAuto, 4, single_domain_topology());
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.mode, PinMode::kNone);
+}
+
+TEST(MakePinPlan, NoneAndZeroWorkersAreInactive) {
+  EXPECT_FALSE(
+      make_pin_plan(PinMode::kNone, 8, two_domain_topology()).active());
+  EXPECT_FALSE(
+      make_pin_plan(PinMode::kCompact, 0, two_domain_topology()).active());
+  NumaTopology empty;
+  empty.nodes = {0};
+  EXPECT_FALSE(make_pin_plan(PinMode::kCompact, 4, empty).active());
+}
+
+TEST(MakePinPlan, SkipsCpusOnOfflineNodes) {
+  NumaTopology topo;
+  topo.nodes = {0, 2};            // sparse node ids, node 1 offline
+  topo.cpu_to_node = {0, 1, 2, 2};  // cpu 1 maps to the offline node
+  const PinPlan plan = make_pin_plan(PinMode::kCompact, 3, topo);
+  ASSERT_TRUE(plan.active());
+  EXPECT_EQ(plan.worker_cpu, (std::vector<int>{0, 2, 3}));
+  EXPECT_EQ(plan.worker_domain, (std::vector<int>{0, 2, 2}));
+}
+
+TEST(PinCurrentThread, RejectsNegativeCpu) {
+  EXPECT_FALSE(pin_current_thread(-1));
+}
+
+TEST(SetAffinityCpus, RejectsEmptyAndInvalidLists) {
+  EXPECT_FALSE(set_affinity_cpus({}));
+  EXPECT_FALSE(set_affinity_cpus({-1}));
+}
+
+TEST(ScopedAffinityRestore, RestoresTheCallerMaskAfterPinning) {
+  const std::vector<int> original = current_affinity_cpus();
+  ASSERT_FALSE(original.empty()) << "affinity read-back unsupported";
+  {
+    ScopedAffinityRestore guard;
+    ASSERT_TRUE(pin_current_thread(original.front()));
+    EXPECT_EQ(current_affinity_cpus(), std::vector<int>{original.front()});
+  }
+  // The guard must widen the mask back to what the caller had.
+  EXPECT_EQ(current_affinity_cpus(), original);
+}
+
+TEST(PinCurrentThread, RepinningIsIdempotent) {
+  const std::vector<int> original = current_affinity_cpus();
+  ASSERT_FALSE(original.empty()) << "affinity read-back unsupported";
+  // Pin to the first cpu we are already allowed on.
+  const int cpu = original.front();
+  ASSERT_TRUE(pin_current_thread(cpu));
+  const std::vector<int> pinned = current_affinity_cpus();
+  EXPECT_EQ(pinned, std::vector<int>{cpu});
+  // Re-pinning to the same cpu succeeds and changes nothing.
+  ASSERT_TRUE(pin_current_thread(cpu));
+  EXPECT_EQ(current_affinity_cpus(), pinned);
+  EXPECT_EQ(sched_getcpu(), cpu);
+}
+
+TEST(ApplyPin, InactivePlanIsANoOp) {
+  PinPlan plan;  // inactive
+  EXPECT_EQ(apply_pin(plan, 0), -1);
+  EXPECT_EQ(apply_pin(plan, 7), -1);
+}
+
+TEST(PinOpenmpTeam, NoneModeReturnsEmptyMap) {
+  EXPECT_TRUE(pin_openmp_team(PinMode::kNone).empty());
+}
+
+TEST(PinOpenmpTeam, ExplicitCompactPinsEveryTeamThread) {
+  // Explicit compact is active even on a single-node host — the team
+  // lands on the host's cpus in order, wrapping when oversubscribed.
+  const auto map = pin_openmp_team(PinMode::kCompact);
+  ASSERT_FALSE(map.empty());
+  for (const PinnedThread& t : map) {
+    EXPECT_GE(t.thread, 0);
+    EXPECT_GE(t.cpu, 0);
+  }
+  // Idempotence: pinning the already-pinned team reports the same map.
+  const auto again = pin_openmp_team(PinMode::kCompact);
+  ASSERT_EQ(again.size(), map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_EQ(again[i].thread, map[i].thread);
+    EXPECT_EQ(again[i].cpu, map[i].cpu);
+    EXPECT_EQ(again[i].domain, map[i].domain);
+  }
+}
+
+}  // namespace
+}  // namespace eimm

@@ -3,8 +3,17 @@
 #include <gtest/gtest.h>
 #include <omp.h>
 
+#include <cstdlib>
+#include <vector>
+
+#include "numa/topology.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
 namespace eimm {
 namespace {
+
+using testing::ScopedEnv;
 
 TEST(CounterArray, StartsZeroed) {
   CounterArray c(100);
@@ -75,6 +84,164 @@ TEST(CounterArray, EmptyArray) {
   CounterArray c;
   EXPECT_EQ(c.size(), 0u);
   EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(CounterArray, LocalSlabAliasesTheArray) {
+  CounterArray c(8);
+  CounterSlab slab = c.local();
+  slab.increment(3);
+  slab.increment(3);
+  slab.decrement(3);
+  slab.store(5, 42);
+  EXPECT_EQ(c.get(3), 1u);
+  EXPECT_EQ(c.get(5), 42u);
+}
+
+TEST(ShardedCounterArray, StartsZeroedAcrossAllReplicas) {
+  ShardedCounterArray c(64, 4);
+  EXPECT_EQ(c.size(), 64u);
+  EXPECT_EQ(c.shards(), 4);
+  EXPECT_EQ(c.total(), 0u);
+  for (int s = 0; s < c.shards(); ++s) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c.replica_get(s, i), 0u);
+    }
+  }
+}
+
+TEST(ShardedCounterArray, ShardCountClampsToAtLeastOne) {
+  ShardedCounterArray c(4, 0);
+  EXPECT_EQ(c.shards(), 1);
+  c.increment(2);
+  EXPECT_EQ(c.get(2), 1u);
+}
+
+TEST(ShardedCounterArray, GetSumsAcrossReplicas) {
+  ShardedCounterArray c(8, 3);
+  c.local(0).increment(5);
+  c.local(1).increment(5);
+  c.local(2).increment(5);
+  c.local(1).increment(5);
+  EXPECT_EQ(c.get(5), 4u);
+  EXPECT_EQ(c.replica_get(1, 5), 2u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(ShardedCounterArray, CrossReplicaDecrementSumsExactly) {
+  // A decrement may land on a different replica than the increment it
+  // cancels (the thread homes moved); the per-replica value wraps but
+  // the modular sum stays exact — the property the §IV-C adaptive
+  // update relies on.
+  ShardedCounterArray c(4, 2);
+  c.local(0).increment(1);
+  c.local(1).decrement(1);
+  EXPECT_EQ(c.get(1), 0u);
+  c.local(1).decrement(1);
+  c.local(0).increment(1);
+  c.local(0).increment(1);
+  EXPECT_EQ(c.get(1), 1u);
+}
+
+TEST(ShardedCounterArray, HomeShardIsAValidReplica) {
+  ShardedCounterArray c(16, 3);
+  const int home = c.home_shard();
+  EXPECT_GE(home, 0);
+  EXPECT_LT(home, c.shards());
+#pragma omp parallel
+  {
+    const int h = c.home_shard();
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, c.shards());
+  }
+}
+
+TEST(ShardedCounterArray, SnapshotMatchesFlatUnderConcurrentMixedUpdates) {
+  // The core equivalence: replay one random increment/decrement stream
+  // into both layouts from concurrent threads; the summed snapshots must
+  // agree slot for slot.
+  constexpr std::size_t kCounters = 256;
+  constexpr std::size_t kOps = 1 << 15;
+  std::vector<std::uint32_t> targets(kOps);
+  std::vector<std::uint8_t> is_increment(kOps);
+  Xoshiro256 rng(99);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    targets[i] = static_cast<std::uint32_t>(rng.next_bounded(kCounters));
+    // Bias toward increments so sums stay positive overall.
+    is_increment[i] = rng.next_bounded(4) != 0 ? 1 : 0;
+  }
+
+  CounterArray flat(kCounters);
+  ShardedCounterArray sharded(kCounters, 4);
+#pragma omp parallel
+  {
+    CounterSlab flat_slab = flat.local();
+    CounterSlab sharded_slab = sharded.local();
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < kOps; ++i) {
+      if (is_increment[i] != 0) {
+        flat_slab.increment(targets[i]);
+        sharded_slab.increment(targets[i]);
+      } else {
+        flat_slab.decrement(targets[i]);
+        sharded_slab.decrement(targets[i]);
+      }
+    }
+  }
+  EXPECT_EQ(sharded.snapshot(), flat.snapshot());
+}
+
+TEST(ShardedCounterArray, ResetZeroesEveryReplica) {
+  ShardedCounterArray c(32, 3);
+  for (int s = 0; s < c.shards(); ++s) {
+    for (std::size_t i = 0; i < c.size(); ++i) c.local(s).increment(i);
+  }
+  EXPECT_GT(c.total(), 0u);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+  for (int s = 0; s < c.shards(); ++s) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_EQ(c.replica_get(s, i), 0u);
+    }
+  }
+}
+
+TEST(ShardedCounterArray, LoadBaseReproducesTheFlatValues) {
+  CounterArray base(100);
+  for (std::size_t i = 0; i < base.size(); ++i) base.set(i, i * 7 + 1);
+  ShardedCounterArray sharded(100, 4);
+  sharded.load_base(base);
+  EXPECT_EQ(sharded.snapshot(), base.snapshot());
+}
+
+TEST(ShardedCounterArray, LoadBaseRejectsUndersizedBase) {
+  CounterArray base(10);
+  ShardedCounterArray sharded(20, 2);
+  EXPECT_THROW(sharded.load_base(base), CheckError);
+}
+
+TEST(ShardedCounterArray, SingleShardBehavesLikeFlat) {
+  ShardedCounterArray c(16, 1);
+  CounterArray flat(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    c.increment(i % 5);
+    flat.increment(i % 5);
+  }
+  EXPECT_EQ(c.snapshot(), flat.snapshot());
+  EXPECT_EQ(c.home_shard(), 0);
+}
+
+TEST(ResolveCounterShards, ExplicitRequestWins) {
+  ScopedEnv env("EIMM_COUNTER_SHARDS", "7");
+  EXPECT_EQ(resolve_counter_shards(3), 3);
+  EXPECT_EQ(resolve_counter_shards(0), 7);
+}
+
+TEST(ResolveCounterShards, UnsetEnvironmentFallsBackToTopology) {
+  const char* previous = std::getenv("EIMM_COUNTER_SHARDS");
+  if (previous == nullptr) {
+    EXPECT_EQ(resolve_counter_shards(0), numa_topology().num_nodes());
+  }
+  EXPECT_GE(resolve_counter_shards(0), 1);
 }
 
 }  // namespace

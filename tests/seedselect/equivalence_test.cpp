@@ -45,6 +45,16 @@ TEST_P(KernelEquivalence, SameSeedsSameCoverage) {
   EXPECT_EQ(efficient.marginal_coverage, baseline.marginal_coverage);
   EXPECT_EQ(efficient.covered_sets, baseline.covered_sets);
   EXPECT_EQ(efficient.total_sets, baseline.total_sets);
+
+  // Third corner of the cross-validation: the NUMA-sharded counter
+  // layout must agree with BOTH kernels on the same pool.
+  ShardedCounterArray sharded(pool.num_vertices(), 4);
+  const auto sharded_result =
+      efficient_select_t<NullMem, ShardedCounterArray>(pool, sharded,
+                                                       options);
+  EXPECT_EQ(sharded_result.seeds, baseline.seeds);
+  EXPECT_EQ(sharded_result.marginal_coverage, baseline.marginal_coverage);
+  EXPECT_EQ(sharded_result.covered_sets, baseline.covered_sets);
 }
 
 std::string case_name(const ::testing::TestParamInfo<EquivalenceCase>& info) {

@@ -126,6 +126,81 @@ TEST(SelectionProperties, LargerKNeverCoversLess) {
   }
 }
 
+class CounterShardSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterShardSweep, SelectionInvariantUnderCounterSharding) {
+  // The sharded counter layout moves WHERE counter updates land, never
+  // what the greedy picks: every shard count must reproduce the flat
+  // kernel's seeds, marginals, and coverage bit for bit.
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 10;
+  CounterArray flat(pool.num_vertices());
+  const auto reference = efficient_select(pool, flat, options);
+
+  ShardedCounterArray sharded(pool.num_vertices(), GetParam());
+  const auto variant =
+      efficient_select_t<NullMem, ShardedCounterArray>(pool, sharded,
+                                                       options);
+  EXPECT_EQ(variant.seeds, reference.seeds);
+  EXPECT_EQ(variant.marginal_coverage, reference.marginal_coverage);
+  EXPECT_EQ(variant.covered_sets, reference.covered_sets);
+  EXPECT_EQ(variant.rebuild_rounds, reference.rebuild_rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CounterShardSweep,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(SelectionProperties, ShardedCountersHonorEligibilityMask) {
+  // Eligibility-masked arg-max over the sharded layout: same constrained
+  // seed set as the flat reference, and the masked vertices never appear.
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 8;
+  std::vector<std::uint8_t> eligible(pool.num_vertices(), 1);
+  // Mask out the unconstrained winners so the mask provably bites.
+  {
+    CounterArray probe(pool.num_vertices());
+    const auto unconstrained = efficient_select(pool, probe, options);
+    ASSERT_FALSE(unconstrained.seeds.empty());
+    eligible[unconstrained.seeds.front()] = 0;
+  }
+  options.eligible = &eligible;
+
+  CounterArray flat(pool.num_vertices());
+  const auto reference = efficient_select(pool, flat, options);
+  for (const int shards : {2, 4}) {
+    ShardedCounterArray sharded(pool.num_vertices(), shards);
+    const auto variant =
+        efficient_select_t<NullMem, ShardedCounterArray>(pool, sharded,
+                                                         options);
+    EXPECT_EQ(variant.seeds, reference.seeds) << shards << " shards";
+    EXPECT_EQ(variant.covered_sets, reference.covered_sets)
+        << shards << " shards";
+    for (const VertexId seed : variant.seeds) {
+      EXPECT_EQ(eligible[seed], 1) << "masked vertex selected";
+    }
+  }
+}
+
+TEST(SelectionProperties, ShardedNonAdaptiveDecrementOnlyPathMatches) {
+  // The decrement-only ablation (adaptive_update = false) exercises the
+  // cross-replica decrement wrap-around on every round.
+  const RRRPool pool = pool_with_threshold(kDefaultBitmapThreshold);
+  SelectionOptions options;
+  options.k = 10;
+  options.adaptive_update = false;
+  CounterArray flat(pool.num_vertices());
+  const auto reference = efficient_select(pool, flat, options);
+  ShardedCounterArray sharded(pool.num_vertices(), 3);
+  const auto variant =
+      efficient_select_t<NullMem, ShardedCounterArray>(pool, sharded,
+                                                       options);
+  EXPECT_EQ(variant.seeds, reference.seeds);
+  EXPECT_EQ(variant.covered_sets, reference.covered_sets);
+  EXPECT_EQ(variant.rebuild_rounds, 0u);
+}
+
 TEST(SelectionProperties, GreedyPrefixProperty) {
   // Greedy is prefix-stable: the first j seeds of a k-seed run equal the
   // full output of a j-seed run.

@@ -5,7 +5,10 @@
 //     legacy single-path generation loop and bit-matches the serial
 //     per-index reference sampler;
 //   * every shard count produces the same image — shard count moves
-//     placement and scheduling, never content.
+//     placement and scheduling, never content;
+//   * the selection-phase analogues: every EIMM_COUNTER_SHARDS value and
+//     every EIMM_PIN mode produce the seed sequence of the flat,
+//     unpinned reference path (counter_shards == 1, pin == none).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -13,6 +16,7 @@
 #include <string>
 
 #include "rrr/sharded.hpp"
+#include "runtime/affinity.hpp"
 #include "statcheck.hpp"
 #include "test_util.hpp"
 
@@ -22,28 +26,7 @@ namespace {
 using statcheck::statcheck_imm_options;
 using statcheck::statcheck_workload;
 
-/// Scoped environment override that restores the previous value.
-class ScopedEnv {
- public:
-  ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* previous = std::getenv(name);
-    if (previous != nullptr) previous_ = previous;
-    ::setenv(name, value, 1);
-  }
-  ~ScopedEnv() {
-    if (previous_.has_value()) {
-      ::setenv(name_.c_str(), previous_->c_str(), 1);
-    } else {
-      ::unsetenv(name_.c_str());
-    }
-  }
-  ScopedEnv(const ScopedEnv&) = delete;
-  ScopedEnv& operator=(const ScopedEnv&) = delete;
-
- private:
-  std::string name_;
-  std::optional<std::string> previous_;
-};
+using testing::ScopedEnv;
 
 void expect_flat_equal(const FlatPool& a, const FlatPool& b) {
   EXPECT_EQ(a.num_vertices, b.num_vertices);
@@ -122,6 +105,73 @@ TEST(ShardedDeterminism, ShardedSeedsIdenticalToUnsharded) {
   EXPECT_EQ(unsharded.seeds, sharded.seeds);
   EXPECT_EQ(unsharded.num_rrr_sets, sharded.num_rrr_sets);
   EXPECT_DOUBLE_EQ(unsharded.coverage_fraction, sharded.coverage_fraction);
+}
+
+TEST(CounterShardDeterminism, EveryCounterShardCountProducesTheSameSeeds) {
+  // The selection-phase analogue of the sampling sweep above: counter
+  // sharding moves counter placement, never greedy outcomes. IC and LT,
+  // with EIMM_COUNTER_SHARDS=1 (the flat array) as the reference.
+  for (const DiffusionModel model :
+       {DiffusionModel::kIndependentCascade,
+        DiffusionModel::kLinearThreshold}) {
+    const DiffusionGraph g = statcheck_workload(
+        model == DiffusionModel::kIndependentCascade ? "com-Amazon"
+                                                     : "com-DBLP",
+        model, 0.03);
+    auto opt = statcheck_imm_options(model, 6);
+    opt.counter_shards = 1;
+    const ImmResult reference = run_imm(g, opt, Engine::kEfficient);
+    EXPECT_EQ(reference.counter_shards_used, 1);
+
+    for (const int shards : {2, 3, 4, 8}) {
+      opt.counter_shards = shards;
+      const ImmResult sharded = run_imm(g, opt, Engine::kEfficient);
+      EXPECT_EQ(sharded.counter_shards_used, shards);
+      EXPECT_EQ(sharded.seeds, reference.seeds)
+          << to_string(model) << " shards=" << shards;
+      EXPECT_DOUBLE_EQ(sharded.coverage_fraction,
+                       reference.coverage_fraction)
+          << to_string(model) << " shards=" << shards;
+    }
+  }
+}
+
+TEST(CounterShardDeterminism, EnvCounterShardsMatchesExplicit) {
+  const DiffusionGraph g = statcheck_workload(
+      "com-YouTube", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 4);
+  opt.counter_shards = 3;
+  const ImmResult explicit_three = run_imm(g, opt, Engine::kEfficient);
+
+  ScopedEnv env("EIMM_COUNTER_SHARDS", "3");
+  opt.counter_shards = 0;  // defer to the environment
+  const ImmResult via_env = run_imm(g, opt, Engine::kEfficient);
+  EXPECT_EQ(via_env.counter_shards_used, 3);
+  EXPECT_EQ(via_env.seeds, explicit_three.seeds);
+}
+
+TEST(PinModeDeterminism, EveryPinModeProducesTheSameSeeds) {
+  // EIMM_PIN moves threads, never results: sweep every mode (compact and
+  // spread stay active even on single-node hosts) against the unpinned
+  // reference, with counter sharding on so the pinned path drives the
+  // sharded layout's home-replica selection.
+  const DiffusionGraph g = statcheck_workload(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.03);
+  auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
+  opt.counter_shards = 2;
+
+  set_pin_mode(PinMode::kNone);
+  const ImmResult reference = run_imm(g, opt, Engine::kEfficient);
+  for (const PinMode pin :
+       {PinMode::kAuto, PinMode::kCompact, PinMode::kSpread}) {
+    set_pin_mode(pin);
+    const ImmResult pinned = run_imm(g, opt, Engine::kEfficient);
+    EXPECT_EQ(pinned.seeds, reference.seeds)
+        << "pin=" << to_string(pin);
+    EXPECT_DOUBLE_EQ(pinned.coverage_fraction, reference.coverage_fraction)
+        << "pin=" << to_string(pin);
+  }
+  reset_pin_mode();
 }
 
 TEST(ShardedDeterminism, ExplicitShardsOverrideEnvironment) {

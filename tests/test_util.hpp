@@ -1,8 +1,11 @@
 // Shared helpers for the test suites: small deterministic graphs with
-// diffusion weights and pool-building shortcuts.
+// diffusion weights, pool-building shortcuts, and environment scoping.
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "diffusion/weights.hpp"
@@ -13,6 +16,34 @@
 #include "rrr/pool.hpp"
 
 namespace eimm::testing {
+
+/// Scoped environment override that restores the previous value on
+/// destruction. Pass nullptr to unset the variable for the scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* previous = std::getenv(name);
+    if (previous != nullptr) previous_ = previous;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (previous_.has_value()) {
+      ::setenv(name_.c_str(), previous_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
 
 /// Builds a DiffusionGraph from explicit edges.
 inline DiffusionGraph make_graph(std::vector<WeightedEdge> edges,

@@ -23,9 +23,15 @@
 //   --max-rrr N         RRR-set cap (default 4194304)
 //   --no-fusion --no-adaptive-repr --no-adaptive-update --no-balance
 //   --no-numa           disable individual EfficientIMM features
+//   --pin MODE          thread pinning: auto|none|compact|spread
+//                       (default: EIMM_PIN, then auto)
+//   --counter-shards N  NUMA counter replicas for selection (default:
+//                       EIMM_COUNTER_SHARDS, then the domain count;
+//                       1 = legacy flat counter)
 //   --simulate N        verify seeds with N Monte-Carlo cascades
 //   --log-dir DIR       write the artifact-style JSON log into DIR
-//   --verbose           print martingale iteration telemetry
+//   --verbose           print martingale iteration telemetry (also set
+//                       EIMM_VERBOSE=1 for the effective pinning map)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +45,7 @@
 #include "io/binary.hpp"
 #include "io/edgelist.hpp"
 #include "io/json_log.hpp"
+#include "runtime/affinity.hpp"
 #include "simulate/spread.hpp"
 #include "support/log.hpp"
 #include "support/rng.hpp"
@@ -71,6 +78,8 @@ struct CliOptions {
                "          [--threads N] [--seed N] [--max-rrr N]\n"
                "          [--no-fusion] [--no-adaptive-repr]\n"
                "          [--no-adaptive-update] [--no-balance] [--no-numa]\n"
+               "          [--pin auto|none|compact|spread]\n"
+               "          [--counter-shards N]\n"
                "          [--simulate N] [--log-dir DIR] [--verbose]\n",
                argv0);
   std::exit(error != nullptr ? 2 : 0);
@@ -106,6 +115,15 @@ CliOptions parse_cli(int argc, char** argv) {
       options.imm.rng_seed = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--max-rrr") {
       options.imm.max_rrr_sets = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--pin") {
+      bool ok = false;
+      const PinMode mode = parse_pin_mode(next(), PinMode::kAuto, &ok);
+      if (!ok) usage(argv[0], "--pin must be auto|none|compact|spread");
+      set_pin_mode(mode);
+    } else if (arg == "--counter-shards") {
+      const long shards = std::strtol(next().c_str(), nullptr, 10);
+      if (shards < 1) usage(argv[0], "--counter-shards must be >= 1");
+      options.imm.counter_shards = static_cast<int>(shards);
     } else if (arg == "--no-fusion") options.imm.kernel_fusion = false;
     else if (arg == "--no-adaptive-repr") options.imm.adaptive_representation = false;
     else if (arg == "--no-adaptive-update") options.imm.adaptive_update = false;
@@ -186,6 +204,11 @@ int main(int argc, char** argv) {
               result.breakdown.total_seconds,
               result.breakdown.sampling_seconds,
               result.breakdown.selection_seconds, result.threads_used);
+  std::printf("numa: %d sampling shard(s), %d counter shard(s), pin=%s\n",
+              result.shards_used, result.counter_shards_used,
+              std::string(to_string(effective_pin_mode(resolve_pin_mode(),
+                                                       numa_topology())))
+                  .c_str());
 
   if (options.verbose) {
     std::printf("\nmartingale iterations:\n");

@@ -30,6 +30,7 @@
 #include "graph/builder.hpp"
 #include "io/binary.hpp"
 #include "io/edgelist.hpp"
+#include "runtime/affinity.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/sketch_store.hpp"
 #include "support/rng.hpp"
@@ -65,6 +66,11 @@ struct CliOptions {
       "          [--epsilon F] [--threads N] [--seed N] [--max-rrr N]\n"
       "          [--shards N]   (NUMA sampling shards; default EIMM_SHARDS\n"
       "                          or the detected domain count)\n"
+      "          [--counter-shards N]  (NUMA selection-counter replicas;\n"
+      "                          default EIMM_COUNTER_SHARDS or the domain\n"
+      "                          count; 1 = legacy flat counter)\n"
+      "          [--pin auto|none|compact|spread]  (thread pinning;\n"
+      "                          default EIMM_PIN, then auto)\n"
       "          [--out PATH]   (--out required for 'save')\n"
       "       %s load --store PATH\n"
       "       %s query --store PATH (--k N [--candidates LIST]\n"
@@ -175,6 +181,15 @@ CliOptions parse_cli(int argc, char** argv) {
       const int shards = parse_int_option(argv[0], arg, next());
       if (shards < 1) usage(argv[0], "--shards must be >= 1");
       options.imm.shards = shards;
+    } else if (arg == "--counter-shards") {
+      const int shards = parse_int_option(argv[0], arg, next());
+      if (shards < 1) usage(argv[0], "--counter-shards must be >= 1");
+      options.imm.counter_shards = shards;
+    } else if (arg == "--pin") {
+      bool ok = false;
+      const PinMode mode = parse_pin_mode(next(), PinMode::kAuto, &ok);
+      if (!ok) usage(argv[0], "--pin must be auto|none|compact|spread");
+      set_pin_mode(mode);
     } else if (arg == "--seed") {
       options.imm.rng_seed = parse_uint_option(argv[0], arg, next());
     } else if (arg == "--max-rrr") {
