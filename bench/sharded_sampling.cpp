@@ -47,9 +47,9 @@ int main() {
   options.shards = 1;
   const PoolBuild reference = build_rrr_pool(graph, options,
                                              Engine::kEfficient);
-  const FlatPool reference_flat = reference.pool.flatten();
+  const FlatPool reference_flat = reference.view().flatten();
   std::printf("reference (shards=1): %llu sets, %.3fs sampling\n\n",
-              static_cast<unsigned long long>(reference.pool.size()),
+              static_cast<unsigned long long>(reference.size()),
               reference.sampling_seconds);
 
   std::vector<ShardedBenchResult> rows;
@@ -63,14 +63,14 @@ int main() {
     const double sampling_seconds = best_seconds(config.reps, [&] {
       const PoolBuild build =
           build_rrr_pool(graph, options, Engine::kEfficient);
-      const FlatPool flat = build.pool.flatten();
+      const FlatPool flat = build.view().flatten();
       matches = matches && flat.offsets == reference_flat.offsets &&
                 flat.vertices == reference_flat.vertices;
       return build.sampling_seconds;
     });
     const double sets_per_second =
         sampling_seconds > 0.0
-            ? static_cast<double>(reference.pool.size()) / sampling_seconds
+            ? static_cast<double>(reference.size()) / sampling_seconds
             : 0.0;
 
     // Per-shard diagnostics for the final pool size (one extra round).
@@ -81,8 +81,8 @@ int main() {
     shard_config.batch_size = options.batch_size;
     ShardedSampler sampler(graph.reverse, shard_config);
     RRRPool probe(graph.num_vertices());
-    probe.resize(reference.pool.size());
-    sampler.generate(probe, 0, reference.pool.size(), nullptr);
+    probe.resize(reference.size());
+    sampler.generate(probe, 0, reference.size(), nullptr);
     std::uint64_t steals = 0;
     for (const std::uint64_t s : sampler.stats().steals_per_shard) {
       steals += s;
@@ -102,7 +102,7 @@ int main() {
     row.threads = config.max_threads;
     row.sampling_seconds = sampling_seconds;
     row.sets_per_second = sets_per_second;
-    row.num_rrr_sets = reference.pool.size();
+    row.num_rrr_sets = reference.size();
     row.pool_matches_unsharded = matches;
     rows.push_back(row);
     if (!matches) {

@@ -5,7 +5,8 @@
 
 namespace eimm {
 
-TracedSelectionReport run_traced_selection(Engine engine, const RRRPool& pool,
+TracedSelectionReport run_traced_selection(Engine engine,
+                                           const RRRPoolView& pool,
                                            std::size_t k, int threads,
                                            const CacheConfig& config) {
   ThreadCountScope scope(threads);

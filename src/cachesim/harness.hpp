@@ -6,6 +6,7 @@
 #include "cachesim/memtrace.hpp"
 #include "core/imm.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/pool_view.hpp"
 #include "seedselect/select.hpp"
 
 namespace eimm {
@@ -16,10 +17,13 @@ struct TracedSelectionReport {
   std::size_t traced_threads = 0;
 };
 
-/// Replays the chosen kernel over `pool` with `threads` OpenMP threads,
-/// each with a private simulated L1/L2. Deterministic given the pool and
-/// options (dynamic balancing is disabled inside for a stable trace).
-TracedSelectionReport run_traced_selection(Engine engine, const RRRPool& pool,
+/// Replays the chosen kernel over `pool` — a legacy RRRPool or the
+/// sharded sampler's zero-copy view; both convert implicitly — with
+/// `threads` OpenMP threads, each with a private simulated L1/L2.
+/// Deterministic given the pool and options (dynamic balancing is
+/// disabled inside for a stable trace).
+TracedSelectionReport run_traced_selection(Engine engine,
+                                           const RRRPoolView& pool,
                                            std::size_t k, int threads,
                                            const CacheConfig& config = {});
 

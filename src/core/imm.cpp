@@ -3,6 +3,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "core/martingale.hpp"
 #include "runtime/thread_info.hpp"
@@ -17,31 +18,18 @@
 namespace eimm {
 namespace {
 
-/// Builds pool slots [begin, end). Under kernel fusion (fused != nullptr)
-/// each freshly sampled set also increments the base counter in place —
-/// Algorithm 3 lines 14-16 — while its vertices are still cache-hot.
+/// Builds pool slots [begin, end) through the legacy single-path loop
+/// (the sharded path stages into a SegmentedPool instead — see
+/// build_rrr_pool). Under kernel fusion (fused != nullptr) each freshly
+/// sampled set also increments the base counter in place — Algorithm 3
+/// lines 14-16 — while its vertices are still cache-hot.
 void generate_rrr_range(RRRPool& pool, const CSRGraph& reverse,
                         const ImmOptions& opt, Engine engine,
                         std::uint64_t begin, std::uint64_t end,
-                        CounterArray* fused, int shards) {
+                        CounterArray* fused) {
   const VertexId n = reverse.num_vertices();
   const bool adaptive =
       engine == Engine::kEfficient && opt.adaptive_representation;
-
-  if (engine == Engine::kEfficient && shards > 1) {
-    // NUMA-sharded pipeline: per-domain slices staged in worker-local
-    // arenas, merged into the same pool image the paths below build.
-    ShardedConfig config;
-    config.shards = shards;
-    config.model = opt.model;
-    config.rng_seed = opt.rng_seed;
-    config.batch_size = opt.batch_size;
-    config.adaptive_representation = adaptive;
-    config.bitmap_threshold = opt.bitmap_threshold;
-    ShardedSampler sampler(reverse, config);
-    sampler.generate(pool, begin, end, fused);
-    return;
-  }
 
   auto build_one = [&](std::uint64_t index, SamplerScratch& scratch) {
     std::vector<VertexId> verts =
@@ -103,11 +91,14 @@ SelectionEngine make_selection_engine(const ImmOptions& options,
   return SelectionEngine(config);
 }
 
-/// One greedy selection pass over the build's pool, reusing the fused
-/// base counters when they exist. Shared by the probing loop and the
-/// final selection so both see identical SelectionOptions.
-SelectionResult select_over_build(const PoolBuild& build,
-                                  const ImmOptions& options, Engine engine) {
+/// One greedy selection pass over the build, consuming whichever storage
+/// backs it IN PLACE through the pool view (no flattening) and reusing
+/// both the fused base counters and the build's SelectionWorkspace.
+/// Shared by the probing loop and the final selection so both see
+/// identical SelectionOptions and the whole run performs exactly one
+/// counter-layout allocation.
+SelectionResult select_over_build(PoolBuild& build, const ImmOptions& options,
+                                  Engine engine) {
   SelectionOptions sopt;
   sopt.k = options.k;
   sopt.adaptive_update =
@@ -118,10 +109,12 @@ SelectionResult select_over_build(const PoolBuild& build,
   const SelectionEngine selection = make_selection_engine(options, engine);
   if (engine == Engine::kEfficient) {
     return selection.select(
-        SelectionKernel::kEfficient, build.pool, sopt,
-        build.counters_prebuilt ? &build.base_counters : nullptr);
+        SelectionKernel::kEfficient, build.view(), sopt,
+        build.counters_prebuilt ? &build.base_counters : nullptr,
+        &build.workspace);
   }
-  return selection.select(SelectionKernel::kRipples, build.pool, sopt);
+  return selection.select(SelectionKernel::kRipples, build.view(), sopt,
+                          nullptr, &build.workspace);
 }
 
 }  // namespace
@@ -152,6 +145,24 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
   }
   build.shards_used =
       engine == Engine::kEfficient ? resolve_shards(options.shards) : 1;
+  build.segmented = build.shards_used > 1;
+
+  // The sharded sampler persists across the martingale rounds: its
+  // arenas (owned by build.segments on the zero-copy path) keep
+  // accumulating staged runs, and selection reads them in place through
+  // build.view() — the merge copy the PR 3 pipeline paid is gone.
+  std::optional<ShardedSampler> sampler;
+  if (build.segmented) {
+    build.segments = SegmentedPool(n);
+    ShardedConfig config;
+    config.shards = build.shards_used;
+    config.model = options.model;
+    config.rng_seed = options.rng_seed;
+    config.batch_size = options.batch_size;
+    // adaptive_representation/bitmap_threshold are merge-path knobs: the
+    // zero-copy path always keeps sorted runs (see ImmOptions docs).
+    sampler.emplace(graph.reverse, config);
+  }
 
   std::uint64_t generated = 0;
 
@@ -160,10 +171,17 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
                                build.theta_capped);
     if (target <= generated) return;
     ScopedAccumulator acc(build.sampling_seconds);
-    build.pool.resize(target);
-    generate_rrr_range(build.pool, graph.reverse, options, engine, generated,
-                       target, use_fusion ? &build.base_counters : nullptr,
-                       build.shards_used);
+    if (build.segmented) {
+      build.segments.resize(target);
+      sampler->generate(build.segments, generated, target,
+                        use_fusion ? &build.base_counters : nullptr);
+      build.shard_stats = sampler->stats();
+    } else {
+      build.pool.resize(target);
+      generate_rrr_range(build.pool, graph.reverse, options, engine,
+                         generated, target,
+                         use_fusion ? &build.base_counters : nullptr);
+    }
     generated = target;
   };
 
@@ -187,7 +205,8 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   Timer total_timer;
 
   PoolBuild build = build_rrr_pool(graph, options, engine);
-  const VertexId n = build.pool.num_vertices();
+  const RRRPoolView view = build.view();
+  const VertexId n = view.num_vertices();
 
   PhaseBreakdown breakdown;
   breakdown.sampling_seconds = build.sampling_seconds;
@@ -207,14 +226,18 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   result.estimated_spread =
       static_cast<double>(n) * result.coverage_fraction;
   result.theta = build.theta;
-  result.num_rrr_sets = build.pool.size();
+  result.num_rrr_sets = view.size();
   result.theta_capped = build.theta_capped;
-  result.rrr_memory_bytes = build.pool.memory_bytes();
-  result.bitmap_sets = build.pool.bitmap_count();
+  result.rrr_memory_bytes = view.memory_bytes();
+  result.bitmap_sets = view.bitmap_count();
   result.rebuild_rounds = final_selection.rebuild_rounds;
   result.threads_used = omp_get_max_threads();
   result.shards_used = build.shards_used;
   result.counter_shards_used = resolved_counter_shards(options, engine);
+  result.counter_layout_allocations = build.workspace.counter_allocations();
+  result.staged_bytes = build.shard_stats.staged_bytes;
+  result.mapped_bytes = build.shard_stats.mapped_bytes;
+  result.merged_bytes = build.shard_stats.merged_bytes;
   breakdown.total_seconds = total_timer.seconds();
   result.breakdown = breakdown;
   return result;

@@ -25,8 +25,11 @@
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/pool_view.hpp"
+#include "rrr/sharded.hpp"
 #include "rrr/set.hpp"
 #include "runtime/atomic_counters.hpp"
+#include "seedselect/engine.hpp"
 
 namespace eimm {
 
@@ -53,7 +56,12 @@ struct ImmOptions {
   // --- EfficientIMM feature flags (ablations in bench/) ---
   /// Fuse Generate_RRRsets with the initial counter build (Algorithm 3).
   bool kernel_fusion = true;
-  /// Adaptive vector/bitmap RRR representation (§IV-C).
+  /// Adaptive vector/bitmap RRR representation (§IV-C). Applies to the
+  /// contiguous RRRPool paths (shards == 1, and the ripples engine);
+  /// the sharded zero-copy path (shards > 1) always stores sorted
+  /// vertex runs in the staging arenas — set contents and seeds are
+  /// identical either way, but bitmap_sets reports 0 there and dense
+  /// sets occupy size·4 bytes instead of |V|/8.
   bool adaptive_representation = true;
   /// Adaptive decrement-vs-rebuild counter update (§IV-C / Fig. 5).
   bool adaptive_update = true;
@@ -118,22 +126,49 @@ struct ImmResult {
   int shards_used = 1;
   /// Counter shards the selection phase used (1 = legacy flat array).
   int counter_shards_used = 1;
+  /// Working counter-layout allocations across ALL selections of this
+  /// run (probes + final). The SelectionWorkspace contract keeps this at
+  /// exactly 1 for Engine::kEfficient (the workspace-reuse regression
+  /// test pins it); the ripples kernel owns its thread-local counters
+  /// internally, so kRipples runs report 0.
+  std::uint64_t counter_layout_allocations = 0;
+  /// Sharded-pipeline byte accounting (all zero when shards_used == 1):
+  /// payload staged into arenas, arena bytes mapped, and payload copied
+  /// at merge — the zero-copy view path keeps merged_bytes at 0.
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t mapped_bytes = 0;
+  std::uint64_t merged_bytes = 0;
   PhaseBreakdown breakdown;
   /// Sampling-phase probe history (diagnostics; one entry per executed
   /// iteration of the Algorithm 1 loop).
   std::vector<MartingaleIteration> iterations;
 };
 
-/// Everything the sampling phase produces: the frozen RRR pool plus the
+/// Everything the sampling phase produces: the frozen RRR state plus the
 /// provenance a consumer needs to reuse it without regenerating. run_imm
 /// performs its final selection over exactly this state, and the serve/
 /// subsystem freezes it into a queryable SketchStore.
+///
+/// Storage: the legacy path (shards_used == 1, or the ripples engine)
+/// fills `pool`; the sharded path stages straight into `segments` and
+/// NEVER builds the contiguous image — consumers read through view(),
+/// which works over either, and call view().flatten() only when they
+/// genuinely need the flat CSR (snapshots).
 struct PoolBuild {
   RRRPool pool{0};
+  /// Zero-copy sharded storage (populated iff `segmented`).
+  SegmentedPool segments;
+  bool segmented = false;
   /// Fused base counters (kernel fusion, Algorithm 3); valid — and worth
   /// copying instead of rebuilding — only when counters_prebuilt.
   CounterArray base_counters;
   bool counters_prebuilt = false;
+  /// Reusable selection scratch, shared by the probing rounds and —
+  /// when run_imm drives the build — the final selection, so one run
+  /// allocates exactly one working counter layout.
+  SelectionWorkspace workspace;
+  /// Sampler diagnostics (empty per-shard vectors when shards_used == 1).
+  ShardStats shard_stats;
   std::uint64_t theta = 0;
   bool theta_capped = false;
   double sampling_seconds = 0.0;
@@ -143,6 +178,15 @@ struct PoolBuild {
   /// Resolved sampling shard count (1 = legacy single-path generation).
   int shards_used = 1;
   std::vector<MartingaleIteration> iterations;
+
+  /// The one surface selection-side consumers read the build through.
+  [[nodiscard]] RRRPoolView view() const noexcept {
+    return segmented ? RRRPoolView(segments) : RRRPoolView(pool);
+  }
+  /// Number of RRR sets in whichever storage is active.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return segmented ? segments.size() : pool.size();
+  }
 };
 
 /// Runs the sampling phase only — martingale probing plus RRR-set

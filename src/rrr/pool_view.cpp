@@ -1,0 +1,115 @@
+#include "rrr/pool_view.hpp"
+
+#include <algorithm>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
+  const std::size_t len = vertices.size();
+  // Advance through existing chunks (reset() reuse) before mapping new
+  // ones; a run never spans chunks.
+  while (cursor_ < chunks_.size() &&
+         chunks_[cursor_].bytes() / sizeof(VertexId) - head_used_ < len) {
+    ++cursor_;
+    head_used_ = 0;
+  }
+  if (cursor_ >= chunks_.size()) {
+    const std::size_t capacity = std::max(chunk_vertices_, len);
+    chunks_.emplace_back(capacity * sizeof(VertexId), MemPolicy::kLocal);
+    cursor_ = chunks_.size() - 1;
+    head_used_ = 0;
+  }
+  Ref ref;
+  ref.chunk = static_cast<std::uint32_t>(cursor_);
+  ref.pos = static_cast<std::uint32_t>(head_used_);
+  ref.len = static_cast<std::uint32_t>(len);
+  auto* base = static_cast<VertexId*>(chunks_[cursor_].data());
+  std::copy(vertices.begin(), vertices.end(), base + head_used_);
+  head_used_ += len;
+  ++runs_;
+  staged_vertices_ += len;
+  return ref;
+}
+
+std::span<const VertexId> ShardArena::view(const Ref& ref) const noexcept {
+  const auto* base = static_cast<const VertexId*>(chunks_[ref.chunk].data());
+  return {base + ref.pos, ref.len};
+}
+
+void ShardArena::reset() noexcept {
+  cursor_ = 0;
+  head_used_ = 0;
+}
+
+std::uint64_t ShardArena::mapped_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const NumaBuffer& c : chunks_) bytes += c.bytes();
+  return bytes;
+}
+
+void SegmentedPool::resize(std::size_t count) {
+  EIMM_CHECK(count >= entries_.size(), "SegmentedPool never shrinks");
+  entries_.resize(count);
+}
+
+void SegmentedPool::ensure_workers(std::size_t workers) {
+  if (arenas_.size() < workers) arenas_.resize(workers);
+}
+
+std::uint64_t SegmentedPool::staged_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const ShardArena& a : arenas_) bytes += a.staged_bytes();
+  return bytes;
+}
+
+std::uint64_t SegmentedPool::mapped_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const ShardArena& a : arenas_) bytes += a.mapped_bytes();
+  return bytes;
+}
+
+std::uint64_t RRRPoolView::total_vertices() const noexcept {
+  if (pool_ != nullptr) return pool_->total_vertices();
+  if (segments_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < segments_->size(); ++i) {
+    total += segments_->run(i).size();
+  }
+  return total;
+}
+
+std::size_t RRRPoolView::bitmap_count() const noexcept {
+  return pool_ != nullptr ? pool_->bitmap_count() : 0;
+}
+
+std::uint64_t RRRPoolView::memory_bytes() const noexcept {
+  if (pool_ != nullptr) return pool_->memory_bytes();
+  return segments_ != nullptr ? segments_->mapped_bytes() : 0;
+}
+
+FlatPool RRRPoolView::flatten() const {
+  if (pool_ != nullptr) return pool_->flatten();
+  FlatPool flat;
+  flat.num_vertices = num_vertices();
+  const std::size_t count = size();
+  flat.offsets.resize(count + 1);
+  flat.offsets[0] = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    flat.offsets[i + 1] = flat.offsets[i] + (*this)[i].size();
+  }
+  flat.vertices.resize(flat.offsets.back());
+  if (segments_ != nullptr) {
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::span<const VertexId> run = segments_->run(i);
+      std::copy(run.begin(), run.end(),
+                flat.vertices.begin() +
+                    static_cast<std::ptrdiff_t>(flat.offsets[i]));
+    }
+  }
+  return flat;
+}
+
+}  // namespace eimm

@@ -1,0 +1,252 @@
+// Zero-copy hand-off between the sampling and selection kernels.
+//
+// The paper's Table II / §IV analysis puts the win in keeping the
+// sampling working set domain-local; the PR 3 pipeline achieved that but
+// paid a full extra copy of every vertex payload rebuilding the flat
+// RRRPool image at merge time. This layer removes the copy:
+//
+//   ShardArena     — worker-private staging storage (page-aligned
+//                    mbind(kLocal) NumaBuffer chunks). reset() rewinds
+//                    the write cursor while KEEPING the mapped chunks,
+//                    so repeated generation rounds reuse the same pages
+//                    instead of re-mapping fresh ones.
+//   SegmentedPool  — the shard-local pool format that survives into
+//                    selection: per-worker arenas owning the sorted
+//                    vertex runs, plus one (pointer, length) entry per
+//                    global RRR slot. No contiguous image is ever built.
+//   RRRSetView     — one RRR set, whichever storage backs it: a legacy
+//                    RRRSet (vector or bitmap) or a sorted arena run.
+//   RRRPoolView    — the pool abstraction every selection-side consumer
+//                    (seedselect kernels, SelectionEngine, coverage
+//                    probing, serve/SketchStore freezing, cachesim)
+//                    accepts: a contiguous legacy RRRPool OR a
+//                    SegmentedPool, behind one slot-addressed surface.
+//
+// Determinism: slot content is identical under either backing (runs are
+// sorted exactly like RRRSet's vector representation; bitmap sets
+// enumerate ascending), so selection over a view is bit-identical to
+// selection over the flattened pool — enforced by tests/rrr/pool_view
+// and the ctest -L statcheck view sweep. flatten() stays available for
+// consumers that genuinely need the contiguous CSR image (snapshot
+// serialization); everything else reads in place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "numa/alloc.hpp"
+#include "rrr/pool.hpp"
+#include "rrr/set.hpp"
+
+namespace eimm {
+
+/// Worker-private staging storage for sampled vertex runs: page-aligned
+/// NumaBuffer chunks requested kLocal, so the pages land on the sampling
+/// worker's own domain under first-touch. Single-writer; a run never
+/// spans chunks, so view() is one contiguous span.
+class ShardArena {
+ public:
+  /// Handle to one staged run.
+  struct Ref {
+    std::uint32_t chunk = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// `chunk_vertices` is the default chunk capacity; runs larger than it
+  /// get a dedicated exactly-sized chunk.
+  explicit ShardArena(std::size_t chunk_vertices = std::size_t{1} << 18)
+      : chunk_vertices_(chunk_vertices == 0 ? 1 : chunk_vertices) {}
+
+  Ref append(std::span<const VertexId> vertices);
+  [[nodiscard]] std::span<const VertexId> view(const Ref& ref) const noexcept;
+
+  /// Rewinds the write cursor to the first chunk while KEEPING every
+  /// mapped NumaBuffer chunk — the next round's appends reuse the pages
+  /// (and their NUMA placement) instead of re-mapping. Staged runs become
+  /// invalid; cumulative staged accounting is preserved.
+  void reset() noexcept;
+
+  /// Bytes of mapped staging memory currently held (diagnostics).
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
+  /// Cumulative payload bytes staged since construction (survives
+  /// reset() — reuse shows up as staged_bytes growing past mapped_bytes).
+  [[nodiscard]] std::uint64_t staged_bytes() const noexcept {
+    return staged_vertices_ * sizeof(VertexId);
+  }
+  /// Staged runs since construction (survives reset()).
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  std::size_t chunk_vertices_;
+  std::vector<NumaBuffer> chunks_;
+  std::size_t cursor_ = 0;         // chunk currently written
+  std::size_t head_used_ = 0;      // vertices used in the cursor chunk
+  std::uint64_t runs_ = 0;
+  std::uint64_t staged_vertices_ = 0;
+};
+
+/// The shard-local pool format that survives into selection: slot i's
+/// members are a SORTED vertex run staged in one of the per-worker
+/// arenas, addressed by a raw (pointer, length) entry. The arenas are
+/// owned here, so the staged pages live exactly as long as the pool —
+/// a SegmentedPool can be moved into a SketchStore and keep serving.
+///
+/// Concurrency contract: ensure_workers()/resize() are driver-side
+/// (serial, or inside `omp single`); workers then fill DISJOINT slots
+/// through their own arena(w) + set_run(i, span).
+class SegmentedPool {
+ public:
+  SegmentedPool() = default;
+  explicit SegmentedPool(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return num_vertices_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Grows the slot table to `count` entries (never shrinks).
+  void resize(std::size_t count);
+
+  /// Grows the per-worker arena set to at least `workers` arenas. Must
+  /// not run concurrently with arena()/set_run().
+  void ensure_workers(std::size_t workers);
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return arenas_.size();
+  }
+  [[nodiscard]] ShardArena& arena(std::size_t worker) noexcept {
+    return arenas_[worker];
+  }
+  /// Staging-side access to the whole arena vector (the sharded sampler
+  /// plans over it and may grow it inside its `omp single` region).
+  /// Driver-side only — never call while workers are appending.
+  [[nodiscard]] std::vector<ShardArena>& arenas_for_staging() noexcept {
+    return arenas_;
+  }
+
+  /// Records slot `i`'s staged run. `run` must point into one of this
+  /// pool's arenas and stay valid for the pool's lifetime (arenas are
+  /// never reset while entries reference them).
+  void set_run(std::size_t i, std::span<const VertexId> run) noexcept {
+    entries_[i] = Entry{run.data(), static_cast<std::uint64_t>(run.size())};
+  }
+
+  /// Slot `i`'s members, ascending.
+  [[nodiscard]] std::span<const VertexId> run(std::size_t i) const noexcept {
+    return {entries_[i].data, entries_[i].len};
+  }
+
+  /// Cumulative payload / currently-mapped staging bytes over all arenas.
+  [[nodiscard]] std::uint64_t staged_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
+
+ private:
+  struct Entry {
+    const VertexId* data = nullptr;
+    std::uint64_t len = 0;
+  };
+
+  VertexId num_vertices_ = 0;
+  std::vector<Entry> entries_;
+  std::vector<ShardArena> arenas_;
+};
+
+/// One RRR set behind the view: a legacy RRRSet or a sorted arena run.
+/// Same observable surface either way — ascending for_each enumeration,
+/// exact contains — so the selection kernels produce identical seed
+/// sequences no matter which storage backs the pool.
+class RRRSetView {
+ public:
+  RRRSetView() = default;
+  /*implicit*/ RRRSetView(const RRRSet& set) noexcept : set_(&set) {}
+  /*implicit*/ RRRSetView(std::span<const VertexId> run) noexcept
+      : run_(run) {}
+
+  /// kVector for arena runs (they are sorted vertex runs by contract).
+  [[nodiscard]] RRRRepr repr() const noexcept {
+    return set_ != nullptr ? set_->repr() : RRRRepr::kVector;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return set_ != nullptr ? set_->size() : run_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Sorted-member span; valid only when repr() == kVector (mirrors
+  /// RRRSet::vertices(), which the baseline binary-search kernel uses).
+  [[nodiscard]] std::span<const VertexId> vertices() const noexcept {
+    if (set_ != nullptr) {
+      return {set_->vertices().data(), set_->vertices().size()};
+    }
+    return run_;
+  }
+
+  [[nodiscard]] bool contains(VertexId v) const noexcept {
+    if (set_ != nullptr) return set_->contains(v);
+    return std::binary_search(run_.begin(), run_.end(), v);
+  }
+
+  /// Invokes fn(vertex) for every member in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (set_ != nullptr) {
+      set_->for_each(std::forward<Fn>(fn));
+    } else {
+      for (const VertexId v : run_) fn(v);
+    }
+  }
+
+ private:
+  const RRRSet* set_ = nullptr;
+  std::span<const VertexId> run_;
+};
+
+/// Non-owning, slot-addressed view over either pool storage. Implicit
+/// construction keeps every RRRPool call site source-compatible; the
+/// referenced pool must outlive the view (same contract as std::span).
+class RRRPoolView {
+ public:
+  RRRPoolView() = default;
+  /*implicit*/ RRRPoolView(const RRRPool& pool) noexcept : pool_(&pool) {}
+  /*implicit*/ RRRPoolView(const SegmentedPool& segments) noexcept
+      : segments_(&segments) {}
+
+  [[nodiscard]] bool segmented() const noexcept { return segments_ != nullptr; }
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    if (pool_ != nullptr) return pool_->num_vertices();
+    return segments_ != nullptr ? segments_->num_vertices() : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    if (pool_ != nullptr) return pool_->size();
+    return segments_ != nullptr ? segments_->size() : 0;
+  }
+
+  [[nodiscard]] RRRSetView operator[](std::size_t i) const noexcept {
+    if (pool_ != nullptr) return RRRSetView((*pool_)[i]);
+    return RRRSetView(segments_->run(i));
+  }
+
+  /// Sum of set sizes (== total counter increments during a build).
+  [[nodiscard]] std::uint64_t total_vertices() const noexcept;
+  /// Sets in bitmap representation (always 0 for segmented backing).
+  [[nodiscard]] std::size_t bitmap_count() const noexcept;
+  /// Heap/staging footprint of the backing storage.
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+
+  /// Copies every set into one contiguous CSR image — the ONLY remaining
+  /// payload copy on the data path, kept for snapshot serialization and
+  /// cross-backing equality checks. Parallel fill; bitmap sets expand to
+  /// sorted runs.
+  [[nodiscard]] FlatPool flatten() const;
+
+ private:
+  const RRRPool* pool_ = nullptr;
+  const SegmentedPool* segments_ = nullptr;
+};
+
+}  // namespace eimm

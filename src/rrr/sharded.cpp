@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "rrr/generate.hpp"
 #include "runtime/affinity.hpp"
@@ -70,56 +71,16 @@ std::vector<std::size_t> ShardPlan::shards_for_worker(std::size_t w) const {
   return owned;
 }
 
-ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
-  const std::size_t len = vertices.size();
-  if (head_capacity_ - head_used_ < len || chunks_.empty()) {
-    const std::size_t capacity = std::max(chunk_vertices_, len);
-    chunks_.emplace_back(capacity * sizeof(VertexId), MemPolicy::kLocal);
-    head_capacity_ = chunks_.back().bytes() / sizeof(VertexId);
-    head_used_ = 0;
-  }
-  Ref ref;
-  ref.chunk = static_cast<std::uint32_t>(chunks_.size() - 1);
-  ref.pos = static_cast<std::uint32_t>(head_used_);
-  ref.len = static_cast<std::uint32_t>(len);
-  auto* base = static_cast<VertexId*>(chunks_.back().data());
-  std::copy(vertices.begin(), vertices.end(), base + head_used_);
-  head_used_ += len;
-  ++runs_;
-  return ref;
-}
-
-std::span<const VertexId> ShardArena::view(const Ref& ref) const noexcept {
-  const auto* base = static_cast<const VertexId*>(chunks_[ref.chunk].data());
-  return {base + ref.pos, ref.len};
-}
-
-std::uint64_t ShardArena::mapped_bytes() const noexcept {
-  std::uint64_t bytes = 0;
-  for (const NumaBuffer& c : chunks_) bytes += c.bytes();
-  return bytes;
-}
-
-namespace {
-
-/// Where one staged run lives: which worker's arena plus the handle.
-struct SetRef {
-  std::uint32_t worker = 0;
-  ShardArena::Ref ref;
-};
-
-}  // namespace
-
 ShardedSampler::ShardedSampler(const CSRGraph& reverse, ShardedConfig config)
     : reverse_(reverse), config_(std::move(config)) {
   EIMM_CHECK(config_.shards >= 1, "shard count must be >= 1");
   EIMM_CHECK(config_.batch_size > 0, "batch size must be positive");
 }
 
-void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
-                              std::uint64_t end, CounterArray* fused) {
-  EIMM_CHECK(end >= begin, "invalid generation range");
-  EIMM_CHECK(pool.size() >= end, "pool not resized for generation range");
+void ShardedSampler::stage(
+    std::vector<ShardArena>& arenas, std::uint64_t begin, std::uint64_t end,
+    CounterArray* fused,
+    std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs) {
   const std::uint64_t count = end - begin;
   const NumaTopology& topo = numa_topology();
 
@@ -135,9 +96,11 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
       begin, end, config_.shards,
       static_cast<std::size_t>(omp_get_max_threads()), topo);
   std::vector<std::unique_ptr<JobPool>> jobs;
-  std::vector<ShardArena> arenas;
-  std::vector<SetRef> refs(count);
+  refs.assign(count, {});
   const VertexId n = reverse_.num_vertices();
+
+  std::uint64_t staged_before = 0;
+  for (const ShardArena& arena : arenas) staged_before += arena.runs();
 
   if (count > 0) {
 #pragma omp parallel
@@ -154,14 +117,18 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
         }
         // One job pool per shard: stealing is confined to the shard's
         // worker group, so the locality the plan establishes survives
-        // imbalance. Arenas are worker-private (single writer each).
+        // imbalance. Arenas are worker-private (single writer each) and
+        // PERSISTENT — growing rounds keep appending into the same
+        // chunk set instead of mapping fresh arenas per round.
         jobs.reserve(plan.shards.size());
         for (const ShardPlan::Shard& shard : plan.shards) {
           jobs.push_back(std::make_unique<JobPool>(
               shard.size(), config_.batch_size,
               std::max<std::size_t>(1, shard.worker_count)));
         }
-        arenas = std::vector<ShardArena>(plan.total_workers);
+        if (arenas.size() < plan.total_workers) {
+          arenas.resize(plan.total_workers);
+        }
       }  // implicit barrier: every worker sees the final plan
 
       const auto wid = static_cast<std::size_t>(omp_get_thread_num());
@@ -175,15 +142,18 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
                batch = jobs[s]->next(local)) {
             for (std::size_t j = batch.begin; j < batch.end; ++j) {
               const std::uint64_t global = shard.begin + j;
-              const std::vector<VertexId> verts = sample_rrr(
+              std::vector<VertexId> verts = sample_rrr(
                   reverse_, config_.model, config_.rng_seed, global,
                   scratch);
               if (fused != nullptr) {
                 for (const VertexId v : verts) fused->increment(v);
               }
-              SetRef& slot = refs[global - begin];
-              slot.worker = static_cast<std::uint32_t>(wid);
-              slot.ref = arena.append(verts);
+              // Stage sorted: the run then IS the vector representation
+              // of the set, so selection can binary-search it in place.
+              std::sort(verts.begin(), verts.end());
+              auto& slot = refs[global - begin];
+              slot.first = static_cast<std::uint32_t>(wid);
+              slot.second = arena.append(verts);
             }
           }
         }
@@ -191,8 +161,9 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
     }
   }
 
-  stats_ = ShardStats{};
   stats_.numa_domains = topo.num_nodes();
+  stats_.sets_per_shard.clear();
+  stats_.shard_domains.clear();
   stats_.sets_per_shard.reserve(plan.shards.size());
   stats_.shard_domains.reserve(plan.shards.size());
   for (const ShardPlan::Shard& shard : plan.shards) {
@@ -203,29 +174,83 @@ void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
   for (std::size_t s = 0; s < jobs.size(); ++s) {
     stats_.steals_per_shard[s] = jobs[s]->steal_count();
   }
-  std::uint64_t staged = 0;
+  std::uint64_t staged_after = 0;
+  stats_.staged_bytes = 0;
+  stats_.mapped_bytes = 0;
   for (const ShardArena& arena : arenas) {
-    stats_.staged_bytes += arena.mapped_bytes();
-    staged += arena.runs();
+    staged_after += arena.runs();
+    stats_.staged_bytes += arena.staged_bytes();
+    stats_.mapped_bytes += arena.mapped_bytes();
   }
   // Every slot must have been staged exactly once; a scheduling bug here
   // would otherwise surface as silently-empty RRR sets far downstream.
-  EIMM_CHECK(staged == count, "sharded generation lost RRR slots");
+  EIMM_CHECK(staged_after - staged_before == count,
+             "sharded generation lost RRR slots");
+}
+
+void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,
+                              std::uint64_t end, CounterArray* fused) {
+  EIMM_CHECK(end >= begin, "invalid generation range");
+  EIMM_CHECK(pool.size() >= end, "pool not resized for generation range");
+  EIMM_CHECK(mode_ != HandOff::kZeroCopy,
+             "sampler already used for zero-copy hand-off; one mode per "
+             "sampler (byte accounting is per-mode)");
+  mode_ = HandOff::kMerge;
+  const std::uint64_t count = end - begin;
+
+  // Merge rounds fully drain the staged data, so the arena chunks can be
+  // rewound and reused — mapped_bytes plateaus at the largest round
+  // while staged_bytes keeps accumulating.
+  for (ShardArena& arena : merge_arenas_) arena.reset();
+
+  std::vector<std::pair<std::uint32_t, ShardArena::Ref>> refs;
+  stage(merge_arenas_, begin, end, fused, refs);
   if (count == 0) return;
 
   // Merge: copy every staged run into its RRRPool slot. Slot content is a
   // pure function of the global index, so the image bit-matches the
   // unsharded build no matter how the runs were staged.
   const bool adaptive = config_.adaptive_representation;
-#pragma omp parallel for schedule(dynamic, 64)
+  const VertexId n = reverse_.num_vertices();
+  std::uint64_t merged = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : merged)
   for (std::uint64_t i = 0; i < count; ++i) {
-    const SetRef& slot = refs[i];
-    const std::span<const VertexId> run = arenas[slot.worker].view(slot.ref);
+    const auto& slot = refs[i];
+    const std::span<const VertexId> run =
+        merge_arenas_[slot.first].view(slot.second);
     std::vector<VertexId> verts(run.begin(), run.end());
+    merged += run.size() * sizeof(VertexId);
     pool[begin + i] =
         adaptive ? RRRSet::make_adaptive(std::move(verts), n,
                                          config_.bitmap_threshold)
                  : RRRSet::make_vector(std::move(verts));
+  }
+  stats_.merged_bytes += merged;
+}
+
+void ShardedSampler::generate(SegmentedPool& pool, std::uint64_t begin,
+                              std::uint64_t end, CounterArray* fused) {
+  EIMM_CHECK(end >= begin, "invalid generation range");
+  EIMM_CHECK(pool.size() >= end, "pool not resized for generation range");
+  EIMM_CHECK(pool.num_vertices() == reverse_.num_vertices(),
+             "segmented pool sized for a different graph");
+  EIMM_CHECK(mode_ != HandOff::kMerge,
+             "sampler already used for merge hand-off; one mode per "
+             "sampler (byte accounting is per-mode)");
+  mode_ = HandOff::kZeroCopy;
+  const std::uint64_t count = end - begin;
+
+  // The pool owns the arenas on this path (the staged runs ARE the pool,
+  // and must outlive the sampler), so stage() appends into them without
+  // ever resetting — earlier rounds' entries stay valid.
+  std::vector<std::pair<std::uint32_t, ShardArena::Ref>> refs;
+  pool.ensure_workers(static_cast<std::size_t>(omp_get_max_threads()));
+  std::vector<ShardArena>& arenas = pool.arenas_for_staging();
+  stage(arenas, begin, end, fused, refs);
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto& slot = refs[i];
+    pool.set_run(begin + i, arenas[slot.first].view(slot.second));
   }
 }
 

@@ -10,25 +10,28 @@
 //   2. Each worker samples its shard's slots through a per-shard JobPool
 //      (runtime/work_queue) — stealing stays confined to the shard, so a
 //      thread never migrates its working set across domains — and stages
-//      the sampled vertex runs in a worker-private ShardArena whose pages
-//      are mbind'd kLocal (numa/alloc): first touch by the sampling
-//      worker places them on its own domain.
-//   3. merge() copies the staged runs into the shared RRRPool slots in
-//      one parallel pass, producing the exact CSR image the unsharded
-//      path builds — core/imm, seedselect, and serve consume it
-//      unchanged. The stage+merge split costs one extra copy of the
-//      vertex payload versus the legacy move-into-pool loop; the
-//      locality win it buys is in the sampling phase itself (scratch,
-//      graph reads, and staging writes all stay on-domain), which is
-//      where Table II says the time goes. A shard-local pool format
-//      that survives into selection is the natural next step.
+//      the SORTED vertex runs in a worker-private ShardArena
+//      (rrr/pool_view.hpp) whose pages are mbind'd kLocal (numa/alloc):
+//      first touch by the sampling worker places them on its own domain.
+//   3. Hand-off, two ways:
+//      * generate(SegmentedPool&, ...) — the zero-copy production path:
+//        the staged runs ARE the pool (slot entries point straight into
+//        the arena pages) and selection consumes them through
+//        RRRPoolView. No merge, no second copy of the vertex payload;
+//        ShardStats::merged_bytes stays 0.
+//      * generate(RRRPool&, ...) — the legacy merge path (dist/imm's
+//        wire-format accounting and the flatten-identity tests): staged
+//        runs are copied into RRRSet slots, producing the exact CSR
+//        image the unsharded path builds. The sampler's arenas are
+//        reset() between rounds — mapped chunks are REUSED, so
+//        mapped_bytes plateaus while staged_bytes accumulates.
 //
 // Determinism: slot i's content depends only on (rng_seed, i) — the same
 // per-index streams the unsharded path uses — so every shard count,
-// worker count, and steal schedule yields a bit-identical pool
-// (tests/statcheck enforces this). On single-node hosts the kLocal
-// policy falls back to first-touch and the pipeline degrades to plain
-// batched generation; shards == 1 callers should prefer the legacy
+// worker count, steal schedule, and hand-off mode yields bit-identical
+// pool content (tests/statcheck enforces this). On single-node hosts the
+// kLocal policy falls back to first-touch and the pipeline degrades to
+// plain batched generation; shards == 1 callers should prefer the legacy
 // single-path loop in core/imm, which this layer bit-matches.
 #pragma once
 
@@ -41,6 +44,7 @@
 #include "numa/alloc.hpp"
 #include "numa/topology.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/pool_view.hpp"
 #include "rrr/set.hpp"
 #include "runtime/atomic_counters.hpp"
 
@@ -82,46 +86,21 @@ struct ShardPlan {
       std::size_t w) const;
 };
 
-/// Worker-private staging storage for sampled vertex runs: page-aligned
-/// NumaBuffer chunks requested kLocal, so the pages land on the sampling
-/// worker's own domain under first-touch. Single-writer; a run never
-/// spans chunks, so view() is one contiguous span.
-class ShardArena {
- public:
-  /// Handle to one staged run.
-  struct Ref {
-    std::uint32_t chunk = 0;
-    std::uint32_t pos = 0;
-    std::uint32_t len = 0;
-  };
-
-  /// `chunk_vertices` is the default chunk capacity; runs larger than it
-  /// get a dedicated exactly-sized chunk.
-  explicit ShardArena(std::size_t chunk_vertices = std::size_t{1} << 18)
-      : chunk_vertices_(chunk_vertices == 0 ? 1 : chunk_vertices) {}
-
-  Ref append(std::span<const VertexId> vertices);
-  [[nodiscard]] std::span<const VertexId> view(const Ref& ref) const noexcept;
-
-  /// Bytes of mapped staging memory (diagnostics).
-  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
-  /// Staged runs so far.
-  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
-
- private:
-  std::size_t chunk_vertices_;
-  std::vector<NumaBuffer> chunks_;
-  std::size_t head_capacity_ = 0;  // capacity of the current chunk
-  std::size_t head_used_ = 0;      // vertices used in the current chunk
-  std::uint64_t runs_ = 0;
-};
-
-/// Per-round diagnostics (benches and tests read these).
+/// Pipeline diagnostics. The per-shard vectors describe the most recent
+/// round; the byte counters are CUMULATIVE over the sampler's lifetime so
+/// benches can see chunk reuse (staged grows past mapped) and the merge
+/// copy disappearing (merged stays 0 on the zero-copy path).
 struct ShardStats {
   std::vector<std::uint64_t> sets_per_shard;
   std::vector<std::uint64_t> steals_per_shard;
   std::vector<int> shard_domains;
+  /// Payload bytes staged into arenas, cumulative across rounds.
   std::uint64_t staged_bytes = 0;
+  /// Arena chunk bytes currently mapped (plateaus under reset() reuse).
+  std::uint64_t mapped_bytes = 0;
+  /// Payload bytes copied out of the arenas into RRRPool slots at merge,
+  /// cumulative. Zero on the generate(SegmentedPool&) zero-copy path.
+  std::uint64_t merged_bytes = 0;
   int numa_domains = 1;  ///< detected domains when the plan was made
 };
 
@@ -132,31 +111,57 @@ struct ShardedConfig {
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   std::uint64_t rng_seed = 0;
   std::size_t batch_size = 64;
-  /// Build RRRSet::make_adaptive (true) or make_vector (false) at merge.
+  /// Merge path only: build RRRSet::make_adaptive (true) or make_vector
+  /// (false). The zero-copy path always keeps sorted runs.
   bool adaptive_representation = true;
   double bitmap_threshold = kDefaultBitmapThreshold;
 };
 
 /// One sharded generation pipeline over a fixed reverse graph. generate()
 /// may be called repeatedly with growing ranges (the martingale rounds);
-/// stats() describes the most recent round.
+/// stats() describes the most recent round plus cumulative bytes. A
+/// sampler instance must stick to ONE hand-off mode (enforced): the
+/// byte accounting is per-mode — each mode stages through its own arena
+/// set, so alternating modes would make staged/mapped/merged totals
+/// describe a mix of the two, breaking the "merged_bytes == 0 proves
+/// zero-copy" contract the bench and CI check.
 class ShardedSampler {
  public:
   ShardedSampler(const CSRGraph& reverse, ShardedConfig config);
 
-  /// Samples global slots [begin, end) into `pool` (already resized to at
-  /// least `end`). When `fused` is non-null every sampled vertex also
-  /// increments the counter in place (kernel fusion, Algorithm 3).
+  /// Legacy merge path: samples global slots [begin, end) into `pool`
+  /// (already resized to at least `end`), staging through the sampler's
+  /// own arenas (chunks reused across calls via reset()). When `fused`
+  /// is non-null every sampled vertex also increments the counter in
+  /// place (kernel fusion, Algorithm 3).
   void generate(RRRPool& pool, std::uint64_t begin, std::uint64_t end,
+                CounterArray* fused);
+
+  /// Zero-copy path: samples global slots [begin, end) straight into
+  /// `pool`'s arenas (already resized to at least `end`); slot entries
+  /// point at the staged runs, which selection consumes in place via
+  /// RRRPoolView. No payload is ever copied out (merged_bytes stays 0).
+  void generate(SegmentedPool& pool, std::uint64_t begin, std::uint64_t end,
                 CounterArray* fused);
 
   [[nodiscard]] int num_shards() const noexcept { return config_.shards; }
   [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
 
  private:
+  /// Shared staging engine: plans the round, pins the team, samples every
+  /// slot into `arenas`, then records (worker, ref) pairs into `refs`.
+  void stage(std::vector<ShardArena>& arenas, std::uint64_t begin,
+             std::uint64_t end, CounterArray* fused,
+             std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs);
+
   const CSRGraph& reverse_;
   ShardedConfig config_;
   ShardStats stats_;
+  /// Merge-path staging arenas, persistent so reset() can reuse chunks.
+  std::vector<ShardArena> merge_arenas_;
+  /// Hand-off mode lock (see class comment).
+  enum class HandOff { kUnset, kMerge, kZeroCopy };
+  HandOff mode_ = HandOff::kUnset;
 };
 
 }  // namespace eimm

@@ -107,6 +107,31 @@ void ShardedCounterArray::load_base(const CounterArray& base) {
   }
 }
 
+void ShardedCounterArray::reload_base(const CounterArray& base) {
+  EIMM_CHECK(base.size() >= n_, "base counter smaller than sharded layout");
+  if (n_ == 0) return;
+  const int shards = static_cast<int>(replicas_.size());
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto nthreads = static_cast<std::size_t>(omp_get_num_threads());
+    const auto [begin, end] = block_range(n_, nthreads, tid);
+    const int home = home_shard();
+    for (int s = 0; s < shards; ++s) {
+      CounterSlab slab = local(s);
+      if (s == home) {
+        for (std::size_t i = begin; i < end; ++i) {
+          slab.store(i, base.get(i));
+        }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          slab.store(i, 0);
+        }
+      }
+    }
+  }
+}
+
 std::vector<std::uint64_t> ShardedCounterArray::snapshot() const {
   std::vector<std::uint64_t> out(n_);
   for (std::size_t i = 0; i < n_; ++i) out[i] = get(i);

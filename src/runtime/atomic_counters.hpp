@@ -173,6 +173,13 @@ class ShardedCounterArray {
   /// worker's home replica are assumed zero.
   void load_base(const CounterArray& base);
 
+  /// reset() + load_base() fused into ONE parallel pass: each worker
+  /// writes the base into its home replica and zeroes its vertex block
+  /// in every other replica — the reload the SelectionWorkspace performs
+  /// between martingale probe rounds, without the separate wipe pass
+  /// over the home replica. Works on any prior state.
+  void reload_base(const CounterArray& base);
+
   /// Summed view as a plain vector (tests/inspection).
   [[nodiscard]] std::vector<std::uint64_t> snapshot() const;
 

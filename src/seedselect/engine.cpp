@@ -70,29 +70,84 @@ SelectionEngine::SelectionEngine(SelectionEngineConfig config)
       counter_policy_(config.counter_policy) {}
 
 SelectionResult SelectionEngine::select(SelectionKernel kernel,
-                                        const RRRPool& pool,
+                                        const RRRPoolView& pool,
                                         const SelectionOptions& options,
-                                        const CounterArray* base) const {
+                                        const CounterArray* base,
+                                        SelectionWorkspace* workspace) const {
   // Pin the team first: the same OS threads serve every parallel region
   // the kernel spawns, so one pinning pass places the whole phase (and
   // the sharded replicas' first touch lands on the right domains).
   pin_openmp_team(pin_);
 
+  SelectionOptions sopt = options;
+  if (workspace != nullptr) sopt.alive_scratch = &workspace->alive_;
+
   if (kernel == SelectionKernel::kRipples) {
-    return ripples_select_t<NullMem>(pool, options);
+    return ripples_select_t<NullMem>(pool, sopt);
   }
 
   const VertexId n = pool.num_vertices();
-  SelectionOptions sopt = options;
   sopt.counters_prebuilt = base != nullptr;
-  if (shards_ <= 1) {
-    CounterArray working(n, counter_policy_);
-    if (base != nullptr) copy_base_flat(*base, working);
-    return efficient_select_t<NullMem>(pool, working, sopt);
+
+  if (workspace == nullptr) {
+    // One-shot path: a fresh working layout for this call only.
+    if (shards_ <= 1) {
+      CounterArray working(n, counter_policy_);
+      if (base != nullptr) copy_base_flat(*base, working);
+      return efficient_select_t<NullMem>(pool, working, sopt);
+    }
+    ShardedCounterArray working(n, shards_);
+    if (base != nullptr) working.load_base(*base);
+    return efficient_select_t<NullMem, ShardedCounterArray>(pool, working,
+                                                            sopt);
   }
-  ShardedCounterArray working(n, shards_);
-  if (base != nullptr) working.load_base(*base);
-  return efficient_select_t<NullMem, ShardedCounterArray>(pool, working,
+
+  // Workspace path: allocate the layout once, then reset+reload between
+  // calls. A geometry or configuration change (different n, shard count,
+  // or placement policy) forces a re-allocation — the probe loop never
+  // triggers this, and counter_allocations() exposes it if it happens.
+  SelectionWorkspace& ws = *workspace;
+  const bool fresh = !ws.allocated_ || ws.n_ != n || ws.shards_ != shards_ ||
+                     ws.policy_ != counter_policy_;
+  if (fresh) {
+    ws.n_ = n;
+    ws.shards_ = shards_;
+    ws.policy_ = counter_policy_;
+    ws.flat_ = shards_ <= 1 ? CounterArray(n, counter_policy_)
+                            : CounterArray();
+    ws.sharded_ = shards_ > 1 ? ShardedCounterArray(n, shards_)
+                              : ShardedCounterArray();
+    ws.allocated_ = true;
+    ++ws.counter_allocations_;
+  } else {
+    // Freshly mapped layouts come back zeroed; reused ones must be wiped
+    // before the reload (or the kernel's initial build when no fused
+    // base exists) so probe round N+1 never sees round N's decrements.
+    // With a base present the reload below IS the wipe (copy_base_flat
+    // overwrites every flat slot; reload_base fuses wipe+load for the
+    // sharded layout), so the explicit reset only covers the no-base
+    // case.
+    ++ws.reuses_;
+    if (base == nullptr) {
+      if (shards_ <= 1) {
+        ws.flat_.reset();
+      } else {
+        ws.sharded_.reset();
+      }
+    }
+  }
+  if (shards_ <= 1) {
+    if (base != nullptr) copy_base_flat(*base, ws.flat_);
+    return efficient_select_t<NullMem>(pool, ws.flat_, sopt);
+  }
+  if (base != nullptr) {
+    if (fresh) {
+      ws.sharded_.load_base(*base);  // already zeroed by construction
+    } else {
+      ws.sharded_.reload_base(*base);
+    }
+  }
+  return efficient_select_t<NullMem, ShardedCounterArray>(pool, ws.sharded_,
                                                           sopt);
 }
 

@@ -49,6 +49,43 @@ struct QueryResult;
 /// depending on it — core maps one onto the other).
 enum class SelectionKernel { kEfficient, kRipples };
 
+/// Reusable selection scratch for repeated selections over one growing
+/// pool — the martingale probe loop's answer to "every probe allocates a
+/// fresh counter layout and throws it away" (the PR 4 ROADMAP item).
+/// The engine allocates the working counter layout (flat CounterArray or
+/// ShardedCounterArray replicas, matching its configuration) on FIRST
+/// use, then reset()s and reloads it from the fused base counters on
+/// every subsequent call; the per-set alive flags are likewise reused.
+/// counter_allocations() is the regression hook: one run_imm performs
+/// exactly one layout allocation across all probes plus the final
+/// selection.
+class SelectionWorkspace {
+ public:
+  SelectionWorkspace() = default;
+
+  /// Counter-layout allocations performed so far (1 after any use; a
+  /// value above 1 means the pool geometry or engine config changed
+  /// mid-stream, which the probe loop never does).
+  [[nodiscard]] std::uint64_t counter_allocations() const noexcept {
+    return counter_allocations_;
+  }
+  /// Calls that reused the existing layout via reset+reload.
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+
+ private:
+  friend class SelectionEngine;
+
+  std::size_t n_ = 0;
+  int shards_ = 0;
+  MemPolicy policy_ = MemPolicy::kDefault;
+  bool allocated_ = false;
+  CounterArray flat_;
+  ShardedCounterArray sharded_;
+  std::vector<std::uint8_t> alive_;
+  std::uint64_t counter_allocations_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
 struct SelectionEngineConfig {
   /// Counter replicas for the efficient kernel: 0 resolves
   /// EIMM_COUNTER_SHARDS then the detected NUMA domain count; 1 keeps
@@ -70,14 +107,23 @@ class SelectionEngine {
   /// Effective pin mode (kAuto already resolved against the topology).
   [[nodiscard]] PinMode pin_mode() const noexcept { return pin_; }
 
-  /// Greedy selection over a pool. `base`, when non-null, holds the
-  /// fused initial counters (kernel fusion, Algorithm 3); the engine
-  /// copies them into its working layout and skips the initial build.
-  /// The ripples kernel ignores `base`. Must be called outside any
-  /// OpenMP parallel region (the kernels spawn their own).
-  SelectionResult select(SelectionKernel kernel, const RRRPool& pool,
+  /// Greedy selection over a pool view — the legacy contiguous RRRPool
+  /// or the sharded sampler's SegmentedPool, consumed IN PLACE (both
+  /// convert implicitly; no flattening happens here). `base`, when
+  /// non-null, holds the fused initial counters (kernel fusion,
+  /// Algorithm 3); the engine copies them into its working layout and
+  /// skips the initial build. `workspace`, when non-null, supplies the
+  /// working counter layout and alive flags: allocated on first use,
+  /// reset+reloaded on every later call — callers running repeated
+  /// selections (the martingale probe loop) pass one workspace so the
+  /// whole run performs a single layout allocation. The ripples kernel
+  /// ignores `base` and uses the workspace only for alive flags. Must
+  /// be called outside any OpenMP parallel region (the kernels spawn
+  /// their own).
+  SelectionResult select(SelectionKernel kernel, const RRRPoolView& pool,
                          const SelectionOptions& options,
-                         const CounterArray* base = nullptr) const;
+                         const CounterArray* base = nullptr,
+                         SelectionWorkspace* workspace = nullptr) const;
 
   /// The serve-side kernel (see select_from_store below); member form
   /// for callers already holding an engine.
@@ -86,11 +132,13 @@ class SelectionEngine {
 
   /// Traced variant for the cachesim harness: flat counters only (the
   /// cache model observes the paper's Algorithm 2 layout), no pinning
-  /// (the trace must be schedule-stable). `counters` is required for the
-  /// efficient kernel and ignored by ripples (which keeps thread-local
-  /// counters of its own).
+  /// (the trace must be schedule-stable). Accepts the same pool view as
+  /// select(), so traces run over legacy pools and zero-copy segments
+  /// alike. `counters` is required for the efficient kernel and ignored
+  /// by ripples (which keeps thread-local counters of its own).
   template <typename Mem>
-  SelectionResult select_traced(SelectionKernel kernel, const RRRPool& pool,
+  SelectionResult select_traced(SelectionKernel kernel,
+                                const RRRPoolView& pool,
                                 const SelectionOptions& options,
                                 CounterArray* counters = nullptr) const {
     if (kernel == SelectionKernel::kEfficient) {

@@ -23,9 +23,13 @@
 // Both kernels are templated on a Mem policy that observes every data
 // access (counters, set payloads); NullMem compiles to nothing, and
 // src/cachesim provides a tracing policy that feeds the L1/L2 model for
-// the Table IV reproduction. Both kernels break counter ties toward the
-// lowest vertex id, so they return identical seed sequences on the same
-// pool — a cross-validation the test suite enforces.
+// the Table IV reproduction. They are additionally templated on the Pool
+// storage: the legacy RRRPool or an RRRPoolView (rrr/pool_view.hpp) over
+// shard-local arena segments — the zero-copy hand-off from the sharded
+// sampler. Both kernels break counter ties toward the lowest vertex id,
+// so they return identical seed sequences on the same pool content,
+// whichever storage backs it — a cross-validation the test suite
+// enforces.
 #pragma once
 
 #include <omp.h>
@@ -39,6 +43,7 @@
 #include "runtime/reduction.hpp"
 #include "runtime/work_queue.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/pool_view.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -72,6 +77,11 @@ struct SelectionOptions {
   /// kernel is cross-validated against
   /// (tests/serve/query_engine_test.cpp).
   const std::vector<std::uint8_t>* eligible = nullptr;
+  /// Reusable per-set alive-flag storage: when non-null the kernel uses
+  /// (and fully re-initializes) this vector instead of allocating its
+  /// own — the SelectionWorkspace reuse path for the martingale probe
+  /// loop. Contents on return are the final alive flags.
+  std::vector<std::uint8_t>* alive_scratch = nullptr;
 };
 
 struct SelectionResult {
@@ -97,8 +107,10 @@ namespace detail {
 
 /// Traced iteration over one RRR set: touches the payload the way the
 /// real representation lays it out (vector elements or bitmap words).
-template <typename Mem, typename Fn>
-void for_each_traced(const RRRSet& set, Fn&& fn) {
+/// `SetT` is RRRSet or RRRSetView — both expose the same surface, so the
+/// kernels run unchanged over legacy pools and zero-copy views.
+template <typename Mem, typename SetT, typename Fn>
+void for_each_traced(const SetT& set, Fn&& fn) {
   if (set.repr() == RRRRepr::kVector) {
     const auto& verts = set.vertices();
     for (const VertexId v : verts) {
@@ -115,8 +127,8 @@ void for_each_traced(const RRRSet& set, Fn&& fn) {
 }
 
 /// Traced membership test (binary search probes / single bit test).
-template <typename Mem>
-bool contains_traced(const RRRSet& set, VertexId v) {
+template <typename Mem, typename SetT>
+bool contains_traced(const SetT& set, VertexId v) {
   if (set.repr() == RRRRepr::kVector) {
     const auto& verts = set.vertices();
     std::size_t lo = 0, hi = verts.size();
@@ -165,8 +177,9 @@ ArgMaxResult argmax_counters(const Counters& counters,
 // EfficientIMM kernel (Algorithm 2)
 // ---------------------------------------------------------------------------
 
-template <typename Mem = NullMem, typename Counters = CounterArray>
-SelectionResult efficient_select_t(const RRRPool& pool, Counters& counters,
+template <typename Mem = NullMem, typename Counters = CounterArray,
+          typename PoolT = RRRPool>
+SelectionResult efficient_select_t(const PoolT& pool, Counters& counters,
                                    const SelectionOptions& options) {
   const std::size_t num_sets = pool.size();
   const VertexId n = pool.num_vertices();
@@ -183,7 +196,13 @@ SelectionResult efficient_select_t(const RRRPool& pool, Counters& counters,
 
   SelectionResult result;
   result.total_sets = num_sets;
-  std::vector<std::uint8_t> alive(num_sets, 1);
+  // Alive flags: workspace-provided scratch (assign() fully resets it, so
+  // a reused buffer starts every call from the all-alive state) or a
+  // call-local vector.
+  std::vector<std::uint8_t> own_alive;
+  std::vector<std::uint8_t>& alive =
+      options.alive_scratch != nullptr ? *options.alive_scratch : own_alive;
+  alive.assign(num_sets, 1);
 
   const auto workers = static_cast<std::size_t>(omp_get_max_threads());
 
@@ -294,8 +313,8 @@ SelectionResult efficient_select_t(const RRRPool& pool, Counters& counters,
 // Ripples baseline kernel (§II-B)
 // ---------------------------------------------------------------------------
 
-template <typename Mem = NullMem>
-SelectionResult ripples_select_t(const RRRPool& pool,
+template <typename Mem = NullMem, typename PoolT = RRRPool>
+SelectionResult ripples_select_t(const PoolT& pool,
                                  const SelectionOptions& options) {
   const std::size_t num_sets = pool.size();
   const VertexId n = pool.num_vertices();
@@ -303,7 +322,10 @@ SelectionResult ripples_select_t(const RRRPool& pool,
 
   SelectionResult result;
   result.total_sets = num_sets;
-  std::vector<std::uint8_t> alive(num_sets, 1);
+  std::vector<std::uint8_t> own_alive;
+  std::vector<std::uint8_t>& alive =
+      options.alive_scratch != nullptr ? *options.alive_scratch : own_alive;
+  alive.assign(num_sets, 1);
 
   // Thread-local counters over a static vertex partition. Stored as one
   // flat array indexed by vertex: thread t owns [vl, vh) and only touches
@@ -319,7 +341,7 @@ SelectionResult ripples_select_t(const RRRPool& pool,
     const auto nthreads = static_cast<std::size_t>(omp_get_num_threads());
     const auto [vl, vh] = block_range(n, nthreads, tid);
     for (std::size_t i = 0; i < num_sets; ++i) {
-      const RRRSet& set = pool[i];
+      const auto& set = pool[i];
       if (set.repr() == RRRRepr::kVector) {
         const auto& verts = set.vertices();
         // Binary search for the lower bound of the thread's range...
@@ -377,7 +399,7 @@ SelectionResult ripples_select_t(const RRRPool& pool,
         if (!alive[i]) continue;
         if (!detail::contains_traced<Mem>(pool[i], seed)) continue;
         if (tid == 0) ++covered_count;  // count each set once
-        const RRRSet& set = pool[i];
+        const auto& set = pool[i];
         if (set.repr() == RRRRepr::kVector) {
           const auto& verts = set.vertices();
           std::size_t lo = 0, hi = verts.size();

@@ -32,10 +32,70 @@ SketchStore SketchStore::build(const DiffusionGraph& graph,
   meta.epsilon = options.epsilon;
   meta.theta = pool_build.theta;
   meta.theta_capped = pool_build.theta_capped;
-  // Freezing (flatten + index build + default sequence) honours the same
-  // thread cap as the sampling phase.
+  // Freezing (index build + default sequence) honours the same thread
+  // cap as the sampling phase. No flatten happens here: from_build
+  // adopts the build's storage and serves sketches in place.
   ThreadCountScope thread_scope(options.threads);
-  return from_pool(pool_build.pool, options.k, std::move(meta));
+  return from_build(std::move(pool_build), options.k, std::move(meta));
+}
+
+SketchStore SketchStore::from_build(PoolBuild&& build, std::size_t k_max,
+                                    SketchStoreMeta meta) {
+  const RRRPoolView view = build.view();
+  EIMM_CHECK(view.num_vertices() > 0, "cannot freeze a zero-vertex pool");
+  EIMM_CHECK(k_max > 0, "build-time query cap must be positive");
+  EIMM_CHECK(view.size() < std::numeric_limits<SketchId>::max(),
+             "pool too large for 32-bit sketch ids");
+
+  SketchStore store;
+  store.num_vertices_ = view.num_vertices();
+  store.num_sketches_ = view.size();
+  store.k_max_ = std::min<std::uint64_t>(k_max, view.num_vertices());
+  store.meta_ = std::move(meta);
+
+  // Adopt the storage FIRST (pointers must target the store-owned
+  // containers, not the about-to-die build), then wire one member
+  // pointer per sketch. Vector-represented sets and arena runs are
+  // already sorted contiguous images of themselves; only bitmap sets
+  // need expanding, into one shared side array.
+  const std::size_t count = store.num_sketches_;
+  store.sketch_offsets_.resize(count + 1);
+  store.sketch_offsets_[0] = 0;
+  store.entry_ptrs_.assign(count, nullptr);
+  if (build.segmented) {
+    store.backing_segments_ = std::move(build.segments);
+    for (std::size_t s = 0; s < count; ++s) {
+      const std::span<const VertexId> run = store.backing_segments_.run(s);
+      store.sketch_offsets_[s + 1] = store.sketch_offsets_[s] + run.size();
+      store.entry_ptrs_[s] = run.data();
+    }
+  } else {
+    store.backing_pool_ = std::move(build.pool);
+    std::uint64_t bitmap_vertices = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      const RRRSet& set = store.backing_pool_[s];
+      store.sketch_offsets_[s + 1] = store.sketch_offsets_[s] + set.size();
+      if (set.repr() == RRRRepr::kBitmap) bitmap_vertices += set.size();
+    }
+    // Reserve the exact expansion size up front: entry pointers go live
+    // as we fill, so the array must never reallocate.
+    store.bitmap_expansion_.resize(bitmap_vertices);
+    std::uint64_t cursor = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+      const RRRSet& set = store.backing_pool_[s];
+      if (set.repr() == RRRRepr::kVector) {
+        store.entry_ptrs_[s] = set.vertices().data();
+      } else {
+        store.entry_ptrs_[s] = store.bitmap_expansion_.data() + cursor;
+        set.for_each([&](VertexId v) {
+          store.bitmap_expansion_[cursor++] = v;
+        });
+      }
+    }
+  }
+  store.flat_ = false;
+  store.finalize();
+  return store;
 }
 
 SketchStore SketchStore::from_pool(const RRRPool& pool, std::size_t k_max,
@@ -58,6 +118,7 @@ SketchStore SketchStore::from_pool(const RRRPool& pool, std::size_t k_max,
   FlatPool flat = pool.flatten();
   store.sketch_offsets_ = std::move(flat.offsets);
   store.sketch_vertices_ = std::move(flat.vertices);
+  store.flat_ = true;
   store.finalize();
   return store;
 }
@@ -65,25 +126,27 @@ SketchStore SketchStore::from_pool(const RRRPool& pool, std::size_t k_max,
 void SketchStore::finalize() {
   // Inverted index by counting sort: degree histogram → prefix sum →
   // fill in sketch order, which leaves each vertex's covering list
-  // sorted by sketch id. Derived deterministically from the sketch CSR
-  // both at build and at load — the snapshot never carries it, so the
-  // two indexes cannot disagree no matter what the file contains.
+  // sorted by sketch id. Derived deterministically from the sketch
+  // members both at build and at load — the snapshot never carries it,
+  // so the two indexes cannot disagree no matter what the file contains.
+  // Reads through sketch(), so flat and zero-copy backings produce the
+  // identical index.
   const VertexId n = num_vertices_;
   node_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (const VertexId v : sketch_vertices_) {
-    ++node_offsets_[static_cast<std::size_t>(v) + 1];
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+      ++node_offsets_[static_cast<std::size_t>(v) + 1];
+    }
   }
   for (std::size_t v = 0; v < n; ++v) {
     node_offsets_[v + 1] += node_offsets_[v];
   }
-  node_sketches_.resize(sketch_vertices_.size());
+  node_sketches_.resize(sketch_offsets_.back());
   std::vector<std::uint64_t> cursor(node_offsets_.begin(),
                                     node_offsets_.end() - 1);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (std::uint64_t i = sketch_offsets_[s]; i < sketch_offsets_[s + 1];
-         ++i) {
-      node_sketches_[cursor[sketch_vertices_[i]]++] =
-          static_cast<SketchId>(s);
+    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+      node_sketches_[cursor[v]++] = static_cast<SketchId>(s);
     }
   }
 
@@ -97,9 +160,37 @@ void SketchStore::finalize() {
   default_marginals_ = std::move(seq.marginal_coverage);
 }
 
+std::vector<VertexId> SketchStore::assemble_payload() const {
+  std::vector<VertexId> payload(sketch_offsets_.back());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    const std::span<const VertexId> members =
+        sketch(static_cast<SketchId>(s));
+    std::copy(members.begin(), members.end(),
+              payload.begin() +
+                  static_cast<std::ptrdiff_t>(sketch_offsets_[s]));
+  }
+  return payload;
+}
+
+void SketchStore::materialize_flat() {
+  if (flat_) return;
+  sketch_vertices_ = assemble_payload();
+  flat_ = true;
+  // The backing storage is now redundant; release it so a materialized
+  // store costs the same as a loaded one.
+  entry_ptrs_ = {};
+  backing_pool_ = RRRPool(num_vertices_);
+  backing_segments_ = SegmentedPool();
+  bitmap_expansion_ = {};
+}
+
 std::uint64_t SketchStore::memory_bytes() const noexcept {
   return sketch_offsets_.capacity() * sizeof(std::uint64_t) +
          sketch_vertices_.capacity() * sizeof(VertexId) +
+         entry_ptrs_.capacity() * sizeof(const VertexId*) +
+         backing_pool_.memory_bytes() + backing_segments_.mapped_bytes() +
+         bitmap_expansion_.capacity() * sizeof(VertexId) +
          node_offsets_.capacity() * sizeof(std::uint64_t) +
          node_sketches_.capacity() * sizeof(SketchId) +
          default_seeds_.capacity() * sizeof(VertexId) +
@@ -119,9 +210,31 @@ void SketchStore::save(std::ostream& os) const {
   bin::write_pod(os, static_cast<std::uint8_t>(meta_.theta_capped ? 1 : 0));
   // Primary data only: the inverted index and the default greedy
   // sequence are recomputed by load(), so no snapshot corruption can
-  // make the derived state disagree with the sketches.
+  // make the derived state disagree with the sketches. This is the
+  // point where a deferred-backing store finally pays the flatten — a
+  // transient payload assembled from the in-place spans.
   bin::write_vec(os, sketch_offsets_);
-  bin::write_vec(os, sketch_vertices_);
+  if (flat_) {
+    bin::write_vec(os, sketch_vertices_);
+  } else {
+    bin::write_vec(os, assemble_payload());
+  }
+}
+
+bool operator==(const SketchStore& a, const SketchStore& b) {
+  if (a.num_vertices_ != b.num_vertices_ ||
+      a.num_sketches_ != b.num_sketches_ || a.k_max_ != b.k_max_ ||
+      !(a.meta_ == b.meta_) || a.sketch_offsets_ != b.sketch_offsets_) {
+    return false;
+  }
+  for (std::uint64_t s = 0; s < a.num_sketches_; ++s) {
+    const std::span<const VertexId> sa = a.sketch(static_cast<SketchId>(s));
+    const std::span<const VertexId> sb = b.sketch(static_cast<SketchId>(s));
+    if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void SketchStore::save_file(const std::string& path) const {
@@ -148,6 +261,7 @@ SketchStore SketchStore::load(std::istream& is) {
   store.meta_.theta_capped = capped != 0;
   store.sketch_offsets_ = bin::read_vec<std::uint64_t>(is, kSnapshotWhat);
   store.sketch_vertices_ = bin::read_vec<VertexId>(is, kSnapshotWhat);
+  store.flat_ = true;
 
   // Structural validation of the primary data: a malformed snapshot must
   // fail loudly here, not as UB inside a query. Everything derived (the

@@ -14,10 +14,20 @@
 // plus the precomputed unconstrained greedy sequence up to the build-time
 // cap k_max, so plain top-k queries are an O(k) prefix read.
 //
+// Zero-copy freezing: build() takes ownership of the PoolBuild's storage
+// and serves sketch() spans straight from it — arena runs of the sharded
+// SegmentedPool, or the RRRSets' own sorted vectors (only bitmap sets
+// are expanded, into one side array). The contiguous CSR image is NOT
+// materialized at build time; flatten is deferred to save() (or an
+// explicit materialize_flat()), so build-and-query-only workloads never
+// pay the copy. Stores that come back from load() are flat by nature.
+//
 // Everything is read-only after build/load — queries allocate their own
 // scratch (see QueryEngine) — so any number of threads can serve from one
 // store concurrently. Snapshots round-trip through the eimm::bin
-// primitives of io/binary; save→load→save is bit-identical.
+// primitives of io/binary; save→load→save is bit-identical, and a
+// deferred-backing store compares equal (operator== is logical, not
+// representational) to its own loaded snapshot.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +39,7 @@
 #include "core/imm.hpp"
 #include "graph/types.hpp"
 #include "rrr/pool.hpp"
+#include "rrr/pool_view.hpp"
 
 namespace eimm {
 
@@ -53,14 +64,23 @@ struct SketchStoreMeta {
 class SketchStore {
  public:
   /// Runs the sampling phase (identical to run_imm with Engine::kEfficient
-  /// and the same options) and freezes the resulting pool. options.k is
-  /// the build-time query cap: queries may ask for any k ≤ k_max. The
-  /// cap is clamped to |V| (greedy can never return more seeds).
+  /// and the same options) and freezes the resulting build WITHOUT
+  /// flattening it (see from_build). options.k is the build-time query
+  /// cap: queries may ask for any k ≤ k_max. The cap is clamped to |V|
+  /// (greedy can never return more seeds).
   static SketchStore build(const DiffusionGraph& graph,
                            const ImmOptions& options,
                            std::string workload_label = "");
 
-  /// Freezes an existing pool (test seam and offline conversions).
+  /// Zero-copy freeze: takes ownership of the build's storage (the
+  /// SegmentedPool arenas on the sharded path, the RRRPool otherwise)
+  /// and serves sketches in place. Only bitmap-represented sets are
+  /// expanded; the contiguous image is deferred to save().
+  static SketchStore from_build(PoolBuild&& build, std::size_t k_max,
+                                SketchStoreMeta meta = {});
+
+  /// Freezes a COPY of an existing pool via the contiguous image (test
+  /// seam and offline conversions; the caller keeps the pool).
   static SketchStore from_pool(const RRRPool& pool, std::size_t k_max,
                                SketchStoreMeta meta = {});
 
@@ -73,11 +93,29 @@ class SketchStore {
   [[nodiscard]] std::size_t k_max() const noexcept { return k_max_; }
   [[nodiscard]] const SketchStoreMeta& meta() const noexcept { return meta_; }
 
-  /// Member vertices of sketch `s`, ascending.
+  /// Member vertices of sketch `s`, ascending — served from the flat
+  /// image when one exists, otherwise straight from the owned backing
+  /// storage (zero-copy).
   [[nodiscard]] std::span<const VertexId> sketch(SketchId s) const noexcept {
-    return {sketch_vertices_.data() + sketch_offsets_[s],
-            sketch_vertices_.data() + sketch_offsets_[s + 1]};
+    const std::uint64_t len = sketch_offsets_[s + 1] - sketch_offsets_[s];
+    if (flat_) {
+      return {sketch_vertices_.data() + sketch_offsets_[s], len};
+    }
+    return {entry_ptrs_[s], len};
   }
+
+  /// True when the contiguous CSR image is materialized (always after
+  /// load(); after build() only once save()/materialize_flat() ran).
+  [[nodiscard]] bool flat() const noexcept { return flat_; }
+
+  /// Builds the contiguous image from the backing storage, switches
+  /// sketch() to serve from it, and releases the backing (idempotent).
+  /// NOT safe against concurrent readers: it frees the storage deferred
+  /// sketch() spans point into, so call it before publishing the store
+  /// to serving threads (or rely on save(), which assembles a transient
+  /// payload without touching the backing). Useful to pay the copy once
+  /// before repeated save()s.
+  void materialize_flat();
 
   /// Sketches covering vertex `v`, ascending.
   [[nodiscard]] std::span<const SketchId> covering(VertexId v) const noexcept {
@@ -109,22 +147,39 @@ class SketchStore {
   static SketchStore load(std::istream& is);
   static SketchStore load_file(const std::string& path);
 
-  friend bool operator==(const SketchStore&, const SketchStore&) = default;
+  /// Logical equality: same shape, meta, and per-sketch members —
+  /// independent of which storage backs each side, so a deferred store
+  /// equals its own loaded (flat) snapshot.
+  friend bool operator==(const SketchStore& a, const SketchStore& b);
 
  private:
   SketchStore() = default;
 
   /// Derives the inverted index and the default greedy sequence from the
-  /// sketch CSR (shared by from_pool and load — snapshots carry only the
-  /// primary data).
+  /// sketch members (shared by every construction path — snapshots carry
+  /// only the primary data). Reads through sketch(), so it works over
+  /// flat and deferred backings alike.
   void finalize();
+
+  /// Assembles the contiguous payload from sketch() spans (the deferred
+  /// flatten, shared by save() and materialize_flat()).
+  [[nodiscard]] std::vector<VertexId> assemble_payload() const;
 
   VertexId num_vertices_ = 0;
   std::uint64_t num_sketches_ = 0;
   std::uint64_t k_max_ = 0;
   SketchStoreMeta meta_;
   std::vector<std::uint64_t> sketch_offsets_;  // num_sketches_ + 1
+  /// Contiguous payload; populated iff flat_.
   std::vector<VertexId> sketch_vertices_;
+  bool flat_ = false;
+  /// Deferred backing (used iff !flat_): per-sketch member pointers into
+  /// the owned storage below. Pointers survive moves of the store — the
+  /// containers' heap/mmap allocations never relocate.
+  std::vector<const VertexId*> entry_ptrs_;
+  RRRPool backing_pool_{0};
+  SegmentedPool backing_segments_;
+  std::vector<VertexId> bitmap_expansion_;  // expanded bitmap sets only
   std::vector<std::uint64_t> node_offsets_;  // num_vertices_ + 1
   std::vector<SketchId> node_sketches_;
   std::vector<VertexId> default_seeds_;

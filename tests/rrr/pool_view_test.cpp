@@ -1,0 +1,180 @@
+// The zero-copy hand-off contract: a view over the legacy RRRPool and a
+// view over shard-local SegmentedPool storage holding the SAME sets must
+// be indistinguishable slot-by-slot — size, membership, enumeration
+// order, and the flattened CSR image — because the selection kernels'
+// bit-identical seed guarantee rests on exactly this equivalence. Also
+// covers the ShardArena reset() chunk-reuse semantics the sampler's
+// merge path depends on.
+#include "rrr/pool_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "support/macros.hpp"
+#include "test_util.hpp"
+
+namespace eimm {
+namespace {
+
+/// Builds a SegmentedPool holding the same (sorted) member lists as the
+/// reference pool, staged through `workers` round-robin arenas — the
+/// layout the sharded sampler produces, minus the threads.
+SegmentedPool segment_pool(const RRRPool& reference, std::size_t workers) {
+  SegmentedPool segments(reference.num_vertices());
+  segments.resize(reference.size());
+  segments.ensure_workers(workers);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const std::vector<VertexId> sorted = reference[i].to_vector();
+    ShardArena& arena = segments.arena(i % workers);
+    segments.set_run(i, arena.view(arena.append(sorted)));
+  }
+  return segments;
+}
+
+RRRPool sampled_pool(bool adaptive, std::size_t count = 300) {
+  const DiffusionGraph g = testing::make_weighted_graph(
+      gen_erdos_renyi(400, 2500, 17), DiffusionModel::kIndependentCascade);
+  return testing::sample_pool(g, DiffusionModel::kIndependentCascade, count,
+                              0xFEED, adaptive);
+}
+
+void expect_views_identical(const RRRPoolView& a, const RRRPoolView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.total_vertices(), b.total_vertices());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const RRRSetView sa = a[i];
+    const RRRSetView sb = b[i];
+    ASSERT_EQ(sa.size(), sb.size()) << "slot " << i;
+    std::vector<VertexId> va;
+    std::vector<VertexId> vb;
+    sa.for_each([&](VertexId v) { va.push_back(v); });
+    sb.for_each([&](VertexId v) { vb.push_back(v); });
+    ASSERT_EQ(va, vb) << "slot " << i;
+    EXPECT_TRUE(std::is_sorted(va.begin(), va.end())) << "slot " << i;
+    for (const VertexId v : va) {
+      EXPECT_TRUE(sa.contains(v));
+      EXPECT_TRUE(sb.contains(v));
+    }
+  }
+  const FlatPool fa = a.flatten();
+  const FlatPool fb = b.flatten();
+  EXPECT_EQ(fa.num_vertices, fb.num_vertices);
+  EXPECT_EQ(fa.offsets, fb.offsets);
+  EXPECT_EQ(fa.vertices, fb.vertices);
+}
+
+TEST(RRRPoolView, SegmentBackingMatchesLegacyPoolSlotBySlot) {
+  const RRRPool pool = sampled_pool(/*adaptive=*/false);
+  const SegmentedPool segments = segment_pool(pool, 3);
+  expect_views_identical(RRRPoolView(pool), RRRPoolView(segments));
+}
+
+TEST(RRRPoolView, SegmentBackingMatchesAdaptivePoolWithBitmaps) {
+  // Adaptive pools hold bitmap sets; the segment backing holds sorted
+  // runs — the view must erase the representation difference entirely.
+  const RRRPool pool = sampled_pool(/*adaptive=*/true);
+  ASSERT_GT(pool.bitmap_count(), 0u)
+      << "workload did not produce bitmap sets; raise density";
+  const SegmentedPool segments = segment_pool(pool, 4);
+  const RRRPoolView legacy(pool);
+  const RRRPoolView zero_copy(segments);
+  expect_views_identical(legacy, zero_copy);
+  EXPECT_EQ(legacy.bitmap_count(), pool.bitmap_count());
+  EXPECT_EQ(zero_copy.bitmap_count(), 0u);  // runs are always vectors
+  EXPECT_TRUE(zero_copy.segmented());
+  EXPECT_FALSE(legacy.segmented());
+}
+
+TEST(RRRPoolView, ContainsRejectsNonMembersOnBothBackings) {
+  const RRRPool pool = sampled_pool(/*adaptive=*/false, 50);
+  const SegmentedPool segments = segment_pool(pool, 2);
+  const RRRPoolView a(pool);
+  const RRRPoolView b(segments);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (VertexId v = 0; v < a.num_vertices(); v += 7) {
+      EXPECT_EQ(a[i].contains(v), b[i].contains(v))
+          << "slot " << i << " vertex " << v;
+    }
+  }
+}
+
+TEST(RRRSetView, VerticesSpanMatchesSetVectorRepresentation) {
+  const RRRSet set = RRRSet::make_vector({5, 1, 9, 3});
+  const RRRSetView view(set);
+  EXPECT_EQ(view.repr(), RRRRepr::kVector);
+  ASSERT_EQ(view.vertices().size(), 4u);
+  EXPECT_EQ(view.vertices()[0], 1u);  // make_vector sorts
+  EXPECT_EQ(view.vertices()[3], 9u);
+
+  const std::vector<VertexId> run = {1, 3, 5, 9};
+  const RRRSetView run_view{std::span<const VertexId>(run)};
+  EXPECT_EQ(run_view.repr(), RRRRepr::kVector);
+  EXPECT_EQ(run_view.size(), 4u);
+  EXPECT_TRUE(std::equal(run_view.vertices().begin(),
+                         run_view.vertices().end(), view.vertices().begin()));
+}
+
+// --- ShardArena reset/reuse (the merge path's round-to-round contract) ---
+
+TEST(ShardArena, ResetReusesMappedChunksAcrossRounds) {
+  ShardArena arena(/*chunk_vertices=*/16);
+  std::vector<VertexId> run(10);
+  std::iota(run.begin(), run.end(), 0);
+
+  for (int i = 0; i < 4; ++i) arena.append(run);
+  const std::uint64_t mapped_after_round1 = arena.mapped_bytes();
+  const std::uint64_t staged_after_round1 = arena.staged_bytes();
+  ASSERT_GT(mapped_after_round1, 0u);
+
+  arena.reset();
+  std::vector<ShardArena::Ref> refs;
+  for (int i = 0; i < 4; ++i) refs.push_back(arena.append(run));
+
+  // Same payload volume → no new chunks; staged keeps accumulating.
+  EXPECT_EQ(arena.mapped_bytes(), mapped_after_round1);
+  EXPECT_EQ(arena.staged_bytes(), 2 * staged_after_round1);
+  EXPECT_EQ(arena.runs(), 8u);
+  for (const ShardArena::Ref& ref : refs) {
+    const auto view = arena.view(ref);
+    EXPECT_EQ(std::vector<VertexId>(view.begin(), view.end()), run);
+  }
+}
+
+TEST(ShardArena, ResetKeepsOversizedChunksUsable) {
+  ShardArena arena(/*chunk_vertices=*/4);
+  std::vector<VertexId> giant(100);
+  std::iota(giant.begin(), giant.end(), 0);
+  arena.append({giant.data(), 3});
+  arena.append(giant);  // dedicated oversized chunk
+  const std::uint64_t mapped = arena.mapped_bytes();
+
+  arena.reset();
+  arena.append({giant.data(), 2});
+  const auto ref = arena.append(giant);  // must land in the reused chunk
+  EXPECT_EQ(arena.mapped_bytes(), mapped);
+  const auto view = arena.view(ref);
+  EXPECT_EQ(std::vector<VertexId>(view.begin(), view.end()), giant);
+}
+
+TEST(SegmentedPool, TracksStagedAndMappedBytesAcrossWorkers) {
+  const RRRPool pool = sampled_pool(/*adaptive=*/false, 60);
+  const SegmentedPool segments = segment_pool(pool, 3);
+  EXPECT_EQ(segments.num_workers(), 3u);
+  EXPECT_EQ(segments.staged_bytes(),
+            pool.total_vertices() * sizeof(VertexId));
+  EXPECT_GE(segments.mapped_bytes(), segments.staged_bytes());
+}
+
+TEST(SegmentedPool, NeverShrinks) {
+  SegmentedPool segments(10);
+  segments.resize(5);
+  EXPECT_THROW(segments.resize(3), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -255,6 +255,105 @@ TEST(ShardedSampler, StatsDescribeThePlan) {
   EXPECT_GT(stats.staged_bytes, 0u);
 }
 
+// --- Zero-copy SegmentedPool path ---
+
+TEST(ShardedSampler, ZeroCopyGenerateMatchesSerialReference) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 47);
+  const auto model = DiffusionModel::kIndependentCascade;
+  constexpr std::size_t kSets = 180;
+
+  ShardedSampler sampler(g.reverse, config_for(model, 4));
+  SegmentedPool segments(g.num_vertices());
+  segments.resize(kSets);
+  sampler.generate(segments, 0, kSets, nullptr);
+
+  const RRRPool reference =
+      testing::sample_pool(g, model, kSets, 0xABCD, /*adaptive=*/true);
+  const FlatPool a = RRRPoolView(segments).flatten();
+  const FlatPool b = reference.flatten();
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.vertices, b.vertices);
+
+  // The zero-copy contract: payload staged once, merged never.
+  EXPECT_EQ(sampler.stats().merged_bytes, 0u);
+  EXPECT_EQ(sampler.stats().staged_bytes,
+            reference.total_vertices() * sizeof(VertexId));
+}
+
+TEST(ShardedSampler, ZeroCopyGrowingRangesRetainEarlierRounds) {
+  // The martingale probe loop extends the pool; earlier rounds' entries
+  // must stay valid (the arenas are never reset on this path).
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 53);
+  const auto model = DiffusionModel::kIndependentCascade;
+
+  ShardedSampler sampler(g.reverse, config_for(model, 3));
+  SegmentedPool segments(g.num_vertices());
+  segments.resize(50);
+  sampler.generate(segments, 0, 50, nullptr);
+  const FlatPool first_round = RRRPoolView(segments).flatten();
+  segments.resize(200);
+  sampler.generate(segments, 50, 200, nullptr);
+
+  const RRRPool reference =
+      testing::sample_pool(g, model, 200, 0xABCD, /*adaptive=*/true);
+  const FlatPool grown = RRRPoolView(segments).flatten();
+  const FlatPool whole = reference.flatten();
+  EXPECT_EQ(grown.offsets, whole.offsets);
+  EXPECT_EQ(grown.vertices, whole.vertices);
+  // Round 1's slots are a prefix of the final image, untouched.
+  for (std::size_t i = 0; i < first_round.offsets.size(); ++i) {
+    EXPECT_EQ(grown.offsets[i], first_round.offsets[i]);
+  }
+}
+
+TEST(ShardedSampler, ZeroCopyFusedCountersCountMembership) {
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 59);
+  constexpr std::size_t kSets = 90;
+  ShardedSampler sampler(
+      g.reverse, config_for(DiffusionModel::kIndependentCascade, 4));
+  SegmentedPool segments(g.num_vertices());
+  segments.resize(kSets);
+  CounterArray counters(g.num_vertices());
+  sampler.generate(segments, 0, kSets, &counters);
+
+  std::vector<std::uint64_t> expected(g.num_vertices(), 0);
+  const RRRPoolView view(segments);
+  for (std::size_t i = 0; i < kSets; ++i) {
+    view[i].for_each([&](VertexId v) { ++expected[v]; });
+  }
+  EXPECT_EQ(counters.snapshot(), expected);
+}
+
+TEST(ShardedSampler, MergePathReusesArenaChunksAcrossRounds) {
+  // Round N+1's merge-path staging must reuse the chunks round N mapped:
+  // mapped_bytes plateaus while staged_bytes keeps accumulating, and
+  // every merged byte is accounted.
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 61);
+  // Two workers, one per shard: every worker stages in BOTH rounds, so
+  // the mapped-bytes plateau is deterministic (with more workers than
+  // batches, which workers win batches — and thus map chunks — races).
+  ThreadCountScope scope(2);
+  ShardedSampler sampler(
+      g.reverse, config_for(DiffusionModel::kIndependentCascade, 2));
+  RRRPool pool(g.num_vertices());
+
+  pool.resize(100);
+  sampler.generate(pool, 0, 100, nullptr);
+  const ShardStats round1 = sampler.stats();
+  ASSERT_GT(round1.staged_bytes, 0u);
+  ASSERT_GT(round1.merged_bytes, 0u);
+  EXPECT_EQ(round1.merged_bytes, round1.staged_bytes);
+
+  pool.resize(200);
+  sampler.generate(pool, 100, 200, nullptr);
+  const ShardStats round2 = sampler.stats();
+  EXPECT_GT(round2.staged_bytes, round1.staged_bytes);
+  EXPECT_EQ(round2.merged_bytes, round2.staged_bytes);
+  // Similar round volume → the reused chunks absorb it without mapping
+  // a fresh arena set (chunk granularity is far above these payloads).
+  EXPECT_EQ(round2.mapped_bytes, round1.mapped_bytes);
+}
+
 TEST(ShardedSampler, RejectsInvalidConfigurations) {
   const auto g = small_graph(DiffusionModel::kIndependentCascade, 43);
   ShardedConfig zero_shards =
@@ -272,6 +371,26 @@ TEST(ShardedSampler, RejectsInvalidConfigurations) {
   RRRPool pool(g.num_vertices());
   pool.resize(10);
   EXPECT_THROW(sampler.generate(pool, 0, 11, nullptr), CheckError);
+}
+
+TEST(ShardedSampler, RejectsMixedHandOffModes) {
+  // One sampler, one mode: the cumulative byte accounting is per-mode,
+  // so a merge round on a sampler that already served zero-copy (or
+  // vice versa) must fail loudly rather than pollute the stats.
+  const auto g = small_graph(DiffusionModel::kIndependentCascade, 67);
+  const auto config = config_for(DiffusionModel::kIndependentCascade, 2);
+
+  ShardedSampler zero_copy_first(g.reverse, config);
+  SegmentedPool segments(g.num_vertices());
+  segments.resize(10);
+  zero_copy_first.generate(segments, 0, 10, nullptr);
+  RRRPool pool(g.num_vertices());
+  pool.resize(10);
+  EXPECT_THROW(zero_copy_first.generate(pool, 0, 10, nullptr), CheckError);
+
+  ShardedSampler merge_first(g.reverse, config);
+  merge_first.generate(pool, 0, 10, nullptr);
+  EXPECT_THROW(merge_first.generate(segments, 0, 10, nullptr), CheckError);
 }
 
 }  // namespace

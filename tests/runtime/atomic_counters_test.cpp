@@ -230,6 +230,32 @@ TEST(ShardedCounterArray, SingleShardBehavesLikeFlat) {
   EXPECT_EQ(c.home_shard(), 0);
 }
 
+TEST(ShardedCounterArray, ReloadBaseEqualsResetPlusLoadOnDirtyState) {
+  // The SelectionWorkspace reload contract: whatever a previous probe
+  // round left behind (increments AND cross-replica decrement wraps),
+  // one reload_base() pass must restore the exact base values — fused
+  // wipe+load, bit-identical to the two-pass reset()+load_base().
+  constexpr std::size_t kN = 257;
+  CounterArray base(kN);
+  for (std::size_t i = 0; i < kN; ++i) base.set(i, i * 3 + 1);
+
+  for (const int shards : {1, 2, 4}) {
+    ShardedCounterArray dirty(kN, shards);
+    ShardedCounterArray reference(kN, shards);
+    // Dirty every replica, including below-zero wraps on replica 0.
+    for (int s = 0; s < dirty.shards(); ++s) {
+      for (std::size_t i = 0; i < kN; i += 3) dirty.local(s).increment(i);
+    }
+    for (std::size_t i = 0; i < kN; i += 5) dirty.local(0).decrement(i);
+
+    dirty.reload_base(base);
+    reference.reset();
+    reference.load_base(base);
+    EXPECT_EQ(dirty.snapshot(), reference.snapshot()) << "shards=" << shards;
+    EXPECT_EQ(dirty.snapshot(), base.snapshot()) << "shards=" << shards;
+  }
+}
+
 TEST(ResolveCounterShards, ExplicitRequestWins) {
   ScopedEnv env("EIMM_COUNTER_SHARDS", "7");
   EXPECT_EQ(resolve_counter_shards(3), 3);

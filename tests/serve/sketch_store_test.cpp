@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "seedselect/select.hpp"
@@ -125,6 +126,97 @@ TEST(SketchStore, RejectsDegeneratePools) {
   EXPECT_THROW(SketchStore::from_pool(pool, 0), CheckError);
   const RRRPool empty_vertices(0);
   EXPECT_THROW(SketchStore::from_pool(empty_vertices, 1), CheckError);
+}
+
+// --- Deferred-flatten (zero-copy freeze) semantics ---
+
+ImmOptions deferred_options() {
+  ImmOptions options;
+  options.k = 5;
+  options.rng_seed = 4242;
+  options.max_rrr_sets = 4096;
+  return options;
+}
+
+TEST(SketchStore, BuildDefersFlattenUntilSave) {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.01);
+  const ImmOptions options = deferred_options();
+  const SketchStore store = SketchStore::build(g, options, "deferred");
+  // Build-and-query-only workloads never pay the copy.
+  EXPECT_FALSE(store.flat());
+  EXPECT_GT(store.num_sketches(), 0u);
+
+  // The deferred store must be logically identical to the eager
+  // from_pool freeze of the same build's flattened image.
+  const PoolBuild reference_build =
+      build_rrr_pool(g, options, Engine::kEfficient);
+  RRRPool reference(g.num_vertices());
+  reference.resize(reference_build.size());
+  {
+    const FlatPool flat = reference_build.view().flatten();
+    for (std::size_t s = 0; s < reference.size(); ++s) {
+      reference[s] = RRRSet::make_vector(std::vector<VertexId>(
+          flat.vertices.begin() +
+              static_cast<std::ptrdiff_t>(flat.offsets[s]),
+          flat.vertices.begin() +
+              static_cast<std::ptrdiff_t>(flat.offsets[s + 1])));
+    }
+  }
+  SketchStoreMeta meta = store.meta();
+  const SketchStore eager =
+      SketchStore::from_pool(reference, options.k, std::move(meta));
+  EXPECT_TRUE(eager.flat());
+  EXPECT_TRUE(store == eager);
+  EXPECT_EQ(store.default_seeds(), eager.default_seeds());
+}
+
+TEST(SketchStore, DeferredStoreSavesAndMaterializesIdentically) {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-DBLP", DiffusionModel::kIndependentCascade, 0.01);
+  SketchStore store = SketchStore::build(g, deferred_options(), "dblp");
+  ASSERT_FALSE(store.flat());
+
+  // save() assembles the payload on the fly without materializing.
+  std::stringstream ss;
+  store.save(ss);
+  EXPECT_FALSE(store.flat());
+  const SketchStore loaded = SketchStore::load(ss);
+  EXPECT_TRUE(loaded.flat());
+  EXPECT_TRUE(store == loaded);
+
+  // materialize_flat() switches backing without changing content, and a
+  // second save produces the identical byte stream.
+  store.materialize_flat();
+  EXPECT_TRUE(store.flat());
+  store.materialize_flat();  // idempotent
+  std::stringstream again;
+  store.save(again);
+  EXPECT_EQ(ss.str().substr(0), again.str());
+  EXPECT_TRUE(store == loaded);
+}
+
+TEST(SketchStore, FromBuildAdoptsSegmentedStorageZeroCopy) {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.01);
+  ImmOptions options = deferred_options();
+  options.shards = 3;  // force the SegmentedPool backing
+  PoolBuild build = build_rrr_pool(g, options, Engine::kEfficient);
+  ASSERT_TRUE(build.segmented);
+  const FlatPool expected = build.view().flatten();
+
+  const SketchStore store =
+      SketchStore::from_build(std::move(build), options.k);
+  EXPECT_FALSE(store.flat());
+  ASSERT_EQ(store.num_sketches(), expected.offsets.size() - 1);
+  for (std::uint64_t s = 0; s < store.num_sketches(); ++s) {
+    const auto actual = store.sketch(static_cast<SketchId>(s));
+    ASSERT_EQ(actual.size(), expected.offsets[s + 1] - expected.offsets[s]);
+    EXPECT_TRUE(std::equal(
+        actual.begin(), actual.end(),
+        expected.vertices.begin() +
+            static_cast<std::ptrdiff_t>(expected.offsets[s])));
+  }
 }
 
 }  // namespace

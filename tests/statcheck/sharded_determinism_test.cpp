@@ -43,8 +43,9 @@ TEST(ShardedDeterminism, RepeatedRunsProduceIdenticalCsrImages) {
   const PoolBuild b = build_rrr_pool(g, opt, Engine::kEfficient);
   EXPECT_EQ(a.shards_used, 3);
   EXPECT_EQ(b.shards_used, 3);
-  EXPECT_EQ(a.pool.size(), b.pool.size());
-  expect_flat_equal(a.pool.flatten(), b.pool.flatten());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_GT(a.size(), 0u);
+  expect_flat_equal(a.view().flatten(), b.view().flatten());
 }
 
 TEST(ShardedDeterminism, ShardsOneBitMatchesSerialReferenceSampler) {
@@ -58,8 +59,8 @@ TEST(ShardedDeterminism, ShardsOneBitMatchesSerialReferenceSampler) {
   // The serial reference: one RRR set per index from (seed, index), the
   // contract the pre-sharding path has always satisfied.
   const RRRPool reference = testing::sample_pool(
-      g, opt.model, build.pool.size(), opt.rng_seed, /*adaptive=*/true);
-  expect_flat_equal(build.pool.flatten(), reference.flatten());
+      g, opt.model, build.size(), opt.rng_seed, /*adaptive=*/true);
+  expect_flat_equal(build.view().flatten(), reference.flatten());
 }
 
 TEST(ShardedDeterminism, EnvShardsOneBitMatchesExplicitShardsOne) {
@@ -74,7 +75,7 @@ TEST(ShardedDeterminism, EnvShardsOneBitMatchesExplicitShardsOne) {
   opt.shards = 0;  // defer to the environment
   const PoolBuild via_env = build_rrr_pool(g, opt, Engine::kEfficient);
   EXPECT_EQ(via_env.shards_used, 1);
-  expect_flat_equal(explicit_one.pool.flatten(), via_env.pool.flatten());
+  expect_flat_equal(explicit_one.view().flatten(), via_env.view().flatten());
 }
 
 TEST(ShardedDeterminism, EveryShardCountProducesTheSameImage) {
@@ -83,13 +84,14 @@ TEST(ShardedDeterminism, EveryShardCountProducesTheSameImage) {
   auto opt = statcheck_imm_options(DiffusionModel::kLinearThreshold, 6);
   opt.shards = 1;
   const PoolBuild reference = build_rrr_pool(g, opt, Engine::kEfficient);
-  const FlatPool reference_flat = reference.pool.flatten();
+  const FlatPool reference_flat = reference.view().flatten();
 
   for (const int shards : {2, 3, 5, 8}) {
     opt.shards = shards;
     const PoolBuild sharded = build_rrr_pool(g, opt, Engine::kEfficient);
     EXPECT_EQ(sharded.shards_used, shards);
-    expect_flat_equal(reference_flat, sharded.pool.flatten());
+    ASSERT_TRUE(sharded.segmented);
+    expect_flat_equal(reference_flat, sharded.view().flatten());
   }
 }
 
