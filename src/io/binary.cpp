@@ -12,6 +12,21 @@ namespace detail {
 
 void fail(const std::string& message) { throw CheckError(message); }
 
+void fail_section(const char* reason, const char* section,
+                  std::optional<std::uint64_t> offset) {
+  std::string message = std::string(reason) + ' ' + section;
+  if (offset.has_value()) {
+    message += " at byte offset " + std::to_string(*offset);
+  }
+  throw FormatError(message, section, offset);
+}
+
+std::optional<std::uint64_t> tell(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  return static_cast<std::uint64_t>(pos);
+}
+
 std::optional<std::uint64_t> remaining_bytes(std::istream& is) {
   const std::istream::pos_type pos = is.tellg();
   if (pos == std::istream::pos_type(-1)) return std::nullopt;
@@ -33,22 +48,34 @@ void write_header(std::ostream& os, std::string_view magic,
   write_pod(os, version);
 }
 
-std::uint32_t read_header(std::istream& is, std::string_view magic,
-                          std::uint32_t expected_version, const char* what) {
+std::uint32_t read_header_any(std::istream& is, std::string_view magic,
+                              std::span<const std::uint32_t> accepted,
+                              const char* what) {
   EIMM_CHECK(magic.size() <= 8, "binary magic longer than 8 bytes");
+  EIMM_CHECK(!accepted.empty(), "no accepted versions given");
   char expected[8] = {};
   std::memcpy(expected, magic.data(), magic.size());
   char found[8] = {};
+  const auto at = detail::tell(is);
   is.read(found, sizeof found);
-  detail::require(is.good() && std::memcmp(found, expected, sizeof found) == 0,
-                  "not a recognized ", what);
+  if (!is.good() || std::memcmp(found, expected, sizeof found) != 0) {
+    detail::fail_section("not a recognized", what, at);
+  }
   std::uint32_t version = 0;
   read_pod(is, version, what);
-  if (version != expected_version) {
-    detail::fail(std::string("unsupported version ") +
-                 std::to_string(version) + " of " + what);
+  for (const std::uint32_t v : accepted) {
+    if (version == v) return version;
   }
-  return version;
+  const auto ver_at = detail::tell(is);
+  throw FormatError(std::string("unsupported version ") +
+                        std::to_string(version) + " of " + what,
+                    what, ver_at);
+}
+
+std::uint32_t read_header(std::istream& is, std::string_view magic,
+                          std::uint32_t expected_version, const char* what) {
+  const std::uint32_t accepted[] = {expected_version};
+  return read_header_any(is, magic, accepted, what);
 }
 
 void write_string(std::ostream& os, const std::string& s) {
@@ -59,17 +86,18 @@ void write_string(std::ostream& os, const std::string& s) {
 std::string read_string(std::istream& is, const char* what) {
   std::uint64_t size = 0;
   read_pod(is, size, what);
+  const auto at = detail::tell(is);
   if (const auto left = detail::remaining_bytes(is)) {
-    detail::require(size <= *left, "truncated string in ", what);
+    if (size > *left) detail::fail_section("truncated string in", what, at);
   }
   std::string s;
   try {
     s.resize(size);
   } catch (const std::exception&) {
-    detail::require(false, "implausible string length in ", what);
+    detail::fail_section("implausible string length in", what, at);
   }
   is.read(s.data(), static_cast<std::streamsize>(size));
-  detail::require(is.good(), "truncated string in ", what);
+  if (!is.good()) detail::fail_section("truncated string in", what, at);
   return s;
 }
 
@@ -102,10 +130,10 @@ CSRGraph read_binary_csr(std::istream& is) {
   bin::read_header(is, kCsrMagic, kCsrVersion, kCsrWhat);
   std::uint8_t weighted = 0;
   bin::read_pod(is, weighted, kCsrWhat);
-  auto offsets = bin::read_vec<EdgeId>(is, kCsrWhat);
-  auto targets = bin::read_vec<VertexId>(is, kCsrWhat);
+  auto offsets = bin::read_vec<EdgeId>(is, "graph offsets");
+  auto targets = bin::read_vec<VertexId>(is, "graph targets");
   std::vector<float> weights;
-  if (weighted != 0) weights = bin::read_vec<float>(is, kCsrWhat);
+  if (weighted != 0) weights = bin::read_vec<float>(is, "graph weights");
   return CSRGraph(std::move(offsets), std::move(targets), std::move(weights));
 }
 

@@ -4,14 +4,19 @@
 // The eimm::bin helpers are the shared on-disk vocabulary: every binary
 // format in the project (CSR graphs here, sketch-store snapshots in
 // src/serve) is an 8-byte magic + u32 version header followed by PODs
-// and length-prefixed POD vectors, so truncation and type mismatches
-// fail with a CheckError instead of UB.
+// and length-prefixed POD vectors. Failures throw FormatError (a
+// CheckError subclass) naming the section being read and, on seekable
+// streams, the byte offset where the failing read began — never UB and
+// never a partially populated object: these reads are load-bearing for
+// the mmap'ed snapshot path, where a corrupt length field must not turn
+// into a multi-exabyte allocation or an out-of-bounds pointer.
 #pragma once
 
 #include <cstdint>
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -24,16 +29,44 @@ namespace eimm {
 
 namespace bin {
 
+/// Thrown on every malformed-input path: carries the section name and
+/// the byte offset of the failing read (nullopt on non-seekable
+/// streams). Derives CheckError so existing catch sites keep working.
+class FormatError : public CheckError {
+ public:
+  FormatError(const std::string& message, std::string section,
+              std::optional<std::uint64_t> offset)
+      : CheckError(message),
+        section_(std::move(section)),
+        offset_(offset) {}
+
+  [[nodiscard]] const std::string& section() const noexcept {
+    return section_;
+  }
+  [[nodiscard]] const std::optional<std::uint64_t>& offset() const noexcept {
+    return offset_;
+  }
+
+ private:
+  std::string section_;
+  std::optional<std::uint64_t> offset_;
+};
+
 namespace detail {
 /// Throws CheckError (EIMM_CHECK only takes literal messages; the bin
 /// helpers want the format name in the text).
 [[noreturn]] void fail(const std::string& message);
+/// Throws FormatError: "<reason> <section> at byte offset N".
+[[noreturn]] void fail_section(const char* reason, const char* section,
+                               std::optional<std::uint64_t> offset);
 inline void require(bool ok, const char* prefix, const char* what) {
   if (!ok) fail(std::string(prefix) + what);
 }
+/// Current read position, or nullopt when the stream is not seekable.
+std::optional<std::uint64_t> tell(std::istream& is);
 /// Bytes left between the read position and EOF, or nullopt when the
 /// stream is not seekable. Guards length-prefixed reads: a corrupted
-/// length field must raise CheckError, not a multi-exabyte allocation.
+/// length field must raise FormatError, not a multi-exabyte allocation.
 std::optional<std::uint64_t> remaining_bytes(std::istream& is);
 }  // namespace detail
 
@@ -42,8 +75,15 @@ void write_header(std::ostream& os, std::string_view magic,
                   std::uint32_t version);
 
 /// Reads and validates a header written by write_header. Returns the
-/// stored version; throws CheckError on bad magic or version != expected.
-/// `what` names the format in error messages ("sketch-store snapshot").
+/// stored version; throws FormatError on bad magic or a version not in
+/// `accepted` (version negotiation for formats with several live
+/// revisions — the caller dispatches on the return value). `what` names
+/// the format in error messages ("sketch-store snapshot").
+std::uint32_t read_header_any(std::istream& is, std::string_view magic,
+                              std::span<const std::uint32_t> accepted,
+                              const char* what);
+
+/// Single-version convenience over read_header_any.
 std::uint32_t read_header(std::istream& is, std::string_view magic,
                           std::uint32_t expected_version, const char* what);
 
@@ -56,12 +96,13 @@ void write_pod(std::ostream& os, const T& v) {
 template <typename T>
 void read_pod(std::istream& is, T& v, const char* what = "binary file") {
   static_assert(std::is_trivially_copyable_v<T>);
+  const auto at = detail::tell(is);
   is.read(reinterpret_cast<char*>(&v), sizeof v);
-  detail::require(is.good(), "truncated ", what);
+  if (!is.good()) detail::fail_section("truncated", what, at);
 }
 
 template <typename T>
-void write_vec(std::ostream& os, const std::vector<T>& v) {
+void write_span(std::ostream& os, std::span<const T> v) {
   static_assert(std::is_trivially_copyable_v<T>);
   write_pod(os, static_cast<std::uint64_t>(v.size()));
   os.write(reinterpret_cast<const char*>(v.data()),
@@ -69,23 +110,35 @@ void write_vec(std::ostream& os, const std::vector<T>& v) {
 }
 
 template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_span(os, std::span<const T>(v));
+}
+
+template <typename T>
 std::vector<T> read_vec(std::istream& is, const char* what = "binary file") {
   std::uint64_t size = 0;
   read_pod(is, size, what);
+  const auto at = detail::tell(is);
   if (const auto left = detail::remaining_bytes(is)) {
-    detail::require(size <= *left / sizeof(T), "truncated payload in ", what);
+    // Divide, don't multiply: size * sizeof(T) can wrap u64 for a
+    // corrupt length field, silently passing the bound it should fail.
+    if (size > *left / sizeof(T)) {
+      detail::fail_section("truncated payload in", what, at);
+    }
   }
   std::vector<T> v;
   try {
     v.resize(size);
   } catch (const std::exception&) {
     // Non-seekable stream with a corrupt length: the pre-check above
-    // couldn't run, so keep the CheckError contract here.
-    detail::require(false, "implausible payload length in ", what);
+    // couldn't run, so keep the fail-loudly contract here.
+    detail::fail_section("implausible payload length in", what, at);
   }
   is.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(size * sizeof(T)));
-  detail::require(is.good(), "truncated payload in ", what);
+  // A payload ending exactly at EOF reads clean (eofbit is only set by
+  // reading PAST the end); anything short of the declared length fails.
+  if (!is.good()) detail::fail_section("truncated payload in", what, at);
   return v;
 }
 
@@ -99,7 +152,7 @@ void write_binary_csr(std::ostream& os, const CSRGraph& g);
 void write_binary_csr_file(const std::string& path, const CSRGraph& g);
 
 /// Reads a graph previously written by write_binary_csr. Throws
-/// CheckError on bad magic, version, or truncated payload.
+/// FormatError on bad magic, version, or truncated payload.
 CSRGraph read_binary_csr(std::istream& is);
 CSRGraph read_binary_csr_file(const std::string& path);
 

@@ -171,6 +171,43 @@ std::string write_pipeline_bench_json_file(
   return path;
 }
 
+void write_latency_bench_json(std::ostream& os,
+                              const std::vector<LatencyBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object().kv("Bench", "serve_latency");
+  w.key("Results").begin_array();
+  for (const LatencyBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("LoadMode", r.load_mode)
+        .kv("ColdStartSeconds", r.cold_start_seconds)
+        .kv("BytesMapped", r.bytes_mapped)
+        .kv("BytesCopied", r.bytes_copied)
+        .kv("OfferedQps", r.offered_qps)
+        .kv("AchievedQps", r.achieved_qps)
+        .kv("P50Ms", r.p50_ms)
+        .kv("P99Ms", r.p99_ms)
+        .kv("Requests", r.requests)
+        .kv("Timeouts", r.timeouts)
+        .kv("CacheHits", r.cache_hits)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_latency_bench_json_file(
+    const std::string& path, const std::vector<LatencyBenchResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open bench result file for writing");
+  write_latency_bench_json(os, results);
+  EIMM_CHECK(os.good(), "bench result write failed");
+  return path;
+}
+
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record) {
   std::filesystem::create_directories(dir);

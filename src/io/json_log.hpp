@@ -139,4 +139,32 @@ std::string write_pipeline_bench_json_file(
     const std::string& path, int numa_domains,
     const std::vector<PipelineBenchResult>& results);
 
+/// One row of the serve-latency bench (BENCH_serve_latency.json schema):
+/// request-latency percentiles at one offered load against a store
+/// loaded one way (mmap vs stream), plus the cold-start cost and the
+/// load-stats byte accounting that proves the mmap path copies nothing.
+struct LatencyBenchResult {
+  std::string workload;
+  std::string load_mode;  // "mmap" | "stream"
+  double cold_start_seconds = 0.0;
+  std::uint64_t bytes_mapped = 0;
+  std::uint64_t bytes_copied = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+/// Serializes the sweep as one document:
+/// {"Bench": "serve_latency", "Results": [...]}.
+void write_latency_bench_json(std::ostream& os,
+                              const std::vector<LatencyBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_latency_bench_json_file(
+    const std::string& path, const std::vector<LatencyBenchResult>& results);
+
 }  // namespace eimm

@@ -1,0 +1,74 @@
+#include "io/mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/macros.hpp"
+
+namespace eimm {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw CheckError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile MappedFile::open_readonly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail_errno("cannot open file for mapping", path);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail_errno("cannot stat file for mapping", path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw CheckError("cannot map zero-length file '" + path + "'");
+  }
+
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping pins the inode; the descriptor is no longer needed either
+  // way, so close before checking the result.
+  ::close(fd);
+  if (base == MAP_FAILED) fail_errno("cannot mmap file", path);
+
+  MappedFile file;
+  file.data_ = static_cast<const std::uint8_t*>(base);
+  file.size_ = size;
+  return file;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace eimm

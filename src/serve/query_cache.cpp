@@ -1,0 +1,83 @@
+#include "serve/query_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace eimm {
+
+namespace {
+
+void append_u64(std::string& key, std::uint64_t v) {
+  char raw[sizeof v];
+  std::memcpy(raw, &v, sizeof v);
+  key.append(raw, sizeof raw);
+}
+
+void append_sorted_ids(std::string& key, std::vector<VertexId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  append_u64(key, ids.size());
+  for (const VertexId v : ids) {
+    char raw[sizeof v];
+    std::memcpy(raw, &v, sizeof v);
+    key.append(raw, sizeof raw);
+  }
+}
+
+}  // namespace
+
+std::string QueryCache::make_key(const QueryOptions& query) {
+  std::string key;
+  key.reserve(24 + 4 * (query.candidates.size() + query.forbidden.size()));
+  append_u64(key, query.k);
+  append_sorted_ids(key, query.candidates);
+  append_sorted_ids(key, query.forbidden);
+  return key;
+}
+
+std::optional<QueryResult> QueryCache::lookup(const QueryOptions& query) {
+  if (capacity_ == 0 || !cacheable(query)) return std::nullopt;
+  const std::string key = make_key(query);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void QueryCache::insert(const QueryOptions& query, const QueryResult& result) {
+  if (capacity_ == 0 || !cacheable(query)) return;
+  std::string key = make_key(query);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Deterministic kernel: a re-insert carries the identical result, so
+    // just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, result});
+  index_.emplace(std::move(key), lru_.begin());
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, evictions_, lru_.size()};
+}
+
+void QueryCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace eimm

@@ -1,0 +1,77 @@
+// QueryCache — a bounded LRU over constrained query results.
+//
+// Unconstrained top-k queries are already an O(k) prefix read of the
+// store's precomputed greedy sequence, so caching them buys nothing.
+// Constrained queries (candidate whitelists / forbidden blacklists) run
+// the live greedy kernel — O(k · touched sketches) — and serving
+// workloads repeat them heavily (the same "what if these nodes are
+// excluded" question from many clients). The cache keys on the
+// NORMALIZED query (k + sorted deduplicated candidate/forbidden sets),
+// so permutations and duplicate ids in the request hit the same entry.
+//
+// The store is immutable after load, so entries never go stale; the only
+// eviction is capacity LRU. Thread-safe (one mutex — entries are small
+// and lookups are far cheaper than the kernel they replace).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "serve/query_engine.hpp"
+
+namespace eimm {
+
+class QueryCache {
+ public:
+  /// capacity == 0 disables the cache entirely (lookup always misses,
+  /// insert is a no-op) — the knob a "no caching" deployment sets.
+  explicit QueryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Only constrained queries are worth caching; see the header note.
+  [[nodiscard]] static bool cacheable(const QueryOptions& query) noexcept {
+    return query.constrained();
+  }
+
+  /// Returns the cached result and refreshes its LRU position.
+  [[nodiscard]] std::optional<QueryResult> lookup(const QueryOptions& query);
+
+  /// Inserts (or refreshes) the result for `query`, evicting the least
+  /// recently used entry when at capacity. No-op for uncacheable
+  /// queries and zero-capacity caches.
+  void insert(const QueryOptions& query, const QueryResult& result);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  /// Canonical byte-string key: k, then the sorted deduplicated
+  /// candidate and forbidden id lists (length-prefixed so the two lists
+  /// cannot alias each other).
+  [[nodiscard]] static std::string make_key(const QueryOptions& query);
+
+  struct Entry {
+    std::string key;
+    QueryResult result;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace eimm

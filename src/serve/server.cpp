@@ -1,0 +1,678 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+namespace eimm {
+
+namespace wire {
+
+void WireWriter::str(const std::string& s) {
+  u64(s.size());
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(s.data());
+  buf_.insert(buf_.end(), raw, raw + s.size());
+}
+
+void WireWriter::ids(std::span<const VertexId> v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const VertexId id : v) u32(id);
+}
+
+void WireWriter::counts(std::span<const std::uint64_t> v) {
+  for (const std::uint64_t c : v) u64(c);
+}
+
+void WireReader::need(std::size_t n) const {
+  if (payload_.size() - pos_ < n) {
+    throw CheckError("truncated wire frame: need " + std::to_string(n) +
+                     " more bytes at offset " + std::to_string(pos_) +
+                     " of a " + std::to_string(payload_.size()) +
+                     "-byte payload");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return payload_[pos_++];
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  std::memcpy(&v, payload_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  std::memcpy(&v, payload_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+double WireReader::f64() {
+  need(8);
+  double v = 0;
+  std::memcpy(&v, payload_.data() + pos_, sizeof v);
+  pos_ += sizeof v;
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint64_t size = u64();
+  need(size);
+  std::string s(reinterpret_cast<const char*>(payload_.data() + pos_),
+                static_cast<std::size_t>(size));
+  pos_ += static_cast<std::size_t>(size);
+  return s;
+}
+
+std::vector<VertexId> WireReader::ids() {
+  const std::uint32_t count = u32();
+  need(static_cast<std::size_t>(count) * sizeof(VertexId));
+  std::vector<VertexId> v(count);
+  std::memcpy(v.data(), payload_.data() + pos_, v.size() * sizeof(VertexId));
+  pos_ += v.size() * sizeof(VertexId);
+  return v;
+}
+
+std::vector<std::uint64_t> WireReader::counts(std::size_t n) {
+  need(n * sizeof(std::uint64_t));
+  std::vector<std::uint64_t> v(n);
+  std::memcpy(v.data(), payload_.data() + pos_,
+              v.size() * sizeof(std::uint64_t));
+  pos_ += v.size() * sizeof(std::uint64_t);
+  return v;
+}
+
+void WireReader::expect_done() const {
+  if (pos_ != payload_.size()) {
+    throw CheckError("wire frame carries " +
+                     std::to_string(payload_.size() - pos_) +
+                     " unexpected trailing bytes");
+  }
+}
+
+void encode_query(WireWriter& w, const QueryOptions& query) {
+  w.u64(query.k);
+  w.ids(query.candidates);
+  w.ids(query.forbidden);
+}
+
+QueryOptions decode_query(WireReader& r) {
+  QueryOptions q;
+  q.k = static_cast<std::size_t>(r.u64());
+  q.candidates = r.ids();
+  q.forbidden = r.ids();
+  return q;
+}
+
+void encode_result(WireWriter& w, const QueryResult& result) {
+  w.ids(result.seeds);
+  w.counts(result.marginal_coverage);
+  w.u64(result.covered_sketches);
+  w.u64(result.total_sketches);
+  w.f64(result.estimated_spread);
+}
+
+QueryResult decode_result(WireReader& r) {
+  QueryResult result;
+  result.seeds = r.ids();
+  result.marginal_coverage = r.counts(result.seeds.size());
+  result.covered_sketches = r.u64();
+  result.total_sketches = r.u64();
+  result.estimated_spread = r.f64();
+  return result;
+}
+
+}  // namespace wire
+
+namespace {
+
+using wire::Status;
+using wire::Verb;
+using wire::WireReader;
+using wire::WireWriter;
+
+// --- fd helpers (EINTR-safe, partial-transfer-safe) ---
+
+bool read_exact(int fd, void* buf, std::size_t bytes) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n > 0) {
+      p += n;
+      bytes -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or hard error — the connection is gone
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n > 0) {
+      p += n;
+      bytes -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Reads one length-prefixed frame. Returns false on clean EOF before
+/// the prefix (client hung up); throws on oversized frames.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload) {
+  std::uint32_t bytes = 0;
+  if (!read_exact(fd, &bytes, sizeof bytes)) return false;
+  if (bytes > wire::kMaxFrameBytes) {
+    throw CheckError("wire frame of " + std::to_string(bytes) +
+                     " bytes exceeds the " +
+                     std::to_string(wire::kMaxFrameBytes) + "-byte cap");
+  }
+  payload.resize(bytes);
+  if (bytes > 0 && !read_exact(fd, payload.data(), bytes)) {
+    throw CheckError("connection dropped mid-frame");
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> payload) {
+  const auto bytes = static_cast<std::uint32_t>(payload.size());
+  return write_exact(fd, &bytes, sizeof bytes) &&
+         (payload.empty() ||
+          write_exact(fd, payload.data(), payload.size()));
+}
+
+std::vector<std::uint8_t> status_frame(Status status,
+                                       const std::string& message) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(message);
+  return w.take();
+}
+
+}  // namespace
+
+// --- BatchingExecutor ---
+
+BatchingExecutor::BatchingExecutor(const QueryEngine& engine,
+                                   ExecutorOptions options)
+    : engine_(&engine),
+      options_(options),
+      cache_(options.cache_capacity) {
+  EIMM_CHECK(options_.max_batch > 0, "executor max_batch must be positive");
+  EIMM_CHECK(options_.max_queue > 0, "executor max_queue must be positive");
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+BatchingExecutor::~BatchingExecutor() { stop(); }
+
+std::future<QueryResult> BatchingExecutor::submit(QueryOptions query) {
+  // Validate on the caller's thread: an out-of-range id or oversized k
+  // fails the ONE bad request synchronously instead of poisoning the
+  // whole micro-batch it would have joined (run_batch's serial
+  // pre-validation throws for the entire batch at once).
+  validate_store_query(engine_->store(), query);
+
+  if (auto cached = cache_.lookup(query)) {
+    std::promise<QueryResult> ready;
+    ready.set_value(std::move(*cached));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    ++stats_.cache_hits;
+    return ready.get_future();
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw CheckError("executor is shutting down");
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    throw OverloadError("admission queue full (" +
+                        std::to_string(options_.max_queue) +
+                        " queries pending)");
+  }
+  ++stats_.submitted;
+  queue_.push_back(Pending{std::move(query), std::promise<QueryResult>()});
+  std::future<QueryResult> future = queue_.back().promise.get_future();
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void BatchingExecutor::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+BatchingExecutor::Stats BatchingExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BatchingExecutor::dispatch_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      if (!stopping_ && options_.batch_window.count() > 0 &&
+          queue_.size() < options_.max_batch) {
+        // Coalescing window: wait a beat for concurrent clients to pile
+        // in. Capped by max_batch so a saturated queue dispatches
+        // immediately.
+        cv_.wait_for(lock, options_.batch_window, [this] {
+          return stopping_ || queue_.size() >= options_.max_batch;
+        });
+      }
+      const std::size_t take = std::min(queue_.size(), options_.max_batch);
+      batch.reserve(take);
+      std::move(queue_.begin(),
+                queue_.begin() + static_cast<std::ptrdiff_t>(take),
+                std::back_inserter(batch));
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(take));
+      ++stats_.batches;
+      stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch,
+                                                     batch.size());
+    }
+    run_one_batch(std::move(batch));
+  }
+}
+
+void BatchingExecutor::run_one_batch(std::vector<Pending>&& batch) {
+  std::vector<QueryOptions> queries;
+  queries.reserve(batch.size());
+  for (const Pending& p : batch) queries.push_back(p.query);
+  try {
+    std::vector<QueryResult> results =
+        engine_->run_batch(queries, options_.threads);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      cache_.insert(batch[i].query, results[i]);
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+  } catch (...) {
+    // Queries were validated at submit, so this is an internal failure
+    // (OOM, kernel bug): every waiter in the batch learns about it.
+    for (Pending& p : batch) {
+      p.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+// --- SketchServer ---
+
+SketchServer::SketchServer(const SketchStore& store, ServerOptions options)
+    : store_(&store),
+      engine_(store),
+      options_(std::move(options)),
+      executor_(engine_, options_.executor) {
+  EIMM_CHECK(!options_.socket_path.empty(), "server needs a socket path");
+  EIMM_CHECK(options_.socket_path.size() < sizeof(sockaddr_un{}.sun_path),
+             "socket path too long for AF_UNIX");
+}
+
+SketchServer::~SketchServer() { stop(); }
+
+void SketchServer::start() {
+  EIMM_CHECK(!running_.load(), "server already started");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EIMM_CHECK(listen_fd_ >= 0, "cannot create AF_UNIX socket");
+  ::unlink(options_.socket_path.c_str());  // stale path from a dead server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw CheckError("cannot listen on '" + options_.socket_path +
+                     "': " + detail);
+  }
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void SketchServer::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Poll with a short tick so stop() is observed even when no client
+    // ever connects (accept() alone would block forever).
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void SketchServer::serve_connection(int fd) {
+  std::vector<std::uint8_t> payload;
+  bool shutdown_requested = false;
+  try {
+    while (!stop_requested_.load(std::memory_order_acquire) &&
+           read_frame(fd, payload)) {
+      const std::vector<std::uint8_t> response =
+          handle_request(payload, shutdown_requested);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (!write_frame(fd, response)) break;
+      if (shutdown_requested) break;
+    }
+  } catch (const std::exception& e) {
+    // Frame-level corruption: best-effort error reply, then hang up
+    // (the stream offset is unrecoverable once a frame is malformed).
+    write_frame(fd, status_frame(Status::kError, e.what()));
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    std::erase(conn_fds_, fd);
+  }
+  ::close(fd);
+  if (shutdown_requested) stop();
+}
+
+std::vector<std::uint8_t> SketchServer::handle_request(
+    std::span<const std::uint8_t> payload, bool& shutdown_requested) {
+  WireReader r(payload);
+  WireWriter ok;
+  ok.u8(static_cast<std::uint8_t>(Status::kOk));
+  try {
+    const auto verb = static_cast<Verb>(r.u8());
+    switch (verb) {
+      case Verb::kPing:
+        r.expect_done();
+        return ok.take();
+      case Verb::kTopK: {
+        QueryOptions q;
+        q.k = static_cast<std::size_t>(r.u64());
+        r.expect_done();
+        std::future<QueryResult> f = executor_.submit(std::move(q));
+        if (f.wait_for(options_.request_timeout) !=
+            std::future_status::ready) {
+          return status_frame(Status::kTimeout, "query deadline exceeded");
+        }
+        wire::encode_result(ok, f.get());
+        return ok.take();
+      }
+      case Verb::kSelect: {
+        QueryOptions q = wire::decode_query(r);
+        r.expect_done();
+        std::future<QueryResult> f = executor_.submit(std::move(q));
+        if (f.wait_for(options_.request_timeout) !=
+            std::future_status::ready) {
+          return status_frame(Status::kTimeout, "query deadline exceeded");
+        }
+        wire::encode_result(ok, f.get());
+        return ok.take();
+      }
+      case Verb::kEvaluate: {
+        const std::vector<VertexId> seeds = r.ids();
+        r.expect_done();
+        const MarginalGainResult eval = engine_.evaluate(seeds);
+        ok.u32(static_cast<std::uint32_t>(eval.incremental_coverage.size()));
+        ok.counts(eval.incremental_coverage);
+        ok.u64(eval.covered_sketches);
+        ok.u64(eval.total_sketches);
+        ok.f64(eval.estimated_spread);
+        return ok.take();
+      }
+      case Verb::kBatch: {
+        const std::uint32_t count = r.u32();
+        std::vector<QueryOptions> queries(count);
+        for (QueryOptions& q : queries) q = wire::decode_query(r);
+        r.expect_done();
+        // Submit all before waiting on any: the whole client batch
+        // lands in one coalescing window.
+        std::vector<std::future<QueryResult>> futures;
+        futures.reserve(queries.size());
+        for (QueryOptions& q : queries) {
+          futures.push_back(executor_.submit(std::move(q)));
+        }
+        const auto deadline =
+            std::chrono::steady_clock::now() + options_.request_timeout;
+        std::vector<QueryResult> results;
+        results.reserve(futures.size());
+        for (std::future<QueryResult>& f : futures) {
+          if (f.wait_until(deadline) != std::future_status::ready) {
+            return status_frame(Status::kTimeout,
+                               "batch deadline exceeded");
+          }
+          results.push_back(f.get());
+        }
+        ok.u32(static_cast<std::uint32_t>(results.size()));
+        for (const QueryResult& result : results) {
+          wire::encode_result(ok, result);
+        }
+        return ok.take();
+      }
+      case Verb::kInfo: {
+        r.expect_done();
+        const SketchStoreMeta& meta = store_->meta();
+        const SnapshotLoadStats& load = store_->load_stats();
+        ok.u32(store_->num_vertices());
+        ok.u64(store_->num_sketches());
+        ok.u64(store_->k_max());
+        ok.str(meta.workload);
+        ok.str(meta.model);
+        ok.u8(load.mmap_backed ? 1 : 0);
+        ok.u64(load.bytes_mapped);
+        ok.u64(load.bytes_copied);
+        return ok.take();
+      }
+      case Verb::kShutdown:
+        r.expect_done();
+        shutdown_requested = true;
+        return ok.take();
+    }
+    return status_frame(Status::kError,
+                        "unknown verb " +
+                            std::to_string(static_cast<unsigned>(
+                                payload.empty() ? 255u : payload[0])));
+  } catch (const OverloadError& e) {
+    return status_frame(Status::kOverloaded, e.what());
+  } catch (const std::exception& e) {
+    return status_frame(Status::kError, e.what());
+  }
+}
+
+void SketchServer::stop() {
+  if (stop_requested_.exchange(true, std::memory_order_acq_rel)) {
+    // Second caller (or re-entry from a connection thread): just wait
+    // for the first stop to finish.
+    wait();
+    return;
+  }
+  if (acceptor_.joinable() &&
+      std::this_thread::get_id() != acceptor_.get_id()) {
+    acceptor_.join();
+  }
+  // Unblock connection threads stuck in read(): shutdown() makes their
+  // blocking reads return 0 without yanking the fd out from under them.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers.swap(conn_threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.get_id() == std::this_thread::get_id()) {
+      t.detach();  // stop() reached from this connection's own thread
+    } else if (t.joinable()) {
+      t.join();
+    }
+  }
+  executor_.stop();  // drains admitted queries before returning
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  running_.store(false, std::memory_order_release);
+  // Notify under the lock and make this the last touch of the object: a
+  // waiter in wait() cannot return (and the owner cannot destroy the
+  // server) until this unlock completes.
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  }
+}
+
+void SketchServer::wait() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+// --- SketchClient ---
+
+SketchClient::SketchClient(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EIMM_CHECK(fd_ >= 0, "cannot create AF_UNIX socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw CheckError("cannot connect to sketch_server at '" + socket_path +
+                     "': " + detail);
+  }
+}
+
+SketchClient::~SketchClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::vector<std::uint8_t> SketchClient::roundtrip(
+    std::span<const std::uint8_t> request) {
+  EIMM_CHECK(write_frame(fd_, request), "cannot send request frame");
+  std::vector<std::uint8_t> response;
+  EIMM_CHECK(read_frame(fd_, response),
+             "server closed the connection before replying");
+  return response;
+}
+
+wire::WireReader SketchClient::checked(std::vector<std::uint8_t>& response) {
+  WireReader r{std::span<const std::uint8_t>(response)};
+  const auto status = static_cast<Status>(r.u8());
+  if (status != Status::kOk) {
+    std::string message;
+    try {
+      message = r.str();
+    } catch (const CheckError&) {
+      message = "(no diagnostic)";
+    }
+    const char* kind = status == Status::kTimeout      ? "timeout"
+                       : status == Status::kOverloaded ? "overloaded"
+                                                       : "error";
+    throw CheckError(std::string("server ") + kind + ": " + message);
+  }
+  return r;
+}
+
+void SketchClient::ping() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kPing));
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  checked(response).expect_done();
+}
+
+QueryResult SketchClient::top_k(std::size_t k) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kTopK));
+  w.u64(k);
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  WireReader r = checked(response);
+  QueryResult result = wire::decode_result(r);
+  r.expect_done();
+  return result;
+}
+
+QueryResult SketchClient::select(const QueryOptions& query) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kSelect));
+  wire::encode_query(w, query);
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  WireReader r = checked(response);
+  QueryResult result = wire::decode_result(r);
+  r.expect_done();
+  return result;
+}
+
+std::vector<QueryResult> SketchClient::batch(
+    const std::vector<QueryOptions>& queries) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kBatch));
+  w.u32(static_cast<std::uint32_t>(queries.size()));
+  for (const QueryOptions& q : queries) wire::encode_query(w, q);
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  WireReader r = checked(response);
+  const std::uint32_t count = r.u32();
+  std::vector<QueryResult> results;
+  results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    results.push_back(wire::decode_result(r));
+  }
+  r.expect_done();
+  return results;
+}
+
+SketchClient::Info SketchClient::info() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kInfo));
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  WireReader r = checked(response);
+  Info out;
+  out.num_vertices = r.u32();
+  out.num_sketches = r.u64();
+  out.k_max = r.u64();
+  out.workload = r.str();
+  out.model = r.str();
+  out.mmap_backed = r.u8() != 0;
+  out.bytes_mapped = r.u64();
+  out.bytes_copied = r.u64();
+  r.expect_done();
+  return out;
+}
+
+void SketchClient::shutdown_server() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kShutdown));
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  checked(response).expect_done();
+}
+
+}  // namespace eimm

@@ -1,0 +1,354 @@
+// sketch_server core — a long-lived serving layer over one frozen
+// SketchStore.
+//
+// The paper's build/serve split stops one step short of a service: the
+// CLI re-loads the snapshot per invocation. With v2 snapshots mmap'ed
+// read-only, N server processes share one page-cache copy of the sketch
+// data and cold-start in O(section table), so running the store as a
+// daemon is finally cheaper than running it as a command. This header
+// is that daemon, split into three independently testable layers:
+//
+//   wire        — a length-prefixed little-endian frame codec
+//                 (WireWriter/WireReader over byte buffers; no sockets,
+//                 so protocol tests run without any I/O).
+//   BatchingExecutor — admission control + micro-batching over
+//                 QueryEngine::run_batch. Clients submit single queries;
+//                 a dispatcher thread coalesces whatever arrives within
+//                 a small window (or up to max_batch) into one pinned
+//                 OpenMP batch, amortizing the affinity save/restore and
+//                 team spin-up that dominate singleton run_batch calls.
+//                 Constrained results feed a QueryCache; repeat queries
+//                 skip the kernel entirely.
+//   SketchServer — the AF_UNIX socket front end: acceptor thread +
+//                 thread-per-connection, length-prefixed frames, one
+//                 request/response pair per frame, per-request timeout,
+//                 graceful drain on shutdown.
+//
+// Protocol (all integers little-endian):
+//   frame    := u32 payload_bytes, payload
+//   request  := u8 verb, verb body
+//   response := u8 status, status/verb body
+//
+//   verbs: Ping(0)      — empty; pong (empty kOk body)
+//          TopK(1)      — u64 k
+//          Select(2)    — u64 k, u32 ncand, u32[ncand], u32 nforb,
+//                         u32[nforb]
+//          Evaluate(3)  — u32 nseeds, u32[nseeds]
+//          Batch(4)     — u32 nqueries, nqueries × Select body
+//          Info(5)      — empty
+//          Shutdown(6)  — empty; server drains and exits after replying
+//   status: kOk(0)         — verb-specific body below
+//           kError(1)      — string (u64 length + bytes) diagnostic
+//           kTimeout(2)    — string diagnostic (the query kept running;
+//                            its result is discarded)
+//           kOverloaded(3) — string diagnostic (admission queue full —
+//                            the client should back off and retry)
+//   kOk bodies: query result  := u32 nseeds, u32[nseeds] seeds,
+//                                u64[nseeds] marginals, u64 covered,
+//                                u64 total, f64 spread
+//               batch         := u32 nresults, nresults × query result
+//               evaluate      := u32 n, u64[n] incremental, u64 covered,
+//                                u64 total, f64 spread
+//               info          := u32 |V|, u64 sketches, u64 k_max,
+//                                string workload, string model,
+//                                u8 mmap_backed, u64 bytes_mapped,
+//                                u64 bytes_copied
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_cache.hpp"
+#include "serve/query_engine.hpp"
+#include "support/macros.hpp"
+
+namespace eimm::wire {
+
+enum class Verb : std::uint8_t {
+  kPing = 0,
+  kTopK = 1,
+  kSelect = 2,
+  kEvaluate = 3,
+  kBatch = 4,
+  kInfo = 5,
+  kShutdown = 6,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  kTimeout = 2,
+  kOverloaded = 3,
+};
+
+/// Frames larger than this are rejected on read — a corrupt or hostile
+/// length prefix must not turn into a giant allocation.
+constexpr std::uint32_t kMaxFrameBytes = 1u << 26;
+
+/// Append-only payload builder (the frame length prefix is written by
+/// the transport, not the codec).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void f64(double v) { pod(v); }
+  void str(const std::string& s);
+  void ids(std::span<const VertexId> v);     // u32 count + u32 ids
+  void counts(std::span<const std::uint64_t> v);  // u64 values, NO count
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  template <typename T>
+  void pod(const T& v) {
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), raw, raw + sizeof v);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked payload reader: every underrun (and trailing garbage,
+/// via expect_done) throws CheckError, so a malformed frame becomes a
+/// kError response instead of UB.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> payload)
+      : payload_(payload) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<VertexId> ids();
+  [[nodiscard]] std::vector<std::uint64_t> counts(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return payload_.size() - pos_;
+  }
+  /// Call after the last field: trailing bytes mean a protocol mismatch.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Request/response payload helpers shared by server, client tool and
+/// tests (one encoding, written once).
+void encode_query(WireWriter& w, const QueryOptions& query);
+[[nodiscard]] QueryOptions decode_query(WireReader& r);
+void encode_result(WireWriter& w, const QueryResult& result);
+[[nodiscard]] QueryResult decode_result(WireReader& r);
+
+}  // namespace eimm::wire
+
+namespace eimm {
+
+struct ExecutorOptions {
+  /// Largest batch one dispatch passes to run_batch.
+  std::size_t max_batch = 64;
+  /// How long the dispatcher waits for more queries to coalesce after
+  /// the first arrival. Zero = dispatch immediately (no batching).
+  std::chrono::microseconds batch_window{200};
+  /// Admission bound: submissions beyond this many queued queries are
+  /// rejected (OverloadError) instead of growing the queue without
+  /// bound under overload.
+  std::size_t max_queue = 1024;
+  /// OpenMP threads per dispatched batch (0 = library default).
+  int threads = 0;
+  /// Constrained-result cache entries (0 disables).
+  std::size_t cache_capacity = 256;
+};
+
+/// Thrown by submit() when the admission queue is full.
+class OverloadError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// Micro-batching admission layer over QueryEngine::run_batch.
+/// Thread-safe: any number of producers may submit concurrently.
+class BatchingExecutor {
+ public:
+  BatchingExecutor(const QueryEngine& engine, ExecutorOptions options);
+  /// Drains the queue, then joins the dispatcher.
+  ~BatchingExecutor();
+
+  BatchingExecutor(const BatchingExecutor&) = delete;
+  BatchingExecutor& operator=(const BatchingExecutor&) = delete;
+
+  /// Validates the query against the store (CheckError on bad k / ids —
+  /// the error surfaces HERE, synchronously, never poisoning a batch),
+  /// consults the cache, and otherwise enqueues for the next dispatch.
+  /// Throws OverloadError when the queue is full.
+  [[nodiscard]] std::future<QueryResult> submit(QueryOptions query);
+
+  /// Stops accepting work, drains what was admitted, joins. Idempotent.
+  void stop();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t largest_batch = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] QueryCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  struct Pending {
+    QueryOptions query;
+    std::promise<QueryResult> promise;
+  };
+  void dispatch_loop();
+  void run_one_batch(std::vector<Pending>&& batch);
+
+  const QueryEngine* engine_;
+  ExecutorOptions options_;
+  QueryCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Pending> queue_;
+  bool stopping_ = false;
+  Stats stats_;
+  std::thread dispatcher_;
+};
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket (created on
+  /// start(), unlinked on stop()).
+  std::string socket_path;
+  /// Reply deadline: a query not finished within this window gets a
+  /// kTimeout response (the kernel run is not cancelled — its result is
+  /// discarded).
+  std::chrono::milliseconds request_timeout{2000};
+  ExecutorOptions executor;
+};
+
+/// The socket front end. One acceptor thread, one thread per
+/// connection; all queries funnel through one BatchingExecutor, so
+/// concurrent clients micro-batch into shared kernel dispatches.
+class SketchServer {
+ public:
+  /// Non-owning: store must outlive the server.
+  SketchServer(const SketchStore& store, ServerOptions options);
+  ~SketchServer();
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+
+  /// Binds + listens + spawns the acceptor. Throws CheckError when the
+  /// socket cannot be created (stale paths are unlinked first).
+  void start();
+  /// Initiates shutdown: stops accepting, shuts down live connections,
+  /// drains admitted queries, joins all threads. Idempotent.
+  void stop();
+  /// Blocks until stop() completes (from any thread or a Shutdown verb).
+  void wait();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  [[nodiscard]] BatchingExecutor::Stats executor_stats() const {
+    return executor_.stats();
+  }
+  [[nodiscard]] QueryCache::Stats cache_stats() const {
+    return executor_.cache_stats();
+  }
+  /// Requests served per verb, summed over all connections.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  [[nodiscard]] std::vector<std::uint8_t> handle_request(
+      std::span<const std::uint8_t> payload, bool& shutdown_requested);
+
+  const SketchStore* store_;
+  QueryEngine engine_;
+  ServerOptions options_;
+  BatchingExecutor executor_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::thread acceptor_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+// --- Blocking client-side transport (tools + tests) ---
+/// Connects, frames requests, unframes responses. Synchronous: one
+/// outstanding request at a time per connection.
+class SketchClient {
+ public:
+  /// Throws CheckError when the socket cannot be reached.
+  explicit SketchClient(const std::string& socket_path);
+  ~SketchClient();
+
+  SketchClient(const SketchClient&) = delete;
+  SketchClient& operator=(const SketchClient&) = delete;
+
+  /// Sends one framed request payload, returns the response payload.
+  [[nodiscard]] std::vector<std::uint8_t> roundtrip(
+      std::span<const std::uint8_t> request);
+
+  // Verb conveniences. Non-kOk statuses throw CheckError carrying the
+  // server's diagnostic (so callers never mistake an error frame for an
+  // empty result).
+  void ping();
+  [[nodiscard]] QueryResult top_k(std::size_t k);
+  [[nodiscard]] QueryResult select(const QueryOptions& query);
+  [[nodiscard]] std::vector<QueryResult> batch(
+      const std::vector<QueryOptions>& queries);
+  struct Info {
+    VertexId num_vertices = 0;
+    std::uint64_t num_sketches = 0;
+    std::uint64_t k_max = 0;
+    std::string workload;
+    std::string model;
+    bool mmap_backed = false;
+    std::uint64_t bytes_mapped = 0;
+    std::uint64_t bytes_copied = 0;
+  };
+  [[nodiscard]] Info info();
+  void shutdown_server();
+
+ private:
+  [[nodiscard]] wire::WireReader checked(std::vector<std::uint8_t>& response);
+  int fd_ = -1;
+};
+
+}  // namespace eimm

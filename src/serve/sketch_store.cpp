@@ -1,8 +1,10 @@
 #include "serve/sketch_store.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "diffusion/model.hpp"
@@ -15,8 +17,158 @@ namespace eimm {
 namespace {
 
 constexpr std::string_view kSnapshotMagic = "EIMMSKS";
-constexpr std::uint32_t kSnapshotVersion = 1;
+constexpr std::uint32_t kSnapshotVersionV1 = 1;
+constexpr std::uint32_t kSnapshotVersionV2 = 2;
+constexpr std::uint32_t kAcceptedVersions[] = {kSnapshotVersionV1,
+                                               kSnapshotVersionV2};
 constexpr const char* kSnapshotWhat = "sketch-store snapshot";
+
+// --- v2 on-disk layout ---------------------------------------------------
+// magic(8) version(4) section_count(4) file_bytes(8), then section_count
+// table entries of {u32 id, u32 reserved, u64 offset, u64 bytes}, then
+// the sections themselves, each starting at a kSectionAlign-aligned file
+// offset (zero-padded gaps). Section offsets are absolute, so an mmap of
+// the whole file serves every array in place: page alignment makes the
+// typed reinterpretation valid, and the byte lengths make truncation a
+// section-table error instead of a mid-array surprise.
+enum SectionId : std::uint32_t {
+  kSecMeta = 1,              // bin-encoded scalars + strings
+  kSecSketchOffsets = 2,     // u64[num_sketches + 1]
+  kSecSketchVertices = 3,    // u32[total members]
+  kSecNodeOffsets = 4,       // u64[num_vertices + 1]
+  kSecNodeSketches = 5,      // u32[total members]
+  kSecDefaultSeeds = 6,      // u32[default sequence length]
+  kSecDefaultMarginals = 7,  // u64[default sequence length]
+};
+constexpr std::uint32_t kSectionCount = 7;
+constexpr std::uint64_t kSectionAlign = 4096;
+constexpr std::uint64_t kSectionEntryBytes = 24;
+constexpr std::uint64_t kHeaderBytes =
+    8 + 4 + 4 + 8 + kSectionCount * kSectionEntryBytes;
+
+constexpr const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSecMeta: return "snapshot meta";
+    case kSecSketchOffsets: return "sketch offsets";
+    case kSecSketchVertices: return "sketch vertices";
+    case kSecNodeOffsets: return "node offsets";
+    case kSecNodeSketches: return "node sketches";
+    case kSecDefaultSeeds: return "default seeds";
+    case kSecDefaultMarginals: return "default marginals";
+    default: return "unknown section";
+  }
+}
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+[[noreturn]] void fail_section(const char* reason, const char* section,
+                               std::uint64_t offset) {
+  throw bin::FormatError(std::string(reason) + " (section '" + section +
+                             "') at byte offset " + std::to_string(offset) +
+                             " of " + kSnapshotWhat,
+                         section, offset);
+}
+
+/// Validates one parsed section table: expected ids in order, aligned,
+/// ascending, in-bounds, gap-only overlap-free.
+void check_section_table(const std::vector<SectionEntry>& table,
+                         std::uint64_t file_bytes) {
+  if (table.size() != kSectionCount) {
+    fail_section("wrong section count in", "section table", 12);
+  }
+  std::uint64_t prev_end = kHeaderBytes;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const SectionEntry& s = table[i];
+    const char* name = section_name(s.id);
+    if (s.id != i + 1) fail_section("unexpected section id in", name, s.offset);
+    if (s.offset % kSectionAlign != 0) {
+      fail_section("misaligned section in", name, s.offset);
+    }
+    if (s.offset < prev_end || s.offset > file_bytes ||
+        s.bytes > file_bytes - s.offset) {
+      fail_section("section exceeds file in", name, s.offset);
+    }
+    prev_end = s.offset + s.bytes;
+  }
+  if (prev_end != file_bytes) {
+    fail_section("trailing bytes after last section in", "section table",
+                 prev_end);
+  }
+}
+
+/// Serializes the meta fields with the bin primitives (shared by v1 and
+/// the v2 meta section, which keeps the formats convertible).
+void write_meta_fields(std::ostream& os, VertexId num_vertices,
+                       std::uint64_t num_sketches, std::uint64_t k_max,
+                       const SketchStoreMeta& meta) {
+  bin::write_pod(os, num_vertices);
+  bin::write_pod(os, num_sketches);
+  bin::write_pod(os, k_max);
+  bin::write_string(os, meta.workload);
+  bin::write_string(os, meta.model);
+  bin::write_pod(os, meta.rng_seed);
+  bin::write_pod(os, meta.epsilon);
+  bin::write_pod(os, meta.theta);
+  bin::write_pod(os, static_cast<std::uint8_t>(meta.theta_capped ? 1 : 0));
+}
+
+void read_meta_fields(std::istream& is, VertexId& num_vertices,
+                      std::uint64_t& num_sketches, std::uint64_t& k_max,
+                      SketchStoreMeta& meta) {
+  const char* what = "snapshot meta";
+  bin::read_pod(is, num_vertices, what);
+  bin::read_pod(is, num_sketches, what);
+  bin::read_pod(is, k_max, what);
+  meta.workload = bin::read_string(is, what);
+  meta.model = bin::read_string(is, what);
+  bin::read_pod(is, meta.rng_seed, what);
+  bin::read_pod(is, meta.epsilon, what);
+  bin::read_pod(is, meta.theta, what);
+  std::uint8_t capped = 0;
+  bin::read_pod(is, capped, what);
+  meta.theta_capped = capped != 0;
+}
+
+/// Reads a raw (headerless) array section of exactly `bytes` bytes.
+template <typename T>
+std::vector<T> read_section_array(std::istream& is, std::uint64_t bytes,
+                                  const char* section, std::uint64_t offset) {
+  if (bytes % sizeof(T) != 0) {
+    fail_section("section length not a multiple of the element size in",
+                 section, offset);
+  }
+  std::vector<T> v;
+  try {
+    v.resize(bytes / sizeof(T));
+  } catch (const std::exception&) {
+    fail_section("implausible section length in", section, offset);
+  }
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(bytes));
+  if (!is.good()) fail_section("truncated", section, offset);
+  return v;
+}
+
+/// Types one mapped section. Alignment is guaranteed by the table check
+/// (kSectionAlign-aligned offsets) plus mmap's page-aligned base.
+template <typename T>
+std::span<const T> map_section(const MappedFile& map, const SectionEntry& s) {
+  const char* name = section_name(s.id);
+  if (s.bytes % sizeof(T) != 0) {
+    fail_section("section length not a multiple of the element size in",
+                 name, s.offset);
+  }
+  return {reinterpret_cast<const T*>(map.data() + s.offset),
+          static_cast<std::size_t>(s.bytes / sizeof(T))};
+}
 
 }  // namespace
 
@@ -59,14 +211,15 @@ SketchStore SketchStore::from_build(PoolBuild&& build, std::size_t k_max,
   // already sorted contiguous images of themselves; only bitmap sets
   // need expanding, into one shared side array.
   const std::size_t count = store.num_sketches_;
-  store.sketch_offsets_.resize(count + 1);
-  store.sketch_offsets_[0] = 0;
+  store.sketch_offsets_own_.resize(count + 1);
+  store.sketch_offsets_own_[0] = 0;
   store.entry_ptrs_.assign(count, nullptr);
   if (build.segmented) {
     store.backing_segments_ = std::move(build.segments);
     for (std::size_t s = 0; s < count; ++s) {
       const std::span<const VertexId> run = store.backing_segments_.run(s);
-      store.sketch_offsets_[s + 1] = store.sketch_offsets_[s] + run.size();
+      store.sketch_offsets_own_[s + 1] =
+          store.sketch_offsets_own_[s] + run.size();
       store.entry_ptrs_[s] = run.data();
     }
   } else {
@@ -74,7 +227,8 @@ SketchStore SketchStore::from_build(PoolBuild&& build, std::size_t k_max,
     std::uint64_t bitmap_vertices = 0;
     for (std::size_t s = 0; s < count; ++s) {
       const RRRSet& set = store.backing_pool_[s];
-      store.sketch_offsets_[s + 1] = store.sketch_offsets_[s] + set.size();
+      store.sketch_offsets_own_[s + 1] =
+          store.sketch_offsets_own_[s] + set.size();
       if (set.repr() == RRRRepr::kBitmap) bitmap_vertices += set.size();
     }
     // Reserve the exact expansion size up front: entry pointers go live
@@ -93,6 +247,7 @@ SketchStore SketchStore::from_build(PoolBuild&& build, std::size_t k_max,
       }
     }
   }
+  store.sketch_offsets_ = store.sketch_offsets_own_;
   store.flat_ = false;
   store.finalize();
   return store;
@@ -116,8 +271,10 @@ SketchStore SketchStore::from_pool(const RRRPool& pool, std::size_t k_max,
   store.meta_ = std::move(meta);
 
   FlatPool flat = pool.flatten();
-  store.sketch_offsets_ = std::move(flat.offsets);
-  store.sketch_vertices_ = std::move(flat.vertices);
+  store.sketch_offsets_own_ = std::move(flat.offsets);
+  store.sketch_vertices_own_ = std::move(flat.vertices);
+  store.sketch_offsets_ = store.sketch_offsets_own_;
+  store.sketch_vertices_ = store.sketch_vertices_own_;
   store.flat_ = true;
   store.finalize();
   return store;
@@ -127,28 +284,30 @@ void SketchStore::finalize() {
   // Inverted index by counting sort: degree histogram → prefix sum →
   // fill in sketch order, which leaves each vertex's covering list
   // sorted by sketch id. Derived deterministically from the sketch
-  // members both at build and at load — the snapshot never carries it,
-  // so the two indexes cannot disagree no matter what the file contains.
-  // Reads through sketch(), so flat and zero-copy backings produce the
+  // members at build time (and carried verbatim in v2 snapshots, so a
+  // v2 load skips this entirely — the O(index) cold start). Reads
+  // through sketch(), so flat and zero-copy backings produce the
   // identical index.
   const VertexId n = num_vertices_;
-  node_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  node_offsets_own_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
     for (const VertexId v : sketch(static_cast<SketchId>(s))) {
-      ++node_offsets_[static_cast<std::size_t>(v) + 1];
+      ++node_offsets_own_[static_cast<std::size_t>(v) + 1];
     }
   }
   for (std::size_t v = 0; v < n; ++v) {
-    node_offsets_[v + 1] += node_offsets_[v];
+    node_offsets_own_[v + 1] += node_offsets_own_[v];
   }
-  node_sketches_.resize(sketch_offsets_.back());
-  std::vector<std::uint64_t> cursor(node_offsets_.begin(),
-                                    node_offsets_.end() - 1);
+  node_sketches_own_.resize(sketch_offsets_.back());
+  std::vector<std::uint64_t> cursor(node_offsets_own_.begin(),
+                                    node_offsets_own_.end() - 1);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
     for (const VertexId v : sketch(static_cast<SketchId>(s))) {
-      node_sketches_[cursor[v]++] = static_cast<SketchId>(s);
+      node_sketches_own_[cursor[v]++] = static_cast<SketchId>(s);
     }
   }
+  node_offsets_ = node_offsets_own_;
+  node_sketches_ = node_sketches_own_;
 
   // Precompute the unconstrained greedy sequence once; top-k queries for
   // any k ≤ k_max become prefix reads. Uses the same kernel select()
@@ -156,8 +315,19 @@ void SketchStore::finalize() {
   QueryOptions defaults;
   defaults.k = k_max_;
   QueryResult seq = run_query(*this, defaults);
-  default_seeds_ = std::move(seq.seeds);
-  default_marginals_ = std::move(seq.marginal_coverage);
+  default_seeds_own_ = std::move(seq.seeds);
+  default_marginals_own_ = std::move(seq.marginal_coverage);
+  default_seeds_ = default_seeds_own_;
+  default_marginals_ = default_marginals_own_;
+}
+
+void SketchStore::adopt_owned_views() {
+  sketch_offsets_ = sketch_offsets_own_;
+  sketch_vertices_ = sketch_vertices_own_;
+  node_offsets_ = node_offsets_own_;
+  node_sketches_ = node_sketches_own_;
+  default_seeds_ = default_seeds_own_;
+  default_marginals_ = default_marginals_own_;
 }
 
 std::vector<VertexId> SketchStore::assemble_payload() const {
@@ -175,7 +345,8 @@ std::vector<VertexId> SketchStore::assemble_payload() const {
 
 void SketchStore::materialize_flat() {
   if (flat_) return;
-  sketch_vertices_ = assemble_payload();
+  sketch_vertices_own_ = assemble_payload();
+  sketch_vertices_ = sketch_vertices_own_;
   flat_ = true;
   // The backing storage is now redundant; release it so a materialized
   // store costs the same as a loaded one.
@@ -186,36 +357,94 @@ void SketchStore::materialize_flat() {
 }
 
 std::uint64_t SketchStore::memory_bytes() const noexcept {
-  return sketch_offsets_.capacity() * sizeof(std::uint64_t) +
-         sketch_vertices_.capacity() * sizeof(VertexId) +
+  return sketch_offsets_own_.capacity() * sizeof(std::uint64_t) +
+         sketch_vertices_own_.capacity() * sizeof(VertexId) +
          entry_ptrs_.capacity() * sizeof(const VertexId*) +
          backing_pool_.memory_bytes() + backing_segments_.mapped_bytes() +
          bitmap_expansion_.capacity() * sizeof(VertexId) +
-         node_offsets_.capacity() * sizeof(std::uint64_t) +
-         node_sketches_.capacity() * sizeof(SketchId) +
-         default_seeds_.capacity() * sizeof(VertexId) +
-         default_marginals_.capacity() * sizeof(std::uint64_t);
+         node_offsets_own_.capacity() * sizeof(std::uint64_t) +
+         node_sketches_own_.capacity() * sizeof(SketchId) +
+         default_seeds_own_.capacity() * sizeof(VertexId) +
+         default_marginals_own_.capacity() * sizeof(std::uint64_t);
 }
 
 void SketchStore::save(std::ostream& os) const {
-  bin::write_header(os, kSnapshotMagic, kSnapshotVersion);
-  bin::write_pod(os, num_vertices_);
-  bin::write_pod(os, num_sketches_);
-  bin::write_pod(os, k_max_);
-  bin::write_string(os, meta_.workload);
-  bin::write_string(os, meta_.model);
-  bin::write_pod(os, meta_.rng_seed);
-  bin::write_pod(os, meta_.epsilon);
-  bin::write_pod(os, meta_.theta);
-  bin::write_pod(os, static_cast<std::uint8_t>(meta_.theta_capped ? 1 : 0));
-  // Primary data only: the inverted index and the default greedy
-  // sequence are recomputed by load(), so no snapshot corruption can
-  // make the derived state disagree with the sketches. This is the
-  // point where a deferred-backing store finally pays the flatten — a
-  // transient payload assembled from the in-place spans.
-  bin::write_vec(os, sketch_offsets_);
+  // Meta section first (the loader needs the counts before the arrays).
+  std::ostringstream meta_os(std::ios::binary);
+  write_meta_fields(meta_os, num_vertices_, num_sketches_, k_max_, meta_);
+  const std::string meta_blob = meta_os.str();
+
+  // This is the point where a deferred-backing store finally pays the
+  // flatten — a transient payload assembled from the in-place spans.
+  std::vector<VertexId> transient;
+  std::span<const VertexId> payload = sketch_vertices_;
+  if (!flat_) {
+    transient = assemble_payload();
+    payload = transient;
+  }
+
+  struct Blob {
+    std::uint32_t id;
+    const void* data;
+    std::uint64_t bytes;
+  };
+  const Blob blobs[kSectionCount] = {
+      {kSecMeta, meta_blob.data(), meta_blob.size()},
+      {kSecSketchOffsets, sketch_offsets_.data(),
+       sketch_offsets_.size_bytes()},
+      {kSecSketchVertices, payload.data(), payload.size_bytes()},
+      {kSecNodeOffsets, node_offsets_.data(), node_offsets_.size_bytes()},
+      {kSecNodeSketches, node_sketches_.data(),
+       node_sketches_.size_bytes()},
+      {kSecDefaultSeeds, default_seeds_.data(),
+       default_seeds_.size_bytes()},
+      {kSecDefaultMarginals, default_marginals_.data(),
+       default_marginals_.size_bytes()},
+  };
+
+  std::uint64_t offsets[kSectionCount];
+  std::uint64_t cursor = kHeaderBytes;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    cursor = align_up(cursor, kSectionAlign);
+    offsets[i] = cursor;
+    cursor += blobs[i].bytes;
+  }
+  const std::uint64_t file_bytes = cursor;
+
+  bin::write_header(os, kSnapshotMagic, kSnapshotVersionV2);
+  bin::write_pod(os, kSectionCount);
+  bin::write_pod(os, file_bytes);
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    bin::write_pod(os, blobs[i].id);
+    bin::write_pod(os, std::uint32_t{0});  // reserved
+    bin::write_pod(os, offsets[i]);
+    bin::write_pod(os, blobs[i].bytes);
+  }
+
+  static const char zeros[kSectionAlign] = {};
+  std::uint64_t written = kHeaderBytes;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    for (std::uint64_t pad = offsets[i] - written; pad > 0;) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(pad, sizeof zeros);
+      os.write(zeros, static_cast<std::streamsize>(chunk));
+      pad -= chunk;
+    }
+    if (blobs[i].bytes > 0) {
+      os.write(static_cast<const char*>(blobs[i].data),
+               static_cast<std::streamsize>(blobs[i].bytes));
+    }
+    written = offsets[i] + blobs[i].bytes;
+  }
+}
+
+void SketchStore::save_legacy_v1(std::ostream& os) const {
+  bin::write_header(os, kSnapshotMagic, kSnapshotVersionV1);
+  write_meta_fields(os, num_vertices_, num_sketches_, k_max_, meta_);
+  // Primary data only, length-prefixed: v1 loaders recompute the
+  // derived index and default sequence.
+  bin::write_span(os, sketch_offsets_);
   if (flat_) {
-    bin::write_vec(os, sketch_vertices_);
+    bin::write_span(os, sketch_vertices_);
   } else {
     bin::write_vec(os, assemble_payload());
   }
@@ -224,7 +453,9 @@ void SketchStore::save(std::ostream& os) const {
 bool operator==(const SketchStore& a, const SketchStore& b) {
   if (a.num_vertices_ != b.num_vertices_ ||
       a.num_sketches_ != b.num_sketches_ || a.k_max_ != b.k_max_ ||
-      !(a.meta_ == b.meta_) || a.sketch_offsets_ != b.sketch_offsets_) {
+      !(a.meta_ == b.meta_) ||
+      !std::equal(a.sketch_offsets_.begin(), a.sketch_offsets_.end(),
+                  b.sketch_offsets_.begin(), b.sketch_offsets_.end())) {
     return false;
   }
   for (std::uint64_t s = 0; s < a.num_sketches_; ++s) {
@@ -244,35 +475,125 @@ void SketchStore::save_file(const std::string& path) const {
   EIMM_CHECK(os.good(), "snapshot write failed");
 }
 
-SketchStore SketchStore::load(std::istream& is) {
-  bin::read_header(is, kSnapshotMagic, kSnapshotVersion, kSnapshotWhat);
+void SketchStore::validate_structure() const {
+  // Shape checks only — O(sections + θ + |V| + k), no pool-sized scan.
+  // A malformed snapshot must fail loudly here, not as UB inside a
+  // query.
+  EIMM_CHECK(num_vertices_ > 0, "snapshot holds a zero-vertex store");
+  EIMM_CHECK(k_max_ > 0, "snapshot holds a zero query cap");
+  EIMM_CHECK(k_max_ <= num_vertices_,
+             "snapshot query cap exceeds the vertex count");
+  EIMM_CHECK(num_sketches_ < std::numeric_limits<SketchId>::max(),
+             "snapshot sketch count overflows 32-bit sketch ids");
+  EIMM_CHECK(sketch_offsets_.size() == num_sketches_ + 1,
+             "snapshot sketch offsets inconsistent with sketch count");
+  EIMM_CHECK(sketch_offsets_.front() == 0 &&
+                 sketch_offsets_.back() == sketch_vertices_.size(),
+             "snapshot sketch offsets do not span the vertex payload");
+  for (std::size_t i = 1; i < sketch_offsets_.size(); ++i) {
+    EIMM_CHECK(sketch_offsets_[i] >= sketch_offsets_[i - 1],
+               "snapshot sketch offsets decrease");
+  }
+  EIMM_CHECK(node_offsets_.size() ==
+                 static_cast<std::size_t>(num_vertices_) + 1,
+             "snapshot node offsets inconsistent with vertex count");
+  EIMM_CHECK(node_offsets_.front() == 0 &&
+                 node_offsets_.back() == node_sketches_.size(),
+             "snapshot node offsets do not span the inverted index");
+  for (std::size_t i = 1; i < node_offsets_.size(); ++i) {
+    EIMM_CHECK(node_offsets_[i] >= node_offsets_[i - 1],
+               "snapshot node offsets decrease");
+  }
+  EIMM_CHECK(node_sketches_.size() == sketch_vertices_.size(),
+             "snapshot inverted index size disagrees with the payload");
+  EIMM_CHECK(default_seeds_.size() == default_marginals_.size(),
+             "snapshot default sequence arrays disagree in length");
+  EIMM_CHECK(default_seeds_.size() <= k_max_,
+             "snapshot default sequence exceeds the query cap");
+  for (const VertexId v : default_seeds_) {
+    EIMM_CHECK(v < num_vertices_, "snapshot default seed out of range");
+  }
+}
 
+void SketchStore::validate_payload() const {
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    for (std::uint64_t i = sketch_offsets_[s]; i < sketch_offsets_[s + 1];
+         ++i) {
+      EIMM_CHECK(sketch_vertices_[i] < num_vertices_,
+                 "snapshot sketch member out of range");
+      // Strictly ascending runs are the sketch() contract — and rule out
+      // duplicate members, which would double-count coverage.
+      EIMM_CHECK(i == sketch_offsets_[s] ||
+                     sketch_vertices_[i - 1] < sketch_vertices_[i],
+                 "snapshot sketch members not strictly ascending");
+    }
+  }
+  for (const SketchId s : node_sketches_) {
+    EIMM_CHECK(s < num_sketches_,
+               "snapshot inverted-index entry out of range");
+  }
+}
+
+void SketchStore::validate_derived() const {
+  // Recompute the inverted index exactly as finalize() would and compare
+  // against the carried arrays: a v2 snapshot whose derived state was
+  // tampered with (or bit-rotted) must not serve wrong covering lists.
+  const VertexId n = num_vertices_;
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+      ++offsets[static_cast<std::size_t>(v) + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  EIMM_CHECK(std::equal(offsets.begin(), offsets.end(),
+                        node_offsets_.begin(), node_offsets_.end()),
+             "snapshot inverted index disagrees with the sketch payload");
+  std::vector<SketchId> sketches(node_sketches_.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+      sketches[cursor[v]++] = static_cast<SketchId>(s);
+    }
+  }
+  EIMM_CHECK(std::equal(sketches.begin(), sketches.end(),
+                        node_sketches_.begin(), node_sketches_.end()),
+             "snapshot inverted index disagrees with the sketch payload");
+
+  // And the default greedy sequence: rerun the kernel over the loaded
+  // store and require the carried prefix to match.
+  QueryOptions defaults;
+  defaults.k = k_max_;
+  const QueryResult seq = run_query(*this, defaults);
+  EIMM_CHECK(std::equal(seq.seeds.begin(), seq.seeds.end(),
+                        default_seeds_.begin(), default_seeds_.end()),
+             "snapshot default seed sequence disagrees with the kernel");
+  EIMM_CHECK(std::equal(seq.marginal_coverage.begin(),
+                        seq.marginal_coverage.end(),
+                        default_marginals_.begin(),
+                        default_marginals_.end()),
+             "snapshot default marginals disagree with the kernel");
+}
+
+SketchStore SketchStore::load_v1(std::istream& is) {
   SketchStore store;
-  bin::read_pod(is, store.num_vertices_, kSnapshotWhat);
-  bin::read_pod(is, store.num_sketches_, kSnapshotWhat);
-  bin::read_pod(is, store.k_max_, kSnapshotWhat);
-  store.meta_.workload = bin::read_string(is, kSnapshotWhat);
-  store.meta_.model = bin::read_string(is, kSnapshotWhat);
-  bin::read_pod(is, store.meta_.rng_seed, kSnapshotWhat);
-  bin::read_pod(is, store.meta_.epsilon, kSnapshotWhat);
-  bin::read_pod(is, store.meta_.theta, kSnapshotWhat);
-  std::uint8_t capped = 0;
-  bin::read_pod(is, capped, kSnapshotWhat);
-  store.meta_.theta_capped = capped != 0;
-  store.sketch_offsets_ = bin::read_vec<std::uint64_t>(is, kSnapshotWhat);
-  store.sketch_vertices_ = bin::read_vec<VertexId>(is, kSnapshotWhat);
+  read_meta_fields(is, store.num_vertices_, store.num_sketches_,
+                   store.k_max_, store.meta_);
+  store.sketch_offsets_own_ =
+      bin::read_vec<std::uint64_t>(is, section_name(kSecSketchOffsets));
+  store.sketch_vertices_own_ =
+      bin::read_vec<VertexId>(is, section_name(kSecSketchVertices));
   store.flat_ = true;
+  store.sketch_offsets_ = store.sketch_offsets_own_;
+  store.sketch_vertices_ = store.sketch_vertices_own_;
 
-  // Structural validation of the primary data: a malformed snapshot must
-  // fail loudly here, not as UB inside a query. Everything derived (the
-  // inverted index, the default sequence) is rebuilt below from the
-  // validated arrays, so no cross-index inconsistency can survive.
+  // v1 carries primary data only: validate it, then rebuild the derived
+  // state, so no cross-index inconsistency can survive a load.
   EIMM_CHECK(store.num_vertices_ > 0, "snapshot holds a zero-vertex store");
   EIMM_CHECK(store.k_max_ > 0, "snapshot holds a zero query cap");
   EIMM_CHECK(store.k_max_ <= store.num_vertices_,
              "snapshot query cap exceeds the vertex count");
-  EIMM_CHECK(store.num_sketches_ <
-                 std::numeric_limits<SketchId>::max(),
+  EIMM_CHECK(store.num_sketches_ < std::numeric_limits<SketchId>::max(),
              "snapshot sketch count overflows 32-bit sketch ids");
   EIMM_CHECK(store.sketch_offsets_.size() == store.num_sketches_ + 1,
              "snapshot sketch offsets inconsistent with sketch count");
@@ -289,8 +610,6 @@ SketchStore SketchStore::load(std::istream& is) {
          i < store.sketch_offsets_[s + 1]; ++i) {
       EIMM_CHECK(store.sketch_vertices_[i] < store.num_vertices_,
                  "snapshot sketch member out of range");
-      // Strictly ascending runs are the sketch() contract — and rule out
-      // duplicate members, which would double-count coverage.
       EIMM_CHECK(i == store.sketch_offsets_[s] ||
                      store.sketch_vertices_[i - 1] < store.sketch_vertices_[i],
                  "snapshot sketch members not strictly ascending");
@@ -304,13 +623,205 @@ SketchStore SketchStore::load(std::istream& is) {
     // allocation — keep the fail-loudly contract.
     EIMM_CHECK(false, "snapshot vertex count implausibly large");
   }
+  store.load_stats_.version = kSnapshotVersionV1;
+  store.load_stats_.bytes_copied =
+      store.sketch_offsets_.size_bytes() + store.sketch_vertices_.size_bytes();
   return store;
 }
 
-SketchStore SketchStore::load_file(const std::string& path) {
+SketchStore SketchStore::load_v2_stream(std::istream& is) {
+  // Magic + version were consumed by the caller; position is 12.
+  std::uint32_t section_count = 0;
+  std::uint64_t file_bytes = 0;
+  bin::read_pod(is, section_count, "section table");
+  bin::read_pod(is, file_bytes, "section table");
+  if (section_count != kSectionCount) {
+    fail_section("wrong section count in", "section table", 12);
+  }
+  if (const auto remaining = bin::detail::remaining_bytes(is)) {
+    // Seekable stream: the declared length must match reality, so a
+    // truncation anywhere (even inside inter-section padding) fails
+    // here instead of at the first short section read.
+    if (*remaining + 24 != file_bytes) {
+      fail_section("truncated file in", "section table", *remaining + 24);
+    }
+  }
+  std::vector<SectionEntry> table(kSectionCount);
+  for (SectionEntry& s : table) {
+    std::uint32_t reserved = 0;
+    bin::read_pod(is, s.id, "section table");
+    bin::read_pod(is, reserved, "section table");
+    bin::read_pod(is, s.offset, "section table");
+    bin::read_pod(is, s.bytes, "section table");
+  }
+  check_section_table(table, file_bytes);
+
+  SketchStore store;
+  std::uint64_t pos = kHeaderBytes;
+  for (const SectionEntry& s : table) {
+    const char* name = section_name(s.id);
+    is.ignore(static_cast<std::streamsize>(s.offset - pos));
+    if (!is.good()) fail_section("truncated padding before", name, pos);
+    switch (s.id) {
+      case kSecMeta: {
+        std::string blob(s.bytes, '\0');
+        is.read(blob.data(), static_cast<std::streamsize>(s.bytes));
+        if (!is.good()) fail_section("truncated", name, s.offset);
+        std::istringstream meta_is(blob);
+        read_meta_fields(meta_is, store.num_vertices_, store.num_sketches_,
+                         store.k_max_, store.meta_);
+        break;
+      }
+      case kSecSketchOffsets:
+        store.sketch_offsets_own_ =
+            read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        break;
+      case kSecSketchVertices:
+        store.sketch_vertices_own_ =
+            read_section_array<VertexId>(is, s.bytes, name, s.offset);
+        break;
+      case kSecNodeOffsets:
+        store.node_offsets_own_ =
+            read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        break;
+      case kSecNodeSketches:
+        store.node_sketches_own_ =
+            read_section_array<SketchId>(is, s.bytes, name, s.offset);
+        break;
+      case kSecDefaultSeeds:
+        store.default_seeds_own_ =
+            read_section_array<VertexId>(is, s.bytes, name, s.offset);
+        break;
+      case kSecDefaultMarginals:
+        store.default_marginals_own_ =
+            read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        break;
+      default: fail_section("unexpected", name, s.offset);
+    }
+    pos = s.offset + s.bytes;
+  }
+  store.flat_ = true;
+  store.adopt_owned_views();
+  store.load_stats_.version = kSnapshotVersionV2;
+  store.load_stats_.file_bytes = file_bytes;
+  for (const SectionEntry& s : table) {
+    store.load_stats_.bytes_copied += s.bytes;
+  }
+  store.validate_structure();
+  store.validate_payload();
+  return store;
+}
+
+SketchStore SketchStore::load_v2_mapped(MappedFile mapping,
+                                        const std::string& path) {
+  const std::uint8_t* base = mapping.data();
+  const std::uint64_t size = mapping.size();
+  if (size < kHeaderBytes) {
+    fail_section("truncated header in", "section table", size);
+  }
+  char expected[8] = {};
+  std::memcpy(expected, kSnapshotMagic.data(), kSnapshotMagic.size());
+  if (std::memcmp(base, expected, sizeof expected) != 0) {
+    throw bin::FormatError(std::string("not a recognized ") + kSnapshotWhat +
+                               " ('" + path + "')",
+                           "header", 0);
+  }
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_bytes = 0;
+  std::memcpy(&version, base + 8, sizeof version);
+  std::memcpy(&section_count, base + 12, sizeof section_count);
+  std::memcpy(&file_bytes, base + 16, sizeof file_bytes);
+  if (version != kSnapshotVersionV2) {
+    fail_section("unmappable snapshot version in", "header", 8);
+  }
+  if (section_count != kSectionCount) {
+    fail_section("wrong section count in", "section table", 12);
+  }
+  if (file_bytes != size) {
+    // The declared length is the truncation guard: a file cut anywhere
+    // (payload, padding, table) disagrees with its own header.
+    fail_section("truncated file in", "section table", size);
+  }
+  std::vector<SectionEntry> table(kSectionCount);
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const std::uint8_t* entry = base + 24 + i * kSectionEntryBytes;
+    std::memcpy(&table[i].id, entry, sizeof table[i].id);
+    std::memcpy(&table[i].offset, entry + 8, sizeof table[i].offset);
+    std::memcpy(&table[i].bytes, entry + 16, sizeof table[i].bytes);
+  }
+  check_section_table(table, file_bytes);
+
+  SketchStore store;
+  {
+    const SectionEntry& s = table[kSecMeta - 1];
+    std::istringstream meta_is(
+        std::string(reinterpret_cast<const char*>(base + s.offset),
+                    static_cast<std::size_t>(s.bytes)));
+    try {
+      read_meta_fields(meta_is, store.num_vertices_, store.num_sketches_,
+                       store.k_max_, store.meta_);
+    } catch (const bin::FormatError&) {
+      fail_section("malformed", section_name(kSecMeta), s.offset);
+    }
+  }
+  store.sketch_offsets_ =
+      map_section<std::uint64_t>(mapping, table[kSecSketchOffsets - 1]);
+  store.sketch_vertices_ =
+      map_section<VertexId>(mapping, table[kSecSketchVertices - 1]);
+  store.node_offsets_ =
+      map_section<std::uint64_t>(mapping, table[kSecNodeOffsets - 1]);
+  store.node_sketches_ =
+      map_section<SketchId>(mapping, table[kSecNodeSketches - 1]);
+  store.default_seeds_ =
+      map_section<VertexId>(mapping, table[kSecDefaultSeeds - 1]);
+  store.default_marginals_ =
+      map_section<std::uint64_t>(mapping, table[kSecDefaultMarginals - 1]);
+  store.flat_ = true;
+  store.mapping_ = std::move(mapping);
+  store.load_stats_.version = kSnapshotVersionV2;
+  store.load_stats_.mmap_backed = true;
+  store.load_stats_.file_bytes = file_bytes;
+  store.load_stats_.bytes_mapped = size;
+  store.load_stats_.bytes_copied = 0;
+  store.validate_structure();
+  return store;
+}
+
+SketchStore SketchStore::load(std::istream& is) {
+  const std::uint32_t version =
+      bin::read_header_any(is, kSnapshotMagic, kAcceptedVersions,
+                           kSnapshotWhat);
+  return version == kSnapshotVersionV1 ? load_v1(is) : load_v2_stream(is);
+}
+
+SketchStore SketchStore::load_file(const std::string& path,
+                                   SnapshotLoadOptions options) {
   std::ifstream is(path, std::ios::binary);
   EIMM_CHECK(is.good(), "cannot open snapshot file");
-  return load(is);
+  const std::uint32_t version =
+      bin::read_header_any(is, kSnapshotMagic, kAcceptedVersions,
+                           kSnapshotWhat);
+  if (options.mode == SnapshotLoadMode::kMap) {
+    EIMM_CHECK(version == kSnapshotVersionV2,
+               "legacy v1 snapshots cannot be mmap-served; re-save as v2");
+  }
+  SketchStore store;
+  if (version == kSnapshotVersionV2 &&
+      options.mode != SnapshotLoadMode::kStream) {
+    is.close();
+    store = load_v2_mapped(MappedFile::open_readonly(path), path);
+  } else if (version == kSnapshotVersionV1) {
+    store = load_v1(is);
+  } else {
+    store = load_v2_stream(is);
+  }
+  if (options.deep_validate) {
+    store.validate_payload();
+    store.validate_derived();
+    store.load_stats_.deep_validated = true;
+  }
+  return store;
 }
 
 }  // namespace eimm

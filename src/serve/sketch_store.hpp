@@ -20,14 +20,27 @@
 // are expanded, into one side array). The contiguous CSR image is NOT
 // materialized at build time; flatten is deferred to save() (or an
 // explicit materialize_flat()), so build-and-query-only workloads never
-// pay the copy. Stores that come back from load() are flat by nature.
+// pay the copy.
+//
+// Snapshots (magic "EIMMSKS") come in two revisions:
+//   v1 — legacy length-prefixed stream of primary data only; load()
+//        copies into fresh vectors and recomputes the derived state.
+//        Still read (version negotiation), no longer written.
+//   v2 — page-aligned section-table format: a header + section table
+//        (id, offset, length; every section offset 4096-aligned)
+//        followed by the raw arrays, INCLUDING the derived inverted
+//        index and default greedy sequence. load_file() mmaps the file
+//        read-only and serves every array straight from the mapping —
+//        zero pool copies, cold start O(section table + offsets scan)
+//        instead of O(pool) — so N serving processes share one
+//        page-cache copy of the sketch data. Stream loads of v2 copy
+//        the sections into owned vectors (pipes, tests).
 //
 // Everything is read-only after build/load — queries allocate their own
 // scratch (see QueryEngine) — so any number of threads can serve from one
-// store concurrently. Snapshots round-trip through the eimm::bin
-// primitives of io/binary; save→load→save is bit-identical, and a
-// deferred-backing store compares equal (operator== is logical, not
-// representational) to its own loaded snapshot.
+// store concurrently. save→load→save is bit-identical under both load
+// paths, and a deferred-backing store compares equal (operator== is
+// logical, not representational) to its own loaded snapshot.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +51,7 @@
 
 #include "core/imm.hpp"
 #include "graph/types.hpp"
+#include "io/mmap.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/pool_view.hpp"
 
@@ -59,6 +73,36 @@ struct SketchStoreMeta {
 
   friend bool operator==(const SketchStoreMeta&,
                          const SketchStoreMeta&) = default;
+};
+
+/// How load_file() should back the store.
+enum class SnapshotLoadMode {
+  kAuto,    ///< mmap v2 snapshots, stream-read v1 (the serving default)
+  kMap,     ///< require the mmap path (v1 files are rejected)
+  kStream,  ///< force the copying stream loader even for v2
+};
+
+struct SnapshotLoadOptions {
+  SnapshotLoadMode mode = SnapshotLoadMode::kAuto;
+  /// Adds the O(pool) scans the mmap path skips by default: per-member
+  /// range/ordering checks plus recompute-and-compare of the derived
+  /// inverted index and default greedy sequence. Stream loads always
+  /// validate the primary payload (v1 semantics); deep validation adds
+  /// the derived-state cross-check there too.
+  bool deep_validate = false;
+};
+
+/// What a load cost — the acceptance counters for the zero-copy path.
+struct SnapshotLoadStats {
+  std::uint32_t version = 0;
+  bool mmap_backed = false;
+  std::uint64_t file_bytes = 0;
+  /// Bytes mapped read-only (the whole file on the mmap path, else 0).
+  std::uint64_t bytes_mapped = 0;
+  /// Section bytes copied into freshly allocated vectors — 0 on the
+  /// mmap path (nothing but the meta strings is duplicated).
+  std::uint64_t bytes_copied = 0;
+  bool deep_validated = false;
 };
 
 class SketchStore {
@@ -94,8 +138,8 @@ class SketchStore {
   [[nodiscard]] const SketchStoreMeta& meta() const noexcept { return meta_; }
 
   /// Member vertices of sketch `s`, ascending — served from the flat
-  /// image when one exists, otherwise straight from the owned backing
-  /// storage (zero-copy).
+  /// image (owned or mmap'ed) when one exists, otherwise straight from
+  /// the owned backing storage (zero-copy).
   [[nodiscard]] std::span<const VertexId> sketch(SketchId s) const noexcept {
     const std::uint64_t len = sketch_offsets_[s + 1] - sketch_offsets_[s];
     if (flat_) {
@@ -104,12 +148,13 @@ class SketchStore {
     return {entry_ptrs_[s], len};
   }
 
-  /// True when the contiguous CSR image is materialized (always after
+  /// True when a contiguous CSR image backs sketch() (always after
   /// load(); after build() only once save()/materialize_flat() ran).
   [[nodiscard]] bool flat() const noexcept { return flat_; }
 
   /// Builds the contiguous image from the backing storage, switches
-  /// sketch() to serve from it, and releases the backing (idempotent).
+  /// sketch() to serve from it, and releases the backing (idempotent;
+  /// a no-op on loaded stores, which are flat by nature).
   /// NOT safe against concurrent readers: it frees the storage deferred
   /// sketch() spans point into, so call it before publishing the store
   /// to serving threads (or rely on save(), which assembles a transient
@@ -131,59 +176,113 @@ class SketchStore {
 
   /// The unconstrained greedy sequence (≤ k_max seeds; shorter when the
   /// pool is exhausted first) and each seed's marginal coverage.
-  [[nodiscard]] const std::vector<VertexId>& default_seeds() const noexcept {
+  [[nodiscard]] std::span<const VertexId> default_seeds() const noexcept {
     return default_seeds_;
   }
-  [[nodiscard]] const std::vector<std::uint64_t>& default_marginals()
+  [[nodiscard]] std::span<const std::uint64_t> default_marginals()
       const noexcept {
     return default_marginals_;
   }
 
+  /// Owned heap footprint (mmap-served arrays are NOT counted — they are
+  /// shared page cache; see mapped_bytes()).
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept;
+  /// Bytes served from the read-only snapshot mapping (0 unless
+  /// mmap-loaded).
+  [[nodiscard]] std::uint64_t mapped_bytes() const noexcept {
+    return mapping_.size();
+  }
 
   // --- Snapshots (eimm::bin format, magic "EIMMSKS") ---
+  /// Writes the current (v2, page-aligned section table) format.
   void save(std::ostream& os) const;
   void save_file(const std::string& path) const;
+  /// Compatibility writer for the legacy v1 stream format (exercises the
+  /// version-negotiation path; real snapshots should use save()).
+  void save_legacy_v1(std::ostream& os) const;
+  /// Stream loader: handles v1 and v2 (v2 sections are copied). Always
+  /// validates the primary payload.
   static SketchStore load(std::istream& is);
-  static SketchStore load_file(const std::string& path);
+  static SketchStore load_file(const std::string& path,
+                               SnapshotLoadOptions options = {});
+
+  /// What the most recent load cost; zeroed on built stores.
+  [[nodiscard]] const SnapshotLoadStats& load_stats() const noexcept {
+    return load_stats_;
+  }
 
   /// Logical equality: same shape, meta, and per-sketch members —
   /// independent of which storage backs each side, so a deferred store
-  /// equals its own loaded (flat) snapshot.
+  /// equals its own loaded (flat or mmap'ed) snapshot.
   friend bool operator==(const SketchStore& a, const SketchStore& b);
 
  private:
   SketchStore() = default;
 
   /// Derives the inverted index and the default greedy sequence from the
-  /// sketch members (shared by every construction path — snapshots carry
-  /// only the primary data). Reads through sketch(), so it works over
-  /// flat and deferred backings alike.
+  /// sketch members (build paths and v1 loads — v2 snapshots carry the
+  /// derived arrays). Reads through sketch(), so it works over flat and
+  /// deferred backings alike.
   void finalize();
 
   /// Assembles the contiguous payload from sketch() spans (the deferred
   /// flatten, shared by save() and materialize_flat()).
   [[nodiscard]] std::vector<VertexId> assemble_payload() const;
 
+  /// O(sections + offsets + |V| + k) shape checks shared by every load
+  /// path; throws on any inconsistency between counts, offsets and
+  /// section lengths.
+  void validate_structure() const;
+  /// O(pool) scans: sketch members strictly ascending and < |V|, node
+  /// index entries < num_sketches (stream loads always; mmap on
+  /// deep_validate).
+  void validate_payload() const;
+  /// Recomputes the inverted index and the default greedy sequence from
+  /// the primary data and compares them to the loaded arrays
+  /// (deep_validate only).
+  void validate_derived() const;
+
+  static SketchStore load_v1(std::istream& is);
+  static SketchStore load_v2_stream(std::istream& is);
+  static SketchStore load_v2_mapped(MappedFile mapping,
+                                    const std::string& path);
+  /// Wires the read-surface spans at the owned vectors.
+  void adopt_owned_views();
+
   VertexId num_vertices_ = 0;
   std::uint64_t num_sketches_ = 0;
   std::uint64_t k_max_ = 0;
   SketchStoreMeta meta_;
-  std::vector<std::uint64_t> sketch_offsets_;  // num_sketches_ + 1
-  /// Contiguous payload; populated iff flat_.
-  std::vector<VertexId> sketch_vertices_;
+  SnapshotLoadStats load_stats_;
+
+  // Owned storage; a vector stays empty when the snapshot mapping backs
+  // the corresponding view instead.
+  std::vector<std::uint64_t> sketch_offsets_own_;
+  std::vector<VertexId> sketch_vertices_own_;
+  std::vector<std::uint64_t> node_offsets_own_;
+  std::vector<SketchId> node_sketches_own_;
+  std::vector<VertexId> default_seeds_own_;
+  std::vector<std::uint64_t> default_marginals_own_;
+
+  // The read surface every accessor serves from: spans into the owned
+  // vectors OR into mapping_. Both survive moves of the store — heap and
+  // mmap allocations never relocate.
+  std::span<const std::uint64_t> sketch_offsets_;  // num_sketches_ + 1
+  std::span<const VertexId> sketch_vertices_;      // valid iff flat_
+  std::span<const std::uint64_t> node_offsets_;    // num_vertices_ + 1
+  std::span<const SketchId> node_sketches_;
+  std::span<const VertexId> default_seeds_;
+  std::span<const std::uint64_t> default_marginals_;
+
   bool flat_ = false;
   /// Deferred backing (used iff !flat_): per-sketch member pointers into
-  /// the owned storage below. Pointers survive moves of the store — the
-  /// containers' heap/mmap allocations never relocate.
+  /// the owned storage below.
   std::vector<const VertexId*> entry_ptrs_;
   RRRPool backing_pool_{0};
   SegmentedPool backing_segments_;
   std::vector<VertexId> bitmap_expansion_;  // expanded bitmap sets only
-  std::vector<std::uint64_t> node_offsets_;  // num_vertices_ + 1
-  std::vector<SketchId> node_sketches_;
-  std::vector<VertexId> default_seeds_;
-  std::vector<std::uint64_t> default_marginals_;
+  /// Keeps the snapshot pages alive for mmap-backed stores.
+  MappedFile mapping_;
 };
 
 }  // namespace eimm

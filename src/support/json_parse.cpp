@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 
 #include "support/macros.hpp"
 
@@ -174,23 +175,60 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          EIMM_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else EIMM_CHECK(false, "invalid \\u escape digit");
+          // Full \uXXXX support: BMP code points directly, astral-plane
+          // code points as UTF-16 surrogate pairs (the only way JSON can
+          // spell them). Everything is re-encoded as UTF-8.
+          std::uint32_t code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            EIMM_CHECK(pos_ + 6 <= text_.size() && text_[pos_] == '\\' &&
+                           text_[pos_ + 1] == 'u',
+                       "high surrogate not followed by a \\u escape");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            EIMM_CHECK(low >= 0xDC00 && low <= 0xDFFF,
+                       "high surrogate not followed by a low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else {
+            EIMM_CHECK(code < 0xDC00 || code > 0xDFFF,
+                       "lone low surrogate in \\u escape");
           }
-          // Latin-1 subset is enough for the logs we write.
-          EIMM_CHECK(code <= 0xFF, "\\u escape beyond Latin-1 unsupported");
-          out += static_cast<char>(code);
+          append_utf8(out, code);
           break;
         }
         default: EIMM_CHECK(false, "unknown escape character");
       }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    EIMM_CHECK(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<std::uint32_t>(h - 'A' + 10);
+      else EIMM_CHECK(false, "invalid \\u escape digit");
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
     }
   }
 

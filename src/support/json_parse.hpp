@@ -1,8 +1,8 @@
 // Minimal JSON parser — just enough to read back the experiment logs the
 // library itself writes (io/json_log), so the results-extraction tool
 // can mirror the SC'24 artifact's extract_results.py without a third-
-// party dependency. Supports the full JSON grammar except \uXXXX escapes
-// beyond Latin-1.
+// party dependency. Supports the full JSON grammar, including \uXXXX
+// escapes (surrogate pairs re-encoded as UTF-8).
 #pragma once
 
 #include <cstdint>

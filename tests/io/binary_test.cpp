@@ -143,6 +143,62 @@ TEST(BinaryPrimitives, TruncatedReadsThrowWithTheFormatName) {
   EXPECT_THROW(bin::read_string(empty), CheckError);
 }
 
+TEST(BinaryPrimitives, FormatErrorCarriesSectionAndOffset) {
+  // Typed errors let loaders report WHERE a snapshot went bad; the
+  // section name and byte offset must survive to the catch site.
+  std::stringstream ss;
+  bin::write_pod(ss, std::uint32_t{1});
+  std::uint32_t a = 0;
+  bin::read_pod(ss, a, "meta section");
+  std::uint64_t b = 0;
+  try {
+    bin::read_pod(ss, b, "meta section");
+    FAIL() << "expected FormatError";
+  } catch (const bin::FormatError& e) {
+    EXPECT_EQ(e.section(), "meta section");
+    ASSERT_TRUE(e.offset().has_value());
+    // The failing read began right after the 4 bytes already consumed.
+    EXPECT_EQ(*e.offset(), 4u);
+    EXPECT_NE(std::string(e.what()).find("meta section"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+
+  std::stringstream vec_stream;
+  bin::write_vec(vec_stream, std::vector<std::uint64_t>{1, 2, 3});
+  std::string cut = vec_stream.str();
+  cut.resize(cut.size() - 1);
+  std::stringstream truncated(cut);
+  try {
+    (void)bin::read_vec<std::uint64_t>(truncated, "offsets section");
+    FAIL() << "expected FormatError";
+  } catch (const bin::FormatError& e) {
+    EXPECT_EQ(e.section(), "offsets section");
+    ASSERT_TRUE(e.offset().has_value());
+    EXPECT_EQ(*e.offset(), 8u);  // payload begins after the u64 count
+  }
+}
+
+TEST(BinaryPrimitives, ReadHeaderAnyNegotiatesVersions) {
+  const std::uint32_t accepted[] = {1, 2};
+
+  std::stringstream v1;
+  bin::write_header(v1, "EIMMTST", 1);
+  EXPECT_EQ(bin::read_header_any(v1, "EIMMTST", accepted, "test format"), 1u);
+
+  std::stringstream v2;
+  bin::write_header(v2, "EIMMTST", 2);
+  EXPECT_EQ(bin::read_header_any(v2, "EIMMTST", accepted, "test format"), 2u);
+
+  std::stringstream v3;
+  bin::write_header(v3, "EIMMTST", 3);
+  try {
+    (void)bin::read_header_any(v3, "EIMMTST", accepted, "test format");
+    FAIL() << "expected FormatError";
+  } catch (const bin::FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
 TEST(BinaryPrimitives, CorruptedLengthPrefixThrowsInsteadOfAllocating) {
   // A flipped high byte in a length field must fail the remaining-bytes
   // sanity check, not attempt a multi-exabyte vector allocation.

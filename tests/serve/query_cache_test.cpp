@@ -1,0 +1,159 @@
+#include "serve/query_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace eimm {
+namespace {
+
+QueryOptions constrained_query(std::size_t k,
+                               std::vector<VertexId> forbidden) {
+  QueryOptions q;
+  q.k = k;
+  q.forbidden = std::move(forbidden);
+  return q;
+}
+
+QueryResult result_with_seeds(std::vector<VertexId> seeds) {
+  QueryResult r;
+  r.seeds = std::move(seeds);
+  r.covered_sketches = 10;
+  r.total_sketches = 20;
+  return r;
+}
+
+TEST(QueryCache, OnlyConstrainedQueriesAreCacheable) {
+  QueryOptions plain;
+  plain.k = 3;
+  EXPECT_FALSE(QueryCache::cacheable(plain));
+
+  EXPECT_TRUE(QueryCache::cacheable(constrained_query(3, {7})));
+  QueryOptions whitelist;
+  whitelist.k = 3;
+  whitelist.candidates = {1, 2};
+  EXPECT_TRUE(QueryCache::cacheable(whitelist));
+}
+
+TEST(QueryCache, MissThenHit) {
+  QueryCache cache(8);
+  const QueryOptions q = constrained_query(2, {5});
+  EXPECT_FALSE(cache.lookup(q).has_value());
+  cache.insert(q, result_with_seeds({1, 2}));
+
+  const auto hit = cache.lookup(q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->seeds, (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(hit->covered_sketches, 10u);
+
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryCache, KeyNormalizesOrderAndDuplicates) {
+  // Permuted and duplicated id lists describe the same query; the cache
+  // must treat them as one entry.
+  QueryCache cache(8);
+  QueryOptions a;
+  a.k = 4;
+  a.candidates = {3, 1, 2};
+  a.forbidden = {9, 8};
+  cache.insert(a, result_with_seeds({1}));
+
+  QueryOptions b;
+  b.k = 4;
+  b.candidates = {2, 3, 1, 1, 2};
+  b.forbidden = {8, 9, 9};
+  EXPECT_TRUE(cache.lookup(b).has_value());
+
+  // Different k or different ids are different entries.
+  QueryOptions c = b;
+  c.k = 5;
+  EXPECT_FALSE(cache.lookup(c).has_value());
+  QueryOptions d = b;
+  d.forbidden = {8};
+  EXPECT_FALSE(cache.lookup(d).has_value());
+}
+
+TEST(QueryCache, CandidateAndForbiddenListsAreDistinct) {
+  // The same ids on opposite sides of the constraint must not collide.
+  QueryCache cache(8);
+  QueryOptions as_candidates;
+  as_candidates.k = 2;
+  as_candidates.candidates = {4, 5};
+  cache.insert(as_candidates, result_with_seeds({4}));
+
+  QueryOptions as_forbidden;
+  as_forbidden.k = 2;
+  as_forbidden.forbidden = {4, 5};
+  EXPECT_FALSE(cache.lookup(as_forbidden).has_value());
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  const QueryOptions qa = constrained_query(1, {1});
+  const QueryOptions qb = constrained_query(1, {2});
+  const QueryOptions qc = constrained_query(1, {3});
+  cache.insert(qa, result_with_seeds({10}));
+  cache.insert(qb, result_with_seeds({20}));
+  cache.insert(qc, result_with_seeds({30}));  // evicts qa
+
+  EXPECT_FALSE(cache.lookup(qa).has_value());
+  EXPECT_TRUE(cache.lookup(qb).has_value());
+  EXPECT_TRUE(cache.lookup(qc).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(QueryCache, LookupRefreshesRecency) {
+  QueryCache cache(2);
+  const QueryOptions qa = constrained_query(1, {1});
+  const QueryOptions qb = constrained_query(1, {2});
+  const QueryOptions qc = constrained_query(1, {3});
+  cache.insert(qa, result_with_seeds({10}));
+  cache.insert(qb, result_with_seeds({20}));
+  ASSERT_TRUE(cache.lookup(qa).has_value());  // qa becomes most recent
+  cache.insert(qc, result_with_seeds({30}));  // so qb is the victim
+
+  EXPECT_TRUE(cache.lookup(qa).has_value());
+  EXPECT_FALSE(cache.lookup(qb).has_value());
+  EXPECT_TRUE(cache.lookup(qc).has_value());
+}
+
+TEST(QueryCache, ReinsertRefreshesWithoutGrowth) {
+  // The kernel is deterministic, so a re-insert carries the identical
+  // result; the cache just refreshes recency and never grows.
+  QueryCache cache(4);
+  const QueryOptions q = constrained_query(2, {6});
+  cache.insert(q, result_with_seeds({1}));
+  cache.insert(q, result_with_seeds({1}));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  const auto hit = cache.lookup(q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->seeds, (std::vector<VertexId>{1}));
+}
+
+TEST(QueryCache, ZeroCapacityDisablesCaching) {
+  QueryCache cache(0);
+  const QueryOptions q = constrained_query(1, {1});
+  cache.insert(q, result_with_seeds({1}));
+  EXPECT_FALSE(cache.lookup(q).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(QueryCache, ClearEmptiesEntries) {
+  QueryCache cache(4);
+  cache.insert(constrained_query(1, {1}), result_with_seeds({1}));
+  cache.insert(constrained_query(1, {2}), result_with_seeds({2}));
+  ASSERT_EQ(cache.stats().entries, 2u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.lookup(constrained_query(1, {1})).has_value());
+}
+
+}  // namespace
+}  // namespace eimm

@@ -1,0 +1,374 @@
+// Serving-layer coverage, bottom-up: the wire codec (pure byte
+// buffers), the BatchingExecutor admission layer, and a real
+// SketchServer/SketchClient round trip over an AF_UNIX socket — every
+// served answer is checked against a direct QueryEngine call on the
+// same store.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/macros.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm {
+namespace {
+
+SketchStore make_store() {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, 0.01);
+  ImmOptions options;
+  options.k = 6;
+  options.max_rrr_sets = 4096;
+  return SketchStore::build(g, options, "amazon-server");
+}
+
+void expect_results_equal(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.marginal_coverage, b.marginal_coverage);
+  EXPECT_EQ(a.covered_sketches, b.covered_sketches);
+  EXPECT_EQ(a.total_sketches, b.total_sketches);
+  EXPECT_DOUBLE_EQ(a.estimated_spread, b.estimated_spread);
+}
+
+// --- wire codec ---
+
+TEST(Wire, QueryRoundTrips) {
+  QueryOptions query;
+  query.k = 7;
+  query.candidates = {3, 1, 4};
+  query.forbidden = {15, 9};
+
+  wire::WireWriter w;
+  wire::encode_query(w, query);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  wire::WireReader r(bytes);
+  const QueryOptions back = wire::decode_query(r);
+  r.expect_done();
+  EXPECT_EQ(back.k, query.k);
+  EXPECT_EQ(back.candidates, query.candidates);
+  EXPECT_EQ(back.forbidden, query.forbidden);
+}
+
+TEST(Wire, ResultRoundTrips) {
+  QueryResult result;
+  result.seeds = {10, 20, 30};
+  result.marginal_coverage = {100, 50, 25};
+  result.covered_sketches = 175;
+  result.total_sketches = 400;
+  result.estimated_spread = 123.5;
+
+  wire::WireWriter w;
+  wire::encode_result(w, result);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  wire::WireReader r(bytes);
+  const QueryResult back = wire::decode_result(r);
+  r.expect_done();
+  expect_results_equal(result, back);
+}
+
+TEST(Wire, ScalarAndStringRoundTrips) {
+  wire::WireWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x1122334455667788ull);
+  w.f64(-2.5);
+  w.str("hello");
+  w.str("");
+
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  wire::WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ull);
+  EXPECT_DOUBLE_EQ(r.f64(), -2.5);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  r.expect_done();
+}
+
+TEST(Wire, TruncatedPayloadThrows) {
+  wire::WireWriter w;
+  w.u64(42);
+  std::vector<std::uint8_t> bytes = w.bytes();
+  bytes.pop_back();
+  wire::WireReader r(bytes);
+  EXPECT_THROW((void)r.u64(), CheckError);
+}
+
+TEST(Wire, TruncatedIdListThrows) {
+  wire::WireWriter w;
+  w.u32(5);  // claims five ids...
+  w.u32(1);  // ...delivers one
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  wire::WireReader r(bytes);
+  EXPECT_THROW((void)r.ids(), CheckError);
+}
+
+TEST(Wire, TrailingBytesThrowOnExpectDone) {
+  wire::WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  wire::WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.expect_done(), CheckError);
+}
+
+// --- BatchingExecutor ---
+
+TEST(BatchingExecutor, SingleSubmitMatchesDirectEngine) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  BatchingExecutor executor(engine, ExecutorOptions{});
+
+  QueryOptions query;
+  query.k = 4;
+  std::future<QueryResult> f = executor.submit(query);
+  expect_results_equal(f.get(), engine.answer(query));
+  EXPECT_EQ(executor.stats().submitted, 1u);
+}
+
+TEST(BatchingExecutor, ConcurrentSubmitsAllCorrectAndBatched) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  ExecutorOptions options;
+  options.batch_window = std::chrono::microseconds(2000);
+  BatchingExecutor executor(engine, options);
+
+  constexpr std::size_t kQueries = 48;
+  std::vector<QueryOptions> queries(kQueries);
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    queries[i].k = 1 + i % store.k_max();
+    if (i % 3 == 1) queries[i].forbidden = {static_cast<VertexId>(i)};
+    futures.push_back(executor.submit(queries[i]));
+  }
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    expect_results_equal(futures[i].get(), engine.answer(queries[i]));
+  }
+  const BatchingExecutor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, kQueries);
+  // The coalescing window must have merged at least some submissions.
+  EXPECT_LT(stats.batches, kQueries);
+  EXPECT_GT(stats.largest_batch, 1u);
+}
+
+TEST(BatchingExecutor, InvalidQueryFailsSynchronously) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  BatchingExecutor executor(engine, ExecutorOptions{});
+
+  QueryOptions zero_k;
+  zero_k.k = 0;
+  EXPECT_THROW((void)executor.submit(zero_k), CheckError);
+
+  QueryOptions too_big;
+  too_big.k = store.k_max() + 1;
+  EXPECT_THROW((void)executor.submit(too_big), CheckError);
+
+  QueryOptions bad_id;
+  bad_id.k = 1;
+  bad_id.forbidden = {store.num_vertices()};
+  EXPECT_THROW((void)executor.submit(bad_id), CheckError);
+
+  // A good query still works afterwards — bad ones never poison a batch.
+  QueryOptions good;
+  good.k = 2;
+  EXPECT_EQ(executor.submit(good).get().seeds, engine.top_k(2).seeds);
+}
+
+TEST(BatchingExecutor, OverloadRejectsInsteadOfGrowing) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  ExecutorOptions options;
+  options.max_queue = 2;
+  options.max_batch = 1024;  // keep the window from dispatching early
+  options.batch_window = std::chrono::microseconds(200000);
+  BatchingExecutor executor(engine, options);
+
+  QueryOptions query;
+  query.k = 1;
+  std::vector<std::future<QueryResult>> futures;
+  std::uint64_t overloads = 0;
+  for (int i = 0; i < 32; ++i) {
+    try {
+      futures.push_back(executor.submit(query));
+    } catch (const OverloadError&) {
+      ++overloads;
+    }
+  }
+  EXPECT_GT(overloads, 0u);
+  EXPECT_EQ(executor.stats().rejected, overloads);
+  executor.stop();  // drains the admitted queries
+  for (auto& f : futures) EXPECT_EQ(f.get().seeds, engine.top_k(1).seeds);
+}
+
+TEST(BatchingExecutor, RepeatedConstrainedQueryHitsCache) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  BatchingExecutor executor(engine, ExecutorOptions{});
+
+  QueryOptions query;
+  query.k = 3;
+  query.forbidden = {engine.top_k(1).seeds[0]};
+  const QueryResult first = executor.submit(query).get();
+  const QueryResult second = executor.submit(query).get();
+  expect_results_equal(first, second);
+  expect_results_equal(first, engine.select(query));
+  EXPECT_GE(executor.stats().cache_hits, 1u);
+}
+
+TEST(BatchingExecutor, StopDrainsAdmittedWork) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  ExecutorOptions options;
+  options.batch_window = std::chrono::microseconds(100000);
+  BatchingExecutor executor(engine, options);
+
+  QueryOptions query;
+  query.k = 2;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(executor.submit(query));
+  executor.stop();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().seeds, engine.top_k(2).seeds);
+  }
+}
+
+// --- SketchServer + SketchClient over a real socket ---
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<SketchStore>(make_store());
+    engine_ = std::make_unique<QueryEngine>(*store_);
+    ServerOptions options;
+    options.socket_path = ::testing::TempDir() + "/eimm_server_test_" +
+                          std::to_string(::testing::UnitTest::GetInstance()
+                                             ->random_seed()) +
+                          ".sock";
+    server_ = std::make_unique<SketchServer>(*store_, options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  std::unique_ptr<SketchStore> store_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<SketchServer> server_;
+};
+
+TEST_F(ServerFixture, PingAndInfo) {
+  SketchClient client(server_->socket_path());
+  client.ping();
+  const SketchClient::Info info = client.info();
+  EXPECT_EQ(info.num_vertices, store_->num_vertices());
+  EXPECT_EQ(info.num_sketches, store_->num_sketches());
+  EXPECT_EQ(info.k_max, store_->k_max());
+  EXPECT_EQ(info.workload, store_->meta().workload);
+  EXPECT_EQ(info.model, store_->meta().model);
+  EXPECT_GE(server_->requests_served(), 2u);
+}
+
+TEST_F(ServerFixture, ServedQueriesMatchDirectEngine) {
+  SketchClient client(server_->socket_path());
+
+  expect_results_equal(client.top_k(6), engine_->top_k(6));
+
+  QueryOptions constrained;
+  constrained.k = 4;
+  constrained.forbidden = {engine_->top_k(1).seeds[0]};
+  expect_results_equal(client.select(constrained),
+                       engine_->select(constrained));
+
+  std::vector<QueryOptions> queries(5);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    queries[i].k = i + 1;
+    if (i % 2 == 1) {
+      queries[i].candidates = engine_->top_k(4).seeds;
+    }
+  }
+  const std::vector<QueryResult> served = client.batch(queries);
+  ASSERT_EQ(served.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    expect_results_equal(served[i], engine_->answer(queries[i]));
+  }
+}
+
+TEST_F(ServerFixture, InvalidQueryGetsErrorResponseNotHangup) {
+  SketchClient client(server_->socket_path());
+  try {
+    (void)client.top_k(store_->k_max() + 1);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("server"), std::string::npos);
+  }
+  // The connection survives an error response.
+  client.ping();
+  expect_results_equal(client.top_k(2), engine_->top_k(2));
+}
+
+TEST_F(ServerFixture, ConcurrentClientsAllGetCorrectAnswers) {
+  constexpr int kClients = 6;
+  std::vector<int> ok(kClients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      SketchClient client(server_->socket_path());
+      const std::size_t k = 1 + static_cast<std::size_t>(c) %
+                                    store_->k_max();
+      const QueryResult served = client.top_k(k);
+      ok[static_cast<std::size_t>(c)] =
+          served.seeds == engine_->top_k(k).seeds ? 1 : 0;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(c)], 1) << c;
+  }
+}
+
+TEST_F(ServerFixture, ShutdownVerbStopsServer) {
+  {
+    SketchClient client(server_->socket_path());
+    client.shutdown_server();
+  }
+  server_->wait();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST(SketchServerStandalone, ConnectToMissingSocketThrows) {
+  EXPECT_THROW(SketchClient("/nonexistent/eimm_no_server.sock"), CheckError);
+}
+
+TEST(SketchServerStandalone, StopIsIdempotentAndUnlinksSocket) {
+  const SketchStore store = make_store();
+  ServerOptions options;
+  options.socket_path = ::testing::TempDir() + "/eimm_server_stop.sock";
+  SketchServer server(store, options);
+  server.start();
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_THROW(SketchClient(options.socket_path), CheckError);
+}
+
+}  // namespace
+}  // namespace eimm

@@ -97,8 +97,9 @@ TEST(SketchStore, DefaultSequenceMatchesEfficientSelect) {
   sopt.k = k;
   const SelectionResult direct = efficient_select(pool, counters, sopt);
 
-  EXPECT_EQ(store.default_seeds(), direct.seeds);
-  EXPECT_EQ(store.default_marginals(), direct.marginal_coverage);
+  EXPECT_TRUE(std::ranges::equal(store.default_seeds(), direct.seeds));
+  EXPECT_TRUE(
+      std::ranges::equal(store.default_marginals(), direct.marginal_coverage));
 }
 
 TEST(SketchStore, BuildRecordsProvenance) {
@@ -168,7 +169,8 @@ TEST(SketchStore, BuildDefersFlattenUntilSave) {
       SketchStore::from_pool(reference, options.k, std::move(meta));
   EXPECT_TRUE(eager.flat());
   EXPECT_TRUE(store == eager);
-  EXPECT_EQ(store.default_seeds(), eager.default_seeds());
+  EXPECT_TRUE(
+      std::ranges::equal(store.default_seeds(), eager.default_seeds()));
 }
 
 TEST(SketchStore, DeferredStoreSavesAndMaterializesIdentically) {

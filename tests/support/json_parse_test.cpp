@@ -118,8 +118,54 @@ TEST(JsonParse, LargeMagnitudesWithinRangeParse) {
 
 TEST(JsonParse, MalformedEscapesAndStringsThrow) {
   for (const char* bad : {R"("\q")", R"("\u12")", R"("\uZZZZ")",
-                          R"("\u0100")", R"("\)", R"({"a" 1})",
+                          R"("\u00G0")", R"("\)", R"({"a" 1})",
                           R"(["x" "y"])"}) {
+    EXPECT_THROW(parse_json(bad), CheckError) << bad;
+  }
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  // ASCII and the three multi-byte UTF-8 widths reachable from the BMP.
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("\u00e9")").as_string(), "\xC3\xA9");    // \u00e9
+  EXPECT_EQ(parse_json(R"("\u0100")").as_string(), "\xC4\x80");    // \u0100
+  EXPECT_EQ(parse_json(R"("\u20ac")").as_string(), "\xE2\x82\xAC");  // \u20ac
+  EXPECT_EQ(parse_json(R"("\ufffd")").as_string(), "\xEF\xBF\xBD");
+  // Upper- and lower-case hex digits are equivalent.
+  EXPECT_EQ(parse_json(R"("\u20AC")").as_string(),
+            parse_json(R"("\u20ac")").as_string());
+  // Escaped NUL must survive as an embedded byte, not truncate.
+  const std::string nul = parse_json(R"("a\u0000b")").as_string();
+  ASSERT_EQ(nul.size(), 3u);
+  EXPECT_EQ(nul[1], '\0');
+  // Mixed literal text and escapes.
+  EXPECT_EQ(parse_json(R"("caf\u00e9!")").as_string(), "caf\xC3\xA9!");
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8) {
+  // Astral-plane code points arrive as UTF-16 surrogate pairs.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").as_string(),
+            "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_EQ(parse_json(R"("\ud800\udc00")").as_string(),
+            "\xF0\x90\x80\x80");  // U+10000, lowest astral code point
+  EXPECT_EQ(parse_json(R"("\udbff\udfff")").as_string(),
+            "\xF4\x8F\xBF\xBF");  // U+10FFFF, highest code point
+  EXPECT_EQ(parse_json(R"("x\ud83d\ude00y")").as_string(),
+            "x\xF0\x9F\x98\x80y");
+}
+
+TEST(JsonParse, MalformedSurrogatesThrow) {
+  for (const char* bad : {
+           R"("\uD800")",         // lone high surrogate at end of string
+           R"("\uD800x")",        // high surrogate followed by literal
+           R"("\uD83D\n")",       // high surrogate followed by other escape
+           R"("\uD83D\u0041")",  // high surrogate + non-surrogate escape
+           R"("\uD83D\uD83D")",   // high surrogate + second high surrogate
+           R"("\uDC00")",         // lone low surrogate
+           R"("\uDE00\uD83D")",   // pair in the wrong order
+           R"("\uD83D\u")",       // truncated second escape
+           R"("\uD83D\uDE0")",    // second escape one digit short
+       }) {
     EXPECT_THROW(parse_json(bad), CheckError) << bad;
   }
 }

@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <optional>
 #include <string>
 
@@ -146,9 +147,7 @@ CliOptions parse_cli(int argc, char** argv) {
   return options;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   CliOptions options = parse_cli(argc, argv);
 
   // --- Load the graph ---
@@ -252,4 +251,17 @@ int main(int argc, char** argv) {
     std::printf("log: %s\n", path.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    // Unreadable graph files and impossible parameters must exit with a
+    // one-line diagnostic, never an unhandled-exception trace.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

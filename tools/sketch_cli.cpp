@@ -55,6 +55,7 @@ struct CliOptions {
   std::vector<VertexId> candidates;
   std::vector<VertexId> forbidden;
   std::vector<VertexId> eval_seeds;
+  SnapshotLoadOptions load;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -72,9 +73,12 @@ struct CliOptions {
       "          [--pin auto|none|compact|spread]  (thread pinning;\n"
       "                          default EIMM_PIN, then auto)\n"
       "          [--out PATH]   (--out required for 'save')\n"
-      "       %s load --store PATH\n"
+      "       %s load --store PATH [--stream] [--deep-validate]\n"
       "       %s query --store PATH (--k N [--candidates LIST]\n"
-      "          [--forbid LIST] | --eval LIST)   LIST = comma-separated ids\n",
+      "          [--forbid LIST] | --eval LIST) [--stream] [--deep-validate]\n"
+      "          LIST = comma-separated ids\n"
+      "       --stream forces the copying loader (v2 snapshots mmap by\n"
+      "       default); --deep-validate adds the O(pool) integrity scan\n",
       argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -200,6 +204,10 @@ CliOptions parse_cli(int argc, char** argv) {
       options.forbidden = parse_vertex_list(argv[0], next());
     } else if (arg == "--eval") {
       options.eval_seeds = parse_vertex_list(argv[0], next());
+    } else if (arg == "--stream") {
+      options.load.mode = SnapshotLoadMode::kStream;
+    } else if (arg == "--deep-validate") {
+      options.load.deep_validate = true;
     } else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else usage(argv[0], ("unknown option " + arg).c_str());
   }
@@ -291,8 +299,15 @@ int run_build(const CliOptions& options) {
 
 int run_load(const CliOptions& options) {
   if (!options.store_path) usage("sketch_cli", "'load' requires --store PATH");
-  const SketchStore store = SketchStore::load_file(*options.store_path);
+  const SketchStore store =
+      SketchStore::load_file(*options.store_path, options.load);
   print_store_summary(store);
+  const SnapshotLoadStats& stats = store.load_stats();
+  std::printf("load:  v%u %s, %.1f MiB mapped, %.1f MiB copied%s\n",
+              stats.version, stats.mmap_backed ? "mmap" : "stream",
+              static_cast<double>(stats.bytes_mapped) / (1024.0 * 1024.0),
+              static_cast<double>(stats.bytes_copied) / (1024.0 * 1024.0),
+              stats.deep_validated ? ", deep-validated" : "");
   return 0;
 }
 
@@ -300,7 +315,8 @@ int run_query(const CliOptions& options) {
   if (!options.store_path) {
     usage("sketch_cli", "'query' requires --store PATH");
   }
-  const SketchStore store = SketchStore::load_file(*options.store_path);
+  const SketchStore store =
+      SketchStore::load_file(*options.store_path, options.load);
   const QueryEngine engine(store);
 
   if (!options.eval_seeds.empty()) {
@@ -343,6 +359,11 @@ int main(int argc, char** argv) {
     if (options.verb == "load") return run_load(options);
     return run_query(options);
   } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Bad snapshots and I/O failures must exit with a one-line
+    // diagnostic, never an unhandled-exception trace.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

@@ -1,0 +1,133 @@
+// sketch_client — scripted client for a running sketch_server.
+//
+//   sketch_client --socket /tmp/eimm.sock ping
+//   sketch_client --socket /tmp/eimm.sock info
+//   sketch_client --socket /tmp/eimm.sock query --k 10
+//   sketch_client --socket /tmp/eimm.sock query --k 5 --forbid 3,17
+//   sketch_client --socket /tmp/eimm.sock shutdown
+//
+// Query output matches `sketch_cli query` exactly, so CI can diff the
+// two paths: same store + same query must yield byte-identical seed
+// lines whether served over the socket or computed in-process.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace eimm;
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: %s --socket PATH ping|info|shutdown\n"
+               "       %s --socket PATH query --k N [--candidates LIST]\n"
+               "          [--forbid LIST]       LIST = comma-separated ids\n",
+               argv0, argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+std::vector<VertexId> parse_vertex_list(const char* argv0,
+                                        const std::string& list) {
+  std::vector<VertexId> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string token = list.substr(pos, comma - pos);
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        value > std::numeric_limits<VertexId>::max()) {
+      usage(argv0, ("vertex list entry '" + token +
+                    "' is not a valid vertex id")
+                       .c_str());
+    }
+    out.push_back(static_cast<VertexId>(value));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void print_query_result(const QueryResult& result) {
+  std::printf("seeds:");
+  for (const VertexId s : result.seeds) std::printf(" %u", s);
+  std::printf("\ncovered %llu / %llu sketches — estimated spread %.1f "
+              "(%.2f%% of |V|)\n",
+              static_cast<unsigned long long>(result.covered_sketches),
+              static_cast<unsigned long long>(result.total_sketches),
+              result.estimated_spread, 100.0 * result.coverage_fraction());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string verb;
+  QueryOptions query;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--socket") socket_path = next();
+    else if (arg == "--k") {
+      query.k = static_cast<std::size_t>(
+          std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--candidates") {
+      query.candidates = parse_vertex_list(argv[0], next());
+    } else if (arg == "--forbid") {
+      query.forbidden = parse_vertex_list(argv[0], next());
+    } else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0], ("unknown option " + arg).c_str());
+    } else if (verb.empty()) verb = arg;
+    else usage(argv[0], ("unexpected argument " + arg).c_str());
+  }
+  if (socket_path.empty()) usage(argv[0], "--socket PATH is required");
+  if (verb.empty()) usage(argv[0], "missing verb");
+
+  try {
+    SketchClient client(socket_path);
+    if (verb == "ping") {
+      client.ping();
+      std::printf("pong\n");
+    } else if (verb == "info") {
+      const SketchClient::Info info = client.info();
+      std::printf("store: workload=%s model=%s |V|=%u sketches=%llu "
+                  "k_max=%llu\n",
+                  info.workload.empty() ? "(unnamed)" : info.workload.c_str(),
+                  info.model.c_str(), info.num_vertices,
+                  static_cast<unsigned long long>(info.num_sketches),
+                  static_cast<unsigned long long>(info.k_max));
+      std::printf("load:  %s, %.1f MiB mapped, %.1f MiB copied\n",
+                  info.mmap_backed ? "mmap" : "stream/built",
+                  static_cast<double>(info.bytes_mapped) / (1024.0 * 1024.0),
+                  static_cast<double>(info.bytes_copied) / (1024.0 * 1024.0));
+    } else if (verb == "query") {
+      if (query.k == 0) usage(argv[0], "'query' requires --k N");
+      print_query_result(query.constrained() ? client.select(query)
+                                             : client.top_k(query.k));
+    } else if (verb == "shutdown") {
+      client.shutdown_server();
+      std::printf("server shutting down\n");
+    } else {
+      usage(argv[0], ("unknown verb " + verb).c_str());
+    }
+    return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

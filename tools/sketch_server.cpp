@@ -1,0 +1,200 @@
+// sketch_server — long-lived serving daemon over one frozen SketchStore.
+//
+//   sketch_server --store s.sks --socket /tmp/eimm.sock
+//   sketch_server --workload com-Amazon --k 25 --socket /tmp/eimm.sock
+//
+// Loads (mmap by default — N servers share one page-cache copy of the
+// snapshot) or builds a store, binds an AF_UNIX socket and answers the
+// wire-protocol verbs (see src/serve/server.hpp) until a client sends
+// Shutdown or the process receives SIGINT/SIGTERM. Talk to it with
+// sketch_client.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "diffusion/weights.hpp"
+#include "serve/server.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace eimm;
+
+struct ServerCli {
+  std::optional<std::string> store_path;
+  std::optional<std::string> workload;
+  std::string socket_path;
+  SnapshotLoadOptions load;
+  ServerOptions server;
+  // Build-mode knobs (used only with --workload).
+  ImmOptions imm;
+  DiffusionModel model = DiffusionModel::kIndependentCascade;
+  double scale = 1.0;
+};
+
+[[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH (--store SNAPSHOT | --workload NAME)\n"
+      "          [--stream]          (copying loader instead of mmap)\n"
+      "          [--deep-validate]   (O(pool) integrity scan at load)\n"
+      "          [--k N] [--model IC|LT] [--scale F] [--seed N]\n"
+      "          [--max-rrr N] [--threads N]   (build mode only)\n"
+      "          [--batch N] [--batch-window-us N] [--timeout-ms N]\n"
+      "          [--max-queue N] [--cache N]\n",
+      argv0);
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+std::uint64_t parse_uint(const char* argv0, const std::string& arg,
+                         const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || value.find('-') != std::string::npos ||
+      end == nullptr || *end != '\0' || errno == ERANGE) {
+    usage(argv0, (arg + " expects a non-negative integer, got '" + value +
+                  "'")
+                     .c_str());
+  }
+  return v;
+}
+
+ServerCli parse_cli(int argc, char** argv) {
+  ServerCli cli;
+  cli.imm.max_rrr_sets = 1u << 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0], ("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--store") cli.store_path = next();
+    else if (arg == "--workload") cli.workload = next();
+    else if (arg == "--socket") cli.socket_path = next();
+    else if (arg == "--stream") cli.load.mode = SnapshotLoadMode::kStream;
+    else if (arg == "--deep-validate") cli.load.deep_validate = true;
+    else if (arg == "--k") {
+      cli.imm.k = static_cast<std::size_t>(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--model") cli.model = parse_model(next());
+    else if (arg == "--scale") cli.scale = std::atof(next().c_str());
+    else if (arg == "--seed") {
+      cli.imm.rng_seed = parse_uint(argv[0], arg, next());
+    } else if (arg == "--max-rrr") {
+      cli.imm.max_rrr_sets = parse_uint(argv[0], arg, next());
+    } else if (arg == "--threads") {
+      cli.imm.threads = static_cast<int>(parse_uint(argv[0], arg, next()));
+      cli.server.executor.threads = cli.imm.threads;
+    } else if (arg == "--batch") {
+      cli.server.executor.max_batch =
+          static_cast<std::size_t>(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--batch-window-us") {
+      cli.server.executor.batch_window =
+          std::chrono::microseconds(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--timeout-ms") {
+      cli.server.request_timeout =
+          std::chrono::milliseconds(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--max-queue") {
+      cli.server.executor.max_queue =
+          static_cast<std::size_t>(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--cache") {
+      cli.server.executor.cache_capacity =
+          static_cast<std::size_t>(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--help" || arg == "-h") usage(argv[0]);
+    else usage(argv[0], ("unknown option " + arg).c_str());
+  }
+  if (cli.socket_path.empty()) usage(argv[0], "--socket PATH is required");
+  if (!cli.store_path.has_value() && !cli.workload.has_value()) {
+    usage(argv[0], "one of --store or --workload is required");
+  }
+  if (cli.store_path.has_value() && cli.workload.has_value()) {
+    usage(argv[0], "--store and --workload are mutually exclusive");
+  }
+  return cli;
+}
+
+// stop() takes locks and joins threads — not async-signal-safe — so the
+// handler only sets a flag; a watcher thread does the actual shutdown.
+std::atomic<bool> g_signalled{false};
+
+void handle_signal(int) { g_signalled.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServerCli cli = parse_cli(argc, argv);
+  try {
+    std::optional<SketchStore> store;
+    if (cli.store_path) {
+      store = SketchStore::load_file(*cli.store_path, cli.load);
+      const SnapshotLoadStats& stats = store->load_stats();
+      std::printf("loaded %s: v%u %s, %.1f MiB mapped, %.1f MiB copied%s\n",
+                  cli.store_path->c_str(), stats.version,
+                  stats.mmap_backed ? "mmap" : "stream",
+                  static_cast<double>(stats.bytes_mapped) / (1024.0 * 1024.0),
+                  static_cast<double>(stats.bytes_copied) / (1024.0 * 1024.0),
+                  stats.deep_validated ? ", deep-validated" : "");
+    } else {
+      if (!find_workload(*cli.workload)) {
+        std::fprintf(stderr, "error: unknown workload '%s'\n",
+                     cli.workload->c_str());
+        return 2;
+      }
+      const DiffusionGraph graph = make_workload_with_weights(
+          *cli.workload, cli.model, cli.scale, cli.imm.rng_seed);
+      ImmOptions imm = cli.imm;
+      imm.model = cli.model;
+      store = SketchStore::build(graph, imm, *cli.workload);
+      std::printf("built store for %s: |V|=%u sketches=%llu k_max=%zu\n",
+                  cli.workload->c_str(), store->num_vertices(),
+                  static_cast<unsigned long long>(store->num_sketches()),
+                  store->k_max());
+    }
+
+    ServerOptions options = cli.server;
+    options.socket_path = cli.socket_path;
+    SketchServer server(*store, std::move(options));
+    server.start();
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::thread watcher([&server] {
+      while (!g_signalled.load() && server.running()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      if (g_signalled.load()) server.stop();
+    });
+    std::printf("serving on %s (k_max=%zu, cache=%zu, batch=%zu)\n",
+                cli.socket_path.c_str(), store->k_max(),
+                cli.server.executor.cache_capacity,
+                cli.server.executor.max_batch);
+    std::fflush(stdout);
+    server.wait();
+    watcher.join();
+
+    const BatchingExecutor::Stats exec = server.executor_stats();
+    const QueryCache::Stats cache = server.cache_stats();
+    std::printf("served %llu requests in %llu batches (largest %llu); "
+                "cache %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(server.requests_served()),
+                static_cast<unsigned long long>(exec.batches),
+                static_cast<unsigned long long>(exec.largest_batch),
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+    return 0;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
