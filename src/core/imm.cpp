@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "core/martingale.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_info.hpp"
 #include "runtime/work_queue.hpp"
 #include "rrr/generate.hpp"
@@ -117,6 +119,21 @@ SelectionResult select_over_build(PoolBuild& build, const ImmOptions& options,
                           nullptr, &build.workspace);
 }
 
+/// Registry handles for the pipeline-level metrics; registered once per
+/// process (the factories are idempotent anyway).
+struct CoreMetrics {
+  obs::Counter runs = obs::counter("imm.runs_total");
+  obs::Counter sets = obs::counter("sampling.sets_total");
+  obs::Histogram generate_us = obs::histogram("sampling.generate_us");
+  obs::Gauge pool_sets = obs::gauge("imm.pool_sets");
+  obs::Gauge pool_bytes = obs::gauge("imm.rrr_memory_bytes");
+};
+
+CoreMetrics& core_metrics() {
+  static CoreMetrics m;
+  return m;
+}
+
 }  // namespace
 
 PoolBuild build_rrr_pool(const DiffusionGraph& graph,
@@ -171,6 +188,11 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
                                build.theta_capped);
     if (target <= generated) return;
     ScopedAccumulator acc(build.sampling_seconds);
+    obs::TraceSpan span("sampling.generate", "from",
+                        static_cast<std::int64_t>(generated), "to",
+                        static_cast<std::int64_t>(target), "shards",
+                        build.shards_used);
+    Timer generate_timer;
     if (build.segmented) {
       build.segments.resize(target);
       sampler->generate(build.segments, generated, target,
@@ -182,11 +204,14 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
                          generated, target,
                          use_fusion ? &build.base_counters : nullptr);
     }
+    core_metrics().sets.add(target - generated);
+    core_metrics().generate_us.observe(generate_timer.nanos() / 1000);
     generated = target;
   };
 
   auto probe_coverage = [&]() -> double {
     ScopedAccumulator acc(build.probing_selection_seconds);
+    obs::TraceSpan span("selection.probe");
     return select_over_build(build, options, engine).coverage_fraction();
   };
 
@@ -203,10 +228,14 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
                   Engine engine) {
   ThreadCountScope thread_scope(options.threads);
   Timer total_timer;
+  obs::TraceSpan run_span("run_imm", "k", static_cast<std::int64_t>(options.k));
 
   PoolBuild build = build_rrr_pool(graph, options, engine);
   const RRRPoolView view = build.view();
   const VertexId n = view.num_vertices();
+  core_metrics().pool_sets.set(static_cast<std::int64_t>(view.size()));
+  core_metrics().pool_bytes.set(
+      static_cast<std::int64_t>(view.memory_bytes()));
 
   PhaseBreakdown breakdown;
   breakdown.sampling_seconds = build.sampling_seconds;
@@ -216,8 +245,11 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   SelectionResult final_selection;
   {
     ScopedAccumulator acc(breakdown.selection_seconds);
+    obs::TraceSpan span("selection.final", "k",
+                        static_cast<std::int64_t>(options.k));
     final_selection = select_over_build(build, options, engine);
   }
+  core_metrics().runs.add();
 
   ImmResult result;
   result.iterations = std::move(build.iterations);

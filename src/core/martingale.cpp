@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/macros.hpp"
 
@@ -87,11 +89,15 @@ std::uint64_t run_martingale_probing(
     const std::function<void(std::uint64_t)>& generate_to,
     const std::function<double()>& select_coverage,
     const std::function<void(const MartingaleIteration&)>& observe) {
+  static const obs::Counter rounds = obs::counter("martingale.rounds_total");
   double lower_bound = 1.0;
   for (unsigned i = 1; i <= params.max_iterations(); ++i) {
     MartingaleIteration record;
     record.iteration = i;
     record.theta = params.theta_for_iteration(i);
+    obs::TraceSpan span("martingale.round", "iteration", i, "theta",
+                        static_cast<std::int64_t>(record.theta));
+    rounds.add();
     generate_to(record.theta);
     record.coverage = select_coverage();
     record.lower_bound = params.lower_bound(record.coverage);

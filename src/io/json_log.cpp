@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include "support/json.hpp"
 #include "support/macros.hpp"
@@ -206,6 +207,144 @@ std::string write_latency_bench_json_file(
   write_latency_bench_json(os, results);
   EIMM_CHECK(os.good(), "bench result write failed");
   return path;
+}
+
+namespace {
+
+/// The shared histogram serialization of the metrics/serving writers.
+void write_histogram_fields(JsonWriter& w,
+                            const obs::HistogramSnapshot& histogram) {
+  w.kv("Count", histogram.count)
+      .kv("Sum", histogram.sum)
+      .kv("Mean", histogram.mean())
+      .kv("P50", histogram.quantile(0.5))
+      .kv("P99", histogram.quantile(0.99));
+  w.key("Buckets").begin_array();
+  for (const std::uint64_t bucket : histogram.buckets) w.value(bucket);
+  w.end_array();
+}
+
+void write_metric_entries(JsonWriter& w,
+                          const obs::MetricsSnapshot& snapshot) {
+  w.key("Metrics").begin_array();
+  for (const obs::MetricValue& metric : snapshot.entries) {
+    w.begin_object()
+        .kv("Name", metric.name)
+        .kv("Kind", obs::to_string(metric.kind));
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+        w.kv("Value", metric.value);
+        break;
+      case obs::MetricKind::kGauge:
+        w.kv("Value", static_cast<std::int64_t>(metric.gauge));
+        break;
+      case obs::MetricKind::kHistogram:
+        write_histogram_fields(w, metric.histogram);
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string write_json_file(const std::string& path,
+                            const std::function<void(std::ostream&)>& body) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open metrics file for writing");
+  body(os);
+  EIMM_CHECK(os.good(), "metrics write failed");
+  return path;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os,
+                        const obs::MetricsSnapshot& snapshot) {
+  JsonWriter w(os);
+  w.begin_object().kv("Schema", "eimm-metrics-v1");
+  write_metric_entries(w, snapshot);
+  w.end_object();
+  os << '\n';
+}
+
+std::string write_metrics_json_file(const std::string& path,
+                                    const obs::MetricsSnapshot& snapshot) {
+  return write_json_file(
+      path, [&](std::ostream& os) { write_metrics_json(os, snapshot); });
+}
+
+void write_server_metrics_json(std::ostream& os,
+                               const obs::MetricsSnapshot& snapshot,
+                               const ServingStatsRecord& serving) {
+  JsonWriter w(os);
+  w.begin_object().kv("Schema", "eimm-metrics-v1");
+  write_metric_entries(w, snapshot);
+  w.key("Serving").begin_object();
+  w.kv("Requests", serving.requests)
+      .kv("Timeouts", serving.timeouts)
+      .kv("Submitted", serving.submitted)
+      .kv("CacheHits", serving.cache_hits)
+      .kv("Rejected", serving.rejected)
+      .kv("Batches", serving.batches)
+      .kv("LargestBatch", serving.largest_batch)
+      .kv("QueryCacheHits", serving.qcache_hits)
+      .kv("QueryCacheMisses", serving.qcache_misses)
+      .kv("QueryCacheEvictions", serving.qcache_evictions)
+      .kv("QueryCacheEntries", serving.qcache_entries);
+  w.key("QueueWaitMicros").begin_object();
+  write_histogram_fields(w, serving.queue_wait_us);
+  w.end_object();
+  w.key("BatchSize").begin_object();
+  write_histogram_fields(w, serving.batch_size);
+  w.end_object();
+  w.key("ExecMicros").begin_object();
+  write_histogram_fields(w, serving.exec_us);
+  w.end_object();
+  w.end_object();  // Serving
+  w.end_object();
+  os << '\n';
+}
+
+std::string write_server_metrics_json_file(
+    const std::string& path, const obs::MetricsSnapshot& snapshot,
+    const ServingStatsRecord& serving) {
+  return write_json_file(path, [&](std::ostream& os) {
+    write_server_metrics_json(os, snapshot, serving);
+  });
+}
+
+void write_obs_overhead_json(
+    std::ostream& os, const std::vector<ObsOverheadBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object().kv("Bench", "obs_overhead");
+  w.key("Results").begin_array();
+  for (const ObsOverheadBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("Threads", r.threads)
+        .kv("Reps", r.reps)
+        .kv("UninstrumentedSeconds", r.uninstrumented_seconds)
+        .kv("InstrumentedSeconds", r.instrumented_seconds)
+        .kv("OverheadFraction", r.overhead_fraction)
+        .kv("BudgetFraction", r.budget_fraction)
+        .kv("TraceEvents", r.trace_events)
+        .kv("MetricSetsTotal", r.metric_sets_total)
+        .kv("WithinBudget", r.within_budget)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_obs_overhead_json_file(
+    const std::string& path,
+    const std::vector<ObsOverheadBenchResult>& results) {
+  return write_json_file(path, [&](std::ostream& os) {
+    write_obs_overhead_json(os, results);
+  });
 }
 
 std::string write_experiment_json_file(const std::string& dir,

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace eimm {
 
@@ -166,5 +167,73 @@ void write_latency_bench_json(std::ostream& os,
 /// Writes to `path` (parent directories created). Returns `path`.
 std::string write_latency_bench_json_file(
     const std::string& path, const std::vector<LatencyBenchResult>& results);
+
+/// Serializes an obs registry snapshot as one document:
+/// {"Schema": "eimm-metrics-v1", "Metrics": [{"Name": ..., "Kind":
+/// "counter"|"gauge"|"histogram", ...}]}. Histogram entries carry
+/// Count/Sum/Mean/P50/P99 plus the full fixed bucket array.
+void write_metrics_json(std::ostream& os, const obs::MetricsSnapshot& snapshot);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_metrics_json_file(const std::string& path,
+                                    const obs::MetricsSnapshot& snapshot);
+
+/// The serving-side stats surface of one live server, mirrored from the
+/// kStats wire body (obs types only — this header stays independent of
+/// src/serve).
+struct ServingStatsRecord {
+  std::uint64_t requests = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t largest_batch = 0;
+  std::uint64_t qcache_hits = 0;
+  std::uint64_t qcache_misses = 0;
+  std::uint64_t qcache_evictions = 0;
+  std::uint64_t qcache_entries = 0;
+  obs::HistogramSnapshot queue_wait_us;
+  obs::HistogramSnapshot batch_size;
+  obs::HistogramSnapshot exec_us;
+};
+
+/// Serializes a metrics snapshot plus the serving stats surface as one
+/// document: the write_metrics_json fields with an extra "Serving"
+/// object. This is the periodic --metrics dump of tools/sketch_server.
+void write_server_metrics_json(std::ostream& os,
+                               const obs::MetricsSnapshot& snapshot,
+                               const ServingStatsRecord& serving);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_server_metrics_json_file(
+    const std::string& path, const obs::MetricsSnapshot& snapshot,
+    const ServingStatsRecord& serving);
+
+/// One row of the telemetry-overhead bench (BENCH_obs_overhead.json):
+/// the same workload run with telemetry off and on, and the relative
+/// cost that must stay under the budget.
+struct ObsOverheadBenchResult {
+  std::string workload;
+  int threads = 1;
+  int reps = 1;
+  double uninstrumented_seconds = 0.0;
+  double instrumented_seconds = 0.0;
+  double overhead_fraction = 0.0;
+  double budget_fraction = 0.02;
+  std::uint64_t trace_events = 0;
+  std::uint64_t metric_sets_total = 0;
+  bool within_budget = true;
+};
+
+/// Serializes the rows as one document:
+/// {"Bench": "obs_overhead", "Results": [...]}.
+void write_obs_overhead_json(std::ostream& os,
+                             const std::vector<ObsOverheadBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_obs_overhead_json_file(
+    const std::string& path,
+    const std::vector<ObsOverheadBenchResult>& results);
 
 }  // namespace eimm

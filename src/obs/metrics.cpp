@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "support/env.hpp"
+#include "support/macros.hpp"
+
+namespace eimm::obs {
+namespace {
+
+// Cell budget per slab. Counters take 1 cell, histograms 2 + buckets;
+// the budget fits ~80 histograms or thousands of counters, far above
+// what the instrumentation layer registers.
+constexpr std::size_t kMaxCells = 4096;
+constexpr std::size_t kMaxGauges = 256;
+constexpr std::size_t kHistogramCells = 2 + kHistogramBuckets;
+
+// One per-thread block of metric cells. Zero-initialised; only ever
+// written by its owning thread, read by snapshots.
+struct Slab {
+  std::array<std::atomic<std::uint64_t>, kMaxCells> cells{};
+};
+
+struct MetricEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint32_t cell = 0;  // slab cell (counter/histogram) or gauge index
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<MetricEntry> entries;
+  std::uint32_t cells_used = 0;
+  std::uint32_t gauges_used = 0;
+  // Every slab ever handed to a thread. Slabs of exited threads stay
+  // alive here so their counts survive into later snapshots; the vector
+  // grows with thread churn, which is bounded in practice because the
+  // engines run fixed thread teams.
+  std::vector<std::shared_ptr<Slab>> slabs;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+Slab& thread_slab() {
+  thread_local Slab* slab = [] {
+    auto fresh = std::make_shared<Slab>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.slabs.push_back(fresh);
+    return fresh.get();
+  }();
+  return *slab;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_bool("EIMM_METRICS", true)};
+  return flag;
+}
+
+std::uint32_t register_metric(std::string_view name, MetricKind kind,
+                              std::size_t cells) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const MetricEntry& entry : r.entries) {
+    if (entry.name == name) {
+      EIMM_CHECK(entry.kind == kind,
+                 "metric '" + std::string(name) +
+                     "' re-registered with a different kind");
+      return entry.cell;
+    }
+  }
+  std::uint32_t cell = 0;
+  if (kind == MetricKind::kGauge) {
+    EIMM_CHECK(r.gauges_used < kMaxGauges, "metric gauge budget exhausted");
+    cell = r.gauges_used++;
+  } else {
+    EIMM_CHECK(r.cells_used + cells <= kMaxCells,
+               "metric cell budget exhausted");
+    cell = r.cells_used;
+    r.cells_used += static_cast<std::uint32_t>(cells);
+  }
+  r.entries.push_back(MetricEntry{std::string(name), kind, cell});
+  return cell;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t delta) const noexcept {
+  if (!metrics_enabled()) return;
+  thread_slab().cells[cell_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t value) const noexcept {
+  if (!metrics_enabled()) return;
+  registry().gauges[cell_].store(value, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t delta) const noexcept {
+  if (!metrics_enabled()) return;
+  registry().gauges[cell_].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t value) const noexcept {
+  if (!metrics_enabled()) return;
+  Slab& slab = thread_slab();
+  slab.cells[cell_].fetch_add(1, std::memory_order_relaxed);
+  slab.cells[cell_ + 1].fetch_add(value, std::memory_order_relaxed);
+  slab.cells[cell_ + 2 + histogram_bucket(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Counter counter(std::string_view name) {
+  return Counter(register_metric(name, MetricKind::kCounter, 1));
+}
+
+Gauge gauge(std::string_view name) {
+  return Gauge(register_metric(name, MetricKind::kGauge, 1));
+}
+
+Histogram histogram(std::string_view name) {
+  return Histogram(register_metric(name, MetricKind::kHistogram,
+                                   kHistogramCells));
+}
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b == 0) return 0.0;
+    const double lo = static_cast<double>(histogram_bucket_floor(b));
+    const double hi = lo * 2.0;
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(buckets[b]);
+    return lo + within * (hi - lo);
+  }
+  return static_cast<double>(histogram_bucket_floor(kHistogramBuckets - 1)) * 2.0;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) noexcept {
+  count += other.count;
+  sum += other.sum;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  return *this;
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const noexcept {
+  for (const MetricValue& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot snapshot_metrics() {
+  Registry& r = registry();
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(r.mu);
+  out.entries.reserve(r.entries.size());
+  for (const MetricEntry& entry : r.entries) {
+    MetricValue value;
+    value.name = entry.name;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kGauge:
+        value.gauge = r.gauges[entry.cell].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kCounter:
+        for (const auto& slab : r.slabs) {
+          value.value +=
+              slab->cells[entry.cell].load(std::memory_order_relaxed);
+        }
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& slab : r.slabs) {
+          value.histogram.count +=
+              slab->cells[entry.cell].load(std::memory_order_relaxed);
+          value.histogram.sum +=
+              slab->cells[entry.cell + 1].load(std::memory_order_relaxed);
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            value.histogram.buckets[b] += slab->cells[entry.cell + 2 + b].load(
+                std::memory_order_relaxed);
+          }
+        }
+        break;
+    }
+    out.entries.push_back(std::move(value));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& slab : r.slabs) {
+    for (std::uint32_t c = 0; c < r.cells_used; ++c) {
+      slab->cells[c].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::uint32_t g = 0; g < r.gauges_used; ++g) {
+    r.gauges[g].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace eimm::obs

@@ -1,0 +1,181 @@
+// Process-wide metrics registry: counters, gauges, and fixed-layout
+// log2-bucket histograms.
+//
+// Hot-path updates go to per-thread slabs of relaxed atomics — the same
+// contention-avoidance design as runtime/ShardedCounterArray — so an
+// instrumented sampling or selection loop never bounces a shared cache
+// line. A snapshot merges every live (and retired) slab with a plain
+// commutative sum, which makes the merge deterministic: the same set of
+// updates always produces the same totals regardless of thread
+// interleaving or join order.
+//
+// Handles are cheap value types obtained from the name-keyed factories
+// (`counter("sampling.sets_total")`); registration is idempotent, so two
+// call sites naming the same metric share one cell. All updates are
+// gated on `metrics_enabled()` (env `EIMM_METRICS`, default on) and cost
+// one predictable branch when disabled.
+//
+// `AtomicHistogram` is the shared-cell sibling used for per-instance
+// serving stats (BatchingExecutor queue wait / batch size / execution
+// time): same bucket layout, but one atomic array per instance and NOT
+// gated by `metrics_enabled()` — the stats surface of a live server must
+// answer even when process metrics are off.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eimm::obs {
+
+/// Number of buckets in every histogram. Bucket 0 holds exact zeros;
+/// bucket b (b >= 1) holds values in [2^(b-1), 2^b), with the last
+/// bucket absorbing everything above 2^(kHistogramBuckets-2).
+inline constexpr std::size_t kHistogramBuckets = 48;
+
+/// Log2 bucket index for a value (see kHistogramBuckets for the layout).
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) noexcept {
+  if (value == 0) return 0;
+  std::size_t width = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++width;
+  }
+  return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+}
+
+/// Inclusive lower bound of a bucket: 0 for bucket 0, else 2^(b-1).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_floor(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  return std::uint64_t{1} << (bucket - 1);
+}
+
+/// A merged, immutable view of one histogram.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Linearly interpolated quantile estimate (q in [0, 1]) from the
+  /// bucket boundaries; exact for bucket-0 (zero) values.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other) noexcept;
+};
+
+/// Metric kinds, used by snapshots and the JSON writers.
+enum class MetricKind : int { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// Whether registry updates are recorded. Seeded from EIMM_METRICS
+/// (default true) on first use; settable for tests and benches.
+[[nodiscard]] bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Monotonically increasing event count (per-thread slab cells).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) const noexcept;
+
+ private:
+  friend Counter counter(std::string_view name);
+  explicit Counter(std::uint32_t cell) noexcept : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Last-write-wins instantaneous value (single shared cell — gauges are
+/// set from one place at a time, never from a hot loop).
+class Gauge {
+ public:
+  void set(std::int64_t value) const noexcept;
+  void add(std::int64_t delta) const noexcept;
+
+ private:
+  friend Gauge gauge(std::string_view name);
+  explicit Gauge(std::uint32_t cell) noexcept : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Log2-bucket distribution (per-thread slab cells).
+class Histogram {
+ public:
+  void observe(std::uint64_t value) const noexcept;
+
+ private:
+  friend Histogram histogram(std::string_view name);
+  explicit Histogram(std::uint32_t cell) noexcept : cell_(cell) {}
+  std::uint32_t cell_;
+};
+
+/// Registers (idempotently, by name) and returns a handle. A name must
+/// keep one kind for the lifetime of the process; re-registering under a
+/// different kind throws CheckError.
+[[nodiscard]] Counter counter(std::string_view name);
+[[nodiscard]] Gauge gauge(std::string_view name);
+[[nodiscard]] Histogram histogram(std::string_view name);
+
+/// One merged registry entry.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t value = 0;     // counters
+  std::int64_t gauge = 0;      // gauges
+  HistogramSnapshot histogram; // histograms
+};
+
+/// A point-in-time merge of every slab, entries sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> entries;
+
+  /// Pointer into entries, or nullptr when the name is unregistered.
+  [[nodiscard]] const MetricValue* find(std::string_view name) const noexcept;
+};
+
+/// Merges all per-thread slabs (including slabs of exited threads, which
+/// the registry keeps alive) into a consistent-per-cell snapshot. Safe
+/// to call while other threads update.
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// Zeroes every slab cell and gauge (registrations are kept). Test-only:
+/// concurrent updates during reset may be lost.
+void reset_metrics();
+
+/// A single shared-cell histogram instance for object-scoped stats (not
+/// in the registry, not gated by metrics_enabled()).
+class AtomicHistogram {
+ public:
+  AtomicHistogram() noexcept = default;
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void observe(std::uint64_t value) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot out;
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum = sum_.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+}  // namespace eimm::obs

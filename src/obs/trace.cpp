@@ -1,0 +1,275 @@
+#include "obs/trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/log.hpp"
+#include "support/macros.hpp"
+
+namespace eimm::obs {
+namespace {
+
+// Per-thread buffers are capped so a runaway traced loop degrades to
+// dropped events instead of unbounded memory.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  int tid = 0;
+  std::size_t num_args = 0;
+  const char* arg_keys[kMaxSpanArgs] = {};
+  std::int64_t arg_values[kMaxSpanArgs] = {};
+};
+
+struct TraceBuffer {
+  std::mutex mu;  // taken by the owning thread on append, by flush on read
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex mu;  // guards buffers list and path
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::string path;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> dropped{0};
+  bool atexit_registered = false;
+  bool env_checked = false;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: outlives exiting threads
+  return *c;
+}
+
+TraceBuffer& thread_buffer() {
+  thread_local TraceBuffer* buffer = [] {
+    auto fresh = std::make_shared<TraceBuffer>();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.buffers.push_back(fresh);
+    return fresh.get();
+  }();
+  return *buffer;
+}
+
+void atexit_flush() { flush_trace(); }
+
+// Seeds the enabled flag from EIMM_TRACE exactly once.
+void check_env_once() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (c.env_checked) return;
+  c.env_checked = true;
+  const char* env = std::getenv("EIMM_TRACE");
+  if (env != nullptr && env[0] != '\0') {
+    c.path = env;
+    c.enabled.store(true, std::memory_order_release);
+    if (!c.atexit_registered) {
+      c.atexit_registered = true;
+      std::atexit(atexit_flush);
+    }
+  }
+}
+
+struct EnvInit {
+  EnvInit() { check_env_once(); }
+};
+// Ensures EIMM_TRACE is honoured even if the first span outruns any
+// explicit trace call.
+const EnvInit env_init;
+
+void record_event(const TraceEvent& event) {
+  TraceBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    collector().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back(event);
+}
+
+std::vector<TraceEvent> collect_events() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return events;
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return collector().enabled.load(std::memory_order_acquire);
+}
+
+void set_trace_path(const std::string& path) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.env_checked = true;  // explicit configuration overrides the env
+  c.path = path;
+  c.enabled.store(!path.empty(), std::memory_order_release);
+  if (!path.empty() && !c.atexit_registered) {
+    c.atexit_registered = true;
+    std::atexit(atexit_flush);
+  }
+}
+
+std::string trace_path() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.path;
+}
+
+std::size_t trace_event_count() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void reset_trace_events() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    buffers = c.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+  c.dropped.store(0, std::memory_order_relaxed);
+}
+
+void write_trace_json(std::ostream& os) {
+  const std::vector<TraceEvent> events = collect_events();
+  JsonWriter json(os, /*pretty=*/false);
+  json.begin_object();
+  json.kv("displayTimeUnit", "ms");
+  json.key("traceEvents");
+  json.begin_array();
+  const int pid = static_cast<int>(::getpid());
+  for (const TraceEvent& event : events) {
+    json.begin_object();
+    json.kv("name", event.name);
+    json.kv("cat", "eimm");
+    json.kv("ph", "X");
+    json.kv("ts", static_cast<double>(event.start_ns) / 1e3);
+    json.kv("dur", static_cast<double>(event.duration_ns) / 1e3);
+    json.kv("pid", pid);
+    json.kv("tid", event.tid);
+    if (event.num_args > 0) {
+      json.key("args");
+      json.begin_object();
+      for (std::size_t a = 0; a < event.num_args; ++a) {
+        json.kv(event.arg_keys[a], event.arg_values[a]);
+      }
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  const std::uint64_t dropped =
+      collector().dropped.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    EIMM_LOG_WARN << "trace buffer overflow: dropped " << dropped
+                  << " event(s)";
+  }
+}
+
+std::string flush_trace() {
+  const std::string path = trace_path();
+  if (path.empty()) return "";
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path, std::ios::trunc);
+  EIMM_CHECK(os.good(), "cannot open trace output '" + path + "'");
+  write_trace_json(os);
+  os.flush();
+  EIMM_CHECK(os.good(), "failed writing trace output '" + path + "'");
+  return path;
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept {
+  if (!trace_enabled()) return;
+  name_ = name;
+  start_ns_ = monotonic_ns();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* key0,
+                     std::int64_t value0) noexcept
+    : TraceSpan(name) {
+  arg(key0, value0);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* key0, std::int64_t value0,
+                     const char* key1, std::int64_t value1) noexcept
+    : TraceSpan(name) {
+  arg(key0, value0);
+  arg(key1, value1);
+}
+
+TraceSpan::TraceSpan(const char* name, const char* key0, std::int64_t value0,
+                     const char* key1, std::int64_t value1, const char* key2,
+                     std::int64_t value2) noexcept
+    : TraceSpan(name) {
+  arg(key0, value0);
+  arg(key1, value1);
+  arg(key2, value2);
+}
+
+void TraceSpan::arg(const char* key, std::int64_t value) noexcept {
+  if (name_ == nullptr || num_args_ >= kMaxSpanArgs) return;
+  arg_keys_[num_args_] = key;
+  arg_values_[num_args_] = value;
+  ++num_args_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = monotonic_ns() - start_ns_;
+  event.tid = thread_ordinal();
+  event.num_args = num_args_;
+  for (std::size_t a = 0; a < num_args_; ++a) {
+    event.arg_keys[a] = arg_keys_[a];
+    event.arg_values[a] = arg_values_[a];
+  }
+  record_event(event);
+}
+
+}  // namespace eimm::obs

@@ -1,0 +1,75 @@
+// Phase-scoped trace spans emitted as Chrome trace-event JSON
+// (chrome://tracing / Perfetto "traceEvents" format).
+//
+// Tracing is off unless `EIMM_TRACE=out.json` is set (or a path is
+// installed with set_trace_path); a disabled TraceSpan costs one load
+// and one branch. Enabled spans record into per-thread buffers — no
+// shared lock on the hot path — and a flush (explicit or the atexit
+// hook) merges them, sorts by start time, and writes complete-event
+// ("ph":"X") records with microsecond timestamps. Thread attribution
+// uses the process-wide dense thread ordinal from support/log, so trace
+// tids line up with log-line tids; shard/domain attribution rides in
+// per-span integer args.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace eimm::obs {
+
+/// Maximum integer args attached to one span.
+inline constexpr std::size_t kMaxSpanArgs = 4;
+
+/// Whether spans record. Seeded from EIMM_TRACE on first use.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Installs (or, with "", removes) the trace output path. Enabling
+/// registers an atexit flush so a traced process always leaves a valid
+/// JSON file behind.
+void set_trace_path(const std::string& path);
+
+/// The current output path ("" when tracing is disabled).
+[[nodiscard]] std::string trace_path();
+
+/// Number of buffered events across all threads (drops excluded).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Discards all buffered events (test/bench hook).
+void reset_trace_events();
+
+/// Writes the buffered events as a Chrome trace-event JSON document.
+void write_trace_json(std::ostream& os);
+
+/// Writes the buffered events to trace_path(). Returns the path written,
+/// or "" when tracing is disabled. Idempotent: events stay buffered, so
+/// a later flush rewrites a superset.
+std::string flush_trace();
+
+/// RAII span: records one complete event [construction, destruction).
+/// `name` must be a string literal (or otherwise outlive the flush).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(const char* name, const char* key0, std::int64_t value0) noexcept;
+  TraceSpan(const char* name, const char* key0, std::int64_t value0,
+            const char* key1, std::int64_t value1) noexcept;
+  TraceSpan(const char* name, const char* key0, std::int64_t value0,
+            const char* key1, std::int64_t value1, const char* key2,
+            std::int64_t value2) noexcept;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+  /// Attaches one more integer arg (ignored when disabled or full).
+  void arg(const char* key, std::int64_t value) noexcept;
+
+ private:
+  const char* name_ = nullptr;  // nullptr == span inactive
+  std::uint64_t start_ns_ = 0;
+  std::size_t num_args_ = 0;
+  const char* arg_keys_[kMaxSpanArgs] = {};
+  std::int64_t arg_values_[kMaxSpanArgs] = {};
+};
+
+}  // namespace eimm::obs

@@ -7,6 +7,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rrr/generate.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/partition.hpp"
@@ -138,6 +140,12 @@ void ShardedSampler::stage(
         for (const std::size_t s : plan.shards_for_worker(wid)) {
           const ShardPlan::Shard& shard = plan.shards[s];
           const std::size_t local = wid - shard.first_worker;
+          // One span per worker-shard region: the trace shows which
+          // domain each worker drained and for how long.
+          obs::TraceSpan span("sampler.shard", "shard",
+                              static_cast<std::int64_t>(s), "domain",
+                              shard.domain, "worker",
+                              static_cast<std::int64_t>(wid));
           for (JobBatch batch = jobs[s]->next(local); !batch.empty();
                batch = jobs[s]->next(local)) {
             for (std::size_t j = batch.begin; j < batch.end; ++j) {
@@ -170,17 +178,28 @@ void ShardedSampler::stage(
     stats_.sets_per_shard.push_back(shard.size());
     stats_.shard_domains.push_back(shard.domain);
   }
+  static const obs::Counter steal_counter =
+      obs::counter("sampling.steals_total");
+  static const obs::Counter staged_counter =
+      obs::counter("sampling.staged_bytes_total");
   stats_.steals_per_shard.assign(plan.shards.size(), 0);
+  std::uint64_t round_steals = 0;
   for (std::size_t s = 0; s < jobs.size(); ++s) {
     stats_.steals_per_shard[s] = jobs[s]->steal_count();
+    round_steals += stats_.steals_per_shard[s];
   }
+  steal_counter.add(round_steals);
   std::uint64_t staged_after = 0;
+  const std::uint64_t staged_bytes_before = stats_.staged_bytes;
   stats_.staged_bytes = 0;
   stats_.mapped_bytes = 0;
   for (const ShardArena& arena : arenas) {
     staged_after += arena.runs();
     stats_.staged_bytes += arena.staged_bytes();
     stats_.mapped_bytes += arena.mapped_bytes();
+  }
+  if (stats_.staged_bytes > staged_bytes_before) {
+    staged_counter.add(stats_.staged_bytes - staged_bytes_before);
   }
   // Every slot must have been staged exactly once; a scheduling bug here
   // would otherwise surface as silently-empty RRR sets far downstream.

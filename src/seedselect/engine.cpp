@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "numa/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/sketch_store.hpp"
 #include "support/macros.hpp"
+#include "support/timer.hpp"
 
 namespace eimm {
 
@@ -74,6 +77,23 @@ SelectionResult SelectionEngine::select(SelectionKernel kernel,
                                         const SelectionOptions& options,
                                         const CounterArray* base,
                                         SelectionWorkspace* workspace) const {
+  static const obs::Counter runs = obs::counter("selection.runs_total");
+  static const obs::Histogram run_us = obs::histogram("selection.run_us");
+  obs::TraceSpan span("selection.select", "kernel",
+                      kernel == SelectionKernel::kEfficient ? 0 : 1,
+                      "counter_shards", shards_, "sets",
+                      static_cast<std::int64_t>(pool.size()));
+  Timer timer;
+  SelectionResult result = select_impl(kernel, pool, options, base, workspace);
+  runs.add();
+  run_us.observe(timer.nanos() / 1000);
+  return result;
+}
+
+SelectionResult SelectionEngine::select_impl(
+    SelectionKernel kernel, const RRRPoolView& pool,
+    const SelectionOptions& options, const CounterArray* base,
+    SelectionWorkspace* workspace) const {
   // Pin the team first: the same OS threads serve every parallel region
   // the kernel spawns, so one pinning pass places the whole phase (and
   // the sharded replicas' first touch lands on the right domains).

@@ -150,6 +150,11 @@ class SelectionEngine {
   }
 
  private:
+  SelectionResult select_impl(SelectionKernel kernel, const RRRPoolView& pool,
+                              const SelectionOptions& options,
+                              const CounterArray* base,
+                              SelectionWorkspace* workspace) const;
+
   int shards_ = 1;
   PinMode pin_ = PinMode::kNone;
   MemPolicy counter_policy_ = MemPolicy::kDefault;

@@ -11,6 +11,10 @@
 #include <iterator>
 #include <utility>
 
+#include "obs/trace.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
 namespace eimm {
 
 namespace wire {
@@ -135,6 +139,27 @@ QueryResult decode_result(WireReader& r) {
   return result;
 }
 
+void encode_histogram(WireWriter& w, const obs::HistogramSnapshot& histogram) {
+  w.u64(histogram.count);
+  w.u64(histogram.sum);
+  w.u32(static_cast<std::uint32_t>(obs::kHistogramBuckets));
+  for (const std::uint64_t bucket : histogram.buckets) w.u64(bucket);
+}
+
+obs::HistogramSnapshot decode_histogram(WireReader& r) {
+  obs::HistogramSnapshot out;
+  out.count = r.u64();
+  out.sum = r.u64();
+  const std::uint32_t nbuckets = r.u32();
+  // Tolerate a peer built with a different bucket count: read what it
+  // sent, keep the prefix that fits our fixed layout.
+  for (std::uint32_t b = 0; b < nbuckets; ++b) {
+    const std::uint64_t bucket = r.u64();
+    if (b < obs::kHistogramBuckets) out.buckets[b] = bucket;
+  }
+  return out;
+}
+
 }  // namespace wire
 
 namespace {
@@ -249,7 +274,8 @@ std::future<QueryResult> BatchingExecutor::submit(QueryOptions query) {
                         " queries pending)");
   }
   ++stats_.submitted;
-  queue_.push_back(Pending{std::move(query), std::promise<QueryResult>()});
+  queue_.push_back(Pending{std::move(query), std::promise<QueryResult>(),
+                           monotonic_ns()});
   std::future<QueryResult> future = queue_.back().promise.get_future();
   lock.unlock();
   cv_.notify_one();
@@ -267,8 +293,17 @@ void BatchingExecutor::stop() {
 }
 
 BatchingExecutor::Stats BatchingExecutor::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out;
+  {
+    // The scalar counters are only ever mutated under mutex_; snapshot
+    // them under the same lock and hand the caller a value copy.
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  out.queue_wait_us = queue_wait_us_.snapshot();
+  out.batch_size = batch_size_.snapshot();
+  out.exec_us = exec_us_.snapshot();
+  return out;
 }
 
 void BatchingExecutor::dispatch_loop() {
@@ -298,17 +333,28 @@ void BatchingExecutor::dispatch_loop() {
       stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch,
                                                      batch.size());
     }
+    // Histogram updates are lock-free; record them after dropping the
+    // admission lock so producers are never stalled by telemetry.
+    const std::uint64_t dispatch_ns = monotonic_ns();
+    for (const Pending& p : batch) {
+      queue_wait_us_.observe((dispatch_ns - p.enqueue_ns) / 1000);
+    }
+    batch_size_.observe(batch.size());
     run_one_batch(std::move(batch));
   }
 }
 
 void BatchingExecutor::run_one_batch(std::vector<Pending>&& batch) {
+  obs::TraceSpan span("serve.batch", "size",
+                      static_cast<std::int64_t>(batch.size()));
+  Timer exec_timer;
   std::vector<QueryOptions> queries;
   queries.reserve(batch.size());
   for (const Pending& p : batch) queries.push_back(p.query);
   try {
     std::vector<QueryResult> results =
         engine_->run_batch(queries, options_.threads);
+    exec_us_.observe(exec_timer.nanos() / 1000);
     for (std::size_t i = 0; i < batch.size(); ++i) {
       cache_.insert(batch[i].query, results[i]);
       batch[i].promise.set_value(std::move(results[i]));
@@ -408,6 +454,10 @@ std::vector<std::uint8_t> SketchServer::handle_request(
   WireReader r(payload);
   WireWriter ok;
   ok.u8(static_cast<std::uint8_t>(Status::kOk));
+  const auto timeout_frame = [this](const char* message) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    return status_frame(Status::kTimeout, message);
+  };
   try {
     const auto verb = static_cast<Verb>(r.u8());
     switch (verb) {
@@ -421,7 +471,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         std::future<QueryResult> f = executor_.submit(std::move(q));
         if (f.wait_for(options_.request_timeout) !=
             std::future_status::ready) {
-          return status_frame(Status::kTimeout, "query deadline exceeded");
+          return timeout_frame("query deadline exceeded");
         }
         wire::encode_result(ok, f.get());
         return ok.take();
@@ -432,7 +482,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         std::future<QueryResult> f = executor_.submit(std::move(q));
         if (f.wait_for(options_.request_timeout) !=
             std::future_status::ready) {
-          return status_frame(Status::kTimeout, "query deadline exceeded");
+          return timeout_frame("query deadline exceeded");
         }
         wire::encode_result(ok, f.get());
         return ok.take();
@@ -466,8 +516,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         results.reserve(futures.size());
         for (std::future<QueryResult>& f : futures) {
           if (f.wait_until(deadline) != std::future_status::ready) {
-            return status_frame(Status::kTimeout,
-                               "batch deadline exceeded");
+            return timeout_frame("batch deadline exceeded");
           }
           results.push_back(f.get());
         }
@@ -489,6 +538,26 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         ok.u8(load.mmap_backed ? 1 : 0);
         ok.u64(load.bytes_mapped);
         ok.u64(load.bytes_copied);
+        return ok.take();
+      }
+      case Verb::kStats: {
+        r.expect_done();
+        const BatchingExecutor::Stats exec = executor_.stats();
+        const QueryCache::Stats qcache = executor_.cache_stats();
+        ok.u64(requests_served());
+        ok.u64(timeouts());
+        ok.u64(exec.submitted);
+        ok.u64(exec.cache_hits);
+        ok.u64(exec.rejected);
+        ok.u64(exec.batches);
+        ok.u64(exec.largest_batch);
+        ok.u64(qcache.hits);
+        ok.u64(qcache.misses);
+        ok.u64(qcache.evictions);
+        ok.u64(static_cast<std::uint64_t>(qcache.entries));
+        wire::encode_histogram(ok, exec.queue_wait_us);
+        wire::encode_histogram(ok, exec.batch_size);
+        wire::encode_histogram(ok, exec.exec_us);
         return ok.take();
       }
       case Verb::kShutdown:
@@ -664,6 +733,30 @@ SketchClient::Info SketchClient::info() {
   out.mmap_backed = r.u8() != 0;
   out.bytes_mapped = r.u64();
   out.bytes_copied = r.u64();
+  r.expect_done();
+  return out;
+}
+
+SketchClient::ServerStats SketchClient::stats() {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kStats));
+  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  WireReader r = checked(response);
+  ServerStats out;
+  out.requests = r.u64();
+  out.timeouts = r.u64();
+  out.executor.submitted = r.u64();
+  out.executor.cache_hits = r.u64();
+  out.executor.rejected = r.u64();
+  out.executor.batches = r.u64();
+  out.executor.largest_batch = r.u64();
+  out.cache.hits = r.u64();
+  out.cache.misses = r.u64();
+  out.cache.evictions = r.u64();
+  out.cache.entries = static_cast<std::size_t>(r.u64());
+  out.executor.queue_wait_us = wire::decode_histogram(r);
+  out.executor.batch_size = wire::decode_histogram(r);
+  out.executor.exec_us = wire::decode_histogram(r);
   r.expect_done();
   return out;
 }

@@ -37,6 +37,7 @@
 //          Batch(4)     — u32 nqueries, nqueries × Select body
 //          Info(5)      — empty
 //          Shutdown(6)  — empty; server drains and exits after replying
+//          Stats(7)     — empty; live telemetry snapshot (body below)
 //   status: kOk(0)         — verb-specific body below
 //           kError(1)      — string (u64 length + bytes) diagnostic
 //           kTimeout(2)    — string diagnostic (the query kept running;
@@ -53,6 +54,16 @@
 //                                string workload, string model,
 //                                u8 mmap_backed, u64 bytes_mapped,
 //                                u64 bytes_copied
+//               stats         := u64 requests, u64 timeouts,
+//                                u64 submitted, u64 cache_hits,
+//                                u64 rejected, u64 batches,
+//                                u64 largest_batch, u64 qc_hits,
+//                                u64 qc_misses, u64 qc_evictions,
+//                                u64 qc_entries, 3 × histogram
+//                                (queue wait µs, batch size, exec µs)
+//               histogram     := u64 count, u64 sum, u32 nbuckets,
+//                                nbuckets × u64 (log2 buckets; see
+//                                obs::kHistogramBuckets layout)
 #pragma once
 
 #include <atomic>
@@ -66,6 +77,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "serve/query_cache.hpp"
 #include "serve/query_engine.hpp"
 #include "support/macros.hpp"
@@ -80,6 +92,7 @@ enum class Verb : std::uint8_t {
   kBatch = 4,
   kInfo = 5,
   kShutdown = 6,
+  kStats = 7,
 };
 
 enum class Status : std::uint8_t {
@@ -155,6 +168,8 @@ void encode_query(WireWriter& w, const QueryOptions& query);
 [[nodiscard]] QueryOptions decode_query(WireReader& r);
 void encode_result(WireWriter& w, const QueryResult& result);
 [[nodiscard]] QueryResult decode_result(WireReader& r);
+void encode_histogram(WireWriter& w, const obs::HistogramSnapshot& histogram);
+[[nodiscard]] obs::HistogramSnapshot decode_histogram(WireReader& r);
 
 }  // namespace eimm::wire
 
@@ -202,12 +217,22 @@ class BatchingExecutor {
   /// Stops accepting work, drains what was admitted, joins. Idempotent.
   void stop();
 
+  /// A point-in-time copy of the executor's telemetry. The scalar part
+  /// is snapshotted under the executor mutex and the whole struct is
+  /// returned by value, so readers never observe a half-updated set of
+  /// counters while the dispatcher mutates them.
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t rejected = 0;
     std::uint64_t batches = 0;
     std::uint64_t largest_batch = 0;
+    /// Dispatch-queue wait per query, µs (cache hits never enqueue).
+    obs::HistogramSnapshot queue_wait_us;
+    /// Queries per dispatched batch.
+    obs::HistogramSnapshot batch_size;
+    /// run_batch wall time per dispatched batch, µs.
+    obs::HistogramSnapshot exec_us;
   };
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] QueryCache::Stats cache_stats() const {
@@ -218,6 +243,7 @@ class BatchingExecutor {
   struct Pending {
     QueryOptions query;
     std::promise<QueryResult> promise;
+    std::uint64_t enqueue_ns = 0;
   };
   void dispatch_loop();
   void run_one_batch(std::vector<Pending>&& batch);
@@ -230,8 +256,15 @@ class BatchingExecutor {
   std::condition_variable cv_;
   std::vector<Pending> queue_;
   bool stopping_ = false;
-  Stats stats_;
+  Stats stats_;  // scalar fields only; histograms live below
   std::thread dispatcher_;
+
+  // Shared-cell histograms: updated lock-free by the dispatcher, read
+  // by stats() snapshots. Not gated by EIMM_METRICS — a live server's
+  // stats surface must answer even with process metrics off.
+  obs::AtomicHistogram queue_wait_us_;
+  obs::AtomicHistogram batch_size_;
+  obs::AtomicHistogram exec_us_;
 };
 
 struct ServerOptions {
@@ -282,6 +315,10 @@ class SketchServer {
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return requests_served_.load(std::memory_order_relaxed);
   }
+  /// Requests answered with kTimeout, summed over all connections.
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
 
  private:
   void accept_loop();
@@ -298,6 +335,7 @@ class SketchServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
   std::thread acceptor_;
 
   std::mutex conn_mutex_;
@@ -344,6 +382,16 @@ class SketchClient {
     std::uint64_t bytes_copied = 0;
   };
   [[nodiscard]] Info info();
+  /// Live telemetry of the server: request/timeout totals, executor
+  /// stats (incl. queue-wait / batch-size / exec-time histograms) and
+  /// query-cache hit/miss counts.
+  struct ServerStats {
+    std::uint64_t requests = 0;
+    std::uint64_t timeouts = 0;
+    BatchingExecutor::Stats executor;
+    QueryCache::Stats cache;
+  };
+  [[nodiscard]] ServerStats stats();
   void shutdown_server();
 
  private:

@@ -1,22 +1,37 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
 
 namespace eimm {
 namespace {
 
+std::string to_lower(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*s))));
+  }
+  return out;
+}
+
 LogLevel initial_threshold() {
   const char* env = std::getenv("EIMM_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  const std::string level = to_lower(env);
+  if (level == "debug") return LogLevel::kDebug;
+  if (level == "info") return LogLevel::kInfo;
+  if (level == "warn") return LogLevel::kWarn;
+  if (level == "error") return LogLevel::kError;
+  if (level == "off") return LogLevel::kOff;
+  std::fprintf(stderr,
+               "[eimm WARN ] unrecognized EIMM_LOG value '%s' "
+               "(expected debug|info|warn|error|off); keeping 'warn'\n",
+               env);
   return LogLevel::kWarn;
 }
 
@@ -45,10 +60,28 @@ void set_log_threshold(LogLevel level) noexcept {
   threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+std::uint64_t monotonic_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+int thread_ordinal() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void log_line(LogLevel level, const std::string& message) {
+  const double seconds = static_cast<double>(monotonic_ns()) / 1e9;
+  const int tid = thread_ordinal();
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[eimm %s] %s\n", level_tag(level), message.c_str());
+  std::fprintf(stderr, "[eimm %s +%.3fs T%02d] %s\n", level_tag(level),
+               seconds, tid, message.c_str());
 }
 
 }  // namespace eimm

@@ -3,6 +3,7 @@
 // phase progress and for benches to annotate their configuration.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -12,11 +13,26 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff =
 
 /// Global log threshold; messages below it are dropped. Default: kWarn
 /// (library code stays quiet unless something is wrong), overridable via
-/// the EIMM_LOG env var ("debug", "info", "warn", "error", "off").
+/// the EIMM_LOG env var ("debug", "info", "warn", "error", "off",
+/// case-insensitive; an unrecognized value keeps the default and prints
+/// a warning rather than being silently ignored).
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
 
-/// Emits one line to stderr with a level prefix; thread-safe.
+/// Nanoseconds on the monotonic clock since the process's logging epoch
+/// (established on first use). Shared by the log-line timestamps and the
+/// obs trace spans so both surfaces agree on "+12.345s".
+std::uint64_t monotonic_ns() noexcept;
+
+/// Small dense per-thread ordinal: 0 for the first thread that logs or
+/// traces, 1 for the next, and so on. Stable for a thread's lifetime;
+/// used for the log-line `T<n>` prefix and trace tid attribution.
+int thread_ordinal() noexcept;
+
+/// Emits one line to stderr as
+/// `[eimm LEVEL +<seconds>s T<thread>] message`; thread-safe. The
+/// timestamp is monotonic_ns() at the call, the thread tag is
+/// thread_ordinal().
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -1,0 +1,312 @@
+// Histogram-layer and registry coverage: bucket boundary arithmetic,
+// per-thread slab merge determinism, concurrent-update exactness, and
+// snapshot-while-updating safety (the asan/tsan presets exercise the
+// last one with real data races if the slab design regresses).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/macros.hpp"
+
+namespace eimm::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    reset_metrics();
+    set_metrics_enabled(true);
+  }
+};
+
+// --- bucket boundaries ---
+
+TEST(HistogramBuckets, ZeroGetsItsOwnBucket) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket_floor(0), 0u);
+}
+
+TEST(HistogramBuckets, PowersOfTwoStartNewBuckets) {
+  // Bucket b >= 1 covers [2^(b-1), 2^b).
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  EXPECT_EQ(histogram_bucket(7), 3u);
+  EXPECT_EQ(histogram_bucket(8), 4u);
+  for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+    const std::uint64_t lo = histogram_bucket_floor(b);
+    EXPECT_EQ(histogram_bucket(lo), b) << "floor of bucket " << b;
+    EXPECT_EQ(histogram_bucket(2 * lo - 1), b) << "ceiling of bucket " << b;
+    EXPECT_EQ(histogram_bucket(2 * lo), b + 1) << "first past bucket " << b;
+  }
+}
+
+TEST(HistogramBuckets, LastBucketAbsorbsOverflow) {
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket(std::uint64_t{1} << 60), kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, FloorsAreStrictlyIncreasing) {
+  for (std::size_t b = 1; b < kHistogramBuckets; ++b) {
+    EXPECT_GT(histogram_bucket_floor(b), histogram_bucket_floor(b - 1));
+  }
+}
+
+// --- handles and registration ---
+
+TEST_F(MetricsTest, CounterAccumulatesExactly) {
+  const Counter c = counter("test.counter_basic");
+  c.add();
+  c.add(41);
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricValue* v = snap.find("test.counter_basic");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, MetricKind::kCounter);
+  EXPECT_EQ(v->value, 42u);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotentByName) {
+  const Counter a = counter("test.counter_shared");
+  const Counter b = counter("test.counter_shared");
+  a.add(10);
+  b.add(5);
+  const MetricsSnapshot snap = snapshot_metrics();
+  std::size_t matches = 0;
+  for (const MetricValue& entry : snap.entries) {
+    if (entry.name == "test.counter_shared") ++matches;
+  }
+  EXPECT_EQ(matches, 1u);
+  EXPECT_EQ(snap.find("test.counter_shared")->value, 15u);
+}
+
+TEST_F(MetricsTest, KindMismatchThrows) {
+  (void)counter("test.kind_clash");
+  EXPECT_THROW((void)gauge("test.kind_clash"), CheckError);
+  EXPECT_THROW((void)histogram("test.kind_clash"), CheckError);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  const Gauge g = gauge("test.gauge_basic");
+  g.set(100);
+  g.add(-30);
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricValue* v = snap.find("test.gauge_basic");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, MetricKind::kGauge);
+  EXPECT_EQ(v->gauge, 70);
+}
+
+TEST_F(MetricsTest, DisabledUpdatesAreDropped) {
+  const Counter c = counter("test.counter_gated");
+  const Histogram h = histogram("test.hist_gated");
+  set_metrics_enabled(false);
+  c.add(1000);
+  h.observe(7);
+  set_metrics_enabled(true);
+  c.add(1);
+  const MetricsSnapshot snap = snapshot_metrics();
+  EXPECT_EQ(snap.find("test.counter_gated")->value, 1u);
+  EXPECT_EQ(snap.find("test.hist_gated")->histogram.count, 0u);
+}
+
+TEST_F(MetricsTest, FindUnregisteredReturnsNull) {
+  EXPECT_EQ(snapshot_metrics().find("test.never_registered"), nullptr);
+}
+
+TEST_F(MetricsTest, SnapshotEntriesSortedByName) {
+  (void)counter("test.zz_last");
+  (void)counter("test.aa_first");
+  const MetricsSnapshot snap = snapshot_metrics();
+  for (std::size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+}
+
+// --- histogram recording ---
+
+TEST_F(MetricsTest, HistogramCountSumAndBucketsExact) {
+  const Histogram h = histogram("test.hist_exact");
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1000);
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricValue* v = snap.find("test.hist_exact");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->kind, MetricKind::kHistogram);
+  EXPECT_EQ(v->histogram.count, 5u);
+  EXPECT_EQ(v->histogram.sum, 1006u);
+  EXPECT_EQ(v->histogram.buckets[0], 1u);              // the zero
+  EXPECT_EQ(v->histogram.buckets[1], 1u);              // 1
+  EXPECT_EQ(v->histogram.buckets[2], 2u);              // 2, 3
+  EXPECT_EQ(v->histogram.buckets[histogram_bucket(1000)], 1u);
+  EXPECT_DOUBLE_EQ(v->histogram.mean(), 1006.0 / 5.0);
+}
+
+TEST_F(MetricsTest, QuantileBracketsObservations) {
+  const Histogram h = histogram("test.hist_quantile");
+  for (int i = 0; i < 100; ++i) h.observe(100);  // bucket [64, 128)
+  const HistogramSnapshot snap =
+      snapshot_metrics().find("test.hist_quantile")->histogram;
+  const double p50 = snap.quantile(0.5);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), snap.quantile(0.0));  // no NaN
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST_F(MetricsTest, SnapshotMergeOperator) {
+  HistogramSnapshot a;
+  a.count = 2;
+  a.sum = 10;
+  a.buckets[3] = 2;
+  HistogramSnapshot b;
+  b.count = 1;
+  b.sum = 5;
+  b.buckets[3] = 1;
+  a += b;
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum, 15u);
+  EXPECT_EQ(a.buckets[3], 3u);
+}
+
+// --- concurrency ---
+
+TEST_F(MetricsTest, ConcurrentCounterUpdatesAreExact) {
+  const Counter c = counter("test.counter_mt");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(snapshot_metrics().find("test.counter_mt")->value,
+            kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, SlabMergeIsDeterministicAcrossExitedThreads) {
+  // Each thread writes from its own slab and exits; the registry keeps
+  // retired slabs alive, so repeated snapshots after the joins must all
+  // see the identical commutative sum.
+  const Counter c = counter("test.counter_retired");
+  const Histogram h = histogram("test.hist_retired");
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < 1000; ++i) {
+          c.add();
+          h.observe(static_cast<std::uint64_t>(i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  const MetricsSnapshot first = snapshot_metrics();
+  EXPECT_EQ(first.find("test.counter_retired")->value, 16000u);
+  EXPECT_EQ(first.find("test.hist_retired")->histogram.count, 16000u);
+  for (int i = 0; i < 3; ++i) {
+    const MetricsSnapshot again = snapshot_metrics();
+    EXPECT_EQ(again.find("test.counter_retired")->value,
+              first.find("test.counter_retired")->value);
+    EXPECT_EQ(again.find("test.hist_retired")->histogram.sum,
+              first.find("test.hist_retired")->histogram.sum);
+    EXPECT_EQ(again.find("test.hist_retired")->histogram.buckets,
+              first.find("test.hist_retired")->histogram.buckets);
+  }
+}
+
+TEST_F(MetricsTest, SnapshotWhileUpdatingIsSafeAndMonotonic) {
+  const Counter c = counter("test.counter_live");
+  const Histogram h = histogram("test.hist_live");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        h.observe(i++ & 1023);
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  std::uint64_t last_hist = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = snapshot_metrics();
+    const std::uint64_t now = snap.find("test.counter_live")->value;
+    const std::uint64_t hist_now = snap.find("test.hist_live")->histogram.count;
+    EXPECT_GE(now, last_count);
+    EXPECT_GE(hist_now, last_hist);
+    last_count = now;
+    last_hist = hist_now;
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+  // Quiescent: the final snapshot is exact again.
+  const MetricsSnapshot final_snap = snapshot_metrics();
+  const HistogramSnapshot hist =
+      final_snap.find("test.hist_live")->histogram;
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : hist.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hist.count);
+  EXPECT_GE(final_snap.find("test.counter_live")->value, last_count);
+}
+
+TEST_F(MetricsTest, AtomicHistogramConcurrentExactness) {
+  AtomicHistogram h;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.observe(i & 255);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (std::uint64_t i = 0; i < kPerThread; ++i) expected_sum += i & 255;
+  EXPECT_EQ(snap.sum, kThreads * expected_sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  const Counter c = counter("test.counter_reset");
+  const Gauge g = gauge("test.gauge_reset");
+  c.add(9);
+  g.set(9);
+  reset_metrics();
+  const MetricsSnapshot snap = snapshot_metrics();
+  const MetricValue* cv = snap.find("test.counter_reset");
+  const MetricValue* gv = snap.find("test.gauge_reset");
+  ASSERT_NE(cv, nullptr);
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(cv->value, 0u);
+  EXPECT_EQ(gv->gauge, 0);
+  c.add(2);  // old handle still valid after reset
+  EXPECT_EQ(snapshot_metrics().find("test.counter_reset")->value, 2u);
+}
+
+}  // namespace
+}  // namespace eimm::obs

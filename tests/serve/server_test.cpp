@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -368,6 +369,130 @@ TEST(SketchServerStandalone, StopIsIdempotentAndUnlinksSocket) {
   server.stop();
   EXPECT_FALSE(server.running());
   EXPECT_THROW(SketchClient(options.socket_path), CheckError);
+}
+
+// --- telemetry surface (kStats verb + executor histograms) ---
+
+TEST(Wire, HistogramRoundTrips) {
+  obs::AtomicHistogram source;
+  source.observe(0);
+  source.observe(1);
+  source.observe(17);
+  source.observe(1 << 20);
+  const obs::HistogramSnapshot snap = source.snapshot();
+
+  wire::WireWriter w;
+  wire::encode_histogram(w, snap);
+  wire::WireReader r(w.bytes());
+  const obs::HistogramSnapshot back = wire::decode_histogram(r);
+  r.expect_done();
+  EXPECT_EQ(back.count, snap.count);
+  EXPECT_EQ(back.sum, snap.sum);
+  EXPECT_EQ(back.buckets, snap.buckets);
+}
+
+TEST(BatchingExecutor, StatsHistogramsTrackDispatch) {
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  BatchingExecutor executor(engine, ExecutorOptions{});
+
+  QueryOptions repeated;
+  repeated.k = 3;
+  repeated.forbidden = {engine.top_k(1).seeds[0]};
+  (void)executor.submit(repeated).get();
+  (void)executor.submit(repeated).get();  // served from the query cache
+  QueryOptions fresh;
+  fresh.k = 2;
+  (void)executor.submit(fresh).get();
+
+  const BatchingExecutor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_GE(stats.cache_hits, 1u);
+  // Every dispatched batch observes its size once; every enqueued query
+  // (cache hits never enqueue) observes its queue wait once.
+  EXPECT_EQ(stats.batch_size.count, stats.batches);
+  EXPECT_EQ(stats.queue_wait_us.count, stats.submitted - stats.cache_hits);
+  EXPECT_EQ(stats.exec_us.count, stats.batches);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : stats.batch_size.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, stats.batch_size.count);
+  EXPECT_GE(stats.batch_size.sum, stats.batches);  // every batch size >= 1
+}
+
+TEST(BatchingExecutor, StatsSnapshotSafeWhileSubmitting) {
+  // Satellite regression: Stats must be a consistent by-value snapshot
+  // taken under the executor mutex — reading it concurrently with
+  // submissions must be race-free (asan/tsan presets enforce this) and
+  // monotonic in the counters.
+  const SketchStore store = make_store();
+  const QueryEngine engine(store);
+  BatchingExecutor executor(engine, ExecutorOptions{});
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t last_submitted = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const BatchingExecutor::Stats stats = executor.stats();
+      EXPECT_GE(stats.submitted, last_submitted);
+      EXPECT_GE(stats.submitted, stats.cache_hits);
+      // Histograms are snapshotted after the scalar copy, so they may
+      // run ahead of it — but never behind.
+      EXPECT_GE(stats.batch_size.count, stats.batches);
+      last_submitted = stats.submitted;
+    }
+  });
+
+  constexpr std::size_t kQueries = 64;
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    QueryOptions q;
+    q.k = 1 + i % store.k_max();
+    futures.push_back(executor.submit(q));
+  }
+  for (auto& f : futures) (void)f.get();
+  stop.store(true);
+  reader.join();
+
+  const BatchingExecutor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.submitted, kQueries);
+  EXPECT_EQ(stats.queue_wait_us.count, stats.submitted - stats.cache_hits);
+}
+
+TEST_F(ServerFixture, StatsVerbMatchesScriptedSequence) {
+  SketchClient client(server_->socket_path());
+  client.ping();
+  (void)client.top_k(4);
+  QueryOptions constrained;
+  constrained.k = 3;
+  constrained.forbidden = {engine_->top_k(1).seeds[0]};
+  (void)client.select(constrained);
+  (void)client.select(constrained);  // query-cache hit
+
+  const SketchClient::ServerStats stats = client.stats();
+  // ping + top_k + 2 selects (the in-flight stats request may not be
+  // counted yet).
+  EXPECT_GE(stats.requests, 4u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.executor.submitted, 3u);
+  EXPECT_GE(stats.executor.cache_hits, 1u);
+  EXPECT_GE(stats.executor.batches, 1u);
+  EXPECT_GE(stats.executor.largest_batch, 1u);
+  EXPECT_EQ(stats.cache.hits, stats.executor.cache_hits);
+  // Only the two constrained selects are cacheable; the unconstrained
+  // top_k bypasses the cache without recording a miss.
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, 2u);
+  // Wire-decoded histograms carry the executor's real distributions.
+  EXPECT_EQ(stats.executor.batch_size.count, stats.executor.batches);
+  EXPECT_EQ(stats.executor.queue_wait_us.count,
+            stats.executor.submitted - stats.executor.cache_hits);
+  EXPECT_EQ(stats.executor.exec_us.count, stats.executor.batches);
+  EXPECT_GE(stats.executor.batch_size.sum, stats.executor.batches);
+
+  // A second stats call sees a strictly larger request count.
+  const SketchClient::ServerStats again = client.stats();
+  EXPECT_GT(again.requests, stats.requests);
+  EXPECT_EQ(again.executor.submitted, stats.executor.submitted);
 }
 
 }  // namespace

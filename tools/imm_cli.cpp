@@ -30,6 +30,8 @@
 //                       1 = legacy flat counter)
 //   --simulate N        verify seeds with N Monte-Carlo cascades
 //   --log-dir DIR       write the artifact-style JSON log into DIR
+//   --metrics PATH      write the obs metrics-registry snapshot as JSON
+//                       (set EIMM_TRACE=out.json for a Chrome trace)
 //   --verbose           print martingale iteration telemetry (also set
 //                       EIMM_VERBOSE=1 for the effective pinning map)
 #include <cstdio>
@@ -46,6 +48,8 @@
 #include "io/binary.hpp"
 #include "io/edgelist.hpp"
 #include "io/json_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/affinity.hpp"
 #include "simulate/spread.hpp"
 #include "support/log.hpp"
@@ -67,6 +71,7 @@ struct CliOptions {
   ImmOptions imm;
   int simulate_samples = 0;
   std::optional<std::string> log_dir;
+  std::optional<std::string> metrics_path;
   bool verbose = false;
 };
 
@@ -81,7 +86,8 @@ struct CliOptions {
                "          [--no-adaptive-update] [--no-balance] [--no-numa]\n"
                "          [--pin auto|none|compact|spread]\n"
                "          [--counter-shards N]\n"
-               "          [--simulate N] [--log-dir DIR] [--verbose]\n",
+               "          [--simulate N] [--log-dir DIR] [--verbose]\n"
+               "          [--metrics OUT.json]\n",
                argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -133,6 +139,7 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (arg == "--simulate") {
       options.simulate_samples = static_cast<int>(std::strtol(next().c_str(), nullptr, 10));
     } else if (arg == "--log-dir") options.log_dir = next();
+    else if (arg == "--metrics") options.metrics_path = next();
     else if (arg == "--verbose") options.verbose = true;
     else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else usage(argv[0], ("unknown option " + arg).c_str());
@@ -249,6 +256,17 @@ int run_cli(int argc, char** argv) {
     const std::string path = write_experiment_json_file(*options.log_dir,
                                                         record);
     std::printf("log: %s\n", path.c_str());
+  }
+
+  if (options.metrics_path) {
+    const std::string path =
+        write_metrics_json_file(*options.metrics_path, obs::snapshot_metrics());
+    std::printf("metrics: %s\n", path.c_str());
+  }
+  if (obs::trace_enabled()) {
+    // Flush eagerly (the atexit hook would also do it) so the path is
+    // printed and write errors surface as a CLI diagnostic.
+    std::printf("trace: %s\n", obs::flush_trace().c_str());
   }
   return 0;
 }

@@ -30,6 +30,8 @@
 #include "graph/builder.hpp"
 #include "io/binary.hpp"
 #include "io/edgelist.hpp"
+#include "io/json_log.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/affinity.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/sketch_store.hpp"
@@ -56,6 +58,7 @@ struct CliOptions {
   std::vector<VertexId> forbidden;
   std::vector<VertexId> eval_seeds;
   SnapshotLoadOptions load;
+  std::optional<std::string> metrics_path;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -78,7 +81,8 @@ struct CliOptions {
       "          [--forbid LIST] | --eval LIST) [--stream] [--deep-validate]\n"
       "          LIST = comma-separated ids\n"
       "       --stream forces the copying loader (v2 snapshots mmap by\n"
-      "       default); --deep-validate adds the O(pool) integrity scan\n",
+      "       default); --deep-validate adds the O(pool) integrity scan\n"
+      "       any verb accepts --metrics OUT.json (obs registry snapshot)\n",
       argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -206,6 +210,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.eval_seeds = parse_vertex_list(argv[0], next());
     } else if (arg == "--stream") {
       options.load.mode = SnapshotLoadMode::kStream;
+    } else if (arg == "--metrics") {
+      options.metrics_path = next();
     } else if (arg == "--deep-validate") {
       options.load.deep_validate = true;
     } else if (arg == "--help" || arg == "-h") usage(argv[0]);
@@ -353,11 +359,20 @@ int run_query(const CliOptions& options) {
 int main(int argc, char** argv) {
   const CliOptions options = parse_cli(argc, argv);
   try {
+    int rc = 0;
     if (options.verb == "build" || options.verb == "save") {
-      return run_build(options);
+      rc = run_build(options);
+    } else if (options.verb == "load") {
+      rc = run_load(options);
+    } else {
+      rc = run_query(options);
     }
-    if (options.verb == "load") return run_load(options);
-    return run_query(options);
+    if (options.metrics_path) {
+      const std::string path = write_metrics_json_file(
+          *options.metrics_path, obs::snapshot_metrics());
+      std::printf("metrics: %s\n", path.c_str());
+    }
+    return rc;
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,6 +4,7 @@
 //   sketch_client --socket /tmp/eimm.sock info
 //   sketch_client --socket /tmp/eimm.sock query --k 10
 //   sketch_client --socket /tmp/eimm.sock query --k 5 --forbid 3,17
+//   sketch_client --socket /tmp/eimm.sock stats
 //   sketch_client --socket /tmp/eimm.sock shutdown
 //
 // Query output matches `sketch_cli query` exactly, so CI can diff the
@@ -26,7 +27,7 @@ using namespace eimm;
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: %s --socket PATH ping|info|shutdown\n"
+               "usage: %s --socket PATH ping|info|stats|shutdown\n"
                "       %s --socket PATH query --k N [--candidates LIST]\n"
                "          [--forbid LIST]       LIST = comma-separated ids\n",
                argv0, argv0);
@@ -54,6 +55,14 @@ std::vector<VertexId> parse_vertex_list(const char* argv0,
     pos = comma + 1;
   }
   return out;
+}
+
+void print_histogram_line(const char* label,
+                          const obs::HistogramSnapshot& histogram) {
+  std::printf("%s: count=%llu mean=%.1f p50=%.1f p99=%.1f\n", label,
+              static_cast<unsigned long long>(histogram.count),
+              histogram.mean(), histogram.quantile(0.5),
+              histogram.quantile(0.99));
 }
 
 void print_query_result(const QueryResult& result) {
@@ -116,6 +125,28 @@ int main(int argc, char** argv) {
       if (query.k == 0) usage(argv[0], "'query' requires --k N");
       print_query_result(query.constrained() ? client.select(query)
                                              : client.top_k(query.k));
+    } else if (verb == "stats") {
+      const SketchClient::ServerStats stats = client.stats();
+      std::printf("requests: %llu (%llu timeouts)\n",
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.timeouts));
+      std::printf("executor: %llu submitted, %llu cache hits, %llu rejected, "
+                  "%llu batches (largest %llu)\n",
+                  static_cast<unsigned long long>(stats.executor.submitted),
+                  static_cast<unsigned long long>(stats.executor.cache_hits),
+                  static_cast<unsigned long long>(stats.executor.rejected),
+                  static_cast<unsigned long long>(stats.executor.batches),
+                  static_cast<unsigned long long>(
+                      stats.executor.largest_batch));
+      std::printf("query cache: %llu hits / %llu misses, %llu evictions, "
+                  "%llu entries\n",
+                  static_cast<unsigned long long>(stats.cache.hits),
+                  static_cast<unsigned long long>(stats.cache.misses),
+                  static_cast<unsigned long long>(stats.cache.evictions),
+                  static_cast<unsigned long long>(stats.cache.entries));
+      print_histogram_line("queue wait us", stats.executor.queue_wait_us);
+      print_histogram_line("batch size", stats.executor.batch_size);
+      print_histogram_line("exec us", stats.executor.exec_us);
     } else if (verb == "shutdown") {
       client.shutdown_server();
       std::printf("server shutting down\n");

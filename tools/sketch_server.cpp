@@ -19,6 +19,8 @@
 #include <thread>
 
 #include "diffusion/weights.hpp"
+#include "io/json_log.hpp"
+#include "obs/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/sketch_store.hpp"
 #include "support/rng.hpp"
@@ -38,6 +40,10 @@ struct ServerCli {
   ImmOptions imm;
   DiffusionModel model = DiffusionModel::kIndependentCascade;
   double scale = 1.0;
+  // Telemetry dump: --metrics writes a final JSON snapshot at shutdown;
+  // --metrics-interval additionally rewrites it every N seconds.
+  std::optional<std::string> metrics_path;
+  int metrics_interval_seconds = 0;
 };
 
 [[noreturn]] void usage(const char* argv0, const char* error = nullptr) {
@@ -50,7 +56,8 @@ struct ServerCli {
       "          [--k N] [--model IC|LT] [--scale F] [--seed N]\n"
       "          [--max-rrr N] [--threads N]   (build mode only)\n"
       "          [--batch N] [--batch-window-us N] [--timeout-ms N]\n"
-      "          [--max-queue N] [--cache N]\n",
+      "          [--max-queue N] [--cache N]\n"
+      "          [--metrics OUT.json] [--metrics-interval SECONDS]\n",
       argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -109,6 +116,11 @@ ServerCli parse_cli(int argc, char** argv) {
     } else if (arg == "--cache") {
       cli.server.executor.cache_capacity =
           static_cast<std::size_t>(parse_uint(argv[0], arg, next()));
+    } else if (arg == "--metrics") {
+      cli.metrics_path = next();
+    } else if (arg == "--metrics-interval") {
+      cli.metrics_interval_seconds =
+          static_cast<int>(parse_uint(argv[0], arg, next()));
     } else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else usage(argv[0], ("unknown option " + arg).c_str());
   }
@@ -119,6 +131,9 @@ ServerCli parse_cli(int argc, char** argv) {
   if (cli.store_path.has_value() && cli.workload.has_value()) {
     usage(argv[0], "--store and --workload are mutually exclusive");
   }
+  if (cli.metrics_interval_seconds > 0 && !cli.metrics_path.has_value()) {
+    usage(argv[0], "--metrics-interval requires --metrics OUT.json");
+  }
   return cli;
 }
 
@@ -127,6 +142,28 @@ ServerCli parse_cli(int argc, char** argv) {
 std::atomic<bool> g_signalled{false};
 
 void handle_signal(int) { g_signalled.store(true); }
+
+/// The kStats surface of a live server, repackaged for the JSON writer.
+ServingStatsRecord serving_record(SketchServer& server) {
+  const BatchingExecutor::Stats exec = server.executor_stats();
+  const QueryCache::Stats qcache = server.cache_stats();
+  ServingStatsRecord record;
+  record.requests = server.requests_served();
+  record.timeouts = server.timeouts();
+  record.submitted = exec.submitted;
+  record.cache_hits = exec.cache_hits;
+  record.rejected = exec.rejected;
+  record.batches = exec.batches;
+  record.largest_batch = exec.largest_batch;
+  record.qcache_hits = qcache.hits;
+  record.qcache_misses = qcache.misses;
+  record.qcache_evictions = qcache.evictions;
+  record.qcache_entries = static_cast<std::uint64_t>(qcache.entries);
+  record.queue_wait_us = exec.queue_wait_us;
+  record.batch_size = exec.batch_size;
+  record.exec_us = exec.exec_us;
+  return record;
+}
 
 }  // namespace
 
@@ -177,8 +214,34 @@ int main(int argc, char** argv) {
                 cli.server.executor.cache_capacity,
                 cli.server.executor.max_batch);
     std::fflush(stdout);
+
+    // Periodic metrics dump: rewrite the snapshot file every interval so
+    // an operator (or CI) can watch a live server without the wire
+    // protocol. The 100ms tick keeps shutdown prompt.
+    std::thread metrics_thread;
+    if (cli.metrics_path && cli.metrics_interval_seconds > 0) {
+      metrics_thread = std::thread([&server, &cli] {
+        const auto interval =
+            std::chrono::seconds(cli.metrics_interval_seconds);
+        auto next_dump = std::chrono::steady_clock::now() + interval;
+        while (server.running() && !g_signalled.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          if (std::chrono::steady_clock::now() < next_dump) continue;
+          next_dump += interval;
+          try {
+            write_server_metrics_json_file(*cli.metrics_path,
+                                           obs::snapshot_metrics(),
+                                           serving_record(server));
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "metrics dump failed: %s\n", e.what());
+          }
+        }
+      });
+    }
+
     server.wait();
     watcher.join();
+    if (metrics_thread.joinable()) metrics_thread.join();
 
     const BatchingExecutor::Stats exec = server.executor_stats();
     const QueryCache::Stats cache = server.cache_stats();
@@ -189,6 +252,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(exec.largest_batch),
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses));
+    if (cli.metrics_path) {
+      const std::string path = write_server_metrics_json_file(
+          *cli.metrics_path, obs::snapshot_metrics(), serving_record(server));
+      std::printf("metrics: %s\n", path.c_str());
+    }
     return 0;
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
