@@ -164,6 +164,22 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
       engine == Engine::kEfficient ? resolve_shards(options.shards) : 1;
   build.segmented = build.shards_used > 1;
 
+  // Compressed backing (kEfficient only): rounds are gap-coded into
+  // build.cpool as they land, and the raw staging storage is recycled,
+  // so the resident pool is the compressed image plus ONE round of raw
+  // staging. Selection and probing read the compressed view; contents
+  // are identical, so seeds are too.
+  const PoolCompression compression =
+      engine == Engine::kEfficient
+          ? resolve_pool_compression(options.pool_compress)
+          : PoolCompression::kNone;
+  build.compressed = compression != PoolCompression::kNone;
+  if (build.compressed) {
+    build.cpool = CompressedPool(n, compression == PoolCompression::kHuffman
+                                        ? PoolCodec::kHuffman
+                                        : PoolCodec::kVarint);
+  }
+
   // The sharded sampler persists across the martingale rounds: its
   // arenas (owned by build.segments on the zero-copy path) keep
   // accumulating staged runs, and selection reads them in place through
@@ -206,6 +222,22 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
     }
     core_metrics().sets.add(target - generated);
     core_metrics().generate_us.observe(generate_timer.nanos() / 1000);
+    if (build.compressed) {
+      // Encode the fresh round, then recycle its raw staging storage.
+      // Fused base counters were already incremented during generation,
+      // so dropping the raw sets loses nothing the kernels need.
+      const RRRPoolView staged = build.segmented
+                                     ? RRRPoolView(build.segments)
+                                     : RRRPoolView(build.pool);
+      build.cpool.append(staged, generated, target);
+      if (build.segmented) {
+        build.segments.reset_arenas();
+      } else {
+        for (std::uint64_t i = generated; i < target; ++i) {
+          build.pool[i] = RRRSet();
+        }
+      }
+    }
     generated = target;
   };
 
@@ -270,6 +302,13 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   result.staged_bytes = build.shard_stats.staged_bytes;
   result.mapped_bytes = build.shard_stats.mapped_bytes;
   result.merged_bytes = build.shard_stats.merged_bytes;
+  if (build.compressed) {
+    result.pool_compression_used = build.cpool.codec() == PoolCodec::kHuffman
+                                       ? PoolCompression::kHuffman
+                                       : PoolCompression::kVarint;
+    result.compressed_payload_bytes = build.cpool.payload_bytes();
+    result.encode_seconds = build.cpool.encode_seconds();
+  }
   breakdown.total_seconds = total_timer.seconds();
   result.breakdown = breakdown;
   return result;

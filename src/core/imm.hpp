@@ -94,6 +94,18 @@ struct ImmOptions {
   /// 1e8-1e9 in the paper) tractable. Capped runs are flagged in the
   /// result; the quality guarantee then degrades gracefully.
   std::uint64_t max_rrr_sets = 1u << 22;
+
+  /// Compressed RRR pool backing (rrr/compressed_pool.hpp): after each
+  /// generation round the fresh sets are gap-coded into a CompressedPool
+  /// and the raw staging storage is released, so resident pool bytes
+  /// drop 2-4x at a bounded decode-on-enumerate selection slowdown
+  /// (bench/compressed_pool measures the trade). kAuto resolves the
+  /// EIMM_POOL_COMPRESS environment variable (0/off → none, 1/on/varint
+  /// → varint, 2/huffman → huffman; default none). kEfficient engine
+  /// only — the ripples baseline keeps the paper's layout. Seed
+  /// sequences are bit-identical for every value (ctest -L statcheck
+  /// pins it): compression changes storage, never set contents.
+  PoolCompression pool_compress = PoolCompression::kAuto;
 };
 
 /// Wall-clock attribution matching the paper's Fig. 2 breakdown.
@@ -138,6 +150,13 @@ struct ImmResult {
   std::uint64_t staged_bytes = 0;
   std::uint64_t mapped_bytes = 0;
   std::uint64_t merged_bytes = 0;
+  /// Pool compression the build actually used (resolved from the option
+  /// and EIMM_POOL_COMPRESS; kNone when the pool stayed raw).
+  PoolCompression pool_compression_used = PoolCompression::kNone;
+  /// Gap-coded payload bytes of the compressed pool (0 when raw).
+  std::uint64_t compressed_payload_bytes = 0;
+  /// Wall-clock spent encoding rounds into the compressed pool.
+  double encode_seconds = 0.0;
   PhaseBreakdown breakdown;
   /// Sampling-phase probe history (diagnostics; one entry per executed
   /// iteration of the Algorithm 1 loop).
@@ -159,6 +178,13 @@ struct PoolBuild {
   /// Zero-copy sharded storage (populated iff `segmented`).
   SegmentedPool segments;
   bool segmented = false;
+  /// Gap-coded pool storage (populated iff `compressed`). When active,
+  /// each generation round is encoded here and the raw staging storage
+  /// (pool slots or segment arenas) is recycled — `pool`/`segments`
+  /// then hold only transient per-round staging, and view() serves
+  /// every consumer from the compressed image.
+  CompressedPool cpool;
+  bool compressed = false;
   /// Fused base counters (kernel fusion, Algorithm 3); valid — and worth
   /// copying instead of rebuilding — only when counters_prebuilt.
   CounterArray base_counters;
@@ -181,10 +207,12 @@ struct PoolBuild {
 
   /// The one surface selection-side consumers read the build through.
   [[nodiscard]] RRRPoolView view() const noexcept {
+    if (compressed) return RRRPoolView(cpool);
     return segmented ? RRRPoolView(segments) : RRRPoolView(pool);
   }
   /// Number of RRR sets in whichever storage is active.
   [[nodiscard]] std::size_t size() const noexcept {
+    if (compressed) return cpool.size();
     return segmented ? segments.size() : pool.size();
   }
 };

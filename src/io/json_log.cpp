@@ -347,6 +347,39 @@ std::string write_obs_overhead_json_file(
   });
 }
 
+void write_compressed_bench_json(
+    std::ostream& os, const std::vector<CompressedBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object().kv("Bench", "compressed_pool");
+  w.key("Results").begin_array();
+  for (const CompressedBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("Backing", r.backing)
+        .kv("Threads", r.threads)
+        .kv("NumRRRSets", r.num_rrr_sets)
+        .kv("PoolBytes", r.pool_bytes)
+        .kv("PayloadBytes", r.payload_bytes)
+        .kv("BytesRatio", r.bytes_ratio)
+        .kv("EncodeSeconds", r.encode_seconds)
+        .kv("SelectionSeconds", r.selection_seconds)
+        .kv("SetsPerSecond", r.sets_per_second)
+        .kv("Slowdown", r.slowdown)
+        .kv("SeedsMatchFlat", r.seeds_match_flat)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_compressed_bench_json_file(
+    const std::string& path,
+    const std::vector<CompressedBenchResult>& results) {
+  return write_json_file(path, [&](std::ostream& os) {
+    write_compressed_bench_json(os, results);
+  });
+}
+
 std::string write_experiment_json_file(const std::string& dir,
                                        const ExperimentRecord& record) {
   std::filesystem::create_directories(dir);

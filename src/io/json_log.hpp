@@ -236,4 +236,36 @@ std::string write_obs_overhead_json_file(
     const std::string& path,
     const std::vector<ObsOverheadBenchResult>& results);
 
+/// One row of the compressed-pool bench (BENCH_compressed.json schema):
+/// pool footprint and selection throughput of one pool backing, plus the
+/// compression ratio and seed-identity check against the raw reference.
+struct CompressedBenchResult {
+  std::string workload;
+  std::string backing;  // "flat" | "varint" | "huffman"
+  int threads = 1;
+  std::uint64_t num_rrr_sets = 0;
+  std::uint64_t pool_bytes = 0;
+  /// Gap-coded payload bytes only (0 for the flat backing).
+  std::uint64_t payload_bytes = 0;
+  /// flat pool_bytes / this pool_bytes (1.0 for the flat row).
+  double bytes_ratio = 1.0;
+  double encode_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double sets_per_second = 0.0;
+  /// this selection_seconds / flat selection_seconds (1.0 for flat).
+  double slowdown = 1.0;
+  /// Seed sequence bit-matches the flat reference run.
+  bool seeds_match_flat = true;
+};
+
+/// Serializes the sweep as one document:
+/// {"Bench": "compressed_pool", "Results": [...]}.
+void write_compressed_bench_json(
+    std::ostream& os, const std::vector<CompressedBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_compressed_bench_json_file(
+    const std::string& path,
+    const std::vector<CompressedBenchResult>& results);
+
 }  // namespace eimm

@@ -1,28 +1,9 @@
 #include "rrr/compressed.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace eimm {
-
-void CompressedSet::write_varint(std::vector<std::uint8_t>& out,
-                                 std::uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
-    value >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(value));
-}
-
-std::uint64_t CompressedSet::read_varint(std::size_t& pos) const noexcept {
-  std::uint64_t value = 0;
-  int shift = 0;
-  for (;;) {
-    const std::uint8_t byte = bytes_[pos++];
-    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) return value;
-    shift += 7;
-  }
-}
 
 CompressedSet CompressedSet::encode(std::vector<VertexId> vertices) {
   std::sort(vertices.begin(), vertices.end());
@@ -32,36 +13,19 @@ CompressedSet CompressedSet::encode(std::vector<VertexId> vertices) {
   CompressedSet set;
   set.count_ = vertices.size();
   set.bytes_.reserve(vertices.size() * 2);  // typical gap fits 1-2 bytes
-  VertexId previous = 0;
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    const std::uint64_t encoded =
-        (i == 0) ? static_cast<std::uint64_t>(vertices[i]) + 1
-                 : static_cast<std::uint64_t>(vertices[i] - previous);
-    write_varint(set.bytes_, encoded);
-    previous = vertices[i];
-  }
+  append_gap_stream(set.bytes_, vertices);
   set.bytes_.shrink_to_fit();
   return set;
 }
 
-bool CompressedSet::contains(VertexId v) const noexcept {
-  std::size_t pos = 0;
-  VertexId current = 0;
-  for (std::size_t i = 0; i < count_; ++i) {
-    const std::uint64_t value = read_varint(pos);
-    current = (i == 0) ? static_cast<VertexId>(value - 1)
-                       : static_cast<VertexId>(current + value);
-    if (current == v) return true;
-    if (current > v) return false;  // sorted: passed the target
-  }
-  return false;
+CompressedSet CompressedSet::from_encoded(std::size_t count,
+                                          std::vector<std::uint8_t> bytes) {
+  CompressedSet set;
+  set.count_ = count;
+  set.bytes_ = std::move(bytes);
+  return set;
 }
 
-std::vector<VertexId> CompressedSet::decode() const {
-  std::vector<VertexId> out;
-  out.reserve(count_);
-  for_each([&](VertexId v) { out.push_back(v); });
-  return out;
-}
+std::vector<VertexId> CompressedSet::decode() const { return run().decode(); }
 
 }  // namespace eimm

@@ -7,17 +7,22 @@
 //    computational overhead associated with encoding and decoding."
 //
 // This module makes that trade-off measurable: a sorted vertex list is
-// stored as LEB128-varint-encoded gaps (first element absolute, then
-// strictly positive deltas), typically 1-2 bytes per member instead of 4.
-// Membership requires a linear decode — O(s) versus the adaptive
-// representation's O(log s)/O(1) — which is exactly the codec overhead
-// the paper's adaptive scheme avoids. bench/micro_rrr quantifies it.
+// stored as LEB128-varint-encoded gaps (the shared rrr/gap_codec stream:
+// first element absolute + 1, then strictly positive deltas), typically
+// 1-2 bytes per member instead of 4. Membership requires a linear decode
+// — O(s) versus the adaptive representation's O(log s)/O(1) — which is
+// exactly the codec overhead the paper's adaptive scheme avoids.
+// bench/micro_rrr quantifies it per set; bench/compressed_pool at pool
+// scale. Decoding a corrupt or truncated payload throws CheckError (with
+// the byte offset) — never reads out of bounds — so the type is safe to
+// back with on-disk input (from_encoded).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "rrr/gap_codec.hpp"
 
 namespace eimm {
 
@@ -28,41 +33,44 @@ class CompressedSet {
   /// Encodes `vertices` (any order; duplicates removed).
   static CompressedSet encode(std::vector<VertexId> vertices);
 
+  /// Adopts an already-encoded gap stream of `count` members — the
+  /// snapshot/test seam for feeding untrusted bytes; decoding validates
+  /// lazily (CheckError on the first malformed varint).
+  static CompressedSet from_encoded(std::size_t count,
+                                    std::vector<std::uint8_t> bytes);
+
   /// Number of members.
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
 
-  /// Encoded payload bytes (the memory the compression buys).
+  /// Encoded payload bytes (the memory the compression buys). Reports
+  /// the size()-based footprint: encode() shrinks to fit, so this is the
+  /// held allocation on the encode side, and a moved-into or slack
+  /// buffer is never overstated.
   [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
-    return bytes_.capacity() * sizeof(std::uint8_t);
+    return bytes_.size() * sizeof(std::uint8_t);
   }
 
   /// Membership test by linear decode: O(size). Early-exits once the
-  /// running value passes v (gaps are strictly positive).
-  [[nodiscard]] bool contains(VertexId v) const noexcept;
+  /// running value passes v (gaps are strictly positive). Throws
+  /// CheckError on a corrupt payload.
+  [[nodiscard]] bool contains(VertexId v) const { return run().contains(v); }
 
-  /// Invokes fn(vertex) for every member in ascending order.
-  /// Encoding: the first varint is v0+1, each subsequent one is the gap
-  /// v_i - v_{i-1} (strictly positive for a deduplicated sorted list).
+  /// Invokes fn(vertex) for every member in ascending order (see
+  /// rrr/gap_codec.hpp for the stream layout).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    std::size_t pos = 0;
-    VertexId current = 0;
-    for (std::size_t i = 0; i < count_; ++i) {
-      const std::uint64_t value = read_varint(pos);
-      current = (i == 0) ? static_cast<VertexId>(value - 1)
-                         : static_cast<VertexId>(current + value);
-      fn(current);
-    }
+    run().for_each(std::forward<Fn>(fn));
   }
 
   /// Full decode back to the sorted vertex list.
   [[nodiscard]] std::vector<VertexId> decode() const;
 
  private:
-  [[nodiscard]] std::uint64_t read_varint(std::size_t& pos) const noexcept;
-  static void write_varint(std::vector<std::uint8_t>& out,
-                           std::uint64_t value);
+  [[nodiscard]] GapRun run() const noexcept {
+    return GapRun{bytes_.data(), bytes_.size(),
+                  static_cast<std::uint32_t>(count_)};
+  }
 
   std::size_t count_ = 0;
   std::vector<std::uint8_t> bytes_;

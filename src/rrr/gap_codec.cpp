@@ -1,0 +1,50 @@
+#include "rrr/gap_codec.hpp"
+
+#include <string>
+
+namespace eimm {
+
+namespace detail {
+
+void fail_varint(const char* reason, std::size_t pos) {
+  throw CheckError(std::string(reason) + " at byte offset " +
+                   std::to_string(pos) + " of gap stream");
+}
+
+}  // namespace detail
+
+std::size_t append_gap_stream(std::vector<std::uint8_t>& out,
+                              std::span<const VertexId> sorted) {
+  const std::size_t before = out.size();
+  VertexId previous = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::uint64_t encoded =
+        (i == 0) ? static_cast<std::uint64_t>(sorted[i]) + 1
+                 : static_cast<std::uint64_t>(sorted[i] - previous);
+    write_varint(out, encoded);
+    previous = sorted[i];
+  }
+  return out.size() - before;
+}
+
+std::uint64_t gap_stream_bytes(std::span<const VertexId> sorted) noexcept {
+  std::uint64_t total = 0;
+  VertexId previous = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::uint64_t encoded =
+        (i == 0) ? static_cast<std::uint64_t>(sorted[i]) + 1
+                 : static_cast<std::uint64_t>(sorted[i] - previous);
+    total += varint_bytes(encoded);
+    previous = sorted[i];
+  }
+  return total;
+}
+
+std::vector<VertexId> GapRun::decode() const {
+  std::vector<VertexId> out;
+  out.reserve(count);
+  for_each([&](VertexId v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace eimm

@@ -2,18 +2,66 @@
 
 #include <algorithm>
 #include <queue>
+#include <string>
 
-#include "rrr/compressed.hpp"
-#include "support/macros.hpp"
+#include "rrr/gap_codec.hpp"
 
 namespace eimm {
+
+namespace detail {
+
+void fail_huffman(const char* reason, std::uint64_t bit) {
+  throw CheckError(std::string(reason) + " at bit offset " +
+                   std::to_string(bit));
+}
+
+}  // namespace detail
+
 namespace {
 
-/// Computes Huffman code lengths from symbol frequencies via the
-/// classic two-queue/heap construction; lengths are capped naturally
-/// (256 symbols -> max depth 255 fits uint8).
-std::array<std::uint8_t, 256> compute_code_lengths(
+/// Symbols with nonzero length, sorted by (length, value) — the
+/// canonical order both tables are built from.
+std::vector<int> canonical_order(const std::array<std::uint8_t, 256>& lengths) {
+  std::vector<int> symbols;
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    const auto la = lengths[static_cast<std::size_t>(a)];
+    const auto lb = lengths[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  return symbols;
+}
+
+class BitWriter {
+ public:
+  void write(std::uint32_t code, std::uint8_t length) {
+    for (int b = length - 1; b >= 0; --b) {
+      if (bit_ == 0) bytes_.push_back(0);
+      if ((code >> b) & 1u) {
+        bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_));
+      }
+      bit_ = (bit_ + 1) % 8;
+    }
+    total_bits_ += length;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return total_bits_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace
+
+std::array<std::uint8_t, 256> HuffmanCodec::lengths_from_frequencies(
     const std::array<std::uint64_t, 256>& freq) {
+  // Classic two-queue/heap construction; lengths are capped naturally
+  // (256 symbols -> max depth 255 fits uint8).
   struct Node {
     std::uint64_t weight;
     int index;          // tie-break for determinism
@@ -76,60 +124,57 @@ std::array<std::uint8_t, 256> compute_code_lengths(
   return lengths;
 }
 
-/// Canonical code assignment: symbols sorted by (length, value) get
-/// consecutive codes; decode only needs the lengths array.
-struct CanonicalBook {
-  std::array<std::uint32_t, 256> codes{};
-  std::array<std::uint8_t, 256> lengths{};
-};
-
-CanonicalBook build_canonical(const std::array<std::uint8_t, 256>& lengths) {
-  CanonicalBook book;
-  book.lengths = lengths;
-  std::vector<int> symbols;
-  for (int s = 0; s < 256; ++s) {
-    if (lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
-  }
-  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
-    const auto la = lengths[static_cast<std::size_t>(a)];
-    const auto lb = lengths[static_cast<std::size_t>(b)];
-    if (la != lb) return la < lb;
-    return a < b;
-  });
+HuffmanEncodeTable HuffmanEncodeTable::build(
+    const std::array<std::uint8_t, 256>& lengths) {
+  // Canonical code assignment: symbols sorted by (length, value) get
+  // consecutive codes; decode only needs the lengths array.
+  HuffmanEncodeTable table;
+  table.lengths = lengths;
   std::uint32_t code = 0;
   std::uint8_t previous_length = 0;
-  for (const int s : symbols) {
+  for (const int s : canonical_order(lengths)) {
     const std::uint8_t length = lengths[static_cast<std::size_t>(s)];
     code <<= (length - previous_length);
-    book.codes[static_cast<std::size_t>(s)] = code;
+    table.codes[static_cast<std::size_t>(s)] = code;
     ++code;
     previous_length = length;
   }
-  return book;
+  return table;
 }
 
-class BitWriter {
- public:
-  void write(std::uint32_t code, std::uint8_t length) {
-    for (int b = length - 1; b >= 0; --b) {
-      if (bit_ == 0) bytes_.push_back(0);
-      if ((code >> b) & 1u) {
-        bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_));
-      }
-      bit_ = (bit_ + 1) % 8;
-    }
-    total_bits_ += length;
+HuffmanDecodeTable HuffmanDecodeTable::build(
+    const std::array<std::uint8_t, 256>& lengths) {
+  HuffmanDecodeTable table;
+  table.lengths = lengths;
+  for (const int s : canonical_order(lengths)) {
+    table.ordered_symbols.push_back(static_cast<std::uint8_t>(s));
   }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
-  [[nodiscard]] std::uint64_t bits() const noexcept { return total_bits_; }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-  int bit_ = 0;
-  std::uint64_t total_bits_ = 0;
-};
-
-}  // namespace
+  std::uint32_t code = 0;
+  std::size_t index = 0;
+  for (std::uint8_t length = 1; length <= 32; ++length) {
+    code <<= 1;
+    table.first_code[length] = code;
+    table.first_index[length] = static_cast<std::uint32_t>(index);
+    while (index < table.ordered_symbols.size() &&
+           table.lengths[table.ordered_symbols[index]] == length) {
+      if (length <= HuffmanDecodeTable::kFastBits) {
+        // Prefix property: no other code shares this window's leading
+        // bits, so every suffix pattern resolves to this symbol.
+        const std::uint8_t symbol = table.ordered_symbols[index];
+        const int free_bits = HuffmanDecodeTable::kFastBits - length;
+        const std::uint32_t base = code << free_bits;
+        for (std::uint32_t suffix = 0; suffix < (1u << free_bits);
+             ++suffix) {
+          table.fast[base + suffix] =
+              static_cast<std::uint16_t>((symbol << 8) | length);
+        }
+      }
+      ++index;
+      ++code;
+    }
+  }
+  return table;
+}
 
 HuffmanCodec::Encoded HuffmanCodec::encode(
     const std::vector<std::uint8_t>& data) {
@@ -138,12 +183,12 @@ HuffmanCodec::Encoded HuffmanCodec::encode(
 
   std::array<std::uint64_t, 256> freq{};
   for (const std::uint8_t byte : data) ++freq[byte];
-  out.code_lengths = compute_code_lengths(freq);
-  const CanonicalBook book = build_canonical(out.code_lengths);
+  out.code_lengths = lengths_from_frequencies(freq);
+  const HuffmanEncodeTable table = HuffmanEncodeTable::build(out.code_lengths);
 
   BitWriter writer;
   for (const std::uint8_t byte : data) {
-    writer.write(book.codes[byte], book.lengths[byte]);
+    writer.write(table.codes[byte], table.lengths[byte]);
   }
   out.payload_bits = writer.bits();
   out.bits = writer.take();
@@ -155,90 +200,32 @@ std::vector<std::uint8_t> HuffmanCodec::decode(const Encoded& encoded) {
   std::vector<std::uint8_t> out;
   if (encoded.payload_bits == 0) return out;
 
-  const CanonicalBook book = build_canonical(encoded.code_lengths);
-  // Canonical decode tables: first code and symbol offset per length.
-  std::array<std::uint32_t, 33> first_code{};
-  std::array<std::uint32_t, 33> first_index{};
-  std::vector<std::uint8_t> ordered_symbols;
-  {
-    std::vector<int> symbols;
-    for (int s = 0; s < 256; ++s) {
-      if (book.lengths[static_cast<std::size_t>(s)] > 0) symbols.push_back(s);
-    }
-    std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
-      const auto la = book.lengths[static_cast<std::size_t>(a)];
-      const auto lb = book.lengths[static_cast<std::size_t>(b)];
-      if (la != lb) return la < lb;
-      return a < b;
-    });
-    for (const int s : symbols) {
-      ordered_symbols.push_back(static_cast<std::uint8_t>(s));
-    }
-    std::uint32_t code = 0;
-    std::size_t index = 0;
-    for (std::uint8_t length = 1; length <= 32; ++length) {
-      code <<= 1;
-      first_code[length] = code;
-      first_index[length] = static_cast<std::uint32_t>(index);
-      while (index < ordered_symbols.size() &&
-             book.lengths[ordered_symbols[index]] == length) {
-        ++index;
-        ++code;
-      }
-    }
+  EIMM_CHECK(encoded.payload_bits <= encoded.bits.size() * 8,
+             "truncated Huffman payload");
+  const HuffmanDecodeTable table =
+      HuffmanDecodeTable::build(encoded.code_lengths);
+  std::uint64_t cursor = 0;
+  while (cursor < encoded.payload_bits) {
+    out.push_back(table.decode_one(encoded.bits.data(), encoded.payload_bits,
+                                   cursor));
   }
-
-  std::uint32_t code = 0;
-  std::uint8_t length = 0;
-  for (std::uint64_t bit = 0; bit < encoded.payload_bits; ++bit) {
-    const std::size_t byte_index = static_cast<std::size_t>(bit / 8);
-    EIMM_CHECK(byte_index < encoded.bits.size(),
-               "truncated Huffman payload");
-    const int bit_in_byte = static_cast<int>(7 - (bit % 8));
-    code = (code << 1) |
-           ((encoded.bits[byte_index] >> bit_in_byte) & 1u);
-    ++length;
-    EIMM_CHECK(length <= 32, "invalid Huffman stream (no code matched)");
-    // A code of this length is valid when it falls inside the canonical
-    // range [first_code[len], first_code[len] + count[len]).
-    const std::uint32_t offset = code - first_code[length];
-    const std::uint32_t symbol_index = first_index[length] + offset;
-    if (code >= first_code[length] &&
-        symbol_index < ordered_symbols.size() &&
-        book.lengths[ordered_symbols[symbol_index]] == length) {
-      out.push_back(ordered_symbols[symbol_index]);
-      code = 0;
-      length = 0;
-    }
-  }
-  EIMM_CHECK(length == 0, "dangling bits at end of Huffman stream");
   return out;
 }
 
 HuffmanSet HuffmanSet::encode(std::vector<VertexId> vertices) {
-  // Reuse the varint gap encoding as the byte stream to compress.
-  const CompressedSet varint = CompressedSet::encode(std::move(vertices));
-  // Re-expand to bytes: CompressedSet stores exactly the stream we want.
-  // (decode+re-encode keeps the coupling loose at negligible cost.)
+  std::sort(vertices.begin(), vertices.end());
+  vertices.erase(std::unique(vertices.begin(), vertices.end()),
+                 vertices.end());
+
+  // The shared gap-stream encoder IS the byte stream to compress — no
+  // CompressedSet round trip; every producer of the format emits the
+  // same bytes by construction.
   std::vector<std::uint8_t> gap_bytes;
-  {
-    const std::vector<VertexId> sorted = varint.decode();
-    VertexId previous = 0;
-    for (std::size_t i = 0; i < sorted.size(); ++i) {
-      std::uint64_t value = (i == 0)
-                                ? static_cast<std::uint64_t>(sorted[i]) + 1
-                                : static_cast<std::uint64_t>(sorted[i] -
-                                                             previous);
-      previous = sorted[i];
-      while (value >= 0x80) {
-        gap_bytes.push_back(static_cast<std::uint8_t>(value) | 0x80);
-        value >>= 7;
-      }
-      gap_bytes.push_back(static_cast<std::uint8_t>(value));
-    }
-  }
+  gap_bytes.reserve(vertices.size() * 2);
+  append_gap_stream(gap_bytes, vertices);
+
   HuffmanSet set;
-  set.count_ = varint.size();
+  set.count_ = vertices.size();
   set.encoded_ = HuffmanCodec::encode(gap_bytes);
   return set;
 }
@@ -247,22 +234,9 @@ std::vector<VertexId> HuffmanSet::decode() const {
   std::vector<VertexId> out;
   out.reserve(count_);
   const std::vector<std::uint8_t> gap_bytes = HuffmanCodec::decode(encoded_);
-  std::size_t pos = 0;
-  VertexId previous = 0;
-  for (std::size_t i = 0; i < count_; ++i) {
-    std::uint64_t value = 0;
-    int shift = 0;
-    for (;;) {
-      EIMM_CHECK(pos < gap_bytes.size(), "truncated gap stream");
-      const std::uint8_t byte = gap_bytes[pos++];
-      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
-      if ((byte & 0x80) == 0) break;
-      shift += 7;
-    }
-    previous = (i == 0) ? static_cast<VertexId>(value - 1)
-                        : static_cast<VertexId>(previous + value);
-    out.push_back(previous);
-  }
+  const GapRun run{gap_bytes.data(), gap_bytes.size(),
+                   static_cast<std::uint32_t>(count_)};
+  run.for_each([&](VertexId v) { out.push_back(v); });
   return out;
 }
 

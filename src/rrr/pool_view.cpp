@@ -72,6 +72,7 @@ std::uint64_t SegmentedPool::mapped_bytes() const noexcept {
 
 std::uint64_t RRRPoolView::total_vertices() const noexcept {
   if (pool_ != nullptr) return pool_->total_vertices();
+  if (comp_ != nullptr) return comp_->total_vertices();
   if (segments_ == nullptr) return 0;
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < segments_->size(); ++i) {
@@ -86,6 +87,7 @@ std::size_t RRRPoolView::bitmap_count() const noexcept {
 
 std::uint64_t RRRPoolView::memory_bytes() const noexcept {
   if (pool_ != nullptr) return pool_->memory_bytes();
+  if (comp_ != nullptr) return comp_->memory_bytes();
   return segments_ != nullptr ? segments_->mapped_bytes() : 0;
 }
 
@@ -107,6 +109,13 @@ FlatPool RRRPoolView::flatten() const {
       std::copy(run.begin(), run.end(),
                 flat.vertices.begin() +
                     static_cast<std::ptrdiff_t>(flat.offsets[i]));
+    }
+  } else if (comp_ != nullptr) {
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t i = 0; i < count; ++i) {
+      auto out = flat.vertices.begin() +
+                 static_cast<std::ptrdiff_t>(flat.offsets[i]);
+      comp_->slot(i).for_each([&](VertexId v) { *out++ = v; });
     }
   }
   return flat;

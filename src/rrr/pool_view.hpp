@@ -37,6 +37,7 @@
 
 #include "graph/types.hpp"
 #include "numa/alloc.hpp"
+#include "rrr/compressed_pool.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/set.hpp"
 
@@ -143,6 +144,16 @@ class SegmentedPool {
   [[nodiscard]] std::uint64_t staged_bytes() const noexcept;
   [[nodiscard]] std::uint64_t mapped_bytes() const noexcept;
 
+  /// Rewinds every arena's write cursor (chunks and their NUMA placement
+  /// are KEPT — see ShardArena::reset()). Used by the compressed-pool
+  /// hand-off: once a round's runs are encoded into the CompressedPool,
+  /// the staging pages are recycled for the next round, bounding raw
+  /// staging memory to one round instead of the whole pool. Every staged
+  /// run (and the entry table) becomes invalid.
+  void reset_arenas() noexcept {
+    for (ShardArena& a : arenas_) a.reset();
+  }
+
  private:
   struct Entry {
     const VertexId* data = nullptr;
@@ -154,54 +165,86 @@ class SegmentedPool {
   std::vector<ShardArena> arenas_;
 };
 
-/// One RRR set behind the view: a legacy RRRSet or a sorted arena run.
-/// Same observable surface either way — ascending for_each enumeration,
-/// exact contains — so the selection kernels produce identical seed
-/// sequences no matter which storage backs the pool.
+/// One RRR set behind the view: a legacy RRRSet, a sorted arena run, or
+/// a gap-coded CompressedPool slot. Same observable surface every way —
+/// ascending for_each enumeration, exact contains — so the selection
+/// kernels produce identical seed sequences no matter which storage
+/// backs the pool. Compressed slots report repr() == kCompressed, which
+/// routes the kernels to the generic for_each/contains path (the
+/// vertices() span fast path does not exist for them).
 class RRRSetView {
  public:
   RRRSetView() = default;
-  /*implicit*/ RRRSetView(const RRRSet& set) noexcept : set_(&set) {}
+  /*implicit*/ RRRSetView(const RRRSet& set) noexcept
+      : kind_(Kind::kSet), set_(&set) {}
   /*implicit*/ RRRSetView(std::span<const VertexId> run) noexcept
       : run_(run) {}
+  /*implicit*/ RRRSetView(const CompressedSlot& slot) noexcept
+      : kind_(Kind::kCompressed), comp_(slot) {}
 
-  /// kVector for arena runs (they are sorted vertex runs by contract).
+  /// kVector for arena runs (they are sorted vertex runs by contract);
+  /// kCompressed for CompressedPool slots.
   [[nodiscard]] RRRRepr repr() const noexcept {
-    return set_ != nullptr ? set_->repr() : RRRRepr::kVector;
+    switch (kind_) {
+      case Kind::kSet: return set_->repr();
+      case Kind::kCompressed: return RRRRepr::kCompressed;
+      case Kind::kRun: break;
+    }
+    return RRRRepr::kVector;
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return set_ != nullptr ? set_->size() : run_.size();
+    switch (kind_) {
+      case Kind::kSet: return set_->size();
+      case Kind::kCompressed: return comp_.count;
+      case Kind::kRun: break;
+    }
+    return run_.size();
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   /// Sorted-member span; valid only when repr() == kVector (mirrors
   /// RRRSet::vertices(), which the baseline binary-search kernel uses).
+  /// Empty for compressed slots — they have no materialized members.
   [[nodiscard]] std::span<const VertexId> vertices() const noexcept {
-    if (set_ != nullptr) {
-      return {set_->vertices().data(), set_->vertices().size()};
+    switch (kind_) {
+      case Kind::kSet:
+        return {set_->vertices().data(), set_->vertices().size()};
+      case Kind::kCompressed: return {};
+      case Kind::kRun: break;
     }
     return run_;
   }
 
-  [[nodiscard]] bool contains(VertexId v) const noexcept {
-    if (set_ != nullptr) return set_->contains(v);
+  /// Membership. May throw CheckError for a compressed slot whose
+  /// payload is corrupt (bounds-checked decode) — hence not noexcept.
+  [[nodiscard]] bool contains(VertexId v) const {
+    switch (kind_) {
+      case Kind::kSet: return set_->contains(v);
+      case Kind::kCompressed: return comp_.contains(v);
+      case Kind::kRun: break;
+    }
     return std::binary_search(run_.begin(), run_.end(), v);
   }
 
   /// Invokes fn(vertex) for every member in ascending order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    if (set_ != nullptr) {
-      set_->for_each(std::forward<Fn>(fn));
-    } else {
-      for (const VertexId v : run_) fn(v);
+    switch (kind_) {
+      case Kind::kSet: set_->for_each(std::forward<Fn>(fn)); return;
+      case Kind::kCompressed: comp_.for_each(std::forward<Fn>(fn)); return;
+      case Kind::kRun: break;
     }
+    for (const VertexId v : run_) fn(v);
   }
 
  private:
-  const RRRSet* set_ = nullptr;
-  std::span<const VertexId> run_;
+  enum class Kind : std::uint8_t { kRun, kSet, kCompressed };
+
+  Kind kind_ = Kind::kRun;
+  const RRRSet* set_ = nullptr;        // kSet
+  std::span<const VertexId> run_;      // kRun
+  CompressedSlot comp_;                // kCompressed
 };
 
 /// Non-owning, slot-addressed view over either pool storage. Implicit
@@ -213,22 +256,33 @@ class RRRPoolView {
   /*implicit*/ RRRPoolView(const RRRPool& pool) noexcept : pool_(&pool) {}
   /*implicit*/ RRRPoolView(const SegmentedPool& segments) noexcept
       : segments_(&segments) {}
+  /*implicit*/ RRRPoolView(const CompressedPool& comp) noexcept
+      : comp_(&comp) {}
 
   [[nodiscard]] bool segmented() const noexcept { return segments_ != nullptr; }
+  /// True when the backing is a CompressedPool (gap-coded slots).
+  [[nodiscard]] bool compressed() const noexcept { return comp_ != nullptr; }
+  /// The compressed backing, or nullptr (snapshot adoption seam).
+  [[nodiscard]] const CompressedPool* compressed_pool() const noexcept {
+    return comp_;
+  }
 
   [[nodiscard]] VertexId num_vertices() const noexcept {
     if (pool_ != nullptr) return pool_->num_vertices();
-    return segments_ != nullptr ? segments_->num_vertices() : 0;
+    if (segments_ != nullptr) return segments_->num_vertices();
+    return comp_ != nullptr ? comp_->num_vertices() : 0;
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
     if (pool_ != nullptr) return pool_->size();
-    return segments_ != nullptr ? segments_->size() : 0;
+    if (segments_ != nullptr) return segments_->size();
+    return comp_ != nullptr ? comp_->size() : 0;
   }
 
   [[nodiscard]] RRRSetView operator[](std::size_t i) const noexcept {
     if (pool_ != nullptr) return RRRSetView((*pool_)[i]);
-    return RRRSetView(segments_->run(i));
+    if (segments_ != nullptr) return RRRSetView(segments_->run(i));
+    return RRRSetView(comp_->slot(i));
   }
 
   /// Sum of set sizes (== total counter increments during a build).
@@ -247,6 +301,7 @@ class RRRPoolView {
  private:
   const RRRPool* pool_ = nullptr;
   const SegmentedPool* segments_ = nullptr;
+  const CompressedPool* comp_ = nullptr;
 };
 
 }  // namespace eimm

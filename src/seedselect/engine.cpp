@@ -234,7 +234,7 @@ QueryResult select_from_store(const SketchStore& store,
     for (const SketchId s : store.covering(best_v)) {
       if (alive[s] == 0) continue;
       alive[s] = 0;
-      for (const VertexId u : store.sketch(s)) --counters[u];
+      store.for_each_member(s, [&](VertexId u) { --counters[u]; });
     }
   }
 

@@ -9,6 +9,7 @@
 
 #include "diffusion/model.hpp"
 #include "io/binary.hpp"
+#include "rrr/gap_codec.hpp"
 #include "runtime/thread_info.hpp"
 #include "serve/query_engine.hpp"
 #include "support/macros.hpp"
@@ -19,11 +20,13 @@ namespace {
 constexpr std::string_view kSnapshotMagic = "EIMMSKS";
 constexpr std::uint32_t kSnapshotVersionV1 = 1;
 constexpr std::uint32_t kSnapshotVersionV2 = 2;
+constexpr std::uint32_t kSnapshotVersionV3 = 3;
 constexpr std::uint32_t kAcceptedVersions[] = {kSnapshotVersionV1,
-                                               kSnapshotVersionV2};
+                                               kSnapshotVersionV2,
+                                               kSnapshotVersionV3};
 constexpr const char* kSnapshotWhat = "sketch-store snapshot";
 
-// --- v2 on-disk layout ---------------------------------------------------
+// --- v2/v3 on-disk layout ------------------------------------------------
 // magic(8) version(4) section_count(4) file_bytes(8), then section_count
 // table entries of {u32 id, u32 reserved, u64 offset, u64 bytes}, then
 // the sections themselves, each starting at a kSectionAlign-aligned file
@@ -31,20 +34,32 @@ constexpr const char* kSnapshotWhat = "sketch-store snapshot";
 // the whole file serves every array in place: page alignment makes the
 // typed reinterpretation valid, and the byte lengths make truncation a
 // section-table error instead of a mid-array surprise.
+//
+// v3 reuses the layout with 8 sections: the sketch-vertices section
+// holds the gap-coded payload BYTES (u8, always plain varints on disk)
+// and section 8 carries the per-sketch byte offsets. Everything else —
+// including the derived arrays — is identical to v2.
 enum SectionId : std::uint32_t {
   kSecMeta = 1,              // bin-encoded scalars + strings
-  kSecSketchOffsets = 2,     // u64[num_sketches + 1]
-  kSecSketchVertices = 3,    // u32[total members]
+  kSecSketchOffsets = 2,     // u64[num_sketches + 1] (member counts CSR)
+  kSecSketchVertices = 3,    // v2: u32[total members]; v3: u8[payload]
   kSecNodeOffsets = 4,       // u64[num_vertices + 1]
   kSecNodeSketches = 5,      // u32[total members]
   kSecDefaultSeeds = 6,      // u32[default sequence length]
   kSecDefaultMarginals = 7,  // u64[default sequence length]
+  kSecCompOffsets = 8,       // v3 only: u64[num_sketches + 1] byte CSR
 };
-constexpr std::uint32_t kSectionCount = 7;
+constexpr std::uint32_t kSectionCountV2 = 7;
+constexpr std::uint32_t kSectionCountV3 = 8;
 constexpr std::uint64_t kSectionAlign = 4096;
 constexpr std::uint64_t kSectionEntryBytes = 24;
-constexpr std::uint64_t kHeaderBytes =
-    8 + 4 + 4 + 8 + kSectionCount * kSectionEntryBytes;
+
+constexpr std::uint32_t section_count_for(std::uint32_t version) {
+  return version == kSnapshotVersionV3 ? kSectionCountV3 : kSectionCountV2;
+}
+constexpr std::uint64_t header_bytes(std::uint32_t section_count) {
+  return 8 + 4 + 4 + 8 + section_count * kSectionEntryBytes;
+}
 
 constexpr const char* section_name(std::uint32_t id) {
   switch (id) {
@@ -55,6 +70,7 @@ constexpr const char* section_name(std::uint32_t id) {
     case kSecNodeSketches: return "node sketches";
     case kSecDefaultSeeds: return "default seeds";
     case kSecDefaultMarginals: return "default marginals";
+    case kSecCompOffsets: return "compressed offsets";
     default: return "unknown section";
   }
 }
@@ -80,11 +96,12 @@ constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
 /// Validates one parsed section table: expected ids in order, aligned,
 /// ascending, in-bounds, gap-only overlap-free.
 void check_section_table(const std::vector<SectionEntry>& table,
-                         std::uint64_t file_bytes) {
-  if (table.size() != kSectionCount) {
+                         std::uint64_t file_bytes,
+                         std::uint32_t expected_count) {
+  if (table.size() != expected_count) {
     fail_section("wrong section count in", "section table", 12);
   }
-  std::uint64_t prev_end = kHeaderBytes;
+  std::uint64_t prev_end = header_bytes(expected_count);
   for (std::size_t i = 0; i < table.size(); ++i) {
     const SectionEntry& s = table[i];
     const char* name = section_name(s.id);
@@ -213,6 +230,25 @@ SketchStore SketchStore::from_build(PoolBuild&& build, std::size_t k_max,
   const std::size_t count = store.num_sketches_;
   store.sketch_offsets_own_.resize(count + 1);
   store.sketch_offsets_own_[0] = 0;
+  if (build.compressed) {
+    // Adopt the gap-coded pool as-is (varint or Huffman): queries decode
+    // on enumerate, so the serving RSS is the compressed footprint. The
+    // member-count CSR is rebuilt from the slot counts; the byte CSR and
+    // payload are served straight from the adopted pool.
+    store.backing_cpool_ = std::move(build.cpool);
+    store.compressed_ = true;
+    const std::span<const std::uint32_t> counts = store.backing_cpool_.counts();
+    for (std::size_t s = 0; s < count; ++s) {
+      store.sketch_offsets_own_[s + 1] =
+          store.sketch_offsets_own_[s] + counts[s];
+    }
+    store.comp_offsets_ = store.backing_cpool_.offsets();
+    store.comp_payload_ = store.backing_cpool_.payload();
+    store.sketch_offsets_ = store.sketch_offsets_own_;
+    store.flat_ = false;
+    store.finalize();
+    return store;
+  }
   store.entry_ptrs_.assign(count, nullptr);
   if (build.segmented) {
     store.backing_segments_ = std::move(build.segments);
@@ -291,9 +327,9 @@ void SketchStore::finalize() {
   const VertexId n = num_vertices_;
   node_offsets_own_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) {
       ++node_offsets_own_[static_cast<std::size_t>(v) + 1];
-    }
+    });
   }
   for (std::size_t v = 0; v < n; ++v) {
     node_offsets_own_[v + 1] += node_offsets_own_[v];
@@ -302,9 +338,9 @@ void SketchStore::finalize() {
   std::vector<std::uint64_t> cursor(node_offsets_own_.begin(),
                                     node_offsets_own_.end() - 1);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) {
       node_sketches_own_[cursor[v]++] = static_cast<SketchId>(s);
-    }
+    });
   }
   node_offsets_ = node_offsets_own_;
   node_sketches_ = node_sketches_own_;
@@ -328,17 +364,17 @@ void SketchStore::adopt_owned_views() {
   node_sketches_ = node_sketches_own_;
   default_seeds_ = default_seeds_own_;
   default_marginals_ = default_marginals_own_;
+  comp_offsets_ = comp_offsets_own_;
+  comp_payload_ = comp_payload_own_;
 }
 
 std::vector<VertexId> SketchStore::assemble_payload() const {
   std::vector<VertexId> payload(sketch_offsets_.back());
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    const std::span<const VertexId> members =
-        sketch(static_cast<SketchId>(s));
-    std::copy(members.begin(), members.end(),
-              payload.begin() +
-                  static_cast<std::ptrdiff_t>(sketch_offsets_[s]));
+    auto out =
+        payload.begin() + static_cast<std::ptrdiff_t>(sketch_offsets_[s]);
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) { *out++ = v; });
   }
   return payload;
 }
@@ -354,6 +390,12 @@ void SketchStore::materialize_flat() {
   backing_pool_ = RRRPool(num_vertices_);
   backing_segments_ = SegmentedPool();
   bitmap_expansion_ = {};
+  compressed_ = false;
+  backing_cpool_ = CompressedPool();
+  comp_offsets_own_ = {};
+  comp_payload_own_ = {};
+  comp_offsets_ = {};
+  comp_payload_ = {};
 }
 
 std::uint64_t SketchStore::memory_bytes() const noexcept {
@@ -362,25 +404,73 @@ std::uint64_t SketchStore::memory_bytes() const noexcept {
          entry_ptrs_.capacity() * sizeof(const VertexId*) +
          backing_pool_.memory_bytes() + backing_segments_.mapped_bytes() +
          bitmap_expansion_.capacity() * sizeof(VertexId) +
+         backing_cpool_.memory_bytes() +
+         comp_offsets_own_.capacity() * sizeof(std::uint64_t) +
+         comp_payload_own_.capacity() +
          node_offsets_own_.capacity() * sizeof(std::uint64_t) +
          node_sketches_own_.capacity() * sizeof(SketchId) +
          default_seeds_own_.capacity() * sizeof(VertexId) +
          default_marginals_own_.capacity() * sizeof(std::uint64_t);
 }
 
-void SketchStore::save(std::ostream& os) const {
+void SketchStore::save(std::ostream& os, SnapshotSaveOptions options) const {
+  const std::uint32_t version =
+      options.compress ? kSnapshotVersionV3 : kSnapshotVersionV2;
+  const std::uint32_t section_count = section_count_for(version);
+
   // Meta section first (the loader needs the counts before the arrays).
   std::ostringstream meta_os(std::ios::binary);
   write_meta_fields(meta_os, num_vertices_, num_sketches_, k_max_, meta_);
   const std::string meta_blob = meta_os.str();
 
-  // This is the point where a deferred-backing store finally pays the
-  // flatten — a transient payload assembled from the in-place spans.
-  std::vector<VertexId> transient;
-  std::span<const VertexId> payload = sketch_vertices_;
-  if (!flat_) {
-    transient = assemble_payload();
-    payload = transient;
+  // The payload section. v2: the flat vertex image — this is where a
+  // deferred (or compressed) backing finally pays the flatten/decode.
+  // v3: the varint gap streams — a varint-compressed store's payload is
+  // written as-is; every other backing (flat, deferred, Huffman) is
+  // (trans)coded into a transient varint image here.
+  std::vector<VertexId> transient_flat;
+  std::vector<std::uint64_t> transient_comp_offsets;
+  std::vector<std::uint8_t> transient_comp_payload;
+  const void* payload_data = nullptr;
+  std::uint64_t payload_bytes = 0;
+  std::span<const std::uint64_t> comp_offsets;
+  if (!options.compress) {
+    std::span<const VertexId> payload = sketch_vertices_;
+    if (!flat_) {
+      transient_flat = assemble_payload();
+      payload = transient_flat;
+    }
+    payload_data = payload.data();
+    payload_bytes = payload.size_bytes();
+  } else if (compressed_ && backing_cpool_.codec() != PoolCodec::kHuffman) {
+    payload_data = comp_payload_.data();
+    payload_bytes = comp_payload_.size_bytes();
+    comp_offsets = comp_offsets_;
+  } else {
+    transient_comp_offsets.resize(num_sketches_ + 1);
+    transient_comp_offsets[0] = 0;
+    std::vector<std::vector<std::uint8_t>> streams(num_sketches_);
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+      std::vector<VertexId> members;
+      members.reserve(member_count(static_cast<SketchId>(s)));
+      for_each_member(static_cast<SketchId>(s),
+                      [&](VertexId v) { members.push_back(v); });
+      append_gap_stream(streams[s], members);
+    }
+    for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+      transient_comp_offsets[s + 1] =
+          transient_comp_offsets[s] + streams[s].size();
+    }
+    transient_comp_payload.resize(transient_comp_offsets.back());
+    for (std::uint64_t s = 0; s < num_sketches_; ++s) {
+      std::copy(streams[s].begin(), streams[s].end(),
+                transient_comp_payload.begin() +
+                    static_cast<std::ptrdiff_t>(transient_comp_offsets[s]));
+    }
+    payload_data = transient_comp_payload.data();
+    payload_bytes = transient_comp_payload.size();
+    comp_offsets = transient_comp_offsets;
   }
 
   struct Blob {
@@ -388,11 +478,11 @@ void SketchStore::save(std::ostream& os) const {
     const void* data;
     std::uint64_t bytes;
   };
-  const Blob blobs[kSectionCount] = {
+  std::vector<Blob> blobs = {
       {kSecMeta, meta_blob.data(), meta_blob.size()},
       {kSecSketchOffsets, sketch_offsets_.data(),
        sketch_offsets_.size_bytes()},
-      {kSecSketchVertices, payload.data(), payload.size_bytes()},
+      {kSecSketchVertices, payload_data, payload_bytes},
       {kSecNodeOffsets, node_offsets_.data(), node_offsets_.size_bytes()},
       {kSecNodeSketches, node_sketches_.data(),
        node_sketches_.size_bytes()},
@@ -401,20 +491,24 @@ void SketchStore::save(std::ostream& os) const {
       {kSecDefaultMarginals, default_marginals_.data(),
        default_marginals_.size_bytes()},
   };
+  if (options.compress) {
+    blobs.push_back(
+        {kSecCompOffsets, comp_offsets.data(), comp_offsets.size_bytes()});
+  }
 
-  std::uint64_t offsets[kSectionCount];
-  std::uint64_t cursor = kHeaderBytes;
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+  std::vector<std::uint64_t> offsets(section_count);
+  std::uint64_t cursor = header_bytes(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
     cursor = align_up(cursor, kSectionAlign);
     offsets[i] = cursor;
     cursor += blobs[i].bytes;
   }
   const std::uint64_t file_bytes = cursor;
 
-  bin::write_header(os, kSnapshotMagic, kSnapshotVersionV2);
-  bin::write_pod(os, kSectionCount);
+  bin::write_header(os, kSnapshotMagic, version);
+  bin::write_pod(os, section_count);
   bin::write_pod(os, file_bytes);
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+  for (std::uint32_t i = 0; i < section_count; ++i) {
     bin::write_pod(os, blobs[i].id);
     bin::write_pod(os, std::uint32_t{0});  // reserved
     bin::write_pod(os, offsets[i]);
@@ -422,8 +516,8 @@ void SketchStore::save(std::ostream& os) const {
   }
 
   static const char zeros[kSectionAlign] = {};
-  std::uint64_t written = kHeaderBytes;
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+  std::uint64_t written = header_bytes(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
     for (std::uint64_t pad = offsets[i] - written; pad > 0;) {
       const std::uint64_t chunk = std::min<std::uint64_t>(pad, sizeof zeros);
       os.write(zeros, static_cast<std::streamsize>(chunk));
@@ -458,20 +552,36 @@ bool operator==(const SketchStore& a, const SketchStore& b) {
                   b.sketch_offsets_.begin(), b.sketch_offsets_.end())) {
     return false;
   }
+  // Logical member compare, independent of backing: span-vs-span when
+  // both sides are raw, else enumerate (decoding compressed payloads)
+  // into per-sketch scratch.
+  std::vector<VertexId> va;
+  std::vector<VertexId> vb;
   for (std::uint64_t s = 0; s < a.num_sketches_; ++s) {
-    const std::span<const VertexId> sa = a.sketch(static_cast<SketchId>(s));
-    const std::span<const VertexId> sb = b.sketch(static_cast<SketchId>(s));
-    if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
-      return false;
+    if (!a.compressed_ && !b.compressed_) {
+      const std::span<const VertexId> sa = a.sketch(static_cast<SketchId>(s));
+      const std::span<const VertexId> sb = b.sketch(static_cast<SketchId>(s));
+      if (!std::equal(sa.begin(), sa.end(), sb.begin(), sb.end())) {
+        return false;
+      }
+      continue;
     }
+    va.clear();
+    vb.clear();
+    a.for_each_member(static_cast<SketchId>(s),
+                      [&](VertexId v) { va.push_back(v); });
+    b.for_each_member(static_cast<SketchId>(s),
+                      [&](VertexId v) { vb.push_back(v); });
+    if (va != vb) return false;
   }
   return true;
 }
 
-void SketchStore::save_file(const std::string& path) const {
+void SketchStore::save_file(const std::string& path,
+                            SnapshotSaveOptions options) const {
   std::ofstream os(path, std::ios::binary);
   EIMM_CHECK(os.good(), "cannot open snapshot file for writing");
-  save(os);
+  save(os, options);
   EIMM_CHECK(os.good(), "snapshot write failed");
 }
 
@@ -487,9 +597,23 @@ void SketchStore::validate_structure() const {
              "snapshot sketch count overflows 32-bit sketch ids");
   EIMM_CHECK(sketch_offsets_.size() == num_sketches_ + 1,
              "snapshot sketch offsets inconsistent with sketch count");
-  EIMM_CHECK(sketch_offsets_.front() == 0 &&
-                 sketch_offsets_.back() == sketch_vertices_.size(),
-             "snapshot sketch offsets do not span the vertex payload");
+  if (compressed_) {
+    EIMM_CHECK(sketch_offsets_.front() == 0,
+               "snapshot sketch offsets do not start at zero");
+    EIMM_CHECK(comp_offsets_.size() == num_sketches_ + 1,
+               "snapshot compressed offsets inconsistent with sketch count");
+    EIMM_CHECK(comp_offsets_.front() == 0 &&
+                   comp_offsets_.back() == comp_payload_.size(),
+               "snapshot compressed offsets do not span the payload");
+    for (std::size_t i = 1; i < comp_offsets_.size(); ++i) {
+      EIMM_CHECK(comp_offsets_[i] >= comp_offsets_[i - 1],
+                 "snapshot compressed offsets decrease");
+    }
+  } else {
+    EIMM_CHECK(sketch_offsets_.front() == 0 &&
+                   sketch_offsets_.back() == sketch_vertices_.size(),
+               "snapshot sketch offsets do not span the vertex payload");
+  }
   for (std::size_t i = 1; i < sketch_offsets_.size(); ++i) {
     EIMM_CHECK(sketch_offsets_[i] >= sketch_offsets_[i - 1],
                "snapshot sketch offsets decrease");
@@ -504,7 +628,7 @@ void SketchStore::validate_structure() const {
     EIMM_CHECK(node_offsets_[i] >= node_offsets_[i - 1],
                "snapshot node offsets decrease");
   }
-  EIMM_CHECK(node_sketches_.size() == sketch_vertices_.size(),
+  EIMM_CHECK(node_sketches_.size() == sketch_offsets_.back(),
              "snapshot inverted index size disagrees with the payload");
   EIMM_CHECK(default_seeds_.size() == default_marginals_.size(),
              "snapshot default sequence arrays disagree in length");
@@ -516,17 +640,22 @@ void SketchStore::validate_structure() const {
 }
 
 void SketchStore::validate_payload() const {
+  // Enumerates through for_each_member, so a compressed payload is fully
+  // decoded here: gap-codec corruption (truncated/overlong varints, zero
+  // gaps — i.e. non-ascending members) surfaces as CheckError now, not
+  // inside a query.
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (std::uint64_t i = sketch_offsets_[s]; i < sketch_offsets_[s + 1];
-         ++i) {
-      EIMM_CHECK(sketch_vertices_[i] < num_vertices_,
-                 "snapshot sketch member out of range");
+    VertexId prev = 0;
+    bool first = true;
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) {
+      EIMM_CHECK(v < num_vertices_, "snapshot sketch member out of range");
       // Strictly ascending runs are the sketch() contract — and rule out
       // duplicate members, which would double-count coverage.
-      EIMM_CHECK(i == sketch_offsets_[s] ||
-                     sketch_vertices_[i - 1] < sketch_vertices_[i],
+      EIMM_CHECK(first || prev < v,
                  "snapshot sketch members not strictly ascending");
-    }
+      prev = v;
+      first = false;
+    });
   }
   for (const SketchId s : node_sketches_) {
     EIMM_CHECK(s < num_sketches_,
@@ -541,9 +670,9 @@ void SketchStore::validate_derived() const {
   const VertexId n = num_vertices_;
   std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) {
       ++offsets[static_cast<std::size_t>(v) + 1];
-    }
+    });
   }
   for (std::size_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
   EIMM_CHECK(std::equal(offsets.begin(), offsets.end(),
@@ -552,9 +681,9 @@ void SketchStore::validate_derived() const {
   std::vector<SketchId> sketches(node_sketches_.size());
   std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (std::uint64_t s = 0; s < num_sketches_; ++s) {
-    for (const VertexId v : sketch(static_cast<SketchId>(s))) {
+    for_each_member(static_cast<SketchId>(s), [&](VertexId v) {
       sketches[cursor[v]++] = static_cast<SketchId>(s);
-    }
+    });
   }
   EIMM_CHECK(std::equal(sketches.begin(), sketches.end(),
                         node_sketches_.begin(), node_sketches_.end()),
@@ -629,13 +758,16 @@ SketchStore SketchStore::load_v1(std::istream& is) {
   return store;
 }
 
-SketchStore SketchStore::load_v2_stream(std::istream& is) {
+SketchStore SketchStore::load_sections_stream(std::istream& is,
+                                              std::uint32_t version) {
   // Magic + version were consumed by the caller; position is 12.
+  const std::uint32_t expected_count = section_count_for(version);
+  const bool compressed = version == kSnapshotVersionV3;
   std::uint32_t section_count = 0;
   std::uint64_t file_bytes = 0;
   bin::read_pod(is, section_count, "section table");
   bin::read_pod(is, file_bytes, "section table");
-  if (section_count != kSectionCount) {
+  if (section_count != expected_count) {
     fail_section("wrong section count in", "section table", 12);
   }
   if (const auto remaining = bin::detail::remaining_bytes(is)) {
@@ -646,7 +778,7 @@ SketchStore SketchStore::load_v2_stream(std::istream& is) {
       fail_section("truncated file in", "section table", *remaining + 24);
     }
   }
-  std::vector<SectionEntry> table(kSectionCount);
+  std::vector<SectionEntry> table(expected_count);
   for (SectionEntry& s : table) {
     std::uint32_t reserved = 0;
     bin::read_pod(is, s.id, "section table");
@@ -654,10 +786,10 @@ SketchStore SketchStore::load_v2_stream(std::istream& is) {
     bin::read_pod(is, s.offset, "section table");
     bin::read_pod(is, s.bytes, "section table");
   }
-  check_section_table(table, file_bytes);
+  check_section_table(table, file_bytes, expected_count);
 
   SketchStore store;
-  std::uint64_t pos = kHeaderBytes;
+  std::uint64_t pos = header_bytes(expected_count);
   for (const SectionEntry& s : table) {
     const char* name = section_name(s.id);
     is.ignore(static_cast<std::streamsize>(s.offset - pos));
@@ -677,8 +809,13 @@ SketchStore SketchStore::load_v2_stream(std::istream& is) {
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
         break;
       case kSecSketchVertices:
-        store.sketch_vertices_own_ =
-            read_section_array<VertexId>(is, s.bytes, name, s.offset);
+        if (compressed) {
+          store.comp_payload_own_ =
+              read_section_array<std::uint8_t>(is, s.bytes, name, s.offset);
+        } else {
+          store.sketch_vertices_own_ =
+              read_section_array<VertexId>(is, s.bytes, name, s.offset);
+        }
         break;
       case kSecNodeOffsets:
         store.node_offsets_own_ =
@@ -696,27 +833,35 @@ SketchStore SketchStore::load_v2_stream(std::istream& is) {
         store.default_marginals_own_ =
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
         break;
+      case kSecCompOffsets:
+        store.comp_offsets_own_ =
+            read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        break;
       default: fail_section("unexpected", name, s.offset);
     }
     pos = s.offset + s.bytes;
   }
-  store.flat_ = true;
+  store.flat_ = !compressed;
+  store.compressed_ = compressed;
   store.adopt_owned_views();
-  store.load_stats_.version = kSnapshotVersionV2;
+  store.load_stats_.version = version;
   store.load_stats_.file_bytes = file_bytes;
   for (const SectionEntry& s : table) {
     store.load_stats_.bytes_copied += s.bytes;
   }
+  store.load_stats_.compressed = compressed;
+  store.load_stats_.compressed_payload_bytes =
+      compressed ? store.comp_payload_.size() : 0;
   store.validate_structure();
   store.validate_payload();
   return store;
 }
 
-SketchStore SketchStore::load_v2_mapped(MappedFile mapping,
-                                        const std::string& path) {
+SketchStore SketchStore::load_mapped(MappedFile mapping,
+                                     const std::string& path) {
   const std::uint8_t* base = mapping.data();
   const std::uint64_t size = mapping.size();
-  if (size < kHeaderBytes) {
+  if (size < header_bytes(kSectionCountV2)) {
     fail_section("truncated header in", "section table", size);
   }
   char expected[8] = {};
@@ -732,25 +877,30 @@ SketchStore SketchStore::load_v2_mapped(MappedFile mapping,
   std::memcpy(&version, base + 8, sizeof version);
   std::memcpy(&section_count, base + 12, sizeof section_count);
   std::memcpy(&file_bytes, base + 16, sizeof file_bytes);
-  if (version != kSnapshotVersionV2) {
+  if (version != kSnapshotVersionV2 && version != kSnapshotVersionV3) {
     fail_section("unmappable snapshot version in", "header", 8);
   }
-  if (section_count != kSectionCount) {
+  const bool compressed = version == kSnapshotVersionV3;
+  const std::uint32_t expected_count = section_count_for(version);
+  if (section_count != expected_count) {
     fail_section("wrong section count in", "section table", 12);
+  }
+  if (size < header_bytes(expected_count)) {
+    fail_section("truncated header in", "section table", size);
   }
   if (file_bytes != size) {
     // The declared length is the truncation guard: a file cut anywhere
     // (payload, padding, table) disagrees with its own header.
     fail_section("truncated file in", "section table", size);
   }
-  std::vector<SectionEntry> table(kSectionCount);
-  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+  std::vector<SectionEntry> table(expected_count);
+  for (std::uint32_t i = 0; i < expected_count; ++i) {
     const std::uint8_t* entry = base + 24 + i * kSectionEntryBytes;
     std::memcpy(&table[i].id, entry, sizeof table[i].id);
     std::memcpy(&table[i].offset, entry + 8, sizeof table[i].offset);
     std::memcpy(&table[i].bytes, entry + 16, sizeof table[i].bytes);
   }
-  check_section_table(table, file_bytes);
+  check_section_table(table, file_bytes, expected_count);
 
   SketchStore store;
   {
@@ -767,8 +917,15 @@ SketchStore SketchStore::load_v2_mapped(MappedFile mapping,
   }
   store.sketch_offsets_ =
       map_section<std::uint64_t>(mapping, table[kSecSketchOffsets - 1]);
-  store.sketch_vertices_ =
-      map_section<VertexId>(mapping, table[kSecSketchVertices - 1]);
+  if (compressed) {
+    store.comp_payload_ =
+        map_section<std::uint8_t>(mapping, table[kSecSketchVertices - 1]);
+    store.comp_offsets_ =
+        map_section<std::uint64_t>(mapping, table[kSecCompOffsets - 1]);
+  } else {
+    store.sketch_vertices_ =
+        map_section<VertexId>(mapping, table[kSecSketchVertices - 1]);
+  }
   store.node_offsets_ =
       map_section<std::uint64_t>(mapping, table[kSecNodeOffsets - 1]);
   store.node_sketches_ =
@@ -777,13 +934,17 @@ SketchStore SketchStore::load_v2_mapped(MappedFile mapping,
       map_section<VertexId>(mapping, table[kSecDefaultSeeds - 1]);
   store.default_marginals_ =
       map_section<std::uint64_t>(mapping, table[kSecDefaultMarginals - 1]);
-  store.flat_ = true;
+  store.flat_ = !compressed;
+  store.compressed_ = compressed;
   store.mapping_ = std::move(mapping);
-  store.load_stats_.version = kSnapshotVersionV2;
+  store.load_stats_.version = version;
   store.load_stats_.mmap_backed = true;
   store.load_stats_.file_bytes = file_bytes;
   store.load_stats_.bytes_mapped = size;
   store.load_stats_.bytes_copied = 0;
+  store.load_stats_.compressed = compressed;
+  store.load_stats_.compressed_payload_bytes =
+      compressed ? store.comp_payload_.size() : 0;
   store.validate_structure();
   return store;
 }
@@ -792,7 +953,8 @@ SketchStore SketchStore::load(std::istream& is) {
   const std::uint32_t version =
       bin::read_header_any(is, kSnapshotMagic, kAcceptedVersions,
                            kSnapshotWhat);
-  return version == kSnapshotVersionV1 ? load_v1(is) : load_v2_stream(is);
+  return version == kSnapshotVersionV1 ? load_v1(is)
+                                       : load_sections_stream(is, version);
 }
 
 SketchStore SketchStore::load_file(const std::string& path,
@@ -803,18 +965,18 @@ SketchStore SketchStore::load_file(const std::string& path,
       bin::read_header_any(is, kSnapshotMagic, kAcceptedVersions,
                            kSnapshotWhat);
   if (options.mode == SnapshotLoadMode::kMap) {
-    EIMM_CHECK(version == kSnapshotVersionV2,
+    EIMM_CHECK(version != kSnapshotVersionV1,
                "legacy v1 snapshots cannot be mmap-served; re-save as v2");
   }
   SketchStore store;
-  if (version == kSnapshotVersionV2 &&
+  if (version != kSnapshotVersionV1 &&
       options.mode != SnapshotLoadMode::kStream) {
     is.close();
-    store = load_v2_mapped(MappedFile::open_readonly(path), path);
+    store = load_mapped(MappedFile::open_readonly(path), path);
   } else if (version == kSnapshotVersionV1) {
     store = load_v1(is);
   } else {
-    store = load_v2_stream(is);
+    store = load_sections_stream(is, version);
   }
   if (options.deep_validate) {
     store.validate_payload();

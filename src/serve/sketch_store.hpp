@@ -22,7 +22,7 @@
 // explicit materialize_flat()), so build-and-query-only workloads never
 // pay the copy.
 //
-// Snapshots (magic "EIMMSKS") come in two revisions:
+// Snapshots (magic "EIMMSKS") come in three revisions:
 //   v1 — legacy length-prefixed stream of primary data only; load()
 //        copies into fresh vectors and recomputes the derived state.
 //        Still read (version negotiation), no longer written.
@@ -35,6 +35,16 @@
 //        instead of O(pool) — so N serving processes share one
 //        page-cache copy of the sketch data. Stream loads of v2 copy
 //        the sections into owned vectors (pipes, tests).
+//   v3 — v2's layout with a COMPRESSED sketch payload: the sketch-
+//        vertices section holds the delta-varint gap streams of all
+//        sketches back to back (rrr/gap_codec.hpp — always plain
+//        varints on disk; a Huffman-backed store transcodes at save),
+//        and an eighth section carries the per-sketch byte offsets.
+//        Snapshot size AND serving RSS drop together: loads — mmap'ed
+//        or streamed — keep the payload compressed and serve queries
+//        decode-on-enumerate. Written only on request
+//        (SnapshotSaveOptions::compress); v2 stays the default and
+//        every v2 consumer keeps working unchanged.
 //
 // Everything is read-only after build/load — queries allocate their own
 // scratch (see QueryEngine) — so any number of threads can serve from one
@@ -52,8 +62,10 @@
 #include "core/imm.hpp"
 #include "graph/types.hpp"
 #include "io/mmap.hpp"
+#include "rrr/compressed_pool.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/pool_view.hpp"
+#include "support/macros.hpp"
 
 namespace eimm {
 
@@ -103,6 +115,18 @@ struct SnapshotLoadStats {
   /// mmap path (nothing but the meta strings is duplicated).
   std::uint64_t bytes_copied = 0;
   bool deep_validated = false;
+  /// v3 accounting: the payload stayed gap-coded through the load.
+  bool compressed = false;
+  /// Bytes of the compressed sketch payload (0 for v1/v2).
+  std::uint64_t compressed_payload_bytes = 0;
+};
+
+/// Snapshot writer knobs (see save()).
+struct SnapshotSaveOptions {
+  /// Write the v3 compressed-payload format instead of v2. Works from
+  /// any backing: a compressed store's varint payload is written as-is,
+  /// a Huffman-backed one transcodes, a raw one encodes at save time.
+  bool compress = false;
 };
 
 class SketchStore {
@@ -117,9 +141,11 @@ class SketchStore {
                            std::string workload_label = "");
 
   /// Zero-copy freeze: takes ownership of the build's storage (the
-  /// SegmentedPool arenas on the sharded path, the RRRPool otherwise)
-  /// and serves sketches in place. Only bitmap-represented sets are
-  /// expanded; the contiguous image is deferred to save().
+  /// CompressedPool on a pool-compressed build, the SegmentedPool
+  /// arenas on the sharded path, the RRRPool otherwise) and serves
+  /// sketches in place. Only bitmap-represented sets are expanded; the
+  /// contiguous image is deferred to save(). A compressed build stays
+  /// compressed: queries decode on enumerate (see for_each_member).
   static SketchStore from_build(PoolBuild&& build, std::size_t k_max,
                                 SketchStoreMeta meta = {});
 
@@ -139,8 +165,13 @@ class SketchStore {
 
   /// Member vertices of sketch `s`, ascending — served from the flat
   /// image (owned or mmap'ed) when one exists, otherwise straight from
-  /// the owned backing storage (zero-copy).
-  [[nodiscard]] std::span<const VertexId> sketch(SketchId s) const noexcept {
+  /// the owned backing storage (zero-copy). Compressed stores have no
+  /// materialized members to span — this throws CheckError there; use
+  /// for_each_member (works over every backing) or materialize_flat().
+  [[nodiscard]] std::span<const VertexId> sketch(SketchId s) const {
+    EIMM_CHECK(!compressed_,
+               "sketch() spans are unavailable on a compressed store; "
+               "enumerate with for_each_member() or materialize_flat()");
     const std::uint64_t len = sketch_offsets_[s + 1] - sketch_offsets_[s];
     if (flat_) {
       return {sketch_vertices_.data() + sketch_offsets_[s], len};
@@ -148,13 +179,40 @@ class SketchStore {
     return {entry_ptrs_[s], len};
   }
 
+  /// Invokes fn(vertex) for every member of sketch `s` in ascending
+  /// order, whatever the backing — the enumeration surface query
+  /// kernels use so compressed and raw stores serve identically. May
+  /// throw CheckError on a corrupt compressed payload.
+  template <typename Fn>
+  void for_each_member(SketchId s, Fn&& fn) const {
+    if (compressed_) {
+      comp_slot(s).for_each(std::forward<Fn>(fn));
+      return;
+    }
+    for (const VertexId v : sketch(s)) fn(v);
+  }
+
+  /// Member count of sketch `s` (cheap for every backing).
+  [[nodiscard]] std::uint64_t member_count(SketchId s) const noexcept {
+    return sketch_offsets_[s + 1] - sketch_offsets_[s];
+  }
+
   /// True when a contiguous CSR image backs sketch() (always after
   /// load(); after build() only once save()/materialize_flat() ran).
   [[nodiscard]] bool flat() const noexcept { return flat_; }
 
-  /// Builds the contiguous image from the backing storage, switches
-  /// sketch() to serve from it, and releases the backing (idempotent;
-  /// a no-op on loaded stores, which are flat by nature).
+  /// True when the sketch payload is gap-coded (compressed build or v3
+  /// snapshot) and queries decode on enumerate.
+  [[nodiscard]] bool compressed() const noexcept { return compressed_; }
+  /// Bytes of the gap-coded payload (0 when not compressed).
+  [[nodiscard]] std::uint64_t compressed_payload_bytes() const noexcept {
+    return compressed_ ? comp_offsets_.back() : 0;
+  }
+
+  /// Builds the contiguous image from the backing storage (decoding a
+  /// compressed payload), switches sketch() to serve from it, and
+  /// releases the backing (idempotent; a no-op on loaded uncompressed
+  /// stores, which are flat by nature).
   /// NOT safe against concurrent readers: it frees the storage deferred
   /// sketch() spans point into, so call it before publishing the store
   /// to serving threads (or rely on save(), which assembles a transient
@@ -194,9 +252,11 @@ class SketchStore {
   }
 
   // --- Snapshots (eimm::bin format, magic "EIMMSKS") ---
-  /// Writes the current (v2, page-aligned section table) format.
-  void save(std::ostream& os) const;
-  void save_file(const std::string& path) const;
+  /// Writes the page-aligned section-table format: v2 by default, v3
+  /// (compressed payload) when options.compress is set.
+  void save(std::ostream& os, SnapshotSaveOptions options = {}) const;
+  void save_file(const std::string& path,
+                 SnapshotSaveOptions options = {}) const;
   /// Compatibility writer for the legacy v1 stream format (exercises the
   /// version-negotiation path; real snapshots should use save()).
   void save_legacy_v1(std::ostream& os) const;
@@ -243,11 +303,26 @@ class SketchStore {
   void validate_derived() const;
 
   static SketchStore load_v1(std::istream& is);
-  static SketchStore load_v2_stream(std::istream& is);
-  static SketchStore load_v2_mapped(MappedFile mapping,
-                                    const std::string& path);
+  /// Shared v2/v3 section-table stream loader (v3 adds the compressed
+  /// payload + byte-offset sections).
+  static SketchStore load_sections_stream(std::istream& is,
+                                          std::uint32_t version);
+  static SketchStore load_mapped(MappedFile mapping, const std::string& path);
   /// Wires the read-surface spans at the owned vectors.
   void adopt_owned_views();
+
+  /// Slot view of a compressed sketch (compressed_ only): through the
+  /// adopted CompressedPool when one backs the store (build path — may
+  /// be Huffman-coded), else over the snapshot's varint payload spans.
+  [[nodiscard]] CompressedSlot comp_slot(SketchId s) const noexcept {
+    if (backing_cpool_.size() > 0) return backing_cpool_.slot(s);
+    return CompressedSlot{
+        comp_payload_.data() + comp_offsets_[s],
+        comp_offsets_[s + 1] - comp_offsets_[s],
+        static_cast<std::uint32_t>(sketch_offsets_[s + 1] -
+                                   sketch_offsets_[s]),
+        nullptr};
+  }
 
   VertexId num_vertices_ = 0;
   std::uint64_t num_sketches_ = 0;
@@ -275,12 +350,24 @@ class SketchStore {
   std::span<const std::uint64_t> default_marginals_;
 
   bool flat_ = false;
-  /// Deferred backing (used iff !flat_): per-sketch member pointers into
-  /// the owned storage below.
+  /// Deferred backing (used iff !flat_ && !compressed_): per-sketch
+  /// member pointers into the owned storage below.
   std::vector<const VertexId*> entry_ptrs_;
   RRRPool backing_pool_{0};
   SegmentedPool backing_segments_;
   std::vector<VertexId> bitmap_expansion_;  // expanded bitmap sets only
+
+  /// Compressed backing (used iff compressed_). Build path: the adopted
+  /// CompressedPool (varint or Huffman). Snapshot path: varint payload
+  /// + byte offsets, owned or served from the mapping; comp_offsets_/
+  /// comp_payload_ always point at whichever storage is live.
+  bool compressed_ = false;
+  CompressedPool backing_cpool_;
+  std::vector<std::uint64_t> comp_offsets_own_;
+  std::vector<std::uint8_t> comp_payload_own_;
+  std::span<const std::uint64_t> comp_offsets_;  // num_sketches_ + 1
+  std::span<const std::uint8_t> comp_payload_;
+
   /// Keeps the snapshot pages alive for mmap-backed stores.
   MappedFile mapping_;
 };

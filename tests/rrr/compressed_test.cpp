@@ -100,5 +100,37 @@ TEST(CompressedSet, SparseSetsStillSmallerThanBitmap) {
   EXPECT_LT(set.memory_bytes(), bitmap.memory_bytes() / 100);
 }
 
+TEST(CompressedSet, FromEncodedRoundTrips) {
+  std::vector<std::uint8_t> bytes;
+  append_gap_stream(bytes, std::vector<VertexId>{3, 8, 8000});
+  const CompressedSet set = CompressedSet::from_encoded(3, std::move(bytes));
+  EXPECT_EQ(set.decode(), (std::vector<VertexId>{3, 8, 8000}));
+}
+
+TEST(CompressedSet, FromEncodedTruncatedPayloadThrows) {
+  std::vector<std::uint8_t> bytes;
+  append_gap_stream(bytes, std::vector<VertexId>{100, 50'000, 9'000'000});
+  bytes.pop_back();
+  const CompressedSet set = CompressedSet::from_encoded(3, std::move(bytes));
+  EXPECT_THROW((void)set.decode(), CheckError);
+  EXPECT_THROW((void)set.contains(9'000'000), CheckError);
+}
+
+TEST(CompressedSet, FromEncodedOverlongVarintThrows) {
+  // 11 continuation bytes: wider than any 64-bit value can need.
+  const CompressedSet set =
+      CompressedSet::from_encoded(1, std::vector<std::uint8_t>(11, 0xFF));
+  EXPECT_THROW((void)set.decode(), CheckError);
+}
+
+TEST(CompressedSet, FromEncodedUndercountedStreamThrows) {
+  // Claiming more members than the payload encodes must hit the
+  // truncation guard, not read past the buffer.
+  std::vector<std::uint8_t> bytes;
+  append_gap_stream(bytes, std::vector<VertexId>{1, 2});
+  const CompressedSet set = CompressedSet::from_encoded(5, std::move(bytes));
+  EXPECT_THROW((void)set.decode(), CheckError);
+}
+
 }  // namespace
 }  // namespace eimm

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "rrr/compressed.hpp"
+#include "rrr/gap_codec.hpp"
 #include "support/macros.hpp"
 #include "support/rng.hpp"
 
@@ -118,6 +121,59 @@ TEST(HuffmanSet, VertexZeroAndLargeIds) {
   EXPECT_TRUE(set.contains(0));
   EXPECT_TRUE(set.contains(kInvalidVertex - 1));
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(HuffmanSet, EncodeBitIdenticalToCompressingVarintStream) {
+  // HuffmanSet::encode builds its gap bytes directly through the shared
+  // rrr/gap_codec encoder — the payload must be bit-identical to
+  // Huffman-coding the canonical gap stream of the same members.
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<VertexId> members;
+    const std::size_t count = rng.next_bounded(600);
+    for (std::size_t i = 0; i < count; ++i) {
+      members.push_back(static_cast<VertexId>(rng.next_bounded(1u << 22)));
+    }
+    const HuffmanSet set = HuffmanSet::encode(members);
+
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    std::vector<std::uint8_t> gap_bytes;
+    append_gap_stream(gap_bytes, members);
+    const HuffmanCodec::Encoded reference = HuffmanCodec::encode(gap_bytes);
+
+    EXPECT_EQ(set.encoded().code_lengths, reference.code_lengths) << trial;
+    EXPECT_EQ(set.encoded().payload_bits, reference.payload_bits) << trial;
+    EXPECT_EQ(set.encoded().bits, reference.bits) << trial;
+  }
+}
+
+TEST(HuffmanCodec, OverstatedPayloadBitsThrows) {
+  auto encoded = HuffmanCodec::encode(std::vector<std::uint8_t>(64, 3));
+  encoded.payload_bits = encoded.bits.size() * 8 + 1;
+  EXPECT_THROW(HuffmanCodec::decode(encoded), CheckError);
+}
+
+TEST(HuffmanCodec, TruncatedBitsThrow) {
+  Xoshiro256 rng(23);
+  std::vector<std::uint8_t> data(2000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_bounded(16));
+  auto encoded = HuffmanCodec::encode(data);
+  ASSERT_GT(encoded.bits.size(), 4u);
+  encoded.bits.resize(encoded.bits.size() / 2);
+  EXPECT_THROW(HuffmanCodec::decode(encoded), CheckError);
+}
+
+TEST(HuffmanCodec, StreamMatchingNoCodeThrows) {
+  // A codebook whose only 2-bit code is 00 cannot decode an all-ones
+  // stream: decode_one must give up at 32 bits with CheckError instead
+  // of walking past the table.
+  HuffmanCodec::Encoded encoded;
+  encoded.code_lengths[65] = 2;
+  encoded.bits.assign(8, 0xFF);
+  encoded.payload_bits = 64;
+  EXPECT_THROW(HuffmanCodec::decode(encoded), CheckError);
 }
 
 }  // namespace

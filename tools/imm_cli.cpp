@@ -28,6 +28,9 @@
 //   --counter-shards N  NUMA counter replicas for selection (default:
 //                       EIMM_COUNTER_SHARDS, then the domain count;
 //                       1 = legacy flat counter)
+//   --pool-compress M   compressed RRR pool backing: off|varint|huffman
+//                       (default: EIMM_POOL_COMPRESS, then off); seeds
+//                       are bit-identical for every mode
 //   --simulate N        verify seeds with N Monte-Carlo cascades
 //   --log-dir DIR       write the artifact-style JSON log into DIR
 //   --metrics PATH      write the obs metrics-registry snapshot as JSON
@@ -86,6 +89,7 @@ struct CliOptions {
                "          [--no-adaptive-update] [--no-balance] [--no-numa]\n"
                "          [--pin auto|none|compact|spread]\n"
                "          [--counter-shards N]\n"
+               "          [--pool-compress off|varint|huffman]\n"
                "          [--simulate N] [--log-dir DIR] [--verbose]\n"
                "          [--metrics OUT.json]\n",
                argv0);
@@ -131,6 +135,17 @@ CliOptions parse_cli(int argc, char** argv) {
       const long shards = std::strtol(next().c_str(), nullptr, 10);
       if (shards < 1) usage(argv[0], "--counter-shards must be >= 1");
       options.imm.counter_shards = static_cast<int>(shards);
+    } else if (arg == "--pool-compress") {
+      const std::string mode = next();
+      if (mode == "off" || mode == "none") {
+        options.imm.pool_compress = PoolCompression::kNone;
+      } else if (mode == "varint") {
+        options.imm.pool_compress = PoolCompression::kVarint;
+      } else if (mode == "huffman") {
+        options.imm.pool_compress = PoolCompression::kHuffman;
+      } else {
+        usage(argv[0], "--pool-compress must be off|varint|huffman");
+      }
     } else if (arg == "--no-fusion") options.imm.kernel_fusion = false;
     else if (arg == "--no-adaptive-repr") options.imm.adaptive_representation = false;
     else if (arg == "--no-adaptive-update") options.imm.adaptive_update = false;
@@ -215,6 +230,13 @@ int run_cli(int argc, char** argv) {
               std::string(to_string(effective_pin_mode(resolve_pin_mode(),
                                                        numa_topology())))
                   .c_str());
+  if (result.pool_compression_used != PoolCompression::kNone) {
+    std::printf("pool: %s-compressed, %llu payload bytes, encode %.3fs\n",
+                std::string(to_string(result.pool_compression_used)).c_str(),
+                static_cast<unsigned long long>(
+                    result.compressed_payload_bytes),
+                result.encode_seconds);
+  }
 
   if (options.verbose) {
     std::printf("\nmartingale iterations:\n");

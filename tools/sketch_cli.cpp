@@ -58,6 +58,7 @@ struct CliOptions {
   std::vector<VertexId> forbidden;
   std::vector<VertexId> eval_seeds;
   SnapshotLoadOptions load;
+  SnapshotSaveOptions save;
   std::optional<std::string> metrics_path;
 };
 
@@ -76,6 +77,8 @@ struct CliOptions {
       "          [--pin auto|none|compact|spread]  (thread pinning;\n"
       "                          default EIMM_PIN, then auto)\n"
       "          [--out PATH]   (--out required for 'save')\n"
+      "          [--compress]   (save the snapshot with gap-coded sketch\n"
+      "                          payload: v3 format, ~2-4x smaller)\n"
       "       %s load --store PATH [--stream] [--deep-validate]\n"
       "       %s query --store PATH (--k N [--candidates LIST]\n"
       "          [--forbid LIST] | --eval LIST) [--stream] [--deep-validate]\n"
@@ -210,6 +213,8 @@ CliOptions parse_cli(int argc, char** argv) {
       options.eval_seeds = parse_vertex_list(argv[0], next());
     } else if (arg == "--stream") {
       options.load.mode = SnapshotLoadMode::kStream;
+    } else if (arg == "--compress") {
+      options.save.compress = true;
     } else if (arg == "--metrics") {
       options.metrics_path = next();
     } else if (arg == "--deep-validate") {
@@ -297,8 +302,9 @@ int run_build(const CliOptions& options) {
   print_store_summary(store);
 
   if (options.out_path) {
-    store.save_file(*options.out_path);
-    std::printf("saved: %s\n", options.out_path->c_str());
+    store.save_file(*options.out_path, options.save);
+    std::printf("saved: %s%s\n", options.out_path->c_str(),
+                options.save.compress ? " (compressed v3)" : "");
   }
   return 0;
 }
@@ -314,6 +320,11 @@ int run_load(const CliOptions& options) {
               static_cast<double>(stats.bytes_mapped) / (1024.0 * 1024.0),
               static_cast<double>(stats.bytes_copied) / (1024.0 * 1024.0),
               stats.deep_validated ? ", deep-validated" : "");
+  if (stats.compressed) {
+    std::printf("       compressed payload %.1f MiB (gap-coded)\n",
+                static_cast<double>(stats.compressed_payload_bytes) /
+                    (1024.0 * 1024.0));
+  }
   return 0;
 }
 
