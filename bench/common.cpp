@@ -37,6 +37,20 @@ double best_seconds(int reps, const std::function<double()>& fn) {
   return best;
 }
 
+ThroughputComparison compare_throughput(const std::string& label,
+                                        std::uint64_t units, int reps,
+                                        const std::function<double()>& baseline,
+                                        const std::function<double()>& variant) {
+  ThroughputComparison cmp;
+  cmp.label = label;
+  cmp.units = units;
+  baseline();  // warmup: first touch of the workload pages / arena growth
+  variant();
+  cmp.baseline_seconds = best_seconds(reps, baseline);
+  cmp.variant_seconds = best_seconds(reps, variant);
+  return cmp;
+}
+
 ImmOptions imm_options(const BenchConfig& config, DiffusionModel model,
                        int threads) {
   ImmOptions opt;

@@ -43,6 +43,39 @@ std::vector<int> thread_sweep(int max);
 /// Minimum over `reps` runs of fn() (each returning seconds).
 double best_seconds(int reps, const std::function<double()>& fn);
 
+/// One scalar-vs-variant throughput comparison (see compare_throughput):
+/// best-of-reps seconds per side over the same `units` of work.
+struct ThroughputComparison {
+  std::string label;
+  std::uint64_t units = 0;  ///< work items each run processes (e.g. RRR sets)
+  double baseline_seconds = 0.0;
+  double variant_seconds = 0.0;
+
+  [[nodiscard]] double baseline_per_second() const {
+    return baseline_seconds > 0.0
+               ? static_cast<double>(units) / baseline_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double variant_per_second() const {
+    return variant_seconds > 0.0 ? static_cast<double>(units) / variant_seconds
+                                 : 0.0;
+  }
+  /// baseline_seconds / variant_seconds (> 1 means the variant is faster).
+  [[nodiscard]] double speedup() const {
+    return variant_seconds > 0.0 ? baseline_seconds / variant_seconds : 0.0;
+  }
+};
+
+/// The rep/warmup loop every baseline-vs-variant bench was re-implementing:
+/// runs each side once untimed (warmup — page in the workload, size the
+/// arenas), then `reps` timed runs per side, keeping the best. Both
+/// callbacks return the seconds of the phase under test and must process
+/// the same `units` of work per run.
+ThroughputComparison compare_throughput(const std::string& label,
+                                        std::uint64_t units, int reps,
+                                        const std::function<double()>& baseline,
+                                        const std::function<double()>& variant);
+
 /// ImmOptions preset from the config for one model/engine run.
 ImmOptions imm_options(const BenchConfig& config, DiffusionModel model,
                        int threads);

@@ -162,7 +162,13 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
   }
   build.shards_used =
       engine == Engine::kEfficient ? resolve_shards(options.shards) : 1;
-  build.segmented = build.shards_used > 1;
+  // Fused sampling stages through the ShardedSampler even at shards == 1
+  // (its traversals emit arena runs, not RRRPool slots), so it forces
+  // the segmented zero-copy storage path.
+  build.fused_sampling_used =
+      engine == Engine::kEfficient &&
+      resolve_fused_sampling(options.fused_sampling);
+  build.segmented = build.shards_used > 1 || build.fused_sampling_used;
 
   // Compressed backing (kEfficient only): rounds are gap-coded into
   // build.cpool as they land, and the raw staging storage is recycled,
@@ -192,6 +198,7 @@ PoolBuild build_rrr_pool(const DiffusionGraph& graph,
     config.model = options.model;
     config.rng_seed = options.rng_seed;
     config.batch_size = options.batch_size;
+    config.fused = build.fused_sampling_used;
     // adaptive_representation/bitmap_threshold are merge-path knobs: the
     // zero-copy path always keeps sorted runs (see ImmOptions docs).
     sampler.emplace(graph.reverse, config);
@@ -297,6 +304,7 @@ ImmResult run_imm(const DiffusionGraph& graph, const ImmOptions& options,
   result.rebuild_rounds = final_selection.rebuild_rounds;
   result.threads_used = omp_get_max_threads();
   result.shards_used = build.shards_used;
+  result.fused_sampling_used = build.fused_sampling_used;
   result.counter_shards_used = resolved_counter_shards(options, engine);
   result.counter_layout_allocations = build.workspace.counter_allocations();
   result.staged_bytes = build.shard_stats.staged_bytes;

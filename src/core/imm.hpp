@@ -24,6 +24,7 @@
 #include "core/martingale.hpp"
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
+#include "rrr/fused.hpp"
 #include "rrr/pool.hpp"
 #include "rrr/pool_view.hpp"
 #include "rrr/sharded.hpp"
@@ -106,6 +107,17 @@ struct ImmOptions {
   /// sequences are bit-identical for every value (ctest -L statcheck
   /// pins it): compression changes storage, never set contents.
   PoolCompression pool_compress = PoolCompression::kAuto;
+
+  /// Fused 64-wide sampling (rrr/fused.hpp): one traversal emits up to
+  /// 64 RRR sets by packing lanes into a per-vertex uint64_t visited
+  /// word. kAuto resolves the EIMM_FUSED environment variable (default
+  /// off). kEfficient engine only. Fused pools are identical across
+  /// shard counts and deterministic in the seed, but IC contents are
+  /// only STATISTICALLY equivalent to the scalar pipeline (the joint
+  /// traversal reorders coin flips) — the statcheck spread-ratio harness
+  /// validates the mode instead of bit-identity. Forces the segmented
+  /// zero-copy storage path even when shards == 1.
+  FusedSampling fused_sampling = FusedSampling::kAuto;
 };
 
 /// Wall-clock attribution matching the paper's Fig. 2 breakdown.
@@ -150,6 +162,9 @@ struct ImmResult {
   std::uint64_t staged_bytes = 0;
   std::uint64_t mapped_bytes = 0;
   std::uint64_t merged_bytes = 0;
+  /// Whether the build sampled through the fused 64-wide generator
+  /// (resolved from the option and EIMM_FUSED).
+  bool fused_sampling_used = false;
   /// Pool compression the build actually used (resolved from the option
   /// and EIMM_POOL_COMPRESS; kNone when the pool stayed raw).
   PoolCompression pool_compression_used = PoolCompression::kNone;
@@ -203,6 +218,8 @@ struct PoolBuild {
   double probing_selection_seconds = 0.0;
   /// Resolved sampling shard count (1 = legacy single-path generation).
   int shards_used = 1;
+  /// Whether generation went through the fused 64-wide sampler.
+  bool fused_sampling_used = false;
   std::vector<MartingaleIteration> iterations;
 
   /// The one surface selection-side consumers read the build through.

@@ -82,6 +82,46 @@ void write_sharded_bench_json(std::ostream& os, int numa_domains,
   os << '\n';
 }
 
+void write_fused_bench_json(std::ostream& os, int numa_domains,
+                            const std::vector<FusedBenchResult>& results) {
+  JsonWriter w(os);
+  w.begin_object()
+      .kv("Bench", "fused_sampling")
+      .kv("NumaDomains", static_cast<std::int64_t>(numa_domains));
+  w.key("Results").begin_array();
+  for (const FusedBenchResult& r : results) {
+    w.begin_object()
+        .kv("Workload", r.workload)
+        .kv("Model", r.model)
+        .kv("Shards", r.shards)
+        .kv("Threads", r.threads)
+        .kv("NumRRRSets", r.num_rrr_sets)
+        .kv("ScalarSeconds", r.scalar_seconds)
+        .kv("FusedSeconds", r.fused_seconds)
+        .kv("ScalarSetsPerSecond", r.scalar_sets_per_second)
+        .kv("FusedSetsPerSecond", r.fused_sets_per_second)
+        .kv("Speedup", r.speedup)
+        .kv("SpreadRatio", r.spread_ratio)
+        .kv("SpreadWithinTolerance", r.spread_within_tolerance)
+        .end_object();
+  }
+  w.end_array().end_object();
+  os << '\n';
+}
+
+std::string write_fused_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<FusedBenchResult>& results) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream os(path);
+  EIMM_CHECK(os.good(), "cannot open bench result file for writing");
+  write_fused_bench_json(os, numa_domains, results);
+  EIMM_CHECK(os.good(), "bench result write failed");
+  return path;
+}
+
 std::string write_sharded_bench_json_file(
     const std::string& path, int numa_domains,
     const std::vector<ShardedBenchResult>& results) {

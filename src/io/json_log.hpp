@@ -236,6 +236,39 @@ std::string write_obs_overhead_json_file(
     const std::string& path,
     const std::vector<ObsOverheadBenchResult>& results);
 
+/// One row of the fused-sampling bench (BENCH_fused_sampling.json
+/// schema): scalar-vs-fused sampling throughput of the sharded pipeline
+/// at one (model, shard count), plus the Monte-Carlo spread-ratio check
+/// that replaces bit-identity for the fused IC path (fused output is
+/// statistically, not bitwise, equivalent to scalar).
+struct FusedBenchResult {
+  std::string workload;
+  std::string model;  // "IC" | "LT"
+  int shards = 1;
+  int threads = 1;
+  std::uint64_t num_rrr_sets = 0;
+  double scalar_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double scalar_sets_per_second = 0.0;
+  double fused_sets_per_second = 0.0;
+  /// scalar_seconds / fused_seconds (> 1 means fused is faster).
+  double speedup = 0.0;
+  /// Fused-seed spread / scalar-seed spread (statcheck harness).
+  double spread_ratio = 0.0;
+  /// spread_ratio >= 1 - tolerance held for this row.
+  bool spread_within_tolerance = true;
+};
+
+/// Serializes the sweep as one document:
+/// {"Bench": "fused_sampling", "NumaDomains": N, "Results": [...]}.
+void write_fused_bench_json(std::ostream& os, int numa_domains,
+                            const std::vector<FusedBenchResult>& results);
+
+/// Writes to `path` (parent directories created). Returns `path`.
+std::string write_fused_bench_json_file(
+    const std::string& path, int numa_domains,
+    const std::vector<FusedBenchResult>& results);
+
 /// One row of the compressed-pool bench (BENCH_compressed.json schema):
 /// pool footprint and selection throughput of one pool backing, plus the
 /// compression ratio and seed-identity check against the raw reference.

@@ -1,5 +1,6 @@
 #include "rrr/generate.hpp"
 
+#include "runtime/rng_stream.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -9,7 +10,9 @@ std::vector<VertexId> sample_rrr(const CSRGraph& reverse, DiffusionModel model,
                                  SamplerScratch& scratch) {
   EIMM_CHECK(reverse.has_weights(), "reverse graph needs diffusion weights");
   EIMM_CHECK(reverse.num_vertices() > 0, "empty graph");
-  Xoshiro256 rng = Xoshiro256::for_stream(base_seed, index);
+  // Per-index stream via the audited runtime/rng_stream seam —
+  // bit-compatible with the historical Xoshiro256::for_stream seeding.
+  Xoshiro256 rng = rng_stream(base_seed, index);
   const auto root =
       static_cast<VertexId>(rng.next_bounded(reverse.num_vertices()));
   switch (model) {

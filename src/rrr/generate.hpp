@@ -13,6 +13,7 @@
 // generated it or the schedule.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -29,7 +30,11 @@ class VisitScratch {
  public:
   explicit VisitScratch(std::size_t n) : stamp_(n, 0) {}
 
-  /// Starts a fresh logical bitmap (constant time amortized).
+  /// Starts a fresh logical bitmap (constant time amortized). When the
+  /// 32-bit epoch wraps, every stamp written during the previous cycle
+  /// could alias a future epoch as "visited", so the wrap does the one
+  /// full O(|V|) clear per 2^32 rounds and restarts at epoch 1 (0 is
+  /// reserved as the never-marked stamp value).
   void new_round() noexcept {
     if (++epoch_ == 0) {  // wrapped: do the rare full clear
       std::fill(stamp_.begin(), stamp_.end(), 0);
@@ -41,6 +46,14 @@ class VisitScratch {
   }
   void mark(VertexId v) noexcept { stamp_[v] = epoch_; }
   [[nodiscard]] std::size_t size() const noexcept { return stamp_.size(); }
+
+  /// Current epoch; 0 only before the first new_round().
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  /// Test seam: jumps the epoch counter so the wraparound clear is
+  /// reachable without 2^32 new_round() calls. Stale stamps written
+  /// before the jump keep their values, exactly as if the epochs in
+  /// between had been consumed by empty rounds.
+  void set_epoch_for_test(std::uint32_t epoch) noexcept { epoch_ = epoch; }
 
  private:
   std::vector<std::uint32_t> stamp_;

@@ -6,8 +6,8 @@
 
 namespace eimm {
 
-ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
-  const std::size_t len = vertices.size();
+ShardArena::Ref ShardArena::allocate(std::size_t len,
+                                     std::span<VertexId>& out) {
   // Advance through existing chunks (reset() reuse) before mapping new
   // ones; a run never spans chunks.
   while (cursor_ < chunks_.size() &&
@@ -26,10 +26,17 @@ ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
   ref.pos = static_cast<std::uint32_t>(head_used_);
   ref.len = static_cast<std::uint32_t>(len);
   auto* base = static_cast<VertexId*>(chunks_[cursor_].data());
-  std::copy(vertices.begin(), vertices.end(), base + head_used_);
+  out = {base + head_used_, len};
   head_used_ += len;
   ++runs_;
   staged_vertices_ += len;
+  return ref;
+}
+
+ShardArena::Ref ShardArena::append(std::span<const VertexId> vertices) {
+  std::span<VertexId> dest;
+  const Ref ref = allocate(vertices.size(), dest);
+  std::copy(vertices.begin(), vertices.end(), dest.begin());
   return ref;
 }
 

@@ -62,6 +62,14 @@ class ShardArena {
       : chunk_vertices_(chunk_vertices == 0 ? 1 : chunk_vertices) {}
 
   Ref append(std::span<const VertexId> vertices);
+
+  /// Reserves an uninitialized run of `len` vertices, returning its ref
+  /// and a writable span the caller must fill before the run is read.
+  /// Same placement rules as append (a run never spans chunks); the
+  /// fused sampler uses this to scatter lane members straight into the
+  /// arena with no intermediate buffer.
+  Ref allocate(std::size_t len, std::span<VertexId>& out);
+
   [[nodiscard]] std::span<const VertexId> view(const Ref& ref) const noexcept;
 
   /// Rewinds the write cursor to the first chunk while KEEPING every

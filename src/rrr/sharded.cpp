@@ -3,12 +3,14 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <array>
 #include <limits>
 #include <memory>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "rrr/fused.hpp"
 #include "rrr/generate.hpp"
 #include "runtime/affinity.hpp"
 #include "runtime/partition.hpp"
@@ -83,6 +85,10 @@ void ShardedSampler::stage(
     std::vector<ShardArena>& arenas, std::uint64_t begin, std::uint64_t end,
     CounterArray* fused,
     std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs) {
+  if (config_.fused) {
+    stage_fused(arenas, begin, end, fused, refs);
+    return;
+  }
   const std::uint64_t count = end - begin;
   const NumaTopology& topo = numa_topology();
 
@@ -205,6 +211,163 @@ void ShardedSampler::stage(
   // would otherwise surface as silently-empty RRR sets far downstream.
   EIMM_CHECK(staged_after - staged_before == count,
              "sharded generation lost RRR slots");
+}
+
+void ShardedSampler::stage_fused(
+    std::vector<ShardArena>& arenas, std::uint64_t begin, std::uint64_t end,
+    CounterArray* counters,
+    std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs) {
+  const std::uint64_t count = end - begin;
+  const NumaTopology& topo = numa_topology();
+  pin_openmp_team();
+
+  // Plan in BLOCK units: block b owns global slots [b*64, (b+1)*64), and
+  // the round covers blocks [begin/64, ceil(end/64)). A block is one
+  // indivisible job, so shard boundaries never split a traversal and the
+  // pool stays identical for every shard count. Only the ROUND range can
+  // clip a block's lane window (martingale growth is in slots).
+  const std::uint64_t block_begin = begin / kFusedLanes;
+  const std::uint64_t block_end = (end + kFusedLanes - 1) / kFusedLanes;
+  ShardPlan plan = ShardPlan::make(
+      block_begin, block_end, config_.shards,
+      static_cast<std::size_t>(omp_get_max_threads()), topo);
+  std::vector<std::unique_ptr<JobPool>> jobs;
+  refs.assign(count, {});
+  const VertexId n = reverse_.num_vertices();
+  // Batch size is configured in slots; convert to whole blocks.
+  const std::size_t block_batch =
+      std::max<std::size_t>(1, config_.batch_size / kFusedLanes);
+
+  std::uint64_t staged_before = 0;
+  for (const ShardArena& arena : arenas) staged_before += arena.runs();
+
+  static const obs::Counter traversals_counter =
+      obs::counter("sampler.fused.traversals_total");
+  static const obs::Counter fused_sets_counter =
+      obs::counter("sampler.fused.sets_total");
+  static const obs::Histogram sets_per_traversal =
+      obs::histogram("sampler.fused.sets_per_traversal");
+  // Average lanes per touched vertex: 64 means every lane shares every
+  // vertex (maximal traversal reuse), 1 means the lanes never overlapped
+  // and fusion only amortized bookkeeping.
+  static const obs::Histogram lane_occupancy =
+      obs::histogram("sampler.fused.lane_occupancy");
+
+  if (count > 0) {
+#pragma omp parallel
+    {
+#pragma omp single
+      {
+        const auto team = static_cast<std::size_t>(omp_get_num_threads());
+        if (team != plan.total_workers) {
+          plan = ShardPlan::make(block_begin, block_end, config_.shards, team,
+                                 topo);
+        }
+        jobs.reserve(plan.shards.size());
+        for (const ShardPlan::Shard& shard : plan.shards) {
+          jobs.push_back(std::make_unique<JobPool>(
+              shard.size(), block_batch,
+              std::max<std::size_t>(1, shard.worker_count)));
+        }
+        if (arenas.size() < plan.total_workers) {
+          arenas.resize(plan.total_workers);
+        }
+      }  // implicit barrier: every worker sees the final plan
+
+      const auto wid = static_cast<std::size_t>(omp_get_thread_num());
+      if (wid < plan.total_workers) {
+        FusedScratch scratch(n);
+        ShardArena& arena = arenas[wid];
+        std::uint64_t local_traversals = 0;
+        std::uint64_t local_sets = 0;
+        for (const std::size_t s : plan.shards_for_worker(wid)) {
+          const ShardPlan::Shard& shard = plan.shards[s];
+          const std::size_t local = wid - shard.first_worker;
+          obs::TraceSpan span("sampler.fused", "shard",
+                              static_cast<std::int64_t>(s), "domain",
+                              shard.domain, "worker",
+                              static_cast<std::int64_t>(wid));
+          for (JobBatch batch = jobs[s]->next(local); !batch.empty();
+               batch = jobs[s]->next(local)) {
+            for (std::size_t j = batch.begin; j < batch.end; ++j) {
+              const std::uint64_t block = shard.begin + j;
+              const std::uint64_t slot_lo =
+                  std::max(begin, block * kFusedLanes);
+              const std::uint64_t slot_hi =
+                  std::min(end, (block + 1) * kFusedLanes);
+              const auto lane_lo =
+                  static_cast<unsigned>(slot_lo - block * kFusedLanes);
+              const auto lane_hi =
+                  static_cast<unsigned>(slot_hi - block * kFusedLanes);
+              std::array<ShardArena::Ref, kFusedLanes> lane_refs;
+              const FusedTraversalStats tstats = sample_rrr_fused_into(
+                  reverse_, config_.model, config_.rng_seed, block, lane_lo,
+                  lane_hi, scratch, arena, lane_refs.data());
+              for (unsigned l = lane_lo; l < lane_hi; ++l) {
+                const ShardArena::Ref lane_ref = lane_refs[l - lane_lo];
+                if (counters != nullptr) {
+                  for (const VertexId v : arena.view(lane_ref)) {
+                    counters->increment(v);
+                  }
+                }
+                auto& slot = refs[block * kFusedLanes + l - begin];
+                slot.first = static_cast<std::uint32_t>(wid);
+                slot.second = lane_ref;
+              }
+              ++local_traversals;
+              local_sets += tstats.lanes;
+              sets_per_traversal.observe(tstats.lanes);
+              if (tstats.touched > 0) {
+                lane_occupancy.observe(tstats.members / tstats.touched);
+              }
+            }
+          }
+        }
+        traversals_counter.add(local_traversals);
+        fused_sets_counter.add(local_sets);
+      }
+    }
+  }
+
+  stats_.numa_domains = topo.num_nodes();
+  stats_.sets_per_shard.clear();
+  stats_.shard_domains.clear();
+  stats_.sets_per_shard.reserve(plan.shards.size());
+  stats_.shard_domains.reserve(plan.shards.size());
+  for (const ShardPlan::Shard& shard : plan.shards) {
+    // Shard sizes are in blocks here; report the slot count the shard's
+    // blocks contribute to THIS round, clipped to [begin, end).
+    const std::uint64_t lo =
+        std::max(begin, shard.begin * kFusedLanes);
+    const std::uint64_t hi = std::min(end, shard.end * kFusedLanes);
+    stats_.sets_per_shard.push_back(hi > lo ? hi - lo : 0);
+    stats_.shard_domains.push_back(shard.domain);
+  }
+  static const obs::Counter steal_counter =
+      obs::counter("sampling.steals_total");
+  static const obs::Counter staged_counter =
+      obs::counter("sampling.staged_bytes_total");
+  stats_.steals_per_shard.assign(plan.shards.size(), 0);
+  std::uint64_t round_steals = 0;
+  for (std::size_t s = 0; s < jobs.size(); ++s) {
+    stats_.steals_per_shard[s] = jobs[s]->steal_count();
+    round_steals += stats_.steals_per_shard[s];
+  }
+  steal_counter.add(round_steals);
+  std::uint64_t staged_after = 0;
+  const std::uint64_t staged_bytes_before = stats_.staged_bytes;
+  stats_.staged_bytes = 0;
+  stats_.mapped_bytes = 0;
+  for (const ShardArena& arena : arenas) {
+    staged_after += arena.runs();
+    stats_.staged_bytes += arena.staged_bytes();
+    stats_.mapped_bytes += arena.mapped_bytes();
+  }
+  if (stats_.staged_bytes > staged_bytes_before) {
+    staged_counter.add(stats_.staged_bytes - staged_bytes_before);
+  }
+  EIMM_CHECK(staged_after - staged_before == count,
+             "fused generation lost RRR slots");
 }
 
 void ShardedSampler::generate(RRRPool& pool, std::uint64_t begin,

@@ -115,6 +115,12 @@ struct ShardedConfig {
   /// (false). The zero-copy path always keeps sorted runs.
   bool adaptive_representation = true;
   double bitmap_threshold = kDefaultBitmapThreshold;
+  /// Fused 64-wide generation (rrr/fused.hpp): each traversal covers one
+  /// 64-slot block and emits up to 64 runs. Resolved already (use
+  /// resolve_fused_sampling()); slot contents depend only on
+  /// (rng_seed, block, lane window), so every shard count still yields
+  /// identical pools — but IC contents differ from the scalar mode.
+  bool fused = false;
 };
 
 /// One sharded generation pipeline over a fixed reverse graph. generate()
@@ -150,9 +156,19 @@ class ShardedSampler {
  private:
   /// Shared staging engine: plans the round, pins the team, samples every
   /// slot into `arenas`, then records (worker, ref) pairs into `refs`.
+  /// Delegates to stage_fused() when config_.fused is set.
   void stage(std::vector<ShardArena>& arenas, std::uint64_t begin,
              std::uint64_t end, CounterArray* fused,
              std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs);
+
+  /// Fused staging: plans in 64-slot block units (a block is never split
+  /// across shards, so pool content is invariant under the shard count)
+  /// and samples each block with one 64-wide traversal. Round boundaries
+  /// may still clip a block's lane window — content then depends on the
+  /// round schedule, which is itself deterministic in (params, seed).
+  void stage_fused(std::vector<ShardArena>& arenas, std::uint64_t begin,
+                   std::uint64_t end, CounterArray* counters,
+                   std::vector<std::pair<std::uint32_t, ShardArena::Ref>>& refs);
 
   const CSRGraph& reverse_;
   ShardedConfig config_;

@@ -1,0 +1,69 @@
+// Deterministic RNG stream derivation — the ONE audited seeding seam.
+//
+// Every parallel pipeline in the project derives independent random
+// streams from (base_seed, structured index) so results never depend on
+// thread count or schedule. Before this header the derivations were
+// scattered (Xoshiro256::for_stream call sites in the samplers, ad-hoc
+// hash_combine64 salts elsewhere); concentrating them here gives the
+// fused 64-wide sampler, the scalar sharded path, and future consumers
+// one place where stream independence is reasoned about and tested
+// (tests/runtime/rng_stream_test.cpp runs the statistical smoke).
+//
+// Contracts:
+//   * rng_stream(seed, index) is BIT-COMPATIBLE with the historical
+//     Xoshiro256::for_stream(seed, index) — the scalar sampling pipeline
+//     routes through it, and EIMM_FUSED=0 pools must stay bit-identical
+//     to pre-helper builds.
+//   * rng_split(seed, domain) derives an independent sub-seed space, so
+//     rng_stream(rng_split(s, a), i) and rng_stream(s, i) never collide
+//     in practice (SplitMix64 avalanche; no structural overlap).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace eimm {
+
+/// The per-index stream: element `index`'s generator under `base_seed`.
+/// Identical to Xoshiro256::for_stream — the scalar RRR sampler's
+/// historical seeding, now shared by every lane-structured consumer.
+[[nodiscard]] inline Xoshiro256 rng_stream(std::uint64_t base_seed,
+                                           std::uint64_t index) noexcept {
+  return Xoshiro256::for_stream(base_seed, index);
+}
+
+/// Splits `base_seed` into the sub-seed for `domain`: streams derived
+/// from different domains are mutually independent, and none aliases the
+/// un-split stream space (domain tags below keep callers from colliding).
+[[nodiscard]] constexpr std::uint64_t rng_split(std::uint64_t base_seed,
+                                                std::uint64_t domain) noexcept {
+  // Double mixing: plain hash_combine64(seed, domain) is exactly the
+  // per-index derivation, so a split seed could alias stream `domain`
+  // of the SAME base space. The extra splitmix round (with a fixed salt
+  // folded in) moves splits into their own orbit.
+  std::uint64_t mixed = hash_combine64(base_seed, domain);
+  mixed ^= 0x9E6C63D0876A3F6BULL;
+  return splitmix64(mixed);
+}
+
+/// Registered split domains — one tag per subsystem, so two callers can
+/// never accidentally share a sub-seed space.
+namespace rng_domain {
+/// Fused sampler's block-level Bernoulli mask stream (rrr/fused.hpp).
+inline constexpr std::uint64_t kFusedMask = 0xF05EDull;
+}  // namespace rng_domain
+
+/// Lane stream for the fused sampler: lane `lane` of traversal block
+/// `block` is global RRR slot block*64+lane, and uses EXACTLY that
+/// global slot's per-index stream — a fused set draws the same root as
+/// its scalar counterpart would (contents then diverge only through the
+/// joint traversal's flip ordering).
+[[nodiscard]] inline Xoshiro256 rng_lane_stream(std::uint64_t base_seed,
+                                                std::uint64_t block,
+                                                std::uint64_t lanes_per_block,
+                                                std::uint64_t lane) noexcept {
+  return rng_stream(base_seed, block * lanes_per_block + lane);
+}
+
+}  // namespace eimm

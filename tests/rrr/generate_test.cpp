@@ -33,6 +33,48 @@ TEST(VisitScratch, ManyRoundsStayCorrect) {
   }
 }
 
+TEST(VisitScratch, EpochWraparoundClearsStaleStamps) {
+  // The wrap hazard: a stamp written during one 2^32-round cycle could
+  // alias the SAME epoch value in the next cycle and read as "visited"
+  // for a round that never marked it. new_round() must detect the wrap,
+  // do its one full clear, and restart at epoch 1 (0 stays the
+  // never-marked sentinel).
+  VisitScratch v(8);
+  v.new_round();
+  v.mark(2);  // stamped with epoch 1 — the value the wrap restarts at
+  v.set_epoch_for_test(0xFFFFFFFFu);
+  v.mark(5);  // stamped with the final epoch of the cycle
+  EXPECT_TRUE(v.visited(5));
+
+  v.new_round();  // 0xFFFFFFFF + 1 wraps to 0: full clear, epoch := 1
+  EXPECT_EQ(v.epoch(), 1u);
+  // Without the clear, vertex 2's stale epoch-1 stamp would alias the
+  // restarted epoch and poison this round.
+  EXPECT_FALSE(v.visited(2));
+  EXPECT_FALSE(v.visited(5));
+
+  // The structure keeps working normally after the wrap.
+  v.mark(3);
+  EXPECT_TRUE(v.visited(3));
+  v.new_round();
+  EXPECT_EQ(v.epoch(), 2u);
+  EXPECT_FALSE(v.visited(3));
+}
+
+TEST(VisitScratch, EpochJumpSeamBehavesLikeEmptyRounds) {
+  // set_epoch_for_test must be equivalent to consuming the skipped
+  // epochs with empty rounds: marks from before the jump are invisible
+  // after it (their stamp is a PAST epoch, not a future one).
+  VisitScratch v(4);
+  v.new_round();
+  v.mark(1);
+  v.set_epoch_for_test(12345);
+  EXPECT_FALSE(v.visited(1));
+  v.new_round();
+  EXPECT_EQ(v.epoch(), 12346u);
+  EXPECT_FALSE(v.visited(1));
+}
+
 TEST(SampleIC, ProbabilityOneCoversReverseReachableSet) {
   // Path 0 -> 1 -> 2 -> 3: the reverse-reachable set of 3 is everything.
   auto g = make_graph(gen_path(4));

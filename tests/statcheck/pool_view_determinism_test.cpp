@@ -87,6 +87,9 @@ TEST(PoolViewDeterminism, SelectionOverSegmentsMatchesSelectionOverPool) {
   auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
 
   opt.shards = 3;
+  // The reference pool below is the scalar per-index sampler; pin fused
+  // off so EIMM_FUSED=1 environments keep comparing like with like.
+  opt.fused_sampling = FusedSampling::kOff;
   const PoolBuild segmented = build_rrr_pool(g, opt, Engine::kEfficient);
   ASSERT_TRUE(segmented.segmented);
 
@@ -126,6 +129,10 @@ TEST(PoolViewDeterminism, SegmentedFlattenBitMatchesMergePathImage) {
       "com-YouTube", DiffusionModel::kIndependentCascade, 0.03);
   auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 4);
   opt.shards = 4;
+  // Pin fused off: the one-shot merge run below covers [0, size) in a
+  // single round, while the build's martingale schedule clips fused
+  // blocks at round boundaries — fused images would legitimately differ.
+  opt.fused_sampling = FusedSampling::kOff;
   const PoolBuild build = build_rrr_pool(g, opt, Engine::kEfficient);
   ASSERT_TRUE(build.segmented);
 

@@ -53,6 +53,10 @@ TEST(ShardedDeterminism, ShardsOneBitMatchesSerialReferenceSampler) {
       "com-Amazon", DiffusionModel::kIndependentCascade, 0.03);
   auto opt = statcheck_imm_options(DiffusionModel::kIndependentCascade, 6);
   opt.shards = 1;
+  // This test's whole point is the SCALAR per-index contract; pin fused
+  // off so an EIMM_FUSED=1 environment (CI's fused statcheck leg) can't
+  // reroute the build away from the reference being checked.
+  opt.fused_sampling = FusedSampling::kOff;
   const PoolBuild build = build_rrr_pool(g, opt, Engine::kEfficient);
   EXPECT_EQ(build.shards_used, 1);
 

@@ -31,6 +31,10 @@
 //   --pool-compress M   compressed RRR pool backing: off|varint|huffman
 //                       (default: EIMM_POOL_COMPRESS, then off); seeds
 //                       are bit-identical for every mode
+//   --fused             fused 64-wide RRR generation (default:
+//                       EIMM_FUSED, then off); IC output is
+//                       statistically, not bitwise, equivalent to the
+//                       scalar pipeline (LT stays bit-identical)
 //   --simulate N        verify seeds with N Monte-Carlo cascades
 //   --log-dir DIR       write the artifact-style JSON log into DIR
 //   --metrics PATH      write the obs metrics-registry snapshot as JSON
@@ -89,7 +93,7 @@ struct CliOptions {
                "          [--no-adaptive-update] [--no-balance] [--no-numa]\n"
                "          [--pin auto|none|compact|spread]\n"
                "          [--counter-shards N]\n"
-               "          [--pool-compress off|varint|huffman]\n"
+               "          [--pool-compress off|varint|huffman] [--fused]\n"
                "          [--simulate N] [--log-dir DIR] [--verbose]\n"
                "          [--metrics OUT.json]\n",
                argv0);
@@ -146,6 +150,8 @@ CliOptions parse_cli(int argc, char** argv) {
       } else {
         usage(argv[0], "--pool-compress must be off|varint|huffman");
       }
+    } else if (arg == "--fused") {
+      options.imm.fused_sampling = FusedSampling::kOn;
     } else if (arg == "--no-fusion") options.imm.kernel_fusion = false;
     else if (arg == "--no-adaptive-repr") options.imm.adaptive_representation = false;
     else if (arg == "--no-adaptive-update") options.imm.adaptive_update = false;
@@ -225,11 +231,12 @@ int run_cli(int argc, char** argv) {
               result.breakdown.total_seconds,
               result.breakdown.sampling_seconds,
               result.breakdown.selection_seconds, result.threads_used);
-  std::printf("numa: %d sampling shard(s), %d counter shard(s), pin=%s\n",
+  std::printf("numa: %d sampling shard(s), %d counter shard(s), pin=%s%s\n",
               result.shards_used, result.counter_shards_used,
               std::string(to_string(effective_pin_mode(resolve_pin_mode(),
                                                        numa_topology())))
-                  .c_str());
+                  .c_str(),
+              result.fused_sampling_used ? ", fused sampling" : "");
   if (result.pool_compression_used != PoolCompression::kNone) {
     std::printf("pool: %s-compressed, %llu payload bytes, encode %.3fs\n",
                 std::string(to_string(result.pool_compression_used)).c_str(),
