@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "support/failpoint.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -11,6 +12,12 @@ namespace bin {
 namespace detail {
 
 void fail(const std::string& message) { throw CheckError(message); }
+
+void maybe_inject_read(const char* what, std::optional<std::uint64_t> at) {
+  if (fail::inject("io.bin.read")) {
+    fail_section("truncated (injected fault)", what, at);
+  }
+}
 
 void fail_section(const char* reason, const char* section,
                   std::optional<std::uint64_t> offset) {

@@ -62,6 +62,11 @@ namespace detail {
 inline void require(bool ok, const char* prefix, const char* what) {
   if (!ok) fail(std::string(prefix) + what);
 }
+/// Failpoint hook for the `io.bin.read` site (defined out of line so the
+/// templated readers need not include the failpoint registry): kError
+/// throws InjectedFault, kTrunc surfaces as a truncated-read
+/// FormatError, exactly like a real short file.
+void maybe_inject_read(const char* what, std::optional<std::uint64_t> at);
 /// Current read position, or nullopt when the stream is not seekable.
 std::optional<std::uint64_t> tell(std::istream& is);
 /// Bytes left between the read position and EOF, or nullopt when the
@@ -97,6 +102,7 @@ template <typename T>
 void read_pod(std::istream& is, T& v, const char* what = "binary file") {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto at = detail::tell(is);
+  detail::maybe_inject_read(what, at);
   is.read(reinterpret_cast<char*>(&v), sizeof v);
   if (!is.good()) detail::fail_section("truncated", what, at);
 }

@@ -333,7 +333,10 @@ void write_server_metrics_json(std::ostream& os,
       .kv("QueryCacheHits", serving.qcache_hits)
       .kv("QueryCacheMisses", serving.qcache_misses)
       .kv("QueryCacheEvictions", serving.qcache_evictions)
-      .kv("QueryCacheEntries", serving.qcache_entries);
+      .kv("QueryCacheEntries", serving.qcache_entries)
+      .kv("Generation", serving.generation)
+      .kv("Reloads", serving.reloads)
+      .kv("FailedReloads", serving.failed_reloads);
   w.key("QueueWaitMicros").begin_object();
   write_histogram_fields(w, serving.queue_wait_us);
   w.end_object();

@@ -193,6 +193,11 @@ struct ServingStatsRecord {
   std::uint64_t qcache_misses = 0;
   std::uint64_t qcache_evictions = 0;
   std::uint64_t qcache_entries = 0;
+  /// Hot-reload accounting: the serving-epoch generation (1 = the store
+  /// the server started with) and how many reloads succeeded/failed.
+  std::uint64_t generation = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t failed_reloads = 0;
   obs::HistogramSnapshot queue_wait_us;
   obs::HistogramSnapshot batch_size;
   obs::HistogramSnapshot exec_us;

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "support/failpoint.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -37,6 +38,10 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
 }
 
 MappedFile MappedFile::open_readonly(const std::string& path) {
+  if (fail::inject("io.mmap.open")) {
+    // kTrunc at this site models a file that vanished or shrank under us.
+    throw CheckError("injected truncated mapping for '" + path + "'");
+  }
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) fail_errno("cannot open file for mapping", path);
 

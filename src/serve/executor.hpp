@@ -1,0 +1,127 @@
+// BatchingExecutor — admission control + micro-batching over
+// QueryEngine::run_batch.
+//
+// Clients submit single queries; a dispatcher thread coalesces whatever
+// arrives within a small window (or up to max_batch) into one pinned
+// OpenMP batch, amortizing the affinity save/restore and team spin-up
+// that dominate singleton run_batch calls. Constrained results feed a
+// QueryCache; repeat queries skip the kernel entirely.
+//
+// Split out of server.hpp so the epoch-versioned StoreRegistry (hot
+// snapshot reload) can own one executor per serving epoch without the
+// registry and the socket front end including each other.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/query_cache.hpp"
+#include "serve/query_engine.hpp"
+#include "support/macros.hpp"
+
+namespace eimm {
+
+struct ExecutorOptions {
+  /// Largest batch one dispatch passes to run_batch.
+  std::size_t max_batch = 64;
+  /// How long the dispatcher waits for more queries to coalesce after
+  /// the first arrival. Zero = dispatch immediately (no batching).
+  std::chrono::microseconds batch_window{200};
+  /// Admission bound: submissions beyond this many queued queries are
+  /// rejected (OverloadError) instead of growing the queue without
+  /// bound under overload.
+  std::size_t max_queue = 1024;
+  /// OpenMP threads per dispatched batch (0 = library default).
+  int threads = 0;
+  /// Constrained-result cache entries (0 disables).
+  std::size_t cache_capacity = 256;
+};
+
+/// Thrown by submit() when the admission queue is full.
+class OverloadError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// Micro-batching admission layer over QueryEngine::run_batch.
+/// Thread-safe: any number of producers may submit concurrently.
+class BatchingExecutor {
+ public:
+  BatchingExecutor(const QueryEngine& engine, ExecutorOptions options);
+  /// Drains the queue, then joins the dispatcher.
+  ~BatchingExecutor();
+
+  BatchingExecutor(const BatchingExecutor&) = delete;
+  BatchingExecutor& operator=(const BatchingExecutor&) = delete;
+
+  /// Validates the query against the store (CheckError on bad k / ids —
+  /// the error surfaces HERE, synchronously, never poisoning a batch),
+  /// consults the cache, and otherwise enqueues for the next dispatch.
+  /// Throws OverloadError when the queue is full (or when the
+  /// `serve.admit` failpoint fires — an injected rejection is
+  /// indistinguishable from a real one to the client).
+  [[nodiscard]] std::future<QueryResult> submit(QueryOptions query);
+
+  /// Stops accepting work, drains what was admitted, joins. Idempotent.
+  void stop();
+
+  /// A point-in-time copy of the executor's telemetry. The scalar part
+  /// is snapshotted under the executor mutex and the whole struct is
+  /// returned by value, so readers never observe a half-updated set of
+  /// counters while the dispatcher mutates them.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t largest_batch = 0;
+    /// Dispatch-queue wait per query, µs (cache hits never enqueue).
+    obs::HistogramSnapshot queue_wait_us;
+    /// Queries per dispatched batch.
+    obs::HistogramSnapshot batch_size;
+    /// run_batch wall time per dispatched batch, µs.
+    obs::HistogramSnapshot exec_us;
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] QueryCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+
+ private:
+  struct Pending {
+    QueryOptions query;
+    std::promise<QueryResult> promise;
+    std::uint64_t enqueue_ns = 0;
+  };
+  void dispatch_loop();
+  void run_one_batch(std::vector<Pending>&& batch);
+
+  const QueryEngine* engine_;
+  ExecutorOptions options_;
+  QueryCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Pending> queue_;
+  bool stopping_ = false;
+  Stats stats_;  // scalar fields only; histograms live below
+
+  // Shared-cell histograms: updated lock-free by the dispatcher, read
+  // by stats() snapshots. Not gated by EIMM_METRICS — a live server's
+  // stats surface must answer even with process metrics off.
+  obs::AtomicHistogram queue_wait_us_;
+  obs::AtomicHistogram batch_size_;
+  obs::AtomicHistogram exec_us_;
+
+  // Last member: the dispatcher must not start until every field above
+  // it is constructed, and must be joined before any of them die.
+  std::thread dispatcher_;
+};
+
+}  // namespace eimm

@@ -78,8 +78,13 @@ QueryResult run_query(const SketchStore& store, const QueryOptions& options);
 
 class QueryEngine {
  public:
-  /// Non-owning: the store must outlive the engine.
-  explicit QueryEngine(const SketchStore& store) : store_(&store) {}
+  /// Non-owning: the store must outlive the engine. Settles any deferred
+  /// v4 snapshot checksums (lazy mmap loads) before the first query can
+  /// run — constructing an engine over corrupt bytes throws
+  /// bin::FormatError instead of serving them.
+  explicit QueryEngine(const SketchStore& store) : store_(&store) {
+    store.verify_checksums();
+  }
 
   /// Unconstrained top-k from the precomputed greedy sequence.
   [[nodiscard]] QueryResult top_k(std::size_t k) const;

@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -189,7 +191,9 @@ bool read_exact(int fd, void* buf, std::size_t bytes) {
 bool write_exact(int fd, const void* buf, std::size_t bytes) {
   const auto* p = static_cast<const std::uint8_t*>(buf);
   while (bytes > 0) {
-    const ssize_t n = ::write(fd, p, bytes);
+    // MSG_NOSIGNAL: a peer hanging up mid-reply must surface as EPIPE
+    // (a clean connection drop), never a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
     if (n > 0) {
       p += n;
       bytes -= static_cast<std::size_t>(n);
@@ -233,6 +237,14 @@ std::vector<std::uint8_t> status_frame(Status status,
   return w.take();
 }
 
+/// True when `site` fired in a failure mode (kError/kTrunc). kDelay has
+/// already slept inside hit() and is NOT a failure — chaos schedules
+/// can add latency at a site without changing its outcome.
+bool failpoint_fired(const char* site) {
+  const std::optional<fail::Mode> mode = fail::hit(site);
+  return mode.has_value() && *mode != fail::Mode::kDelay;
+}
+
 }  // namespace
 
 // --- BatchingExecutor ---
@@ -255,6 +267,13 @@ std::future<QueryResult> BatchingExecutor::submit(QueryOptions query) {
   // whole micro-batch it would have joined (run_batch's serial
   // pre-validation throws for the entire batch at once).
   validate_store_query(engine_->store(), query);
+
+  if (failpoint_fired("serve.admit")) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    throw OverloadError(
+        "injected admission rejection at failpoint 'serve.admit'");
+  }
 
   if (auto cached = cache_.lookup(query)) {
     std::promise<QueryResult> ready;
@@ -371,13 +390,31 @@ void BatchingExecutor::run_one_batch(std::vector<Pending>&& batch) {
 // --- SketchServer ---
 
 SketchServer::SketchServer(const SketchStore& store, ServerOptions options)
-    : store_(&store),
-      engine_(store),
-      options_(std::move(options)),
-      executor_(engine_, options_.executor) {
+    : SketchServer(
+          // Non-owning epoch wrapper: the caller keeps the store alive
+          // for the server's whole lifetime (the documented contract).
+          std::shared_ptr<const SketchStore>(&store,
+                                             [](const SketchStore*) {}),
+          std::move(options)) {}
+
+SketchServer::SketchServer(std::shared_ptr<const SketchStore> store,
+                           ServerOptions options)
+    : options_(std::move(options)),
+      registry_(std::move(store), options_.executor) {
   EIMM_CHECK(!options_.socket_path.empty(), "server needs a socket path");
   EIMM_CHECK(options_.socket_path.size() < sizeof(sockaddr_un{}.sun_path),
              "socket path too long for AF_UNIX");
+}
+
+std::uint64_t SketchServer::reload_from(const std::string& path) {
+  const std::string& target = path.empty() ? options_.snapshot_path : path;
+  if (target.empty()) {
+    throw CheckError(
+        "reload needs a snapshot path (the server was started from an "
+        "in-memory store)");
+  }
+  SnapshotLoadOptions load = options_.reload_load;
+  return registry_.reload_file(target, load)->generation;
 }
 
 SketchServer::~SketchServer() { stop(); }
@@ -429,9 +466,14 @@ void SketchServer::serve_connection(int fd) {
   try {
     while (!stop_requested_.load(std::memory_order_acquire) &&
            read_frame(fd, payload)) {
+      // Chaos sites: a fired recv/send failpoint models the connection
+      // dying at that point — drop it with NO reply, so the client sees
+      // EOF (a retryable TransportError), never a wrong answer.
+      if (failpoint_fired("serve.conn.recv")) break;
       const std::vector<std::uint8_t> response =
           handle_request(payload, shutdown_requested);
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (failpoint_fired("serve.conn.send")) break;
       if (!write_frame(fd, response)) break;
       if (shutdown_requested) break;
     }
@@ -458,7 +500,14 @@ std::vector<std::uint8_t> SketchServer::handle_request(
     timeouts_.fetch_add(1, std::memory_order_relaxed);
     return status_frame(Status::kTimeout, message);
   };
+  // Pin this request to the serving epoch that is current RIGHT NOW: a
+  // concurrent reload swaps the registry pointer but cannot retire the
+  // store/engine/executor this request holds until it finishes.
+  const std::shared_ptr<ServingEpoch> epoch = registry_.current();
   try {
+    // Fires before the request executes, so the kOverloaded reply below
+    // is honest: the client may retry without risking double execution.
+    fail::inject("serve.wire.decode");
     const auto verb = static_cast<Verb>(r.u8());
     switch (verb) {
       case Verb::kPing:
@@ -468,7 +517,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         QueryOptions q;
         q.k = static_cast<std::size_t>(r.u64());
         r.expect_done();
-        std::future<QueryResult> f = executor_.submit(std::move(q));
+        std::future<QueryResult> f = epoch->executor.submit(std::move(q));
         if (f.wait_for(options_.request_timeout) !=
             std::future_status::ready) {
           return timeout_frame("query deadline exceeded");
@@ -479,7 +528,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
       case Verb::kSelect: {
         QueryOptions q = wire::decode_query(r);
         r.expect_done();
-        std::future<QueryResult> f = executor_.submit(std::move(q));
+        std::future<QueryResult> f = epoch->executor.submit(std::move(q));
         if (f.wait_for(options_.request_timeout) !=
             std::future_status::ready) {
           return timeout_frame("query deadline exceeded");
@@ -490,7 +539,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
       case Verb::kEvaluate: {
         const std::vector<VertexId> seeds = r.ids();
         r.expect_done();
-        const MarginalGainResult eval = engine_.evaluate(seeds);
+        const MarginalGainResult eval = epoch->engine.evaluate(seeds);
         ok.u32(static_cast<std::uint32_t>(eval.incremental_coverage.size()));
         ok.counts(eval.incremental_coverage);
         ok.u64(eval.covered_sketches);
@@ -508,7 +557,7 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         std::vector<std::future<QueryResult>> futures;
         futures.reserve(queries.size());
         for (QueryOptions& q : queries) {
-          futures.push_back(executor_.submit(std::move(q)));
+          futures.push_back(epoch->executor.submit(std::move(q)));
         }
         const auto deadline =
             std::chrono::steady_clock::now() + options_.request_timeout;
@@ -528,22 +577,23 @@ std::vector<std::uint8_t> SketchServer::handle_request(
       }
       case Verb::kInfo: {
         r.expect_done();
-        const SketchStoreMeta& meta = store_->meta();
-        const SnapshotLoadStats& load = store_->load_stats();
-        ok.u32(store_->num_vertices());
-        ok.u64(store_->num_sketches());
-        ok.u64(store_->k_max());
+        const SketchStoreMeta& meta = epoch->store->meta();
+        const SnapshotLoadStats& load = epoch->store->load_stats();
+        ok.u32(epoch->store->num_vertices());
+        ok.u64(epoch->store->num_sketches());
+        ok.u64(epoch->store->k_max());
         ok.str(meta.workload);
         ok.str(meta.model);
         ok.u8(load.mmap_backed ? 1 : 0);
         ok.u64(load.bytes_mapped);
         ok.u64(load.bytes_copied);
+        ok.u64(epoch->generation);
         return ok.take();
       }
       case Verb::kStats: {
         r.expect_done();
-        const BatchingExecutor::Stats exec = executor_.stats();
-        const QueryCache::Stats qcache = executor_.cache_stats();
+        const BatchingExecutor::Stats exec = epoch->executor.stats();
+        const QueryCache::Stats qcache = epoch->executor.cache_stats();
         ok.u64(requests_served());
         ok.u64(timeouts());
         ok.u64(exec.submitted);
@@ -555,9 +605,29 @@ std::vector<std::uint8_t> SketchServer::handle_request(
         ok.u64(qcache.misses);
         ok.u64(qcache.evictions);
         ok.u64(static_cast<std::uint64_t>(qcache.entries));
+        ok.u64(epoch->generation);
+        ok.u64(registry_.reloads());
+        ok.u64(registry_.failed_reloads());
         wire::encode_histogram(ok, exec.queue_wait_us);
         wire::encode_histogram(ok, exec.batch_size);
         wire::encode_histogram(ok, exec.exec_us);
+        return ok.take();
+      }
+      case Verb::kReload: {
+        const std::string path = r.str();
+        r.expect_done();
+        const std::string& target =
+            path.empty() ? options_.snapshot_path : path;
+        if (target.empty()) {
+          return status_frame(
+              Status::kError,
+              "reload needs a snapshot path (the server was started from "
+              "an in-memory store)");
+        }
+        const std::shared_ptr<ServingEpoch> fresh =
+            registry_.reload_file(target, options_.reload_load);
+        ok.u64(fresh->generation);
+        ok.str(target);
         return ok.take();
       }
       case Verb::kShutdown:
@@ -569,6 +639,11 @@ std::vector<std::uint8_t> SketchServer::handle_request(
                         "unknown verb " +
                             std::to_string(static_cast<unsigned>(
                                 payload.empty() ? 255u : payload[0])));
+  } catch (const fail::InjectedFault& e) {
+    // An injected fault fired before (serve.wire.decode) or while
+    // admitting the request: it was never executed, so kOverloaded —
+    // the retryable status — is the truthful reply.
+    return status_frame(Status::kOverloaded, e.what());
   } catch (const OverloadError& e) {
     return status_frame(Status::kOverloaded, e.what());
   } catch (const std::exception& e) {
@@ -602,7 +677,7 @@ void SketchServer::stop() {
       t.join();
     }
   }
-  executor_.stop();  // drains admitted queries before returning
+  registry_.shutdown();  // drains admitted queries before returning
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -626,32 +701,194 @@ void SketchServer::wait() {
 
 // --- SketchClient ---
 
-SketchClient::SketchClient(const std::string& socket_path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  EIMM_CHECK(fd_ >= 0, "cannot create AF_UNIX socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const std::string detail = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw CheckError("cannot connect to sketch_server at '" + socket_path +
-                     "': " + detail);
-  }
+namespace {
+
+/// splitmix64 step — the deterministic jitter stream (seeded per client
+/// from RetryOptions::rng_seed, so tests replay backoff schedules).
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const obs::Counter& client_retries_counter() {
+  static const obs::Counter c = obs::counter("client.retries_total");
+  return c;
+}
+const obs::Counter& client_reconnects_counter() {
+  static const obs::Counter c = obs::counter("client.reconnects_total");
+  return c;
+}
+const obs::Counter& client_giveups_counter() {
+  static const obs::Counter c = obs::counter("client.giveups_total");
+  return c;
+}
+
+}  // namespace
+
+SketchClient::SketchClient(const std::string& socket_path,
+                           RetryOptions retry)
+    : socket_path_(socket_path),
+      retry_(retry),
+      jitter_state_(retry.rng_seed) {
+  EIMM_CHECK(retry_.max_attempts >= 1, "retry needs at least one attempt");
+  connect_or_throw();
 }
 
 SketchClient::~SketchClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void SketchClient::connect_or_throw() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  EIMM_CHECK(fd_ >= 0, "cannot create AF_UNIX socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("cannot connect to sketch_server at '" +
+                         socket_path_ + "': " + detail);
+  }
+}
+
+void SketchClient::apply_attempt_timeout(
+    std::chrono::steady_clock::time_point deadline) {
+  // Per-attempt socket timeouts carved from the remaining budget: a
+  // hung attempt wakes with EAGAIN (→ TransportError, retryable)
+  // instead of eating the whole deadline. time_point::max() means
+  // unbounded — clear any timeout a previous bounded call left behind.
+  timeval tv{};
+  if (deadline != std::chrono::steady_clock::time_point::max()) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      throw DeadlineExceededError(
+          "retry deadline exhausted before the attempt could start");
+    }
+    tv.tv_sec = static_cast<time_t>(remaining.count() / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(remaining.count() % 1'000'000);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
 std::vector<std::uint8_t> SketchClient::roundtrip(
     std::span<const std::uint8_t> request) {
-  EIMM_CHECK(write_frame(fd_, request), "cannot send request frame");
+  if (fd_ < 0) {
+    ++retry_stats_.reconnects;
+    client_reconnects_counter().add();
+    connect_or_throw();
+  }
+  // Chaos sites for deterministic retry tests: a fired client-side
+  // failpoint kills the connection exactly like a real transport drop.
+  if (failpoint_fired("client.send")) {
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("injected send failure at failpoint 'client.send'");
+  }
+  if (!write_frame(fd_, request)) {
+    const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(timed_out ? "send timeout on request frame"
+                                   : "cannot send request frame");
+  }
+  if (failpoint_fired("client.recv")) {
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(
+        "injected receive failure at failpoint 'client.recv'");
+  }
   std::vector<std::uint8_t> response;
-  EIMM_CHECK(read_frame(fd_, response),
-             "server closed the connection before replying");
+  try {
+    if (!read_frame(fd_, response)) {
+      const bool timed_out = errno == EAGAIN || errno == EWOULDBLOCK;
+      ::close(fd_);
+      fd_ = -1;
+      throw TransportError(
+          timed_out ? "receive timeout waiting for the reply frame"
+                    : "server closed the connection before replying");
+    }
+  } catch (const TransportError&) {
+    throw;
+  } catch (const CheckError& e) {
+    // Short read mid-frame (or an oversized length prefix after a
+    // desync): the stream is unrecoverable, reconnect before retrying.
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(e.what());
+  }
   return response;
+}
+
+std::vector<std::uint8_t> SketchClient::call(
+    std::span<const std::uint8_t> request, bool retryable) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      retry_.deadline.count() > 0 ? Clock::now() + retry_.deadline
+                                  : Clock::time_point::max();
+  const std::size_t max_attempts = retryable ? retry_.max_attempts : 1;
+  std::chrono::milliseconds backoff = retry_.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    ++retry_stats_.attempts;
+    if (attempt > 1) {
+      ++retry_stats_.retries;
+      client_retries_counter().add();
+    }
+    try {
+      apply_attempt_timeout(deadline);
+      std::vector<std::uint8_t> response = roundtrip(request);
+      const auto status = response.empty()
+                              ? Status::kError
+                              : static_cast<Status>(response[0]);
+      if (status == Status::kOverloaded || status == Status::kTimeout) {
+        static_cast<void>(checked(response));  // throws a TransientError
+      }
+      return response;  // kOk — or kError, surfaced by the caller's
+                        // checked() as a permanent failure
+    } catch (const DeadlineExceededError&) {
+      ++retry_stats_.giveups;
+      client_giveups_counter().add();
+      throw;
+    } catch (const TransientError& e) {
+      if (attempt >= max_attempts) {
+        ++retry_stats_.giveups;
+        client_giveups_counter().add();
+        throw;
+      }
+      // Exponential backoff with deterministic jitter: sleep in
+      // [backoff·(1−j), backoff·(1+j)], never past the deadline.
+      const double unit =
+          static_cast<double>(splitmix64_next(jitter_state_) >> 11) *
+          0x1.0p-53;
+      const double factor = 1.0 + retry_.jitter * (2.0 * unit - 1.0);
+      auto sleep = std::chrono::milliseconds(std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(
+                 static_cast<double>(backoff.count()) * factor + 0.5)));
+      if (deadline != Clock::time_point::max() &&
+          Clock::now() + sleep >= deadline) {
+        ++retry_stats_.giveups;
+        client_giveups_counter().add();
+        throw DeadlineExceededError(
+            "retry deadline exceeded after " + std::to_string(attempt) +
+            " attempt(s); last failure: " + e.what());
+      }
+      std::this_thread::sleep_for(sleep);
+      backoff = std::min(
+          std::chrono::milliseconds(static_cast<std::int64_t>(
+              static_cast<double>(backoff.count()) *
+              retry_.backoff_multiplier)),
+          retry_.max_backoff);
+      if (backoff.count() < 1) backoff = std::chrono::milliseconds(1);
+    }
+  }
 }
 
 wire::WireReader SketchClient::checked(std::vector<std::uint8_t>& response) {
@@ -664,10 +901,14 @@ wire::WireReader SketchClient::checked(std::vector<std::uint8_t>& response) {
     } catch (const CheckError&) {
       message = "(no diagnostic)";
     }
-    const char* kind = status == Status::kTimeout      ? "timeout"
-                       : status == Status::kOverloaded ? "overloaded"
-                                                       : "error";
-    throw CheckError(std::string("server ") + kind + ": " + message);
+    switch (status) {
+      case Status::kTimeout:
+        throw ServerTimeoutError("server timeout: " + message);
+      case Status::kOverloaded:
+        throw ServerOverloadedError("server overloaded: " + message);
+      default:
+        throw CheckError("server error: " + message);
+    }
   }
   return r;
 }
@@ -675,7 +916,7 @@ wire::WireReader SketchClient::checked(std::vector<std::uint8_t>& response) {
 void SketchClient::ping() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kPing));
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   checked(response).expect_done();
 }
 
@@ -683,7 +924,7 @@ QueryResult SketchClient::top_k(std::size_t k) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kTopK));
   w.u64(k);
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   WireReader r = checked(response);
   QueryResult result = wire::decode_result(r);
   r.expect_done();
@@ -694,7 +935,7 @@ QueryResult SketchClient::select(const QueryOptions& query) {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kSelect));
   wire::encode_query(w, query);
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   WireReader r = checked(response);
   QueryResult result = wire::decode_result(r);
   r.expect_done();
@@ -707,7 +948,7 @@ std::vector<QueryResult> SketchClient::batch(
   w.u8(static_cast<std::uint8_t>(Verb::kBatch));
   w.u32(static_cast<std::uint32_t>(queries.size()));
   for (const QueryOptions& q : queries) wire::encode_query(w, q);
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   WireReader r = checked(response);
   const std::uint32_t count = r.u32();
   std::vector<QueryResult> results;
@@ -722,7 +963,7 @@ std::vector<QueryResult> SketchClient::batch(
 SketchClient::Info SketchClient::info() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kInfo));
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   WireReader r = checked(response);
   Info out;
   out.num_vertices = r.u32();
@@ -733,6 +974,7 @@ SketchClient::Info SketchClient::info() {
   out.mmap_backed = r.u8() != 0;
   out.bytes_mapped = r.u64();
   out.bytes_copied = r.u64();
+  out.generation = r.u64();
   r.expect_done();
   return out;
 }
@@ -740,7 +982,7 @@ SketchClient::Info SketchClient::info() {
 SketchClient::ServerStats SketchClient::stats() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kStats));
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
   WireReader r = checked(response);
   ServerStats out;
   out.requests = r.u64();
@@ -754,6 +996,9 @@ SketchClient::ServerStats SketchClient::stats() {
   out.cache.misses = r.u64();
   out.cache.evictions = r.u64();
   out.cache.entries = static_cast<std::size_t>(r.u64());
+  out.generation = r.u64();
+  out.reloads = r.u64();
+  out.failed_reloads = r.u64();
   out.executor.queue_wait_us = wire::decode_histogram(r);
   out.executor.batch_size = wire::decode_histogram(r);
   out.executor.exec_us = wire::decode_histogram(r);
@@ -761,10 +1006,24 @@ SketchClient::ServerStats SketchClient::stats() {
   return out;
 }
 
+std::uint64_t SketchClient::reload(const std::string& snapshot_path) {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(Verb::kReload));
+  w.str(snapshot_path);
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/true);
+  WireReader r = checked(response);
+  const std::uint64_t generation = r.u64();
+  (void)r.str();  // the path the server resolved; callers have it
+  r.expect_done();
+  return generation;
+}
+
 void SketchClient::shutdown_server() {
   WireWriter w;
   w.u8(static_cast<std::uint8_t>(Verb::kShutdown));
-  std::vector<std::uint8_t> response = roundtrip(w.bytes());
+  // Never retried: a replay after an ambiguous drop could kill a server
+  // that already drained and restarted.
+  std::vector<std::uint8_t> response = call(w.bytes(), /*retryable=*/false);
   checked(response).expect_done();
 }
 

@@ -38,6 +38,11 @@
 //          Info(5)      — empty
 //          Shutdown(6)  — empty; server drains and exits after replying
 //          Stats(7)     — empty; live telemetry snapshot (body below)
+//          Reload(8)    — string snapshot path (empty = the path the
+//                         server was started from); atomically swaps in
+//                         a freshly checksum-verified snapshot. On any
+//                         load failure the old store keeps serving and
+//                         the reply is kError.
 //   status: kOk(0)         — verb-specific body below
 //           kError(1)      — string (u64 length + bytes) diagnostic
 //           kTimeout(2)    — string diagnostic (the query kept running;
@@ -53,17 +58,30 @@
 //               info          := u32 |V|, u64 sketches, u64 k_max,
 //                                string workload, string model,
 //                                u8 mmap_backed, u64 bytes_mapped,
-//                                u64 bytes_copied
+//                                u64 bytes_copied, u64 generation
 //               stats         := u64 requests, u64 timeouts,
 //                                u64 submitted, u64 cache_hits,
 //                                u64 rejected, u64 batches,
 //                                u64 largest_batch, u64 qc_hits,
 //                                u64 qc_misses, u64 qc_evictions,
-//                                u64 qc_entries, 3 × histogram
+//                                u64 qc_entries, u64 generation,
+//                                u64 reloads, u64 failed_reloads,
+//                                3 × histogram
 //                                (queue wait µs, batch size, exec µs)
+//               reload        := u64 generation, string path loaded
 //               histogram     := u64 count, u64 sum, u32 nbuckets,
 //                                nbuckets × u64 (log2 buckets; see
 //                                obs::kHistogramBuckets layout)
+//
+// Fault tolerance: every failure a client can observe is typed. Server
+// replies map to ServerOverloadedError / ServerTimeoutError (transient,
+// safe to retry — the request was never executed or its result was
+// discarded) or plain CheckError (permanent). Transport failures (EOF,
+// short read, receive timeout) map to TransportError and reconnect.
+// SketchClient retries transient failures with bounded exponential
+// backoff + deterministic jitter under a caller-supplied deadline
+// (RetryOptions); the default configuration (max_attempts = 1) performs
+// no retries, preserving single-shot semantics.
 #pragma once
 
 #include <atomic>
@@ -71,6 +89,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -78,8 +97,10 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "serve/executor.hpp"
 #include "serve/query_cache.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/store_registry.hpp"
 #include "support/macros.hpp"
 
 namespace eimm::wire {
@@ -93,6 +114,7 @@ enum class Verb : std::uint8_t {
   kInfo = 5,
   kShutdown = 6,
   kStats = 7,
+  kReload = 8,
 };
 
 enum class Status : std::uint8_t {
@@ -175,98 +197,6 @@ void encode_histogram(WireWriter& w, const obs::HistogramSnapshot& histogram);
 
 namespace eimm {
 
-struct ExecutorOptions {
-  /// Largest batch one dispatch passes to run_batch.
-  std::size_t max_batch = 64;
-  /// How long the dispatcher waits for more queries to coalesce after
-  /// the first arrival. Zero = dispatch immediately (no batching).
-  std::chrono::microseconds batch_window{200};
-  /// Admission bound: submissions beyond this many queued queries are
-  /// rejected (OverloadError) instead of growing the queue without
-  /// bound under overload.
-  std::size_t max_queue = 1024;
-  /// OpenMP threads per dispatched batch (0 = library default).
-  int threads = 0;
-  /// Constrained-result cache entries (0 disables).
-  std::size_t cache_capacity = 256;
-};
-
-/// Thrown by submit() when the admission queue is full.
-class OverloadError : public CheckError {
- public:
-  using CheckError::CheckError;
-};
-
-/// Micro-batching admission layer over QueryEngine::run_batch.
-/// Thread-safe: any number of producers may submit concurrently.
-class BatchingExecutor {
- public:
-  BatchingExecutor(const QueryEngine& engine, ExecutorOptions options);
-  /// Drains the queue, then joins the dispatcher.
-  ~BatchingExecutor();
-
-  BatchingExecutor(const BatchingExecutor&) = delete;
-  BatchingExecutor& operator=(const BatchingExecutor&) = delete;
-
-  /// Validates the query against the store (CheckError on bad k / ids —
-  /// the error surfaces HERE, synchronously, never poisoning a batch),
-  /// consults the cache, and otherwise enqueues for the next dispatch.
-  /// Throws OverloadError when the queue is full.
-  [[nodiscard]] std::future<QueryResult> submit(QueryOptions query);
-
-  /// Stops accepting work, drains what was admitted, joins. Idempotent.
-  void stop();
-
-  /// A point-in-time copy of the executor's telemetry. The scalar part
-  /// is snapshotted under the executor mutex and the whole struct is
-  /// returned by value, so readers never observe a half-updated set of
-  /// counters while the dispatcher mutates them.
-  struct Stats {
-    std::uint64_t submitted = 0;
-    std::uint64_t cache_hits = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t batches = 0;
-    std::uint64_t largest_batch = 0;
-    /// Dispatch-queue wait per query, µs (cache hits never enqueue).
-    obs::HistogramSnapshot queue_wait_us;
-    /// Queries per dispatched batch.
-    obs::HistogramSnapshot batch_size;
-    /// run_batch wall time per dispatched batch, µs.
-    obs::HistogramSnapshot exec_us;
-  };
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] QueryCache::Stats cache_stats() const {
-    return cache_.stats();
-  }
-
- private:
-  struct Pending {
-    QueryOptions query;
-    std::promise<QueryResult> promise;
-    std::uint64_t enqueue_ns = 0;
-  };
-  void dispatch_loop();
-  void run_one_batch(std::vector<Pending>&& batch);
-
-  const QueryEngine* engine_;
-  ExecutorOptions options_;
-  QueryCache cache_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Pending> queue_;
-  bool stopping_ = false;
-  Stats stats_;  // scalar fields only; histograms live below
-  std::thread dispatcher_;
-
-  // Shared-cell histograms: updated lock-free by the dispatcher, read
-  // by stats() snapshots. Not gated by EIMM_METRICS — a live server's
-  // stats surface must answer even with process metrics off.
-  obs::AtomicHistogram queue_wait_us_;
-  obs::AtomicHistogram batch_size_;
-  obs::AtomicHistogram exec_us_;
-};
-
 struct ServerOptions {
   /// Filesystem path of the AF_UNIX listening socket (created on
   /// start(), unlinked on stop()).
@@ -276,6 +206,14 @@ struct ServerOptions {
   /// discarded).
   std::chrono::milliseconds request_timeout{2000};
   ExecutorOptions executor;
+  /// Snapshot the server was started from; the default target of a
+  /// kReload request with an empty path (and of SIGHUP-driven reloads).
+  /// Empty = the server was constructed around an in-memory store and
+  /// path-less reloads are rejected.
+  std::string snapshot_path;
+  /// Load options for reload targets (checksums are always forced to at
+  /// least eager — a reload never swaps in unverified bytes).
+  SnapshotLoadOptions reload_load;
 };
 
 /// The socket front end. One acceptor thread, one thread per
@@ -283,8 +221,14 @@ struct ServerOptions {
 /// concurrent clients micro-batch into shared kernel dispatches.
 class SketchServer {
  public:
-  /// Non-owning: store must outlive the server.
+  /// Non-owning: store must outlive the server (wrapped in a no-op
+  /// deleter epoch — a later reload drops the reference without
+  /// touching the caller's object).
   SketchServer(const SketchStore& store, ServerOptions options);
+  /// Owning: the server (and any in-flight query) keeps the store alive
+  /// through its serving epoch. The ctor required for hot reload.
+  SketchServer(std::shared_ptr<const SketchStore> store,
+               ServerOptions options);
   ~SketchServer();
 
   SketchServer(const SketchServer&) = delete;
@@ -306,10 +250,10 @@ class SketchServer {
     return options_.socket_path;
   }
   [[nodiscard]] BatchingExecutor::Stats executor_stats() const {
-    return executor_.stats();
+    return registry_.current()->executor.stats();
   }
   [[nodiscard]] QueryCache::Stats cache_stats() const {
-    return executor_.cache_stats();
+    return registry_.current()->executor.cache_stats();
   }
   /// Requests served per verb, summed over all connections.
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
@@ -320,16 +264,28 @@ class SketchServer {
     return timeouts_.load(std::memory_order_relaxed);
   }
 
+  /// Hot reload: atomically swaps in the snapshot at `path` (empty =
+  /// options.snapshot_path). Checksum-verified before the swap; on
+  /// failure the old store keeps serving and the exception propagates.
+  /// Safe from any thread (the SIGHUP watcher calls this). Returns the
+  /// new generation.
+  std::uint64_t reload_from(const std::string& path = "");
+  /// Generation of the currently serving epoch (starts at 1).
+  [[nodiscard]] std::uint64_t generation() const {
+    return registry_.generation();
+  }
+  [[nodiscard]] const StoreRegistry& registry() const noexcept {
+    return registry_;
+  }
+
  private:
   void accept_loop();
   void serve_connection(int fd);
   [[nodiscard]] std::vector<std::uint8_t> handle_request(
       std::span<const std::uint8_t> payload, bool& shutdown_requested);
 
-  const SketchStore* store_;
-  QueryEngine engine_;
   ServerOptions options_;
-  BatchingExecutor executor_;
+  StoreRegistry registry_;
 
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
@@ -347,25 +303,105 @@ class SketchServer {
   bool stopped_ = false;
 };
 
+// --- Typed client-side failures ---
+
+/// Base of every failure that is safe to retry: the request was never
+/// executed, or its result was discarded server-side. Derives
+/// CheckError so existing catch sites keep working.
+class TransientError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// kOverloaded reply: admission queue full (or an injected rejection).
+class ServerOverloadedError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+/// kTimeout reply: the server discarded the result past its deadline.
+class ServerTimeoutError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+/// The connection died (EOF, short read/write, receive timeout, failed
+/// reconnect). The client reconnects before retrying.
+class TransportError : public TransientError {
+ public:
+  using TransientError::TransientError;
+};
+
+/// The caller's retry deadline expired before an attempt succeeded.
+/// NOT transient: retrying cannot help within the same budget.
+class DeadlineExceededError : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+/// Client-side retry policy. The default (max_attempts = 1) performs no
+/// retries — single-shot semantics, identical to the pre-retry client.
+struct RetryOptions {
+  /// Total attempts per request (first try included). Must be ≥ 1.
+  std::size_t max_attempts = 1;
+  /// Backoff before retry n is initial_backoff · multiplier^(n-1),
+  /// capped at max_backoff, then jittered by ±jitter (fraction).
+  std::chrono::milliseconds initial_backoff{5};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{250};
+  double jitter = 0.25;
+  /// Wall-clock budget across ALL attempts of one request, including
+  /// backoff sleeps (propagated to the socket as per-attempt
+  /// send/receive timeouts, so one hung attempt cannot eat the whole
+  /// budget). Zero = unbounded. Exhaustion throws
+  /// DeadlineExceededError.
+  std::chrono::milliseconds deadline{0};
+  /// Seed of the deterministic jitter stream (tests replay backoff
+  /// schedules exactly).
+  std::uint64_t rng_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// Lifetime retry accounting of one client (monotonic).
+struct RetryStats {
+  /// Attempts made, first tries included.
+  std::uint64_t attempts = 0;
+  /// Attempts beyond the first (i.e. actual retries).
+  std::uint64_t retries = 0;
+  /// Transport-level reconnects performed before a retry.
+  std::uint64_t reconnects = 0;
+  /// Requests that exhausted every attempt (or their deadline).
+  std::uint64_t giveups = 0;
+};
+
 // --- Blocking client-side transport (tools + tests) ---
 /// Connects, frames requests, unframes responses. Synchronous: one
-/// outstanding request at a time per connection.
+/// outstanding request at a time per connection. With a RetryOptions of
+/// max_attempts > 1, transient failures (kOverloaded / kTimeout replies,
+/// transport drops, receive timeouts) are retried with exponential
+/// backoff + deterministic jitter; requests are idempotent queries, so a
+/// replay after an ambiguous drop is always safe — except Shutdown,
+/// which is never retried.
 class SketchClient {
  public:
   /// Throws CheckError when the socket cannot be reached.
-  explicit SketchClient(const std::string& socket_path);
+  explicit SketchClient(const std::string& socket_path,
+                        RetryOptions retry = {});
   ~SketchClient();
 
   SketchClient(const SketchClient&) = delete;
   SketchClient& operator=(const SketchClient&) = delete;
 
   /// Sends one framed request payload, returns the response payload.
+  /// Single attempt, no retries (the raw transport; verb conveniences
+  /// layer retry on top). Throws TransportError when the connection
+  /// dies mid-roundtrip.
   [[nodiscard]] std::vector<std::uint8_t> roundtrip(
       std::span<const std::uint8_t> request);
 
-  // Verb conveniences. Non-kOk statuses throw CheckError carrying the
-  // server's diagnostic (so callers never mistake an error frame for an
-  // empty result).
+  // Verb conveniences. Non-kOk statuses throw ServerOverloadedError /
+  // ServerTimeoutError / CheckError carrying the server's diagnostic
+  // (so callers never mistake an error frame for an empty result);
+  // transient failures are retried per RetryOptions first.
   void ping();
   [[nodiscard]] QueryResult top_k(std::size_t k);
   [[nodiscard]] QueryResult select(const QueryOptions& query);
@@ -380,22 +416,49 @@ class SketchClient {
     bool mmap_backed = false;
     std::uint64_t bytes_mapped = 0;
     std::uint64_t bytes_copied = 0;
+    /// Serving-epoch generation (bumps on every hot reload).
+    std::uint64_t generation = 0;
   };
   [[nodiscard]] Info info();
   /// Live telemetry of the server: request/timeout totals, executor
-  /// stats (incl. queue-wait / batch-size / exec-time histograms) and
-  /// query-cache hit/miss counts.
+  /// stats (incl. queue-wait / batch-size / exec-time histograms),
+  /// query-cache hit/miss counts and reload generation counters.
   struct ServerStats {
     std::uint64_t requests = 0;
     std::uint64_t timeouts = 0;
     BatchingExecutor::Stats executor;
     QueryCache::Stats cache;
+    std::uint64_t generation = 0;
+    std::uint64_t reloads = 0;
+    std::uint64_t failed_reloads = 0;
   };
   [[nodiscard]] ServerStats stats();
+  /// Asks the server to hot-swap its snapshot (empty path = the
+  /// server's startup snapshot). Returns the new generation. A failed
+  /// reload surfaces as CheckError; the server keeps serving the old
+  /// store either way.
+  std::uint64_t reload(const std::string& snapshot_path = "");
   void shutdown_server();
 
+  /// This client's lifetime retry accounting.
+  [[nodiscard]] const RetryStats& retry_stats() const noexcept {
+    return retry_stats_;
+  }
+
  private:
+  void connect_or_throw();
+  void apply_attempt_timeout(
+      std::chrono::steady_clock::time_point deadline);
+  /// The retry loop: roundtrip + status check, with reconnect/backoff
+  /// on transient failures. Returns the kOk-status response payload.
+  [[nodiscard]] std::vector<std::uint8_t> call(
+      std::span<const std::uint8_t> request, bool retryable);
   [[nodiscard]] wire::WireReader checked(std::vector<std::uint8_t>& response);
+
+  std::string socket_path_;
+  RetryOptions retry_;
+  RetryStats retry_stats_;
+  std::uint64_t jitter_state_ = 0;
   int fd_ = -1;
 };
 

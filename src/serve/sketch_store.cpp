@@ -1,9 +1,11 @@
 #include "serve/sketch_store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -12,6 +14,7 @@
 #include "rrr/gap_codec.hpp"
 #include "runtime/thread_info.hpp"
 #include "serve/query_engine.hpp"
+#include "support/crc32c.hpp"
 #include "support/macros.hpp"
 
 namespace eimm {
@@ -21,9 +24,11 @@ constexpr std::string_view kSnapshotMagic = "EIMMSKS";
 constexpr std::uint32_t kSnapshotVersionV1 = 1;
 constexpr std::uint32_t kSnapshotVersionV2 = 2;
 constexpr std::uint32_t kSnapshotVersionV3 = 3;
+constexpr std::uint32_t kSnapshotVersionV4 = 4;
 constexpr std::uint32_t kAcceptedVersions[] = {kSnapshotVersionV1,
                                                kSnapshotVersionV2,
-                                               kSnapshotVersionV3};
+                                               kSnapshotVersionV3,
+                                               kSnapshotVersionV4};
 constexpr const char* kSnapshotWhat = "sketch-store snapshot";
 
 // --- v2/v3 on-disk layout ------------------------------------------------
@@ -39,6 +44,10 @@ constexpr const char* kSnapshotWhat = "sketch-store snapshot";
 // holds the gap-coded payload BYTES (u8, always plain varints on disk)
 // and section 8 carries the per-sketch byte offsets. Everything else —
 // including the derived arrays — is identical to v2.
+//
+// v4 keeps both layouts (7 sections = raw, 8 = compressed) and stamps
+// the CRC32C of each section's payload into the table entry's reserved
+// u32, so loaders can prove every byte they are about to serve.
 enum SectionId : std::uint32_t {
   kSecMeta = 1,              // bin-encoded scalars + strings
   kSecSketchOffsets = 2,     // u64[num_sketches + 1] (member counts CSR)
@@ -53,10 +62,6 @@ constexpr std::uint32_t kSectionCountV2 = 7;
 constexpr std::uint32_t kSectionCountV3 = 8;
 constexpr std::uint64_t kSectionAlign = 4096;
 constexpr std::uint64_t kSectionEntryBytes = 24;
-
-constexpr std::uint32_t section_count_for(std::uint32_t version) {
-  return version == kSnapshotVersionV3 ? kSectionCountV3 : kSectionCountV2;
-}
 constexpr std::uint64_t header_bytes(std::uint32_t section_count) {
   return 8 + 4 + 4 + 8 + section_count * kSectionEntryBytes;
 }
@@ -77,6 +82,7 @@ constexpr const char* section_name(std::uint32_t id) {
 
 struct SectionEntry {
   std::uint32_t id = 0;
+  std::uint32_t crc = 0;  // CRC32C of the section payload (v4; else 0)
   std::uint64_t offset = 0;
   std::uint64_t bytes = 0;
 };
@@ -91,6 +97,25 @@ constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
                              "') at byte offset " + std::to_string(offset) +
                              " of " + kSnapshotWhat,
                          section, offset);
+}
+
+/// Section count a version must declare: fixed for v2/v3; v4 serves
+/// both layouts, so the declared count itself picks raw vs compressed.
+std::uint32_t checked_section_count(std::uint32_t version,
+                                    std::uint32_t declared) {
+  const bool ok = version == kSnapshotVersionV4
+                      ? (declared == kSectionCountV2 ||
+                         declared == kSectionCountV3)
+                      : declared == (version == kSnapshotVersionV3
+                                         ? kSectionCountV3
+                                         : kSectionCountV2);
+  if (!ok) fail_section("wrong section count in", "section table", 12);
+  return declared;
+}
+
+bool compressed_layout(std::uint32_t version, std::uint32_t section_count) {
+  return version == kSnapshotVersionV3 ||
+         (version == kSnapshotVersionV4 && section_count == kSectionCountV3);
 }
 
 /// Validates one parsed section table: expected ids in order, aligned,
@@ -188,6 +213,21 @@ std::span<const T> map_section(const MappedFile& map, const SectionEntry& s) {
 }
 
 }  // namespace
+
+/// Deferred checksum work of a lazy v4 mmap load. The data pointers
+/// reference mapping_ pages, which never relocate when the store moves.
+struct SketchStore::PendingChecksums {
+  struct Section {
+    const char* name;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::uint32_t expect;
+    const std::uint8_t* data;
+  };
+  std::once_flag once;
+  std::atomic<bool> verified{false};
+  std::vector<Section> sections;
+};
 
 SketchStore SketchStore::build(const DiffusionGraph& graph,
                                const ImmOptions& options,
@@ -415,8 +455,11 @@ std::uint64_t SketchStore::memory_bytes() const noexcept {
 
 void SketchStore::save(std::ostream& os, SnapshotSaveOptions options) const {
   const std::uint32_t version =
-      options.compress ? kSnapshotVersionV3 : kSnapshotVersionV2;
-  const std::uint32_t section_count = section_count_for(version);
+      options.checksum ? kSnapshotVersionV4
+                       : (options.compress ? kSnapshotVersionV3
+                                           : kSnapshotVersionV2);
+  const std::uint32_t section_count =
+      options.compress ? kSectionCountV3 : kSectionCountV2;
 
   // Meta section first (the loader needs the counts before the arrays).
   std::ostringstream meta_os(std::ios::binary);
@@ -509,8 +552,11 @@ void SketchStore::save(std::ostream& os, SnapshotSaveOptions options) const {
   bin::write_pod(os, section_count);
   bin::write_pod(os, file_bytes);
   for (std::uint32_t i = 0; i < section_count; ++i) {
+    // v4 stamps the section's CRC32C into the slot v2/v3 reserved as 0.
+    const std::uint32_t crc =
+        options.checksum ? crc32c(blobs[i].data, blobs[i].bytes) : 0;
     bin::write_pod(os, blobs[i].id);
-    bin::write_pod(os, std::uint32_t{0});  // reserved
+    bin::write_pod(os, crc);
     bin::write_pod(os, offsets[i]);
     bin::write_pod(os, blobs[i].bytes);
   }
@@ -761,15 +807,14 @@ SketchStore SketchStore::load_v1(std::istream& is) {
 SketchStore SketchStore::load_sections_stream(std::istream& is,
                                               std::uint32_t version) {
   // Magic + version were consumed by the caller; position is 12.
-  const std::uint32_t expected_count = section_count_for(version);
-  const bool compressed = version == kSnapshotVersionV3;
+  const bool checksummed = version == kSnapshotVersionV4;
   std::uint32_t section_count = 0;
   std::uint64_t file_bytes = 0;
   bin::read_pod(is, section_count, "section table");
   bin::read_pod(is, file_bytes, "section table");
-  if (section_count != expected_count) {
-    fail_section("wrong section count in", "section table", 12);
-  }
+  const std::uint32_t expected_count =
+      checked_section_count(version, section_count);
+  const bool compressed = compressed_layout(version, expected_count);
   if (const auto remaining = bin::detail::remaining_bytes(is)) {
     // Seekable stream: the declared length must match reality, so a
     // truncation anywhere (even inside inter-section padding) fails
@@ -780,9 +825,8 @@ SketchStore SketchStore::load_sections_stream(std::istream& is,
   }
   std::vector<SectionEntry> table(expected_count);
   for (SectionEntry& s : table) {
-    std::uint32_t reserved = 0;
     bin::read_pod(is, s.id, "section table");
-    bin::read_pod(is, reserved, "section table");
+    bin::read_pod(is, s.crc, "section table");
     bin::read_pod(is, s.offset, "section table");
     bin::read_pod(is, s.bytes, "section table");
   }
@@ -792,6 +836,14 @@ SketchStore SketchStore::load_sections_stream(std::istream& is,
   std::uint64_t pos = header_bytes(expected_count);
   for (const SectionEntry& s : table) {
     const char* name = section_name(s.id);
+    // Inline integrity: the section bytes are in hand, so a v4 stream
+    // load proves each section before the next read.
+    const auto verify = [&](const void* data) {
+      if (!checksummed) return;
+      if (crc32c(data, s.bytes) != s.crc) {
+        fail_section("checksum mismatch in", name, s.offset);
+      }
+    };
     is.ignore(static_cast<std::streamsize>(s.offset - pos));
     if (!is.good()) fail_section("truncated padding before", name, pos);
     switch (s.id) {
@@ -799,6 +851,7 @@ SketchStore SketchStore::load_sections_stream(std::istream& is,
         std::string blob(s.bytes, '\0');
         is.read(blob.data(), static_cast<std::streamsize>(s.bytes));
         if (!is.good()) fail_section("truncated", name, s.offset);
+        verify(blob.data());
         std::istringstream meta_is(blob);
         read_meta_fields(meta_is, store.num_vertices_, store.num_sketches_,
                          store.k_max_, store.meta_);
@@ -807,35 +860,43 @@ SketchStore SketchStore::load_sections_stream(std::istream& is,
       case kSecSketchOffsets:
         store.sketch_offsets_own_ =
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        verify(store.sketch_offsets_own_.data());
         break;
       case kSecSketchVertices:
         if (compressed) {
           store.comp_payload_own_ =
               read_section_array<std::uint8_t>(is, s.bytes, name, s.offset);
+          verify(store.comp_payload_own_.data());
         } else {
           store.sketch_vertices_own_ =
               read_section_array<VertexId>(is, s.bytes, name, s.offset);
+          verify(store.sketch_vertices_own_.data());
         }
         break;
       case kSecNodeOffsets:
         store.node_offsets_own_ =
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        verify(store.node_offsets_own_.data());
         break;
       case kSecNodeSketches:
         store.node_sketches_own_ =
             read_section_array<SketchId>(is, s.bytes, name, s.offset);
+        verify(store.node_sketches_own_.data());
         break;
       case kSecDefaultSeeds:
         store.default_seeds_own_ =
             read_section_array<VertexId>(is, s.bytes, name, s.offset);
+        verify(store.default_seeds_own_.data());
         break;
       case kSecDefaultMarginals:
         store.default_marginals_own_ =
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        verify(store.default_marginals_own_.data());
         break;
       case kSecCompOffsets:
         store.comp_offsets_own_ =
             read_section_array<std::uint64_t>(is, s.bytes, name, s.offset);
+        verify(store.comp_offsets_own_.data());
         break;
       default: fail_section("unexpected", name, s.offset);
     }
@@ -852,13 +913,16 @@ SketchStore SketchStore::load_sections_stream(std::istream& is,
   store.load_stats_.compressed = compressed;
   store.load_stats_.compressed_payload_bytes =
       compressed ? store.comp_payload_.size() : 0;
+  store.load_stats_.checksummed = checksummed;
+  store.load_stats_.checksums_verified = checksummed;
   store.validate_structure();
   store.validate_payload();
   return store;
 }
 
 SketchStore SketchStore::load_mapped(MappedFile mapping,
-                                     const std::string& path) {
+                                     const std::string& path,
+                                     ChecksumMode checksums) {
   const std::uint8_t* base = mapping.data();
   const std::uint64_t size = mapping.size();
   if (size < header_bytes(kSectionCountV2)) {
@@ -877,14 +941,14 @@ SketchStore SketchStore::load_mapped(MappedFile mapping,
   std::memcpy(&version, base + 8, sizeof version);
   std::memcpy(&section_count, base + 12, sizeof section_count);
   std::memcpy(&file_bytes, base + 16, sizeof file_bytes);
-  if (version != kSnapshotVersionV2 && version != kSnapshotVersionV3) {
+  if (version != kSnapshotVersionV2 && version != kSnapshotVersionV3 &&
+      version != kSnapshotVersionV4) {
     fail_section("unmappable snapshot version in", "header", 8);
   }
-  const bool compressed = version == kSnapshotVersionV3;
-  const std::uint32_t expected_count = section_count_for(version);
-  if (section_count != expected_count) {
-    fail_section("wrong section count in", "section table", 12);
-  }
+  const std::uint32_t expected_count =
+      checked_section_count(version, section_count);
+  const bool compressed = compressed_layout(version, expected_count);
+  const bool checksummed = version == kSnapshotVersionV4;
   if (size < header_bytes(expected_count)) {
     fail_section("truncated header in", "section table", size);
   }
@@ -897,6 +961,7 @@ SketchStore SketchStore::load_mapped(MappedFile mapping,
   for (std::uint32_t i = 0; i < expected_count; ++i) {
     const std::uint8_t* entry = base + 24 + i * kSectionEntryBytes;
     std::memcpy(&table[i].id, entry, sizeof table[i].id);
+    std::memcpy(&table[i].crc, entry + 4, sizeof table[i].crc);
     std::memcpy(&table[i].offset, entry + 8, sizeof table[i].offset);
     std::memcpy(&table[i].bytes, entry + 16, sizeof table[i].bytes);
   }
@@ -945,8 +1010,44 @@ SketchStore SketchStore::load_mapped(MappedFile mapping,
   store.load_stats_.compressed = compressed;
   store.load_stats_.compressed_payload_bytes =
       compressed ? store.comp_payload_.size() : 0;
+  store.load_stats_.checksummed = checksummed;
+  if (checksummed && checksums != ChecksumMode::kOff) {
+    auto pending = std::make_shared<PendingChecksums>();
+    pending->sections.reserve(table.size());
+    const std::uint8_t* mapped = store.mapping_.data();
+    for (const SectionEntry& s : table) {
+      pending->sections.push_back({section_name(s.id), s.offset, s.bytes,
+                                   s.crc, mapped + s.offset});
+    }
+    store.pending_checksums_ = std::move(pending);
+    if (checksums == ChecksumMode::kEager) {
+      store.verify_checksums();
+      store.load_stats_.checksums_verified = true;
+    }
+  }
   store.validate_structure();
   return store;
+}
+
+void SketchStore::verify_checksums() const {
+  const std::shared_ptr<PendingChecksums>& pending = pending_checksums_;
+  if (!pending) return;
+  // call_once leaves the flag unset when the body throws, so a failed
+  // verification is reported again to every later caller instead of
+  // letting one swallowed exception unlock serving.
+  std::call_once(pending->once, [&] {
+    for (const PendingChecksums::Section& s : pending->sections) {
+      if (crc32c(s.data, s.bytes) != s.expect) {
+        fail_section("checksum mismatch in", s.name, s.offset);
+      }
+    }
+    pending->verified.store(true, std::memory_order_release);
+  });
+}
+
+bool SketchStore::checksums_pending() const noexcept {
+  return pending_checksums_ != nullptr &&
+         !pending_checksums_->verified.load(std::memory_order_acquire);
 }
 
 SketchStore SketchStore::load(std::istream& is) {
@@ -972,13 +1073,20 @@ SketchStore SketchStore::load_file(const std::string& path,
   if (version != kSnapshotVersionV1 &&
       options.mode != SnapshotLoadMode::kStream) {
     is.close();
-    store = load_mapped(MappedFile::open_readonly(path), path);
+    store = load_mapped(MappedFile::open_readonly(path), path,
+                        options.checksums);
   } else if (version == kSnapshotVersionV1) {
     store = load_v1(is);
   } else {
     store = load_sections_stream(is, version);
   }
   if (options.deep_validate) {
+    // Checksums first: a deep scan over provably intact bytes separates
+    // "bit rot" from "writer bug" in the diagnostic.
+    store.verify_checksums();
+    if (store.pending_checksums_ != nullptr) {
+      store.load_stats_.checksums_verified = true;
+    }
     store.validate_payload();
     store.validate_derived();
     store.load_stats_.deep_validated = true;

@@ -43,8 +43,19 @@
 //        Snapshot size AND serving RSS drop together: loads — mmap'ed
 //        or streamed — keep the payload compressed and serve queries
 //        decode-on-enumerate. Written only on request
-//        (SnapshotSaveOptions::compress); v2 stays the default and
-//        every v2 consumer keeps working unchanged.
+//        (SnapshotSaveOptions::compress); every v2 consumer keeps
+//        working unchanged.
+//   v4 — the v2/v3 layout with INTEGRITY CHECKSUMS: each section-table
+//        entry's reserved u32 now carries the CRC32C of that section's
+//        payload bytes (7 sections = raw, 8 = compressed; the table is
+//        otherwise bit-identical). The default save format. Stream
+//        loads verify every section inline as it is read; mmap loads
+//        verify lazily by default (at first QueryEngine construction,
+//        preserving the O(table) cold start) or eagerly/never per
+//        SnapshotLoadOptions::checksums. A mismatch surfaces as typed
+//        bin::FormatError with section+offset — a flipped bit is never
+//        served. v2/v3 stay writable (SnapshotSaveOptions::checksum =
+//        false) and loadable.
 //
 // Everything is read-only after build/load — queries allocate their own
 // scratch (see QueryEngine) — so any number of threads can serve from one
@@ -55,6 +66,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -94,14 +106,26 @@ enum class SnapshotLoadMode {
   kStream,  ///< force the copying stream loader even for v2
 };
 
+/// When an mmap load of a v4 snapshot verifies the per-section CRC32C
+/// checksums (stream loads always verify inline — the bytes are in hand).
+enum class ChecksumMode {
+  kLazy,   ///< defer to verify_checksums() — first QueryEngine ctor —
+           ///< keeping the O(table) mmap cold start
+  kEager,  ///< verify every section at load time
+  kOff,    ///< skip (diagnostics over known-corrupt files)
+};
+
 struct SnapshotLoadOptions {
   SnapshotLoadMode mode = SnapshotLoadMode::kAuto;
   /// Adds the O(pool) scans the mmap path skips by default: per-member
   /// range/ordering checks plus recompute-and-compare of the derived
   /// inverted index and default greedy sequence. Stream loads always
   /// validate the primary payload (v1 semantics); deep validation adds
-  /// the derived-state cross-check there too.
+  /// the derived-state cross-check there too (and forces checksum
+  /// verification first on v4 files).
   bool deep_validate = false;
+  /// v4 checksum handling on the mmap path.
+  ChecksumMode checksums = ChecksumMode::kLazy;
 };
 
 /// What a load cost — the acceptance counters for the zero-copy path.
@@ -119,14 +143,23 @@ struct SnapshotLoadStats {
   bool compressed = false;
   /// Bytes of the compressed sketch payload (0 for v1/v2).
   std::uint64_t compressed_payload_bytes = 0;
+  /// The snapshot carries per-section CRC32C checksums (v4).
+  bool checksummed = false;
+  /// Checksums were verified DURING the load (stream / eager mmap). A
+  /// lazy mmap load leaves this false; see checksums_pending().
+  bool checksums_verified = false;
 };
 
 /// Snapshot writer knobs (see save()).
 struct SnapshotSaveOptions {
-  /// Write the v3 compressed-payload format instead of v2. Works from
-  /// any backing: a compressed store's varint payload is written as-is,
-  /// a Huffman-backed one transcodes, a raw one encodes at save time.
+  /// Write the compressed-payload layout. Works from any backing: a
+  /// compressed store's varint payload is written as-is, a Huffman-
+  /// backed one transcodes, a raw one encodes at save time.
   bool compress = false;
+  /// Stamp per-section CRC32C checksums into the section table (the v4
+  /// format — the default). false reproduces the legacy v2/v3 bytes
+  /// exactly.
+  bool checksum = true;
 };
 
 class SketchStore {
@@ -271,6 +304,16 @@ class SketchStore {
     return load_stats_;
   }
 
+  /// Verifies any deferred v4 section checksums (lazy mmap loads).
+  /// Idempotent and safe under concurrency; a no-op when nothing is
+  /// pending. Throws bin::FormatError naming the corrupt section — and
+  /// stays retryable: a failed verification leaves the store pending.
+  /// QueryEngine construction calls this, so a serving path never
+  /// answers from unverified bytes.
+  void verify_checksums() const;
+  /// True while a lazy mmap load still has unverified checksums.
+  [[nodiscard]] bool checksums_pending() const noexcept;
+
   /// Logical equality: same shape, meta, and per-sketch members —
   /// independent of which storage backs each side, so a deferred store
   /// equals its own loaded (flat or mmap'ed) snapshot.
@@ -303,11 +346,13 @@ class SketchStore {
   void validate_derived() const;
 
   static SketchStore load_v1(std::istream& is);
-  /// Shared v2/v3 section-table stream loader (v3 adds the compressed
-  /// payload + byte-offset sections).
+  /// Shared v2/v3/v4 section-table stream loader (v3/v4-compressed add
+  /// the compressed payload + byte-offset sections; v4 verifies the
+  /// section checksums inline).
   static SketchStore load_sections_stream(std::istream& is,
                                           std::uint32_t version);
-  static SketchStore load_mapped(MappedFile mapping, const std::string& path);
+  static SketchStore load_mapped(MappedFile mapping, const std::string& path,
+                                 ChecksumMode checksums);
   /// Wires the read-surface spans at the owned vectors.
   void adopt_owned_views();
 
@@ -367,6 +412,13 @@ class SketchStore {
   std::vector<std::uint8_t> comp_payload_own_;
   std::span<const std::uint64_t> comp_offsets_;  // num_sketches_ + 1
   std::span<const std::uint8_t> comp_payload_;
+
+  /// Deferred v4 checksum state of a lazy mmap load: the section list
+  /// with expected CRCs, verified once on first demand. Held through a
+  /// shared_ptr so the store stays movable (the sections point into
+  /// mapping_, whose pages never relocate on move).
+  struct PendingChecksums;
+  std::shared_ptr<PendingChecksums> pending_checksums_;
 
   /// Keeps the snapshot pages alive for mmap-backed stores.
   MappedFile mapping_;

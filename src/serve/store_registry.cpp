@@ -1,0 +1,99 @@
+#include "serve/store_registry.hpp"
+
+#include <utility>
+
+#include "support/failpoint.hpp"
+#include "support/log.hpp"
+
+namespace eimm {
+
+StoreRegistry::StoreRegistry(std::shared_ptr<const SketchStore> store,
+                             ExecutorOptions exec_options)
+    : exec_options_(exec_options) {
+  EIMM_CHECK(store != nullptr, "registry needs a store");
+  current_ = std::make_shared<ServingEpoch>(next_generation_++,
+                                            std::move(store), exec_options_);
+}
+
+StoreRegistry::~StoreRegistry() { shutdown(); }
+
+std::shared_ptr<ServingEpoch> StoreRegistry::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::shared_ptr<ServingEpoch> StoreRegistry::swap_in(
+    std::shared_ptr<const SketchStore> store) {
+  // Build the ENTIRE replacement epoch before taking the publish lock:
+  // engine construction verifies checksums and the executor spins up a
+  // dispatcher — none of that may block concurrent current() readers,
+  // and a throw here leaves the old epoch untouched.
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gen = next_generation_++;
+  }
+  auto fresh =
+      std::make_shared<ServingEpoch>(gen, std::move(store), exec_options_);
+  std::shared_ptr<ServingEpoch> retired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired = std::exchange(current_, fresh);
+  }
+  // `retired` drops here; if in-flight requests still hold references
+  // the epoch lives on until the last of them finishes, then its
+  // executor drains and joins in that thread. No query ever observes a
+  // half-swapped registry.
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+std::shared_ptr<ServingEpoch> StoreRegistry::reload_store(
+    std::shared_ptr<const SketchStore> store) {
+  EIMM_CHECK(store != nullptr, "cannot reload a null store");
+  try {
+    return swap_in(std::move(store));
+  } catch (...) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+std::shared_ptr<ServingEpoch> StoreRegistry::reload_file(
+    const std::string& path, SnapshotLoadOptions load) {
+  try {
+    if (fail::inject("serve.reload")) {
+      throw CheckError("injected truncated snapshot read for '" + path + "'");
+    }
+    // Verify checksums during the load: a corrupt snapshot must be
+    // rejected before the swap, not at first query of the new epoch.
+    if (load.checksums == ChecksumMode::kLazy) {
+      load.checksums = ChecksumMode::kEager;
+    }
+    auto store = std::make_shared<SketchStore>(
+        SketchStore::load_file(path, load));
+    auto epoch = swap_in(std::move(store));
+    EIMM_LOG_INFO << "serve: reloaded snapshot '" << path
+                  << "' as generation " << epoch->generation;
+    return epoch;
+  } catch (...) {
+    failed_reloads_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+void StoreRegistry::shutdown() {
+  std::shared_ptr<ServingEpoch> epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = current_;
+  }
+  if (epoch) epoch->executor.stop();
+}
+
+std::uint64_t StoreRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_ ? current_->generation : 0;
+}
+
+}  // namespace eimm

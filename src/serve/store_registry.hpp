@@ -1,0 +1,100 @@
+// StoreRegistry — epoch-versioned snapshot hot reload for the serving
+// layer.
+//
+// A serving epoch bundles everything a request needs to run: the store,
+// its QueryEngine, and a BatchingExecutor. The registry publishes the
+// current epoch behind one mutex-guarded shared_ptr; every request takes
+// its own reference for the duration of the call, so a reload can swap
+// in a new epoch atomically while in-flight queries keep answering from
+// the old one. The retired epoch is destroyed (executor drained and
+// joined) when its last query drops the reference — a reload never fails
+// an in-flight request.
+//
+// Reloads are all-or-nothing: the replacement store is loaded and
+// checksum-verified (v4 snapshots verify eagerly — corrupt bytes are
+// rejected BEFORE the swap) and the whole epoch is constructed off-lock.
+// Any failure leaves the current epoch serving untouched and bumps
+// failed_reloads() instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/executor.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/sketch_store.hpp"
+
+namespace eimm {
+
+/// One immutable generation of serving state. Construction order is
+/// load-bearing: the engine's ctor verifies any deferred snapshot
+/// checksums (so an epoch over corrupt bytes never exists), and the
+/// executor starts last / stops first.
+struct ServingEpoch {
+  ServingEpoch(std::uint64_t gen, std::shared_ptr<const SketchStore> s,
+               const ExecutorOptions& exec_options)
+      : generation(gen),
+        store(std::move(s)),
+        engine(*store),
+        executor(engine, exec_options) {}
+
+  const std::uint64_t generation;
+  const std::shared_ptr<const SketchStore> store;
+  QueryEngine engine;
+  BatchingExecutor executor;
+};
+
+class StoreRegistry {
+ public:
+  /// Builds generation 1 around an existing store. Throws (via the
+  /// engine ctor) if the store carries unverified corrupt checksums.
+  StoreRegistry(std::shared_ptr<const SketchStore> store,
+                ExecutorOptions exec_options);
+  ~StoreRegistry();
+
+  StoreRegistry(const StoreRegistry&) = delete;
+  StoreRegistry& operator=(const StoreRegistry&) = delete;
+
+  /// The epoch serving right now. Callers hold the returned reference
+  /// across their whole request so a concurrent reload cannot destroy
+  /// the state under them. Never null before shutdown().
+  [[nodiscard]] std::shared_ptr<ServingEpoch> current() const;
+
+  /// Swaps in a new epoch around `store`. Returns the new epoch; the
+  /// old one is retired when its last in-flight reference drops.
+  std::shared_ptr<ServingEpoch> reload_store(
+      std::shared_ptr<const SketchStore> store);
+
+  /// Loads `path` (checksums verified eagerly), then swaps. Strong
+  /// guarantee: on any load/verify failure the current epoch keeps
+  /// serving and the exception propagates to the caller.
+  std::shared_ptr<ServingEpoch> reload_file(const std::string& path,
+                                            SnapshotLoadOptions load = {});
+
+  /// Drains and stops the current epoch's executor (server shutdown).
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t generation() const;
+  [[nodiscard]] std::uint64_t reloads() const noexcept {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failed_reloads() const noexcept {
+    return failed_reloads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<ServingEpoch> swap_in(
+      std::shared_ptr<const SketchStore> store);
+
+  const ExecutorOptions exec_options_;
+  mutable std::mutex mutex_;
+  std::shared_ptr<ServingEpoch> current_;
+  std::uint64_t next_generation_ = 1;
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> failed_reloads_{0};
+};
+
+}  // namespace eimm

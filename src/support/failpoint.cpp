@@ -1,0 +1,246 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/env.hpp"
+#include "support/rng.hpp"
+
+namespace eimm::fail {
+
+namespace detail {
+std::atomic<int> g_armed{-1};
+}  // namespace detail
+
+namespace {
+
+// FNV-1a so per-site streams are stable across platforms and runs
+// (std::hash makes no such promise).
+std::uint64_t site_hash(std::string_view name) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Site {
+  Spec spec;
+  Xoshiro256 rng;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  obs::Counter hit_counter;
+  obs::Counter fire_counter;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  std::uint64_t seed = 0;
+  bool env_loaded = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites may fire at exit
+  return *r;
+}
+
+void publish_count_locked(Registry& r) {
+  detail::g_armed.store(static_cast<int>(r.sites.size()),
+                        std::memory_order_release);
+}
+
+void arm_locked(Registry& r, const std::string& site, Spec spec) {
+  EIMM_CHECK(!site.empty(), "failpoint site name must be non-empty");
+  if (spec.mode != Mode::kDelay) {
+    EIMM_CHECK(spec.arg <= 100,
+               "failpoint fire probability must be a percent in [0, 100]");
+  }
+  Site armed{spec, Xoshiro256::for_stream(r.seed, site_hash(site)), 0, 0,
+             obs::counter("failpoint." + site + ".hits"),
+             obs::counter("failpoint." + site + ".fires")};
+  r.sites.insert_or_assign(site, std::move(armed));
+  publish_count_locked(r);
+}
+
+void load_env_locked(Registry& r) {
+  if (r.env_loaded) return;
+  r.env_loaded = true;
+  r.seed = static_cast<std::uint64_t>(env_int("EIMM_FAILPOINT_SEED", 0));
+  const std::optional<std::string> schedule = env_string("EIMM_FAILPOINTS");
+  if (schedule && !schedule->empty()) {
+    for (std::size_t at = 0; at < schedule->size();) {
+      std::size_t comma = schedule->find(',', at);
+      if (comma == std::string::npos) comma = schedule->size();
+      const std::string entry = schedule->substr(at, comma - at);
+      const std::size_t colon = entry.find(':');
+      EIMM_CHECK(colon != std::string::npos && colon > 0,
+                 "EIMM_FAILPOINTS entry must be site:mode:arg[:times]");
+      arm_locked(r, entry.substr(0, colon), parse_spec(entry.substr(colon + 1)));
+      at = comma + 1;
+    }
+  }
+  publish_count_locked(r);
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  EIMM_CHECK(!text.empty(), "failpoint spec field is empty");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    EIMM_CHECK(c >= '0' && c <= '9', "failpoint spec field must be numeric");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::kError:
+      return "error";
+    case Mode::kDelay:
+      return "delay";
+    case Mode::kTrunc:
+      return "trunc";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::optional<Mode> hit_slow(const char* site) {
+  Mode mode{};
+  std::uint64_t delay_ms = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    load_env_locked(r);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end()) return std::nullopt;
+    Site& s = it->second;
+    ++s.hits;
+    s.hit_counter.add();
+    bool fire = s.spec.mode == Mode::kDelay || s.spec.arg >= 100 ||
+                s.rng.next_bounded(100) < s.spec.arg;
+    if (fire && s.spec.times != 0 && s.fires >= s.spec.times) fire = false;
+    if (!fire) return std::nullopt;
+    ++s.fires;
+    s.fire_counter.add();
+    mode = s.spec.mode;
+    delay_ms = s.spec.arg;
+  }
+  if (mode == Mode::kDelay && delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return mode;
+}
+
+}  // namespace detail
+
+bool inject(const char* site) {
+  const std::optional<Mode> fired = hit(site);
+  if (!fired || *fired == Mode::kDelay) return false;
+  if (*fired == Mode::kError) {
+    throw InjectedFault(std::string("injected fault at failpoint '") + site +
+                        "'");
+  }
+  return true;  // kTrunc: the site simulates a truncated read/write.
+}
+
+void arm(const std::string& site, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  arm_locked(r, site, spec);
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  r.sites.erase(site);
+  publish_count_locked(r);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  r.sites.clear();
+  publish_count_locked(r);
+}
+
+std::size_t armed_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  return r.sites.size();
+}
+
+void set_seed(std::uint64_t seed) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  r.seed = seed;
+}
+
+Spec parse_spec(const std::string& text) {
+  std::vector<std::string> fields;
+  for (std::size_t at = 0; at <= text.size();) {
+    std::size_t colon = text.find(':', at);
+    if (colon == std::string::npos) colon = text.size();
+    fields.push_back(text.substr(at, colon - at));
+    at = colon + 1;
+  }
+  EIMM_CHECK(fields.size() >= 1 && fields.size() <= 3,
+             "failpoint spec must be mode[:arg[:times]]");
+  Spec spec;
+  if (fields[0] == "error") {
+    spec.mode = Mode::kError;
+  } else if (fields[0] == "delay") {
+    spec.mode = Mode::kDelay;
+  } else if (fields[0] == "trunc") {
+    spec.mode = Mode::kTrunc;
+  } else {
+    EIMM_CHECK(false, "failpoint mode must be error, delay, or trunc");
+  }
+  if (fields.size() >= 2) spec.arg = parse_u64(fields[1]);
+  if (fields.size() >= 3) spec.times = parse_u64(fields[2]);
+  if (spec.mode != Mode::kDelay) {
+    EIMM_CHECK(spec.arg <= 100,
+               "failpoint fire probability must be a percent in [0, 100]");
+  }
+  return spec;
+}
+
+void configure(const std::string& schedule) {
+  for (std::size_t at = 0; at < schedule.size();) {
+    std::size_t comma = schedule.find(',', at);
+    if (comma == std::string::npos) comma = schedule.size();
+    const std::string entry = schedule.substr(at, comma - at);
+    const std::size_t colon = entry.find(':');
+    EIMM_CHECK(colon != std::string::npos && colon > 0,
+               "failpoint schedule entry must be site:mode:arg[:times]");
+    arm(entry.substr(0, colon), parse_spec(entry.substr(colon + 1)));
+    at = comma + 1;
+  }
+}
+
+SiteStats stats(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  load_env_locked(r);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+}  // namespace eimm::fail

@@ -1,0 +1,103 @@
+// Deterministic fault injection for chaos testing.
+//
+// A failpoint is a named site compiled into production code
+// (`fail::inject("serve.admit")`) that does nothing until armed — either
+// programmatically (`fail::arm`) or through the environment:
+//
+//   EIMM_FAILPOINTS=site:mode:arg[:times],...   e.g.
+//   EIMM_FAILPOINTS=serve.admit:error:40,io.bin.read:trunc:10:3
+//
+// Modes: `error` throws InjectedFault at the site, `delay` sleeps for
+// `arg` milliseconds, `trunc` tells the site to simulate a truncated
+// read/write. For error/trunc, `arg` is the fire probability in percent
+// (100 = always); the optional `times` caps how often the site fires.
+// Firing is deterministic: each site draws from its own Xoshiro256 stream
+// seeded from (EIMM_FAILPOINT_SEED, fnv1a(site)), so a given schedule
+// replays identically run to run. Every site keeps hit/fire counts and
+// mirrors them into obs counters `failpoint.<site>.{hits,fires}`.
+//
+// The disarmed fast path is one relaxed atomic load and a predicted
+// branch — cheap enough to leave the sites compiled into release builds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/macros.hpp"
+
+namespace eimm::fail {
+
+enum class Mode { kError, kDelay, kTrunc };
+
+[[nodiscard]] const char* to_string(Mode mode) noexcept;
+
+/// What an armed site does when it fires.
+struct Spec {
+  Mode mode = Mode::kError;
+  /// kError/kTrunc: fire probability in percent (clamped to [0, 100]);
+  /// kDelay: sleep duration in milliseconds (always fires).
+  std::uint64_t arg = 100;
+  /// Fire at most this many times; 0 means unlimited.
+  std::uint64_t times = 0;
+};
+
+/// Lifetime hit/fire counts of one site (zeros when never armed).
+struct SiteStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Thrown at a site armed in `error` mode.
+class InjectedFault : public CheckError {
+ public:
+  using CheckError::CheckError;
+};
+
+namespace detail {
+// Number of armed sites; -1 until EIMM_FAILPOINTS has been parsed.
+extern std::atomic<int> g_armed;
+std::optional<Mode> hit_slow(const char* site);
+}  // namespace detail
+
+/// Records a hit on `site` and returns the fired mode, or nullopt when
+/// the site is disarmed or the probabilistic draw says "not this time".
+/// kDelay sleeps before returning.
+[[nodiscard]] inline std::optional<Mode> hit(const char* site) {
+  if (EIMM_LIKELY(detail::g_armed.load(std::memory_order_acquire) == 0)) {
+    return std::nullopt;
+  }
+  return detail::hit_slow(site);
+}
+
+/// Convenience wrapper: throws InjectedFault when the site fires in
+/// kError mode, returns true when it fires in kTrunc mode (the caller
+/// simulates a truncation), false otherwise. kDelay sleeps and returns
+/// false.
+bool inject(const char* site);
+
+/// Arms `site` with `spec` (replacing any previous spec and resetting its
+/// deterministic stream). Registers the site's obs counters.
+void arm(const std::string& site, Spec spec);
+
+/// Disarms one site / every site. Programmatic and env-armed sites alike.
+void disarm(const std::string& site);
+void disarm_all();
+
+/// Number of armed sites; forces the EIMM_FAILPOINTS parse, so tools can
+/// call it once at startup to surface schedule syntax errors early.
+std::size_t armed_count();
+
+/// Overrides the deterministic base seed (default EIMM_FAILPOINT_SEED,
+/// else 0) for sites armed after this call.
+void set_seed(std::uint64_t seed);
+
+/// Parses "mode:arg[:times]" / "site:mode:arg[:times],..."; throws
+/// CheckError on malformed input.
+[[nodiscard]] Spec parse_spec(const std::string& text);
+void configure(const std::string& schedule);
+
+[[nodiscard]] SiteStats stats(const std::string& site);
+
+}  // namespace eimm::fail

@@ -66,7 +66,7 @@ TEST(CompressedSnapshot, V3RoundTripsThroughBothLoaders) {
   SnapshotLoadOptions stream_options;
   stream_options.mode = SnapshotLoadMode::kStream;
   const SketchStore streamed = SketchStore::load_file(path, stream_options);
-  EXPECT_EQ(streamed.load_stats().version, 3u);
+  EXPECT_EQ(streamed.load_stats().version, 4u);
   EXPECT_TRUE(streamed.load_stats().compressed);
   EXPECT_GT(streamed.load_stats().compressed_payload_bytes, 0u);
   EXPECT_TRUE(streamed.compressed());
@@ -75,7 +75,7 @@ TEST(CompressedSnapshot, V3RoundTripsThroughBothLoaders) {
   SnapshotLoadOptions map_options;
   map_options.mode = SnapshotLoadMode::kMap;
   const SketchStore mapped = SketchStore::load_file(path, map_options);
-  EXPECT_EQ(mapped.load_stats().version, 3u);
+  EXPECT_EQ(mapped.load_stats().version, 4u);
   EXPECT_TRUE(mapped.load_stats().mmap_backed);
   EXPECT_EQ(mapped.load_stats().bytes_copied, 0u);
   EXPECT_TRUE(mapped.compressed());

@@ -79,7 +79,7 @@ TEST(MmapSnapshot, MapLoadIsZeroCopyAndBitIdentical) {
   const SketchStore mapped = SketchStore::load_file(path, map_options);
 
   const SnapshotLoadStats& stats = mapped.load_stats();
-  EXPECT_EQ(stats.version, 2u);
+  EXPECT_EQ(stats.version, 4u);
   EXPECT_TRUE(stats.mmap_backed);
   EXPECT_EQ(stats.file_bytes, original.size());
   EXPECT_EQ(stats.bytes_mapped, original.size());

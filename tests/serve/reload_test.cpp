@@ -1,0 +1,256 @@
+// Hot snapshot reload: epoch-versioned StoreRegistry swaps, the kReload
+// wire verb, and the strong no-worse-than-before guarantee — a failed
+// reload must leave the previous generation serving untouched, and
+// in-flight queries against a retired epoch must complete.
+#include "serve/store_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/binary.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
+#include "serve/sketch_store.hpp"
+#include "support/failpoint.hpp"
+#include "support/macros.hpp"
+#include "workloads/registry.hpp"
+
+namespace eimm {
+namespace {
+
+constexpr std::size_t kTableAt = 24;
+constexpr std::size_t kEntryBytes = 24;
+
+SketchStore make_store(double scale = 0.01) {
+  const DiffusionGraph g = make_workload_with_weights(
+      "com-Amazon", DiffusionModel::kIndependentCascade, scale);
+  ImmOptions options;
+  options.k = 6;
+  options.max_rrr_sets = 2048;
+  return SketchStore::build(g, options, "amazon-reload");
+}
+
+std::shared_ptr<const SketchStore> make_shared_store(double scale = 0.01) {
+  return std::make_shared<const SketchStore>(make_store(scale));
+}
+
+std::string save_snapshot(const SketchStore& store, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  store.save_file(path);
+  return path;
+}
+
+void corrupt_payload_byte(const std::string& path) {
+  std::string data;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    data = buf.str();
+  }
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::memcpy(&offset, data.data() + kTableAt + 2 * kEntryBytes + 8, 8);
+  std::memcpy(&bytes, data.data() + kTableAt + 2 * kEntryBytes + 16, 8);
+  const std::size_t victim = offset + bytes / 2;
+  data[victim] = static_cast<char>(data[victim] ^ 0x20);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// --- StoreRegistry ---
+
+TEST(StoreRegistry, StartsAtGenerationOne) {
+  StoreRegistry registry(make_shared_store(), ExecutorOptions{});
+  EXPECT_EQ(registry.generation(), 1u);
+  EXPECT_EQ(registry.reloads(), 0u);
+  EXPECT_EQ(registry.failed_reloads(), 0u);
+  const std::shared_ptr<ServingEpoch> epoch = registry.current();
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->generation, 1u);
+  QueryOptions q;
+  q.k = 3;
+  EXPECT_EQ(epoch->executor.submit(q).get().seeds,
+            epoch->engine.top_k(3).seeds);
+  registry.shutdown();
+}
+
+TEST(StoreRegistry, ReloadStoreSwapsWhileOldEpochKeepsAnswering) {
+  StoreRegistry registry(make_shared_store(), ExecutorOptions{});
+  const std::shared_ptr<ServingEpoch> old_epoch = registry.current();
+  const std::vector<VertexId> old_seeds = old_epoch->engine.top_k(4).seeds;
+
+  const std::shared_ptr<ServingEpoch> fresh =
+      registry.reload_store(make_shared_store(0.02));
+  EXPECT_EQ(fresh->generation, 2u);
+  EXPECT_EQ(registry.generation(), 2u);
+  EXPECT_EQ(registry.reloads(), 1u);
+  EXPECT_EQ(registry.current(), fresh);
+
+  // The retired epoch is still fully serviceable while referenced — the
+  // zero-failed-in-flight-queries contract.
+  QueryOptions q;
+  q.k = 4;
+  EXPECT_EQ(old_epoch->executor.submit(q).get().seeds, old_seeds);
+  registry.shutdown();
+}
+
+TEST(StoreRegistry, ReloadFileLoadsVerifiesAndSwaps) {
+  const SketchStore replacement = make_store(0.02);
+  const std::string path = save_snapshot(replacement, "eimm_reload_ok.sks");
+
+  StoreRegistry registry(make_shared_store(), ExecutorOptions{});
+  const std::shared_ptr<ServingEpoch> epoch = registry.reload_file(path);
+  EXPECT_EQ(epoch->generation, 2u);
+  // reload_file upgrades lazy checksum handling to eager: the swapped-in
+  // store must have nothing pending.
+  EXPECT_FALSE(epoch->store->checksums_pending());
+  EXPECT_TRUE(*epoch->store == replacement);
+  EXPECT_EQ(epoch->engine.top_k(5).seeds,
+            QueryEngine(replacement).top_k(5).seeds);
+  registry.shutdown();
+}
+
+TEST(StoreRegistry, FailedReloadKeepsThePreviousEpochServing) {
+  const std::string path =
+      save_snapshot(make_store(0.02), "eimm_reload_corrupt.sks");
+  corrupt_payload_byte(path);
+
+  StoreRegistry registry(make_shared_store(), ExecutorOptions{});
+  const std::shared_ptr<ServingEpoch> before = registry.current();
+  EXPECT_THROW(registry.reload_file(path), bin::FormatError);
+  EXPECT_EQ(registry.generation(), 1u);
+  EXPECT_EQ(registry.reloads(), 0u);
+  EXPECT_EQ(registry.failed_reloads(), 1u);
+  EXPECT_EQ(registry.current(), before);
+
+  // A missing file is an ordinary failure too, not a crash.
+  EXPECT_THROW(registry.reload_file("/nonexistent/eimm_gone.sks"),
+               CheckError);
+  EXPECT_EQ(registry.failed_reloads(), 2u);
+
+  QueryOptions q;
+  q.k = 2;
+  EXPECT_EQ(registry.current()->executor.submit(q).get().seeds,
+            before->engine.top_k(2).seeds);
+  registry.shutdown();
+}
+
+TEST(StoreRegistry, InjectedReloadFaultCountsAsFailedAndIsRecoverable) {
+  fail::disarm_all();
+  const std::string path =
+      save_snapshot(make_store(0.02), "eimm_reload_fp.sks");
+  StoreRegistry registry(make_shared_store(), ExecutorOptions{});
+
+  fail::Spec spec;
+  spec.mode = fail::Mode::kError;
+  spec.arg = 100;
+  spec.times = 1;
+  fail::arm("serve.reload", spec);
+  EXPECT_THROW(registry.reload_file(path), CheckError);
+  EXPECT_EQ(registry.failed_reloads(), 1u);
+  EXPECT_EQ(registry.generation(), 1u);
+
+  // The site's cap is exhausted — the very next reload goes through.
+  EXPECT_EQ(registry.reload_file(path)->generation, 2u);
+  EXPECT_EQ(registry.reloads(), 1u);
+  fail::disarm_all();
+  registry.shutdown();
+}
+
+// --- kReload over the wire ---
+
+class ReloadServerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fail::disarm_all();
+    store_ = std::make_unique<SketchStore>(make_store());
+    snapshot_path_ = save_snapshot(*store_, "eimm_reload_server.sks");
+    ServerOptions options;
+    options.socket_path = ::testing::TempDir() + "/eimm_reload_test_" +
+                          std::to_string(::testing::UnitTest::GetInstance()
+                                             ->random_seed()) +
+                          ".sock";
+    options.snapshot_path = snapshot_path_;
+    server_ = std::make_unique<SketchServer>(*store_, options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    fail::disarm_all();
+    if (server_) server_->stop();
+  }
+
+  std::unique_ptr<SketchStore> store_;
+  std::string snapshot_path_;
+  std::unique_ptr<SketchServer> server_;
+};
+
+TEST_F(ReloadServerFixture, ReloadVerbSwapsGenerations) {
+  SketchClient client(server_->socket_path());
+  EXPECT_EQ(client.info().generation, 1u);
+
+  // Empty path → the server re-reads its configured snapshot.
+  EXPECT_EQ(client.reload(), 2u);
+  EXPECT_EQ(server_->generation(), 2u);
+  EXPECT_EQ(client.info().generation, 2u);
+
+  // Explicit path → that file becomes the new generation.
+  const std::string other =
+      save_snapshot(make_store(0.02), "eimm_reload_other.sks");
+  EXPECT_EQ(client.reload(other), 3u);
+
+  const SketchClient::ServerStats stats = client.stats();
+  EXPECT_EQ(stats.generation, 3u);
+  EXPECT_EQ(stats.reloads, 2u);
+  EXPECT_EQ(stats.failed_reloads, 0u);
+
+  // The new generation serves the new store's answers.
+  const SketchStore other_store =
+      SketchStore::load_file(other, SnapshotLoadOptions{});
+  const QueryEngine expected(other_store);
+  EXPECT_EQ(client.top_k(4).seeds, expected.top_k(4).seeds);
+}
+
+TEST_F(ReloadServerFixture, CorruptReloadTargetIsRejectedAndServiceLivesOn) {
+  SketchClient client(server_->socket_path());
+  const std::vector<VertexId> before = client.top_k(3).seeds;
+
+  const std::string corrupt =
+      save_snapshot(make_store(0.02), "eimm_reload_bad.sks");
+  corrupt_payload_byte(corrupt);
+  try {
+    (void)client.reload(corrupt);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+
+  const SketchClient::ServerStats stats = client.stats();
+  EXPECT_EQ(stats.generation, 1u);
+  EXPECT_EQ(stats.failed_reloads, 1u);
+  // Same connection, same answers — the old epoch never stopped.
+  EXPECT_EQ(client.top_k(3).seeds, before);
+}
+
+TEST(ReloadServerStandalone, ReloadWithoutConfiguredSnapshotIsAnError) {
+  const SketchStore store = make_store();
+  ServerOptions options;
+  options.socket_path = ::testing::TempDir() + "/eimm_reload_nopath.sock";
+  SketchServer server(store, options);  // no snapshot_path configured
+  server.start();
+  SketchClient client(server.socket_path());
+  EXPECT_THROW((void)client.reload(), CheckError);
+  EXPECT_EQ(client.info().generation, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace eimm

@@ -6,6 +6,7 @@
 //   sketch_cli query --store store.sks --k 10 --forbid 3,17
 //   sketch_cli query --store store.sks --k 5 --candidates 1,2,3,4,5
 //   sketch_cli query --store store.sks --eval 9,4,12
+//   sketch_cli verify store.sks
 //
 // Verbs:
 //   build   construct a store from a workload/graph; --out saves it
@@ -13,6 +14,9 @@
 //   load    load a snapshot and print its header/summary
 //   query   load a snapshot and answer one query (top-k, constrained,
 //           or --eval marginal-gain evaluation of given seeds)
+//   verify  one-shot integrity check (structure + v4 section checksums
+//           + deep payload scan); exits non-zero on corruption with a
+//           one-line section/offset diagnostic
 //
 // Build options mirror imm_cli: --workload NAME | --graph PATH |
 // --binary PATH, --scale F, --undirected, --model IC|LT, --k N (the
@@ -79,14 +83,19 @@ struct CliOptions {
       "          [--out PATH]   (--out required for 'save')\n"
       "          [--compress]   (save the snapshot with gap-coded sketch\n"
       "                          payload: v3 format, ~2-4x smaller)\n"
+      "          [--no-checksum] (write legacy v2/v3 bytes without the\n"
+      "                          v4 per-section CRC32C checksums)\n"
       "       %s load --store PATH [--stream] [--deep-validate]\n"
       "       %s query --store PATH (--k N [--candidates LIST]\n"
       "          [--forbid LIST] | --eval LIST) [--stream] [--deep-validate]\n"
       "          LIST = comma-separated ids\n"
-      "       --stream forces the copying loader (v2 snapshots mmap by\n"
+      "       %s verify SNAPSHOT   (one-shot integrity check: structure,\n"
+      "          section checksums, payload and derived-state scans;\n"
+      "          exits non-zero with a one-line diagnostic on corruption)\n"
+      "       --stream forces the copying loader (v2+ snapshots mmap by\n"
       "       default); --deep-validate adds the O(pool) integrity scan\n"
       "       any verb accepts --metrics OUT.json (obs registry snapshot)\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -158,9 +167,10 @@ CliOptions parse_cli(int argc, char** argv) {
   CliOptions options;
   options.verb = argv[1];
   if (options.verb != "build" && options.verb != "save" &&
-      options.verb != "load" && options.verb != "query") {
+      options.verb != "load" && options.verb != "query" &&
+      options.verb != "verify") {
     if (options.verb == "--help" || options.verb == "-h") usage(argv[0]);
-    usage(argv[0], "verb must be build, save, load, or query");
+    usage(argv[0], "verb must be build, save, load, query, or verify");
   }
   options.imm.max_rrr_sets = 1u << 20;
   for (int i = 2; i < argc; ++i) {
@@ -215,12 +225,17 @@ CliOptions parse_cli(int argc, char** argv) {
       options.load.mode = SnapshotLoadMode::kStream;
     } else if (arg == "--compress") {
       options.save.compress = true;
+    } else if (arg == "--no-checksum") {
+      options.save.checksum = false;
     } else if (arg == "--metrics") {
       options.metrics_path = next();
     } else if (arg == "--deep-validate") {
       options.load.deep_validate = true;
     } else if (arg == "--help" || arg == "-h") usage(argv[0]);
-    else usage(argv[0], ("unknown option " + arg).c_str());
+    else if (options.verb == "verify" && !options.store_path &&
+             arg.rfind("--", 0) != 0) {
+      options.store_path = arg;  // `sketch_cli verify SNAPSHOT`
+    } else usage(argv[0], ("unknown option " + arg).c_str());
   }
   return options;
 }
@@ -303,10 +318,51 @@ int run_build(const CliOptions& options) {
 
   if (options.out_path) {
     store.save_file(*options.out_path, options.save);
-    std::printf("saved: %s%s\n", options.out_path->c_str(),
-                options.save.compress ? " (compressed v3)" : "");
+    const unsigned version =
+        options.save.checksum ? 4u : (options.save.compress ? 3u : 2u);
+    std::printf("saved: %s (v%u%s%s)\n", options.out_path->c_str(), version,
+                options.save.compress ? ", compressed" : "",
+                options.save.checksum ? ", checksummed" : "");
   }
   return 0;
+}
+
+int run_verify(const CliOptions& options) {
+  if (!options.store_path) {
+    usage("sketch_cli", "'verify' requires a snapshot path");
+  }
+  // Strongest available check in one pass: the stream loader re-reads
+  // every byte, eager checksums verify each v4 section CRC, and the
+  // deep scan validates payload plausibility plus derived state.
+  SnapshotLoadOptions load = options.load;
+  load.mode = SnapshotLoadMode::kStream;
+  load.deep_validate = true;
+  load.checksums = ChecksumMode::kEager;
+  try {
+    const SketchStore store =
+        SketchStore::load_file(*options.store_path, load);
+    const SnapshotLoadStats& stats = store.load_stats();
+    std::printf("verify: OK %s (v%u%s%s, %llu sketches over %u nodes, "
+                "%.1f MiB)\n",
+                options.store_path->c_str(), stats.version,
+                stats.compressed ? ", compressed" : "",
+                stats.checksummed ? ", checksums verified"
+                                  : ", no checksums (pre-v4)",
+                static_cast<unsigned long long>(store.num_sketches()),
+                store.num_vertices(),
+                static_cast<double>(stats.file_bytes) / (1024.0 * 1024.0));
+    return 0;
+  } catch (const bin::FormatError& e) {
+    // One line: FormatError::what() already names the section and the
+    // byte offset of the failing read.
+    std::fprintf(stderr, "verify: FAIL %s — %s\n",
+                 options.store_path->c_str(), e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "verify: FAIL %s — %s\n",
+                 options.store_path->c_str(), e.what());
+    return 1;
+  }
 }
 
 int run_load(const CliOptions& options) {
@@ -375,6 +431,8 @@ int main(int argc, char** argv) {
       rc = run_build(options);
     } else if (options.verb == "load") {
       rc = run_load(options);
+    } else if (options.verb == "verify") {
+      rc = run_verify(options);
     } else {
       rc = run_query(options);
     }

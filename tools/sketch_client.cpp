@@ -5,12 +5,19 @@
 //   sketch_client --socket /tmp/eimm.sock query --k 10
 //   sketch_client --socket /tmp/eimm.sock query --k 5 --forbid 3,17
 //   sketch_client --socket /tmp/eimm.sock stats
+//   sketch_client --socket /tmp/eimm.sock reload [--snapshot PATH]
 //   sketch_client --socket /tmp/eimm.sock shutdown
+//
+// Resilience flags (any verb): --retries N caps retry attempts on
+// transient failures (default 1 = single shot), --deadline-ms N bounds
+// the whole call including backoff sleeps.
 //
 // Query output matches `sketch_cli query` exactly, so CI can diff the
 // two paths: same store + same query must yield byte-identical seed
 // lines whether served over the socket or computed in-process.
 #include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,8 +36,11 @@ using namespace eimm;
   std::fprintf(stderr,
                "usage: %s --socket PATH ping|info|stats|shutdown\n"
                "       %s --socket PATH query --k N [--candidates LIST]\n"
-               "          [--forbid LIST]       LIST = comma-separated ids\n",
-               argv0, argv0);
+               "          [--forbid LIST]       LIST = comma-separated ids\n"
+               "       %s --socket PATH reload [--snapshot PATH]\n"
+               "       any verb: --retries N (attempts on transient errors,\n"
+               "       default 1) and --deadline-ms N (whole-call bound)\n",
+               argv0, argv0, argv0);
   std::exit(error != nullptr ? 2 : 0);
 }
 
@@ -80,7 +90,9 @@ void print_query_result(const QueryResult& result) {
 int main(int argc, char** argv) {
   std::string socket_path;
   std::string verb;
+  std::string snapshot_path;
   QueryOptions query;
+  RetryOptions retry;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -95,6 +107,17 @@ int main(int argc, char** argv) {
       query.candidates = parse_vertex_list(argv[0], next());
     } else if (arg == "--forbid") {
       query.forbidden = parse_vertex_list(argv[0], next());
+    } else if (arg == "--retries") {
+      retry.max_attempts = static_cast<std::size_t>(
+          std::strtoull(next().c_str(), nullptr, 10));
+      if (retry.max_attempts == 0) {
+        usage(argv[0], "--retries must be at least 1");
+      }
+    } else if (arg == "--deadline-ms") {
+      retry.deadline = std::chrono::milliseconds(
+          std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--snapshot") {
+      snapshot_path = next();
     } else if (arg == "--help" || arg == "-h") usage(argv[0]);
     else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0], ("unknown option " + arg).c_str());
@@ -105,7 +128,7 @@ int main(int argc, char** argv) {
   if (verb.empty()) usage(argv[0], "missing verb");
 
   try {
-    SketchClient client(socket_path);
+    SketchClient client(socket_path, retry);
     if (verb == "ping") {
       client.ping();
       std::printf("pong\n");
@@ -121,6 +144,8 @@ int main(int argc, char** argv) {
                   info.mmap_backed ? "mmap" : "stream/built",
                   static_cast<double>(info.bytes_mapped) / (1024.0 * 1024.0),
                   static_cast<double>(info.bytes_copied) / (1024.0 * 1024.0));
+      std::printf("epoch: generation %llu\n",
+                  static_cast<unsigned long long>(info.generation));
     } else if (verb == "query") {
       if (query.k == 0) usage(argv[0], "'query' requires --k N");
       print_query_result(query.constrained() ? client.select(query)
@@ -144,14 +169,33 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.cache.misses),
                   static_cast<unsigned long long>(stats.cache.evictions),
                   static_cast<unsigned long long>(stats.cache.entries));
+      std::printf("store: generation %llu, %llu reloads (%llu failed)\n",
+                  static_cast<unsigned long long>(stats.generation),
+                  static_cast<unsigned long long>(stats.reloads),
+                  static_cast<unsigned long long>(stats.failed_reloads));
       print_histogram_line("queue wait us", stats.executor.queue_wait_us);
       print_histogram_line("batch size", stats.executor.batch_size);
       print_histogram_line("exec us", stats.executor.exec_us);
+    } else if (verb == "reload") {
+      const std::uint64_t generation = client.reload(snapshot_path);
+      std::printf("reloaded: now serving generation %llu\n",
+                  static_cast<unsigned long long>(generation));
     } else if (verb == "shutdown") {
       client.shutdown_server();
       std::printf("server shutting down\n");
     } else {
       usage(argv[0], ("unknown verb " + verb).c_str());
+    }
+    // Retry accounting goes to stderr so the stdout byte-diff against
+    // sketch_cli stays clean even when transient faults were retried.
+    const RetryStats rs = client.retry_stats();
+    if (rs.retries > 0 || rs.reconnects > 0) {
+      std::fprintf(stderr,
+                   "note: %llu retr%s, %llu reconnect%s before success\n",
+                   static_cast<unsigned long long>(rs.retries),
+                   rs.retries == 1 ? "y" : "ies",
+                   static_cast<unsigned long long>(rs.reconnects),
+                   rs.reconnects == 1 ? "" : "s");
     }
     return 0;
   } catch (const CheckError& e) {
